@@ -1,0 +1,98 @@
+// Command simrun runs a time-stepped simulation (Figure 1 of the paper) over
+// a synthetic neuroscience dataset with a chosen spatial index and prints the
+// per-step cost breakdown: update (movement + index maintenance), monitoring
+// queries, and periodic synapse-detection joins.
+//
+// Usage:
+//
+//	simrun -index simindex -elements 50000 -steps 10
+//	simrun -index rtree -queries 500
+//
+// Indexes: simindex, grid, rtree, rtree-throwaway, octree, scan.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spatialsim/internal/core"
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/grid"
+	"spatialsim/internal/index"
+	"spatialsim/internal/moving"
+	"spatialsim/internal/octree"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/sim"
+)
+
+func main() {
+	var (
+		indexName = flag.String("index", "simindex", "index to use (simindex|grid|rtree|rtree-throwaway|octree|scan)")
+		elements  = flag.Int("elements", 50000, "number of elements (neuron segments)")
+		steps     = flag.Int("steps", 5, "number of simulation steps")
+		queries   = flag.Int("queries", 200, "monitoring range queries per step")
+		knn       = flag.Int("knn", 20, "kNN queries per step")
+		joinEvery = flag.Int("join-every", 0, "run a synapse-detection self-join every N steps (0 = never)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	segPerNeuron := 400
+	neurons := *elements / segPerNeuron
+	if neurons < 1 {
+		neurons = 1
+		segPerNeuron = *elements
+	}
+	dataset := datagen.GenerateNeurons(datagen.DefaultNeuronConfig(neurons, segPerNeuron, *seed))
+	ix, err := makeIndex(*indexName, dataset, *queries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("simrun: %d elements, index=%s, %d steps, %d queries/step\n",
+		dataset.Len(), ix.Name(), *steps, *queries)
+	simulation := sim.New(dataset, datagen.NewPlasticityModel(*seed+1), ix, sim.Config{
+		QueriesPerStep:   *queries,
+		QuerySelectivity: 5e-4,
+		KNNPerStep:       *knn,
+		K:                8,
+		JoinEvery:        *joinEvery,
+		JoinEps:          dataset.Universe.Size().X / 2000,
+		Seed:             *seed + 2,
+	})
+	fmt.Printf("%-6s %-14s %-14s %-14s %-10s %s\n", "step", "update", "query", "join", "results", "moved")
+	var run sim.RunStats
+	for i := 0; i < *steps; i++ {
+		st := simulation.Step()
+		run.Steps = append(run.Steps, st)
+		run.TotalUpdate += st.UpdateTime
+		run.TotalQuery += st.QueryTime
+		run.TotalJoin += st.JoinTime
+		fmt.Printf("%-6d %-14v %-14v %-14v %-10d %d\n", st.Step,
+			st.UpdateTime.Round(time.Microsecond), st.QueryTime.Round(time.Microsecond),
+			st.JoinTime.Round(time.Microsecond), st.RangeResults, st.Movement.Moved)
+	}
+	fmt.Println("total:", run.String())
+}
+
+func makeIndex(name string, d *datagen.Dataset, queriesPerStep int) (index.Index, error) {
+	switch name {
+	case "simindex":
+		return core.New(core.Config{Universe: d.Universe, ExpectedQueriesPerStep: queriesPerStep}), nil
+	case "grid":
+		return grid.New(grid.Config{Universe: d.Universe, CellsPerDim: 32}), nil
+	case "rtree":
+		return rtree.NewDefault(), nil
+	case "rtree-throwaway":
+		return moving.NewThrowaway(rtree.NewDefault()), nil
+	case "octree":
+		return octree.New(octree.Config{Universe: d.Universe, LeafCapacity: 32}), nil
+	case "scan":
+		return index.NewLinearScan(), nil
+	default:
+		return nil, fmt.Errorf("unknown index %q", name)
+	}
+}

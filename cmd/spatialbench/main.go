@@ -1,0 +1,92 @@
+// Command spatialbench regenerates the paper's experiments from the command
+// line. Each experiment prints rows in the shape of the corresponding figure
+// or in-text result of Heinis et al., "Spatial Data Management Challenges in
+// the Simulation Sciences" (EDBT 2014).
+//
+// Usage:
+//
+//	spatialbench -exp all
+//	spatialbench -exp fig2 -elements 500000 -queries 200
+//	spatialbench -exp updates
+//
+// Experiments: fig2, fig3, fig4, updates, indexes, lsh, join, moving,
+// simstep, mesh, ablation-resolution, ablation-advisor, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialsim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|all)")
+		elements    = flag.Int("elements", 100000, "number of spatial elements")
+		queries     = flag.Int("queries", 200, "number of range queries")
+		selectivity = flag.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
+		steps       = flag.Int("steps", 3, "simulation steps for step-based experiments")
+		seed        = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	scale := experiments.Scale{
+		Elements:    *elements,
+		Queries:     *queries,
+		Selectivity: *selectivity,
+		Seed:        *seed,
+	}
+	if err := run(strings.ToLower(*exp), scale, *steps); err != nil {
+		fmt.Fprintln(os.Stderr, "spatialbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale experiments.Scale, steps int) error {
+	runOne := func(name string) error {
+		switch name {
+		case "fig2":
+			fmt.Println(experiments.Figure2(scale))
+		case "fig3":
+			fmt.Println(experiments.Figure3(scale))
+		case "fig4":
+			fmt.Println(experiments.Figure4(scale))
+		case "updates":
+			fmt.Println(experiments.UpdateVsRebuild(scale, nil))
+		case "indexes":
+			fmt.Println(experiments.IndexComparison(scale))
+		case "lsh":
+			fmt.Println(experiments.MeasureLSHRecall(scale))
+		case "join":
+			fmt.Println(experiments.JoinComparison(scale))
+		case "moving":
+			fmt.Println(experiments.MovingComparison(scale, steps, 50))
+		case "simstep":
+			fmt.Println(experiments.SimStep(scale, steps, 100))
+		case "mesh":
+			fmt.Println(experiments.Mesh(scale, steps, 50))
+		case "ablation-resolution":
+			fmt.Println(experiments.AblationGridResolution(scale, nil))
+		case "ablation-advisor":
+			fmt.Println(experiments.AblationAdvisor(scale, 2*steps, 100))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+	if exp == "all" {
+		for _, name := range []string{
+			"fig2", "fig3", "fig4", "updates", "indexes", "lsh", "join",
+			"moving", "simstep", "mesh", "ablation-resolution", "ablation-advisor",
+		} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(exp)
+}

@@ -1,0 +1,33 @@
+// Package spatialsim is a spatial data management library for the simulation
+// sciences, reproducing the systems landscape of Heinis, Tauheed and Ailamaki,
+// "Spatial Data Management Challenges in the Simulation Sciences" (EDBT 2014).
+//
+// The library lives under internal/:
+//
+//   - internal/geom, internal/stats, internal/instrument — geometry, summary
+//     statistics and cost-accounting substrates;
+//   - internal/datagen — synthetic simulation datasets (branched neuron
+//     morphologies, clustered particles, uniform fields), movement models and
+//     workload generators;
+//   - internal/storage, internal/diskrtree — a simulated page/latency disk and
+//     the disk-resident R-Tree baseline of the paper's Figure 2;
+//   - internal/rtree, internal/crtree, internal/kdtree, internal/octree,
+//     internal/grid, internal/lsh — the in-memory index families the paper
+//     surveys;
+//   - internal/join — nested-loop, plane-sweep, PBSM-style grid, synchronized
+//     R-Tree and TOUCH-style spatial joins;
+//   - internal/moving — throwaway, lazy (grace window) and buffered
+//     moving-object update strategies;
+//   - internal/mesh — mesh connectivity, DLS, OCTOPUS-style and FLAT-style
+//     connectivity-driven range queries;
+//   - internal/core — SimIndex, the grid-based index with a maintenance cost
+//     advisor that the paper's conclusions call for;
+//   - internal/sim — the time-stepped simulation harness of the paper's
+//     Figure 1;
+//   - internal/experiments — drivers regenerating every figure and in-text
+//     experiment of the paper (see DESIGN.md and EXPERIMENTS.md).
+//
+// Executables: cmd/spatialbench (run any experiment) and cmd/simrun (run a
+// full simulation with a chosen index). Runnable examples are under
+// examples/.
+package spatialsim

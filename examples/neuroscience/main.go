@@ -1,0 +1,79 @@
+// Neuroscience example: synapse detection and neural plasticity.
+//
+// This is the paper's motivating Blue Brain workload at laptop scale: neuron
+// morphologies made of cylinder segments, a spatial self-join that detects
+// synapse locations (segments of different neurons within a threshold
+// distance), and a plasticity simulation in which every segment moves a tiny
+// amount per step while monitoring queries keep running.
+//
+//	go run ./examples/neuroscience
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"spatialsim/internal/core"
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/sim"
+)
+
+func main() {
+	const (
+		neurons         = 40
+		segments        = 300
+		synapseGap      = 0.005 // µm between membranes
+		plasticitySteps = 5
+	)
+	dataset := datagen.GenerateNeurons(datagen.DefaultNeuronConfig(neurons, segments, 7))
+	fmt.Printf("neuroscience model: %d neurons, %d segments\n", neurons, dataset.Len())
+
+	// Map each segment to its neuron so the join can exclude same-neuron pairs,
+	// and keep the exact cylinder geometry for refinement.
+	neuronOf := make(map[int64]int, dataset.Len())
+	shape := make(map[int64]geom.Cylinder, dataset.Len())
+	for i := range dataset.Elements {
+		e := &dataset.Elements[i]
+		neuronOf[e.ID] = int(e.ID) / segments
+		shape[e.ID] = e.Shape
+	}
+
+	// Synapse detection: grid self-join with exact capsule-distance refinement.
+	engine := core.New(core.Config{Universe: dataset.Universe, ExpectedQueriesPerStep: 100})
+	items := make([]index.Item, dataset.Len())
+	for i := range dataset.Elements {
+		items[i] = index.Item{ID: dataset.Elements[i].ID, Box: dataset.Elements[i].Box}
+	}
+	engine.BulkLoad(items)
+
+	start := time.Now()
+	pairs := engine.SelfJoin(synapseGap, func(a, b index.Item) bool {
+		if neuronOf[a.ID] == neuronOf[b.ID] {
+			return false // touching segments of the same neuron are not synapses
+		}
+		return shape[a.ID].WithinDistance(shape[b.ID], synapseGap)
+	})
+	fmt.Printf("synapse detection: %d candidate synapses found in %v\n",
+		len(pairs), time.Since(start).Round(time.Millisecond))
+
+	// Plasticity simulation: all elements move a little every step while the
+	// model is monitored with range queries around active regions.
+	simulation := sim.New(dataset, datagen.NewPlasticityModel(8), engine, sim.Config{
+		QueriesPerStep:   200,
+		QuerySelectivity: 5e-4,
+		KNNPerStep:       20,
+		K:                6,
+		Seed:             9,
+	})
+	fmt.Printf("%-6s %-14s %-14s %-10s %s\n", "step", "update", "monitoring", "results", "strategy")
+	for step := 0; step < plasticitySteps; step++ {
+		st := simulation.Step()
+		fmt.Printf("%-6d %-14v %-14v %-10d %s\n", st.Step,
+			st.UpdateTime.Round(time.Microsecond), st.QueryTime.Round(time.Microsecond),
+			st.RangeResults, engine.LastStrategy())
+	}
+	steps, rebuilds, scans := engine.Stats()
+	fmt.Printf("maintenance: %d steps, %d rebuilds, %d scan-only steps\n", steps, rebuilds, scans)
+}

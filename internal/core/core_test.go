@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func universe() geom.AABB { return geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)) }
+
+func randomItems(n int, seed int64) []index.Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.4, 0.4, 0.4))}
+	}
+	return items
+}
+
+func bruteRange(truth map[int64]geom.AABB, q geom.AABB) map[int64]bool {
+	out := make(map[int64]bool)
+	for id, box := range truth {
+		if q.Intersects(box) {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func checkQueries(t *testing.T, s *SimIndex, truth map[int64]geom.AABB, seed int64, ctx string) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for q := 0; q < 20; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		query := geom.AABBFromCenter(c, geom.V(5, 5, 5))
+		got := index.SearchIDs(s, query)
+		want := bruteRange(truth, query)
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d results, want %d", ctx, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("%s: unexpected id %d", ctx, id)
+			}
+		}
+	}
+}
+
+func TestAdvisorStrategySelection(t *testing.T) {
+	a := DefaultAdvisor()
+	// The paper's crossover: update in place pays off below ~38% changed.
+	cross := a.CrossoverFraction()
+	if cross < 0.3 || cross > 0.45 {
+		t.Fatalf("crossover fraction = %v, expected ~0.37", cross)
+	}
+	n := 100000
+	queries := 1000
+	if got := a.Choose(int(0.1*float64(n)), n, queries); got != StrategyUpdate {
+		t.Fatalf("10%% changed should update in place, got %v", got)
+	}
+	if got := a.Choose(int(0.9*float64(n)), n, queries); got != StrategyRebuild {
+		t.Fatalf("90%% changed should rebuild, got %v", got)
+	}
+	// With almost no queries per step, maintaining any index is wasted work.
+	if got := a.Choose(n, n, 1); got != StrategyScan {
+		t.Fatalf("1 query/step should scan, got %v", got)
+	}
+	// Zero elements defaults to update.
+	if got := a.Choose(0, 0, 10); got != StrategyUpdate {
+		t.Fatalf("empty dataset strategy = %v", got)
+	}
+	// Strategy names.
+	if StrategyUpdate.String() != "update" || StrategyRebuild.String() != "rebuild" || StrategyScan.String() != "scan" {
+		t.Fatal("Strategy.String wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy String empty")
+	}
+	// Custom advisor shifts the crossover.
+	cheap := Advisor{UpdateCostFactor: 1.25, ScanCostFactor: 0.25, IndexedQueryCost: 50}
+	if cheap.CrossoverFraction() <= cross {
+		t.Fatal("cheaper updates should raise the crossover")
+	}
+}
+
+func TestSimIndexBasicCRUDAndQueries(t *testing.T) {
+	s := New(Config{Universe: universe()})
+	if s.Name() != "simindex" || s.Len() != 0 {
+		t.Fatal("metadata wrong")
+	}
+	items := randomItems(2000, 1)
+	truth := make(map[int64]geom.AABB)
+	for _, it := range items {
+		s.Insert(it.ID, it.Box)
+		truth[it.ID] = it.Box
+	}
+	checkQueries(t, s, truth, 2, "after inserts")
+	// Delete.
+	for i := 0; i < 200; i++ {
+		if !s.Delete(items[i].ID, items[i].Box) {
+			t.Fatalf("Delete(%d) failed", items[i].ID)
+		}
+		delete(truth, items[i].ID)
+	}
+	if s.Delete(987654, geom.AABB{}) {
+		t.Fatal("Delete of missing id succeeded")
+	}
+	// Update.
+	r := rand.New(rand.NewSource(3))
+	for i := 200; i < 400; i++ {
+		newBox := geom.AABBFromCenter(geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100), geom.V(0.4, 0.4, 0.4))
+		s.Update(items[i].ID, items[i].Box, newBox)
+		truth[items[i].ID] = newBox
+	}
+	checkQueries(t, s, truth, 4, "after updates")
+	if s.Len() != len(truth) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(truth))
+	}
+	// KNN correctness.
+	for q := 0; q < 10; q++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		got := s.KNN(p, 5)
+		if len(got) != 5 {
+			t.Fatalf("KNN returned %d", len(got))
+		}
+		dists := make([]float64, 0, len(truth))
+		for _, box := range truth {
+			dists = append(dists, box.Distance2ToPoint(p))
+		}
+		sort.Float64s(dists)
+		for _, it := range got {
+			if it.Box.Distance2ToPoint(p) > dists[4]+1e-9 {
+				t.Fatal("KNN beyond 5th nearest")
+			}
+		}
+	}
+	if s.KNN(geom.V(0, 0, 0), 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSimIndexBulkLoadPicksResolution(t *testing.T) {
+	d := datagen.GenerateNeurons(datagen.DefaultNeuronConfig(30, 300, 5))
+	items := make([]index.Item, d.Len())
+	truth := make(map[int64]geom.AABB, d.Len())
+	for i := range d.Elements {
+		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+		truth[d.Elements[i].ID] = d.Elements[i].Box
+	}
+	s := New(Config{Universe: d.Universe})
+	s.BulkLoad(items)
+	if s.Len() != len(items) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Resolution() <= 1 {
+		t.Fatalf("resolution model picked %d cells", s.Resolution())
+	}
+	// Queries correct on the neuron data.
+	r := rand.New(rand.NewSource(6))
+	for q := 0; q < 20; q++ {
+		c := geom.V(r.Float64()*6.5, r.Float64()*6.5, r.Float64()*6.5)
+		query := geom.AABBFromCenter(c, geom.V(0.3, 0.3, 0.3))
+		got := index.SearchIDs(s, query)
+		want := bruteRange(truth, query)
+		if len(got) != len(want) {
+			t.Fatalf("neuron query: got %d, want %d", len(got), len(want))
+		}
+	}
+	// Fixed-resolution configuration is honored.
+	s2 := New(Config{Universe: d.Universe, CellsPerDim: 7})
+	s2.BulkLoad(items)
+	if s2.Resolution() != 7 {
+		t.Fatalf("fixed resolution not honored: %d", s2.Resolution())
+	}
+}
+
+func TestSimIndexApplyMovesStrategies(t *testing.T) {
+	items := randomItems(5000, 7)
+	truth := make(map[int64]geom.AABB)
+	s := New(Config{Universe: universe(), ExpectedQueriesPerStep: 1000})
+	for _, it := range items {
+		truth[it.ID] = it.Box
+	}
+	s.BulkLoad(items)
+
+	// Step 1: tiny movements — advisor must keep in-place updates (almost no
+	// element changes cell).
+	moves := make([]index.Move, len(items))
+	r := rand.New(rand.NewSource(8))
+	for i, it := range items {
+		newBox := it.Box.Translate(geom.V(r.Float64()*0.01, r.Float64()*0.01, r.Float64()*0.01))
+		moves[i] = index.Move{ID: it.ID, OldBox: truth[it.ID], NewBox: newBox}
+		truth[it.ID] = newBox
+	}
+	s.ApplyMoves(moves)
+	if s.LastStrategy() != StrategyUpdate {
+		t.Fatalf("tiny movements chose %v, want update", s.LastStrategy())
+	}
+	checkQueries(t, s, truth, 9, "after tiny-move step")
+
+	// Step 2: every element teleports — advisor must rebuild.
+	for i := range moves {
+		id := moves[i].ID
+		newBox := geom.AABBFromCenter(geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100), geom.V(0.4, 0.4, 0.4))
+		moves[i] = index.Move{ID: id, OldBox: truth[id], NewBox: newBox}
+		truth[id] = newBox
+	}
+	s.ApplyMoves(moves)
+	if s.LastStrategy() != StrategyRebuild {
+		t.Fatalf("teleport step chose %v, want rebuild", s.LastStrategy())
+	}
+	checkQueries(t, s, truth, 10, "after rebuild step")
+
+	steps, rebuilds, scans := s.Stats()
+	if steps != 2 || rebuilds != 1 || scans != 0 {
+		t.Fatalf("Stats = %d/%d/%d", steps, rebuilds, scans)
+	}
+}
+
+func TestSimIndexScanModeAndRecovery(t *testing.T) {
+	items := randomItems(3000, 11)
+	truth := make(map[int64]geom.AABB)
+	for _, it := range items {
+		truth[it.ID] = it.Box
+	}
+	// One query per step: the advisor should decide indexing is not worth it.
+	s := New(Config{Universe: universe(), ExpectedQueriesPerStep: 1})
+	s.BulkLoad(items)
+	r := rand.New(rand.NewSource(12))
+	moves := make([]index.Move, len(items))
+	for i, it := range items {
+		newBox := geom.AABBFromCenter(geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100), geom.V(0.4, 0.4, 0.4))
+		moves[i] = index.Move{ID: it.ID, OldBox: truth[it.ID], NewBox: newBox}
+		truth[it.ID] = newBox
+	}
+	s.ApplyMoves(moves)
+	if s.LastStrategy() != StrategyScan {
+		t.Fatalf("low-query step chose %v, want scan", s.LastStrategy())
+	}
+	// Queries are still correct in scan mode.
+	checkQueries(t, s, truth, 13, "scan mode")
+	if got := s.KNN(geom.V(50, 50, 50), 3); len(got) != 3 {
+		t.Fatalf("scan-mode KNN returned %d", len(got))
+	}
+	// Now a query-heavy phase begins: the next step must restore the grid
+	// (rebuild, because incremental updates cannot catch up).
+	s.cfg.ExpectedQueriesPerStep = 1000
+	for i := range moves {
+		id := moves[i].ID
+		newBox := truth[id].Translate(geom.V(0.01, 0.01, 0.01))
+		moves[i] = index.Move{ID: id, OldBox: truth[id], NewBox: newBox}
+		truth[id] = newBox
+	}
+	s.ApplyMoves(moves)
+	if s.LastStrategy() != StrategyRebuild {
+		t.Fatalf("recovery step chose %v, want rebuild", s.LastStrategy())
+	}
+	checkQueries(t, s, truth, 14, "after recovery")
+}
+
+func TestSimIndexSelfJoin(t *testing.T) {
+	// Two clusters of elements close to each other produce predictable pairs.
+	s := New(Config{Universe: universe(), CellsPerDim: 16})
+	boxes := []geom.AABB{
+		geom.AABBFromCenter(geom.V(10, 10, 10), geom.V(0.5, 0.5, 0.5)),
+		geom.AABBFromCenter(geom.V(10.5, 10, 10), geom.V(0.5, 0.5, 0.5)),
+		geom.AABBFromCenter(geom.V(50, 50, 50), geom.V(0.5, 0.5, 0.5)),
+	}
+	for i, b := range boxes {
+		s.Insert(int64(i), b)
+	}
+	pairs := s.SelfJoin(0.1, nil)
+	if len(pairs) != 1 || pairs[0].A != 0 || pairs[0].B != 1 {
+		t.Fatalf("SelfJoin = %v", pairs)
+	}
+	// With a refinement that rejects everything, no pairs remain.
+	none := s.SelfJoin(0.1, func(a, b index.Item) bool { return false })
+	if len(none) != 0 {
+		t.Fatalf("refined SelfJoin = %v", none)
+	}
+	// Large eps joins everything pairwise.
+	all := s.SelfJoin(math.Inf(1), nil)
+	if len(all) != 3 {
+		t.Fatalf("inf-eps SelfJoin = %d pairs", len(all))
+	}
+}
+
+func TestSimIndexCountersAndGridCounters(t *testing.T) {
+	s := New(Config{Universe: universe(), CellsPerDim: 8})
+	items := randomItems(500, 15)
+	s.BulkLoad(items)
+	index.SearchIDs(s, geom.AABBFromCenter(geom.V(50, 50, 50), geom.V(10, 10, 10)))
+	if s.GridCounters().ElemIntersectTests() == 0 {
+		t.Fatal("grid counters not populated by queries")
+	}
+	if s.Counters() == nil {
+		t.Fatal("nil counters")
+	}
+}

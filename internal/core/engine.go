@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/grid"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+	"spatialsim/internal/join"
+)
+
+// Config configures a SimIndex.
+type Config struct {
+	// Universe is the simulation universe the index covers.
+	Universe geom.AABB
+	// CellsPerDim fixes the grid resolution; 0 lets the resolution model pick
+	// it when the index is first loaded.
+	CellsPerDim int
+	// Resolution is the analytical resolution model used when CellsPerDim is
+	// 0. The zero value uses the model's defaults.
+	Resolution grid.ResolutionModel
+	// Advisor decides the per-step maintenance strategy. The zero value uses
+	// the paper-calibrated defaults.
+	Advisor Advisor
+	// ExpectedQueriesPerStep is the number of monitoring/update queries the
+	// advisor should assume between two ApplyMoves calls (default 100).
+	ExpectedQueriesPerStep int
+}
+
+// SimIndex is the paper's proposed "new point in the design space": a
+// grid-backed in-memory spatial index whose maintenance cost per simulation
+// step is minimized by a cost advisor, at the price of slightly slower
+// individual queries than a perfectly tuned static tree.
+//
+// The authoritative element state lives in a flat id→box table (which the
+// simulation updates anyway); the grid is an acceleration structure over it.
+// When the advisor decides a step is not worth indexing (StrategyScan),
+// queries fall back to scanning the table and the grid is lazily rebuilt the
+// next time it is needed.
+type SimIndex struct {
+	cfg       Config
+	grid      *grid.Grid
+	items     map[int64]geom.AABB
+	gridStale bool
+	mode      Strategy
+	counters  instrument.Counters
+
+	lastStrategy Strategy
+	steps        int
+	rebuilds     int
+	scanSteps    int
+}
+
+// New returns an empty SimIndex.
+func New(cfg Config) *SimIndex {
+	if !cfg.Universe.IsValid() {
+		cfg.Universe = geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	}
+	if cfg.ExpectedQueriesPerStep <= 0 {
+		cfg.ExpectedQueriesPerStep = 100
+	}
+	cells := cfg.CellsPerDim
+	if cells <= 0 {
+		cells = 16 // replaced on the first BulkLoad by the resolution model
+	}
+	return &SimIndex{
+		cfg:   cfg,
+		grid:  grid.New(grid.Config{Universe: cfg.Universe, CellsPerDim: cells}),
+		items: make(map[int64]geom.AABB),
+		mode:  StrategyUpdate,
+	}
+}
+
+// Name implements index.Index.
+func (s *SimIndex) Name() string { return "simindex" }
+
+// Len implements index.Index.
+func (s *SimIndex) Len() int { return len(s.items) }
+
+// Counters implements index.Index.
+func (s *SimIndex) Counters() *instrument.Counters { return &s.counters }
+
+// Resolution returns the grid resolution currently in use.
+func (s *SimIndex) Resolution() int { return s.grid.CellsPerDim() }
+
+// LastStrategy returns the strategy chosen by the most recent ApplyMoves.
+func (s *SimIndex) LastStrategy() Strategy { return s.lastStrategy }
+
+// Stats returns how many movement steps were applied and how many of them
+// chose the rebuild and scan strategies.
+func (s *SimIndex) Stats() (steps, rebuilds, scanSteps int) {
+	return s.steps, s.rebuilds, s.scanSteps
+}
+
+// Insert implements index.Index.
+func (s *SimIndex) Insert(id int64, box geom.AABB) {
+	s.counters.AddUpdates(1)
+	s.items[id] = box
+	if !s.gridStale {
+		s.grid.Insert(id, box)
+	}
+}
+
+// Delete implements index.Index.
+func (s *SimIndex) Delete(id int64, box geom.AABB) bool {
+	if _, ok := s.items[id]; !ok {
+		return false
+	}
+	s.counters.AddUpdates(1)
+	delete(s.items, id)
+	if !s.gridStale {
+		s.grid.Delete(id, box)
+	}
+	return true
+}
+
+// Update implements index.Index.
+func (s *SimIndex) Update(id int64, oldBox, newBox geom.AABB) {
+	s.counters.AddUpdates(1)
+	s.items[id] = newBox
+	if !s.gridStale {
+		s.grid.Update(id, oldBox, newBox)
+	}
+}
+
+// BulkLoad implements index.BulkLoader. The resolution model picks the grid
+// resolution for the loaded data when the configuration did not fix one.
+func (s *SimIndex) BulkLoad(items []index.Item) {
+	s.items = make(map[int64]geom.AABB, len(items))
+	for _, it := range items {
+		s.items[it.ID] = it.Box
+	}
+	s.rebuildGrid()
+	s.mode = StrategyUpdate
+}
+
+// rebuildGrid reconstructs the grid from the authoritative item table.
+func (s *SimIndex) rebuildGrid() {
+	items := make([]index.Item, 0, len(s.items))
+	for id, box := range s.items {
+		items = append(items, index.Item{ID: id, Box: box})
+	}
+	cells := s.cfg.CellsPerDim
+	if cells <= 0 {
+		boxes := make([]geom.AABB, len(items))
+		for i, it := range items {
+			boxes[i] = it.Box
+		}
+		cells = s.cfg.Resolution.SuggestResolutionForDataset(s.cfg.Universe, boxes)
+	}
+	if cells != s.grid.CellsPerDim() {
+		s.grid = grid.New(grid.Config{Universe: s.cfg.Universe, CellsPerDim: cells})
+	}
+	s.grid.BulkLoad(items)
+	s.gridStale = false
+}
+
+// ApplyMoves implements index.BatchUpdater: it applies one simulation step's
+// movement using the strategy the advisor picks.
+func (s *SimIndex) ApplyMoves(moves []index.Move) {
+	s.steps++
+	s.counters.AddUpdates(int64(len(moves)))
+	// Estimate how many moves actually require grid maintenance: only moves
+	// whose displacement is comparable to the cell size can change the cell
+	// assignment (the movement-aware insight of Section 4.3).
+	cell := s.grid.CellSize()
+	minCell := cell.X
+	if cell.Y < minCell {
+		minCell = cell.Y
+	}
+	if cell.Z < minCell {
+		minCell = cell.Z
+	}
+	changed := 0
+	for _, m := range moves {
+		d := m.NewBox.Center().Sub(m.OldBox.Center())
+		if abs(d.X) >= minCell || abs(d.Y) >= minCell || abs(d.Z) >= minCell {
+			changed++
+		}
+	}
+	strategy := s.cfg.Advisor.Choose(changed, len(s.items), s.cfg.ExpectedQueriesPerStep)
+	if s.gridStale && strategy == StrategyUpdate {
+		// The grid missed earlier scan-mode steps; incremental updates cannot
+		// bring it back, so rebuild instead.
+		strategy = StrategyRebuild
+	}
+	s.lastStrategy = strategy
+
+	// The authoritative table is always brought up to date.
+	for _, m := range moves {
+		s.items[m.ID] = m.NewBox
+	}
+	switch strategy {
+	case StrategyRebuild:
+		s.rebuilds++
+		s.rebuildGrid()
+		s.mode = StrategyUpdate
+	case StrategyScan:
+		s.scanSteps++
+		s.gridStale = true
+		s.mode = StrategyScan
+	default:
+		for _, m := range moves {
+			s.grid.Update(m.ID, m.OldBox, m.NewBox)
+		}
+		s.mode = StrategyUpdate
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Search implements index.Index.
+func (s *SimIndex) Search(query geom.AABB, fn func(index.Item) bool) {
+	if s.mode == StrategyScan {
+		s.counters.AddElemIntersectTests(int64(len(s.items)))
+		for id, box := range s.items {
+			if query.Intersects(box) {
+				s.counters.AddResults(1)
+				if !fn(index.Item{ID: id, Box: box}) {
+					return
+				}
+			}
+		}
+		return
+	}
+	s.grid.Search(query, fn)
+}
+
+// KNN implements index.Index.
+func (s *SimIndex) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || len(s.items) == 0 {
+		return nil
+	}
+	if s.mode == StrategyScan {
+		cands := make([]index.Item, 0, len(s.items))
+		for id, box := range s.items {
+			cands = append(cands, index.Item{ID: id, Box: box})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			return cands[i].Box.Distance2ToPoint(p) < cands[j].Box.Distance2ToPoint(p)
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		return cands
+	}
+	return s.grid.KNN(p, k)
+}
+
+// SelfJoin reports every pair of indexed elements whose boxes are within eps
+// of each other (the synapse-detection / collision-detection primitive). It
+// uses the grid-partitioned join the paper recommends for massively changing
+// data.
+func (s *SimIndex) SelfJoin(eps float64, refine func(a, b index.Item) bool) []join.Pair {
+	items := make([]index.Item, 0, len(s.items))
+	for id, box := range s.items {
+		items = append(items, index.Item{ID: id, Box: box})
+	}
+	return join.SelfGridJoin(items, join.Options{Eps: eps, Refine: refine, Counters: &s.counters}, join.GridJoinConfig{})
+}
+
+// GridCounters exposes the wrapped grid's traversal counters (useful for
+// experiment breakdowns).
+func (s *SimIndex) GridCounters() *instrument.Counters { return s.grid.Counters() }
+
+// String describes the index.
+func (s *SimIndex) String() string {
+	return fmt.Sprintf("simindex{items=%d cells=%d mode=%s}", len(s.items), s.grid.CellsPerDim(), s.mode)
+}
+
+var _ index.Index = (*SimIndex)(nil)
+var _ index.BulkLoader = (*SimIndex)(nil)
+var _ index.BatchUpdater = (*SimIndex)(nil)

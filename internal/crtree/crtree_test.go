@@ -1,0 +1,218 @@
+package crtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func universe() geom.AABB { return geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)) }
+
+func randomItems(n int, seed int64) []index.Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		half := geom.V(r.Float64()*0.5, r.Float64()*0.5, r.Float64()*0.5)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	return items
+}
+
+func bruteRange(items []index.Item, q geom.AABB) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, it := range items {
+		if q.Intersects(it.Box) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func checkQuery(t *testing.T, ix index.Index, items []index.Item, q geom.AABB, ctx string) {
+	t.Helper()
+	got := index.SearchIDs(ix, q)
+	want := bruteRange(items, q)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d, want %d", ctx, len(got), len(want))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("%s: unexpected id %d", ctx, id)
+		}
+	}
+}
+
+func TestQuantizationConservative(t *testing.T) {
+	ref := geom.NewAABB(geom.V(0, 0, 0), geom.V(10, 20, 30))
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := geom.V(r.Float64()*10, r.Float64()*20, r.Float64()*30)
+		b := geom.V(r.Float64()*10, r.Float64()*20, r.Float64()*30)
+		box := geom.NewAABB(a, b)
+		qmin, qmax := quantize(ref, box)
+		deq := dequantize(ref, qmin, qmax)
+		if !deq.Expand(1e-9).Contains(box) {
+			t.Fatalf("quantization not conservative: %v not in %v", box, deq)
+		}
+	}
+	// Degenerate reference box.
+	qmin, qmax := quantize(geom.PointAABB(geom.V(1, 1, 1)), geom.PointAABB(geom.V(1, 1, 1)))
+	deq := dequantize(geom.PointAABB(geom.V(1, 1, 1)), qmin, qmax)
+	if !deq.ContainsPoint(geom.V(1, 1, 1)) {
+		t.Fatal("degenerate quantization broken")
+	}
+}
+
+func TestBulkLoadSearchMatchesBruteForce(t *testing.T) {
+	items := randomItems(4000, 2)
+	tr := New(Config{})
+	tr.BulkLoad(items)
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	r := rand.New(rand.NewSource(3))
+	for q := 0; q < 50; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		checkQuery(t, tr, items, geom.AABBFromCenter(c, geom.V(4, 4, 4)), "crtree range")
+	}
+	checkQuery(t, tr, items, universe().Expand(1), "crtree full")
+	if tr.Counters().TreeIntersectTests() == 0 || tr.Counters().ElemIntersectTests() == 0 {
+		t.Error("counters not populated")
+	}
+	if tr.CompressionRatio() <= 1 {
+		t.Error("compression ratio should exceed 1")
+	}
+	if tr.String() == "" || tr.Name() != "crtree" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestOverflowInsertDeleteUpdate(t *testing.T) {
+	items := randomItems(1000, 4)
+	tr := New(Config{Fanout: 10})
+	tr.BulkLoad(items[:800])
+	// Insert the remaining items incrementally.
+	for _, it := range items[800:] {
+		tr.Insert(it.ID, it.Box)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	checkQuery(t, tr, items, universe().Expand(1), "after inserts")
+
+	// Delete some bulk-loaded and some overflow items.
+	for i := 0; i < 100; i++ {
+		if !tr.Delete(items[i].ID, items[i].Box) {
+			t.Fatalf("Delete bulk item %d failed", i)
+		}
+	}
+	for i := 900; i < 950; i++ {
+		if !tr.Delete(items[i].ID, items[i].Box) {
+			t.Fatalf("Delete overflow item %d failed", i)
+		}
+	}
+	if tr.Delete(items[0].ID, items[0].Box) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(424242, geom.AABB{}) {
+		t.Fatal("delete of missing id succeeded")
+	}
+	var live []index.Item
+	for i, it := range items {
+		if i < 100 || (i >= 900 && i < 950) {
+			continue
+		}
+		live = append(live, it)
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	checkQuery(t, tr, live, universe().Expand(1), "after deletes")
+
+	// Update bulk-loaded items (the paper's massive-update scenario): the new
+	// position must be visible and the old one gone.
+	for i := 100; i < 200; i++ {
+		newBox := live[0].Box // arbitrary reuse is fine; give each a unique translate
+		newBox = items[i].Box.Translate(geom.V(3, 3, 3))
+		tr.Update(items[i].ID, items[i].Box, newBox)
+		for j := range live {
+			if live[j].ID == items[i].ID {
+				live[j].Box = newBox
+			}
+		}
+	}
+	checkQuery(t, tr, live, universe().Expand(5), "after updates")
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	items := randomItems(2000, 5)
+	tr := New(Config{})
+	tr.BulkLoad(items)
+	r := rand.New(rand.NewSource(6))
+	for q := 0; q < 20; q++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		k := 1 + r.Intn(10)
+		got := tr.KNN(p, k)
+		if len(got) != k {
+			t.Fatalf("KNN returned %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Box.Distance2ToPoint(p)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			if d := it.Box.Distance2ToPoint(p); d > dists[k-1]+1e-9 {
+				t.Fatalf("KNN result %d distance %v beyond k-th %v", i, d, dists[k-1])
+			}
+		}
+	}
+	if tr.KNN(geom.V(0, 0, 0), 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	empty := New(Config{})
+	if empty.KNN(geom.V(0, 0, 0), 3) != nil {
+		t.Error("empty KNN should return nil")
+	}
+}
+
+func TestEmptyAndEdgeCases(t *testing.T) {
+	tr := New(Config{})
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if got := index.SearchIDs(tr, universe()); len(got) != 0 {
+		t.Fatal("empty search returned results")
+	}
+	tr.BulkLoad(nil)
+	if got := index.SearchIDs(tr, universe()); len(got) != 0 {
+		t.Fatal("empty bulk load returned results")
+	}
+	// Pure-overflow operation (no bulk load at all).
+	items := randomItems(50, 7)
+	for _, it := range items {
+		tr.Insert(it.ID, it.Box)
+	}
+	checkQuery(t, tr, items, universe().Expand(1), "overflow only")
+	got := tr.KNN(geom.V(50, 50, 50), 3)
+	if len(got) != 3 {
+		t.Fatalf("overflow-only KNN returned %d", len(got))
+	}
+	// Early termination.
+	count := 0
+	tr.Search(universe().Expand(1), func(index.Item) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early termination visited %d", count)
+	}
+	// Small fanout falls back to default.
+	if New(Config{Fanout: 1}).fanout != DefaultFanout {
+		t.Error("fanout default not applied")
+	}
+}

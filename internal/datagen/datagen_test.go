@@ -1,0 +1,326 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/stats"
+)
+
+func testUniverse() geom.AABB {
+	return geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+}
+
+func TestGenerateUniform(t *testing.T) {
+	d := GenerateUniform(UniformConfig{N: 1000, Universe: testUniverse(), Seed: 1})
+	if d.Len() != 1000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i := range d.Elements {
+		if !testUniverse().ContainsPoint(d.Elements[i].Position) {
+			t.Fatalf("element %d outside universe", i)
+		}
+	}
+	// Uniformity sanity check: each half of the universe should hold roughly
+	// half the elements.
+	left := 0
+	for i := range d.Elements {
+		if d.Elements[i].Position.X < 50 {
+			left++
+		}
+	}
+	if left < 400 || left > 600 {
+		t.Errorf("uniform distribution skewed: %d/1000 in left half", left)
+	}
+}
+
+func TestGenerateUniformDeterministic(t *testing.T) {
+	a := GenerateUniform(UniformConfig{N: 50, Universe: testUniverse(), Seed: 7})
+	b := GenerateUniform(UniformConfig{N: 50, Universe: testUniverse(), Seed: 7})
+	for i := range a.Elements {
+		if a.Elements[i].Position != b.Elements[i].Position {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := GenerateUniform(UniformConfig{N: 50, Universe: testUniverse(), Seed: 8})
+	same := true
+	for i := range a.Elements {
+		if a.Elements[i].Position != c.Elements[i].Position {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateClustered(t *testing.T) {
+	d := GenerateClustered(ClusteredConfig{N: 2000, Clusters: 5, Universe: testUniverse(), Seed: 3})
+	if d.Len() != 2000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Clustered data should have much higher local density variance than
+	// uniform data: measure the spread of per-octant counts.
+	u := GenerateUniform(UniformConfig{N: 2000, Universe: testUniverse(), Seed: 3})
+	cv := octantCountVariance(d)
+	uv := octantCountVariance(u)
+	if cv <= uv {
+		t.Errorf("clustered octant variance %v should exceed uniform %v", cv, uv)
+	}
+}
+
+func octantCountVariance(d *Dataset) float64 {
+	counts := make([]float64, 8)
+	for i := range d.Elements {
+		var idx int
+		c := d.Universe.Center()
+		p := d.Elements[i].Position
+		if p.X > c.X {
+			idx |= 1
+		}
+		if p.Y > c.Y {
+			idx |= 2
+		}
+		if p.Z > c.Z {
+			idx |= 4
+		}
+		counts[idx]++
+	}
+	return stats.Variance(counts)
+}
+
+func TestGenerateNeurons(t *testing.T) {
+	cfg := DefaultNeuronConfig(20, 200, 42)
+	d := GenerateNeurons(cfg)
+	if d.Len() != 20*200 {
+		t.Fatalf("Len = %d, want %d", d.Len(), 20*200)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// All elements inside the universe (shapes clamped).
+	for i := range d.Elements {
+		if !d.Universe.ContainsPoint(d.Elements[i].Position) {
+			t.Fatalf("element %d position outside universe", i)
+		}
+	}
+	// Neuron segments should be connected: consecutive segments of the same
+	// branch share endpoints, so the dataset must be strongly clustered.
+	u := GenerateUniform(UniformConfig{N: d.Len(), Universe: cfg.Universe, Seed: 42})
+	if octantCountVariance(d) <= octantCountVariance(u) {
+		t.Error("neuron dataset should be more clustered than uniform")
+	}
+	// Segment lengths close to the configured mean.
+	var lens []float64
+	for i := range d.Elements {
+		lens = append(lens, d.Elements[i].Shape.Length())
+	}
+	mean := stats.Mean(lens)
+	if mean < cfg.SegmentLength*0.5 || mean > cfg.SegmentLength*1.5 {
+		t.Errorf("mean segment length %v far from configured %v", mean, cfg.SegmentLength)
+	}
+}
+
+func TestGenerateNeuronsDefaultsAndEdgeCases(t *testing.T) {
+	d := GenerateNeurons(NeuronConfig{Universe: testUniverse(), Seed: 1})
+	if d.Len() == 0 {
+		t.Fatal("zero-config generation produced no elements")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDatasetCloneIndependence(t *testing.T) {
+	d := GenerateUniform(UniformConfig{N: 10, Universe: testUniverse(), Seed: 1})
+	c := d.Clone()
+	c.Elements[0].Translate(geom.V(1, 1, 1))
+	if d.Elements[0].Position == c.Elements[0].Position {
+		t.Fatal("Clone shares element storage with original")
+	}
+}
+
+func TestDatasetBoundsAndValidate(t *testing.T) {
+	d := GenerateUniform(UniformConfig{N: 100, Universe: testUniverse(), Seed: 5})
+	b := d.Bounds()
+	if !testUniverse().Expand(1).Contains(b) {
+		t.Errorf("Bounds %v escapes universe", b)
+	}
+	// Introduce a duplicate ID and a broken box; Validate must catch both.
+	bad := d.Clone()
+	bad.Elements[1].ID = bad.Elements[0].ID
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate missed duplicate ID")
+	}
+	bad2 := d.Clone()
+	bad2.Elements[2].Box = geom.EmptyAABB()
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate missed invalid box")
+	}
+	bad3 := d.Clone()
+	bad3.Elements[3].Position = geom.V(math.NaN(), 0, 0)
+	if err := bad3.Validate(); err == nil {
+		t.Error("Validate missed non-finite position")
+	}
+	bad4 := d.Clone()
+	bad4.Elements[4].Box = geom.PointAABB(geom.V(0, 0, 0))
+	if err := bad4.Validate(); err == nil {
+		t.Error("Validate missed box not containing shape")
+	}
+}
+
+func TestElementTranslateConsistency(t *testing.T) {
+	cyl := geom.NewCylinder(geom.V(0, 0, 0), geom.V(1, 0, 0), 0.1)
+	e := Element{ID: 1, Position: geom.V(0.5, 0, 0), Shape: cyl, Box: cyl.Bounds()}
+	e.Translate(geom.V(2, 3, 4))
+	if e.Position != geom.V(2.5, 3, 4) {
+		t.Errorf("Position = %v", e.Position)
+	}
+	want := e.Shape.Bounds()
+	if !e.Box.Expand(1e-12).Contains(want) || !want.Expand(1e-12).Contains(e.Box) {
+		t.Errorf("Box %v inconsistent with shape bounds %v", e.Box, want)
+	}
+	e.RefreshBox()
+	if e.Box != e.Shape.Bounds() {
+		t.Error("RefreshBox mismatch")
+	}
+}
+
+func TestPlasticityModelStats(t *testing.T) {
+	cfg := DefaultNeuronConfig(10, 100, 7)
+	d := GenerateNeurons(cfg)
+	m := NewPlasticityModel(11)
+	st := m.Step(d)
+	if st.Moved != d.Len() {
+		t.Fatalf("Moved = %d, want all %d", st.Moved, d.Len())
+	}
+	// Paper: mean displacement 0.04 µm.
+	if st.MeanDisplacement < 0.03 || st.MeanDisplacement > 0.05 {
+		t.Errorf("mean displacement = %v, want ~0.04", st.MeanDisplacement)
+	}
+	// Paper: fewer than ~0.5% (we allow up to 2% for the exponential model)
+	// of elements move more than 0.1 µm.
+	if st.FractionAboveThreshold > 0.02 {
+		t.Errorf("fraction above threshold = %v, want < 2%%", st.FractionAboveThreshold)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after movement: %v", err)
+	}
+	// Elements stay inside the universe.
+	for i := range d.Elements {
+		if !d.Universe.Expand(1e-9).Contains(d.Elements[i].Box) {
+			t.Fatalf("element %d escaped universe after movement", i)
+		}
+	}
+}
+
+func TestPartialPlasticityModel(t *testing.T) {
+	d := GenerateUniform(UniformConfig{N: 5000, Universe: testUniverse(), Seed: 2})
+	m := NewPartialPlasticityModel(3, 0.25)
+	st := m.Step(d)
+	frac := float64(st.Moved) / float64(d.Len())
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("moved fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestDriftModel(t *testing.T) {
+	d := GenerateUniform(UniformConfig{N: 500, Universe: testUniverse(), Seed: 2})
+	before := make([]geom.Vec3, d.Len())
+	for i := range d.Elements {
+		before[i] = d.Elements[i].Position
+	}
+	m := NewDriftModel(4, geom.V(0.5, 0, 0), 0.01)
+	st := m.Step(d)
+	if st.Moved != d.Len() {
+		t.Fatalf("Moved = %d", st.Moved)
+	}
+	// Most elements should have shifted in +X (those at the boundary clamp).
+	shifted := 0
+	for i := range d.Elements {
+		if d.Elements[i].Position.X > before[i].X {
+			shifted++
+		}
+	}
+	if float64(shifted) < 0.9*float64(d.Len()) {
+		t.Errorf("only %d/%d elements drifted in +X", shifted, d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after drift: %v", err)
+	}
+}
+
+func TestGenerateRangeQueriesSelectivity(t *testing.T) {
+	u := testUniverse()
+	qs := GenerateRangeQueries(RangeQueryConfig{N: 200, Selectivity: 1e-3, Universe: u, Seed: 9})
+	if len(qs) != 200 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	targetVol := u.Volume() * 1e-3
+	var vols []float64
+	for _, q := range qs {
+		if !u.Contains(q) {
+			t.Fatalf("query %v escapes universe", q)
+		}
+		vols = append(vols, q.Volume())
+	}
+	// Mean volume should be close to the target (boundary clamping can only
+	// shrink queries).
+	mean := stats.Mean(vols)
+	if mean > targetVol*1.001 || mean < targetVol*0.5 {
+		t.Errorf("mean query volume %v vs target %v", mean, targetVol)
+	}
+	// Default selectivity path.
+	qs2 := GenerateRangeQueries(RangeQueryConfig{N: 5, Universe: u, Seed: 9})
+	if len(qs2) != 5 || qs2[0].Volume() <= 0 {
+		t.Error("default-selectivity queries invalid")
+	}
+}
+
+func TestGenerateKNNAndDataCenteredQueries(t *testing.T) {
+	u := testUniverse()
+	pts := GenerateKNNQueries(100, u, 3)
+	if len(pts) != 100 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !u.ContainsPoint(p) {
+			t.Fatalf("kNN query point %v outside universe", p)
+		}
+	}
+	d := GenerateClustered(ClusteredConfig{N: 1000, Clusters: 3, Universe: u, Seed: 3})
+	qs := GenerateDataCenteredQueries(d, 50, 1e-3, 4)
+	if len(qs) != 50 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if !u.Contains(q) {
+			t.Fatalf("data-centered query %v escapes universe", q)
+		}
+	}
+	// Data-centered queries on clustered data must hit at least one element
+	// most of the time.
+	hits := 0
+	for _, q := range qs {
+		for i := range d.Elements {
+			if q.Intersects(d.Elements[i].Box) {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < len(qs)/2 {
+		t.Errorf("only %d/%d data-centered queries hit any element", hits, len(qs))
+	}
+	if GenerateDataCenteredQueries(&Dataset{}, 5, 1e-3, 1) != nil {
+		t.Error("empty dataset should produce nil queries")
+	}
+}

@@ -1,0 +1,194 @@
+// Package datagen builds the synthetic datasets and workloads that stand in
+// for the paper's proprietary simulation data (Blue Brain neuron circuits,
+// material-deformation meshes, cosmology snapshots). The generators aim to
+// reproduce the *geometric character* the paper relies on — thin elongated
+// cylinders densely clustered along neuron branches, massive-but-minimal
+// per-step movement, selectivity-targeted range queries — rather than the
+// absolute data sizes, so that the paper's relative results can be reproduced
+// at laptop scale.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialsim/internal/geom"
+)
+
+// Element is one spatial element of a simulation model: a neuron morphology
+// segment, a particle, or a mesh vertex. Position is the representative point
+// (used by point indexes and movement models), Shape is the exact geometry
+// (used by refinement and joins), and Box caches Shape's bounding box.
+type Element struct {
+	ID       int64
+	Position geom.Vec3
+	Shape    geom.Cylinder
+	Box      geom.AABB
+}
+
+// RefreshBox recomputes the cached bounding box from the shape.
+func (e *Element) RefreshBox() { e.Box = e.Shape.Bounds() }
+
+// Translate moves the element by d, keeping shape, position and box
+// consistent.
+func (e *Element) Translate(d geom.Vec3) {
+	e.Position = e.Position.Add(d)
+	e.Shape.Axis.A = e.Shape.Axis.A.Add(d)
+	e.Shape.Axis.B = e.Shape.Axis.B.Add(d)
+	e.Box = e.Box.Translate(d)
+}
+
+// Dataset is a collection of elements inside a universe box.
+type Dataset struct {
+	Elements []Element
+	Universe geom.AABB
+}
+
+// Len returns the number of elements.
+func (d *Dataset) Len() int { return len(d.Elements) }
+
+// Clone returns a deep copy of the dataset (element slice is copied).
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		Elements: append([]Element(nil), d.Elements...),
+		Universe: d.Universe,
+	}
+	return c
+}
+
+// Bounds returns the union of all element boxes (the tight universe).
+func (d *Dataset) Bounds() geom.AABB {
+	b := geom.EmptyAABB()
+	for i := range d.Elements {
+		b = b.Union(d.Elements[i].Box)
+	}
+	return b
+}
+
+// Validate checks internal consistency: unique IDs, boxes containing shapes,
+// finite coordinates. It returns an error describing the first problem found.
+func (d *Dataset) Validate() error {
+	seen := make(map[int64]struct{}, len(d.Elements))
+	for i := range d.Elements {
+		e := &d.Elements[i]
+		if _, dup := seen[e.ID]; dup {
+			return fmt.Errorf("duplicate element ID %d", e.ID)
+		}
+		seen[e.ID] = struct{}{}
+		if !e.Position.IsFinite() {
+			return fmt.Errorf("element %d has non-finite position", e.ID)
+		}
+		if !e.Box.IsValid() {
+			return fmt.Errorf("element %d has invalid box %v", e.ID, e.Box)
+		}
+		if !e.Box.Expand(1e-9).Contains(e.Shape.Bounds()) {
+			return fmt.Errorf("element %d box %v does not contain shape bounds %v", e.ID, e.Box, e.Shape.Bounds())
+		}
+	}
+	return nil
+}
+
+// UniformConfig configures GenerateUniform.
+type UniformConfig struct {
+	N        int       // number of elements
+	Universe geom.AABB // universe box
+	// ElementSize is the typical half-length of an element (cylinder axis
+	// half-length). Radius is ElementSize * RadiusRatio.
+	ElementSize float64
+	RadiusRatio float64
+	Seed        int64
+}
+
+// GenerateUniform produces N small capsules uniformly distributed in the
+// universe. It models the spatially homogeneous workloads (e.g. cosmology
+// particles between structure formation).
+func GenerateUniform(cfg UniformConfig) *Dataset {
+	if cfg.RadiusRatio == 0 {
+		cfg.RadiusRatio = 0.3
+	}
+	if cfg.ElementSize == 0 {
+		cfg.ElementSize = cfg.Universe.Size().X / 500
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{Universe: cfg.Universe, Elements: make([]Element, cfg.N)}
+	size := cfg.Universe.Size()
+	for i := 0; i < cfg.N; i++ {
+		p := geom.V(
+			cfg.Universe.Min.X+r.Float64()*size.X,
+			cfg.Universe.Min.Y+r.Float64()*size.Y,
+			cfg.Universe.Min.Z+r.Float64()*size.Z,
+		)
+		dir := randomUnit(r).Scale(cfg.ElementSize)
+		cyl := geom.NewCylinder(p.Sub(dir), p.Add(dir), cfg.ElementSize*cfg.RadiusRatio)
+		d.Elements[i] = Element{ID: int64(i), Position: p, Shape: cyl, Box: cyl.Bounds()}
+	}
+	return d
+}
+
+// ClusteredConfig configures GenerateClustered.
+type ClusteredConfig struct {
+	N           int
+	Clusters    int
+	Universe    geom.AABB
+	ClusterStd  float64 // standard deviation of each Gaussian cluster
+	ElementSize float64
+	Seed        int64
+}
+
+// GenerateClustered produces elements grouped into Gaussian clusters, the
+// skewed distribution that stresses data-oriented partitioning (Figure 4 of
+// the paper): clusters produce narrow, elongated R-Tree partitions.
+func GenerateClustered(cfg ClusteredConfig) *Dataset {
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 10
+	}
+	if cfg.ClusterStd == 0 {
+		cfg.ClusterStd = cfg.Universe.Size().X / 50
+	}
+	if cfg.ElementSize == 0 {
+		cfg.ElementSize = cfg.Universe.Size().X / 500
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	size := cfg.Universe.Size()
+	centers := make([]geom.Vec3, cfg.Clusters)
+	for i := range centers {
+		centers[i] = geom.V(
+			cfg.Universe.Min.X+r.Float64()*size.X,
+			cfg.Universe.Min.Y+r.Float64()*size.Y,
+			cfg.Universe.Min.Z+r.Float64()*size.Z,
+		)
+	}
+	d := &Dataset{Universe: cfg.Universe, Elements: make([]Element, cfg.N)}
+	for i := 0; i < cfg.N; i++ {
+		c := centers[r.Intn(len(centers))]
+		p := geom.V(
+			clampRange(c.X+r.NormFloat64()*cfg.ClusterStd, cfg.Universe.Min.X, cfg.Universe.Max.X),
+			clampRange(c.Y+r.NormFloat64()*cfg.ClusterStd, cfg.Universe.Min.Y, cfg.Universe.Max.Y),
+			clampRange(c.Z+r.NormFloat64()*cfg.ClusterStd, cfg.Universe.Min.Z, cfg.Universe.Max.Z),
+		)
+		dir := randomUnit(r).Scale(cfg.ElementSize)
+		cyl := geom.NewCylinder(p.Sub(dir), p.Add(dir), cfg.ElementSize*0.3)
+		d.Elements[i] = Element{ID: int64(i), Position: p, Shape: cyl, Box: cyl.Bounds()}
+	}
+	return d
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func randomUnit(r *rand.Rand) geom.Vec3 {
+	for {
+		v := geom.V(r.Float64()*2-1, r.Float64()*2-1, r.Float64()*2-1)
+		l := v.Len()
+		if l > 1e-6 && l <= 1 {
+			return v.Scale(1 / l)
+		}
+	}
+}

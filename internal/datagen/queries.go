@@ -1,0 +1,90 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"spatialsim/internal/geom"
+)
+
+// RangeQueryConfig configures GenerateRangeQueries.
+type RangeQueryConfig struct {
+	N int // number of queries
+	// Selectivity is the target fraction of the universe volume covered by a
+	// query box (the paper uses 5e-4 % = 5e-6 as a fraction). Queries are
+	// cubes with that volume, placed uniformly at random (the paper: "at
+	// random locations ... that cannot be anticipated").
+	Selectivity float64
+	Universe    geom.AABB
+	Seed        int64
+}
+
+// GenerateRangeQueries produces selectivity-targeted cubic range queries
+// uniformly distributed in the universe.
+func GenerateRangeQueries(cfg RangeQueryConfig) []geom.AABB {
+	if cfg.Selectivity <= 0 {
+		cfg.Selectivity = 5e-6
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	vol := cfg.Universe.Volume() * cfg.Selectivity
+	side := math.Cbrt(vol)
+	half := geom.V(side/2, side/2, side/2)
+	size := cfg.Universe.Size()
+	queries := make([]geom.AABB, cfg.N)
+	for i := range queries {
+		c := geom.V(
+			cfg.Universe.Min.X+r.Float64()*size.X,
+			cfg.Universe.Min.Y+r.Float64()*size.Y,
+			cfg.Universe.Min.Z+r.Float64()*size.Z,
+		)
+		q := geom.AABBFromCenter(c, half)
+		// Clamp to the universe so selectivity near the boundary stays honest.
+		q = q.Intersect(cfg.Universe)
+		if q.IsEmpty() {
+			q = geom.PointAABB(c)
+		}
+		queries[i] = q
+	}
+	return queries
+}
+
+// GenerateKNNQueries produces query points uniformly distributed in the
+// universe, for k-nearest-neighbor workloads.
+func GenerateKNNQueries(n int, universe geom.AABB, seed int64) []geom.Vec3 {
+	r := rand.New(rand.NewSource(seed))
+	size := universe.Size()
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V(
+			universe.Min.X+r.Float64()*size.X,
+			universe.Min.Y+r.Float64()*size.Y,
+			universe.Min.Z+r.Float64()*size.Z,
+		)
+	}
+	return pts
+}
+
+// GenerateDataCenteredQueries produces range queries centered on randomly
+// chosen dataset elements, modeling monitoring queries that follow the model
+// (e.g. visualizing tissue around active neurons). This produces the
+// non-uniform query distribution that stresses data-oriented partitions.
+func GenerateDataCenteredQueries(d *Dataset, n int, selectivity float64, seed int64) []geom.AABB {
+	if d.Len() == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	vol := d.Universe.Volume() * selectivity
+	side := math.Cbrt(vol)
+	half := geom.V(side/2, side/2, side/2)
+	queries := make([]geom.AABB, n)
+	for i := range queries {
+		e := d.Elements[r.Intn(d.Len())]
+		q := geom.AABBFromCenter(e.Position, half)
+		q = q.Intersect(d.Universe)
+		if q.IsEmpty() {
+			q = geom.PointAABB(e.Position)
+		}
+		queries[i] = q
+	}
+	return queries
+}

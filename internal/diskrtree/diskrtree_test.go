@@ -1,0 +1,240 @@
+package diskrtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/storage"
+)
+
+func randomItems(n int, seed int64) []index.Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.3, 0.3, 0.3))}
+	}
+	return items
+}
+
+func bruteRange(items []index.Item, q geom.AABB) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, it := range items {
+		if q.Intersects(it.Box) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
+	n := &diskNode{
+		leaf: true,
+		entries: []diskEntry{
+			{box: geom.NewAABB(geom.V(1, 2, 3), geom.V(4, 5, 6)), ref: 42},
+			{box: geom.NewAABB(geom.V(-1, -2, -3), geom.V(0, 0, 0)), ref: -7},
+		},
+	}
+	data, err := encodeNode(n, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeNode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.leaf != n.leaf || len(got.entries) != len(n.entries) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range n.entries {
+		if got.entries[i] != n.entries[i] {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, got.entries[i], n.entries[i])
+		}
+	}
+	// Inner node flag round-trips too.
+	n.leaf = false
+	data, _ = encodeNode(n, 4096)
+	got, _ = decodeNode(data)
+	if got.leaf {
+		t.Fatal("leaf flag round trip failed")
+	}
+}
+
+func TestNodeEncodeErrors(t *testing.T) {
+	n := &diskNode{leaf: true, entries: make([]diskEntry, 100)}
+	if _, err := encodeNode(n, 128); err == nil {
+		t.Fatal("expected error for node not fitting page")
+	}
+	if _, err := decodeNode([]byte{1}); err == nil {
+		t.Fatal("expected error for truncated page")
+	}
+	// Corrupt count.
+	data := make([]byte, 64)
+	data[1] = 0xFF
+	data[2] = 0xFF
+	if _, err := decodeNode(data); err == nil {
+		t.Fatal("expected error for corrupt entry count")
+	}
+}
+
+func TestMaxEntriesForPage(t *testing.T) {
+	if got := maxEntriesForPage(4096); got != (4096-headerSize)/entrySize {
+		t.Fatalf("maxEntriesForPage(4096) = %d", got)
+	}
+	if got := maxEntriesForPage(10); got != 2 {
+		t.Fatalf("tiny page should clamp to 2, got %d", got)
+	}
+}
+
+func TestBuildAndSearchMatchesBruteForce(t *testing.T) {
+	items := randomItems(5000, 1)
+	disk := storage.NewDisk(storage.DefaultDiskConfig())
+	tr, err := Build(disk, items, Config{PoolPages: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("Height = %d, expected a multi-level tree for 5000 items", tr.Height())
+	}
+	r := rand.New(rand.NewSource(2))
+	for q := 0; q < 30; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		query := geom.AABBFromCenter(c, geom.V(4, 4, 4))
+		got, err := tr.SearchIDs(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteRange(items, query)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", q, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("query %d: unexpected id %d", q, id)
+			}
+		}
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	disk := storage.NewDisk(storage.DefaultDiskConfig())
+	tr, err := Build(disk, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	got, err := tr.SearchIDs(geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1)))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty search: %v %v", got, err)
+	}
+	tr2, err := Build(storage.NewDisk(storage.DefaultDiskConfig()), randomItems(3, 4), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tr2.SearchIDs(geom.NewAABB(geom.V(-1, -1, -1), geom.V(101, 101, 101)))
+	if len(got) != 3 {
+		t.Fatalf("tiny search = %d", len(got))
+	}
+}
+
+func TestColdCacheChargesPageReads(t *testing.T) {
+	items := randomItems(20000, 5)
+	disk := storage.NewDisk(storage.DefaultDiskConfig())
+	tr, err := Build(disk, items, Config{PoolPages: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.ResetStats()
+	queries := make([]geom.AABB, 20)
+	r := rand.New(rand.NewSource(6))
+	for i := range queries {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		queries[i] = geom.AABBFromCenter(c, geom.V(2, 2, 2))
+	}
+	// Cold cache: clear between queries.
+	for _, q := range queries {
+		tr.ClearCache()
+		if _, err := tr.SearchIDs(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := disk.Stats().PageReads
+	if cold == 0 {
+		t.Fatal("cold-cache queries read no pages")
+	}
+	// Warm cache: do not clear; repeated queries should hit the pool.
+	disk.ResetStats()
+	for i := 0; i < 3; i++ {
+		for _, q := range queries {
+			if _, err := tr.SearchIDs(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm := disk.Stats().PageReads
+	if warm >= 3*cold {
+		t.Fatalf("warm cache did not reduce page reads: warm=%d cold=%d", warm, cold)
+	}
+	// Counters must mirror the page reads charged.
+	if tr.Counters().PagesRead() == 0 {
+		t.Fatal("counters did not record page reads")
+	}
+	// Height and simulated time sanity.
+	if disk.Stats().SimulatedReadTime <= 0 {
+		t.Fatal("no simulated read time accumulated")
+	}
+	if tr.Height() < 2 || tr.String() == "" {
+		t.Fatal("unexpected tree metadata")
+	}
+}
+
+func TestFanoutOverride(t *testing.T) {
+	items := randomItems(2000, 7)
+	disk := storage.NewDisk(storage.DefaultDiskConfig())
+	big, err := Build(disk, items, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk2 := storage.NewDisk(storage.DefaultDiskConfig())
+	small, err := Build(disk2, items, Config{Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Height() <= big.Height() {
+		t.Fatalf("smaller fanout should yield taller tree: %d vs %d", small.Height(), big.Height())
+	}
+	// Both return identical results.
+	q := geom.AABBFromCenter(geom.V(50, 50, 50), geom.V(5, 5, 5))
+	a, _ := big.SearchIDs(q)
+	b, _ := small.SearchIDs(q)
+	if len(a) != len(b) {
+		t.Fatalf("result mismatch between fanouts: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestSearchEarlyTermination(t *testing.T) {
+	items := randomItems(1000, 8)
+	disk := storage.NewDisk(storage.DefaultDiskConfig())
+	tr, err := Build(disk, items, Config{PoolPages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err = tr.Search(geom.NewAABB(geom.V(-1, -1, -1), geom.V(101, 101, 101)), func(index.Item) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("early termination visited %d", count)
+	}
+}

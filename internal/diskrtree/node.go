@@ -1,0 +1,130 @@
+// Package diskrtree implements a disk-resident R-Tree whose nodes are
+// serialized onto the simulated disk of package storage. It is the baseline
+// of the paper's Figure 2 experiment: query execution time on disk is
+// dominated by page reads (96.7% in the paper), because every node visited
+// costs a random page I/O.
+//
+// The tree is built once with STR bulk loading (the standard way to build a
+// static disk R-Tree) and is read-only afterwards; the paper's disk
+// experiment likewise queries a statically built index.
+package diskrtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/storage"
+)
+
+// Node layout on a page:
+//
+//	offset 0: uint8  leaf flag (1 = leaf)
+//	offset 1: uint16 entry count (little endian)
+//	offset 3: entries, each entrySize bytes:
+//	    6 × float64 box (MinX, MinY, MinZ, MaxX, MaxY, MaxZ)
+//	    1 × int64   reference (child page id for inner nodes, element id for leaves)
+const (
+	headerSize = 3
+	entrySize  = 6*8 + 8
+)
+
+type diskEntry struct {
+	box geom.AABB
+	ref int64
+}
+
+type diskNode struct {
+	leaf    bool
+	entries []diskEntry
+}
+
+// maxEntriesForPage returns how many entries fit in one page.
+func maxEntriesForPage(pageSize int) int {
+	n := (pageSize - headerSize) / entrySize
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func encodeNode(n *diskNode, pageSize int) ([]byte, error) {
+	need := headerSize + len(n.entries)*entrySize
+	if need > pageSize {
+		return nil, fmt.Errorf("diskrtree: node with %d entries does not fit page of %d bytes", len(n.entries), pageSize)
+	}
+	buf := make([]byte, need)
+	if n.leaf {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	off := headerSize
+	for _, e := range n.entries {
+		putFloat := func(v float64) {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+		putFloat(e.box.Min.X)
+		putFloat(e.box.Min.Y)
+		putFloat(e.box.Min.Z)
+		putFloat(e.box.Max.X)
+		putFloat(e.box.Max.Y)
+		putFloat(e.box.Max.Z)
+		binary.LittleEndian.PutUint64(buf[off:], uint64(e.ref))
+		off += 8
+	}
+	return buf, nil
+}
+
+func decodeNode(data []byte) (*diskNode, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("diskrtree: page too small to hold a node header")
+	}
+	n := &diskNode{leaf: data[0] == 1}
+	count := int(binary.LittleEndian.Uint16(data[1:3]))
+	if headerSize+count*entrySize > len(data) {
+		return nil, fmt.Errorf("diskrtree: corrupt node: %d entries exceed page size", count)
+	}
+	n.entries = make([]diskEntry, count)
+	off := headerSize
+	for i := 0; i < count; i++ {
+		getFloat := func() float64 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+			return v
+		}
+		var e diskEntry
+		e.box.Min.X = getFloat()
+		e.box.Min.Y = getFloat()
+		e.box.Min.Z = getFloat()
+		e.box.Max.X = getFloat()
+		e.box.Max.Y = getFloat()
+		e.box.Max.Z = getFloat()
+		e.ref = int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		n.entries[i] = e
+	}
+	return n, nil
+}
+
+func nodeBounds(n *diskNode) geom.AABB {
+	b := geom.EmptyAABB()
+	for i := range n.entries {
+		b = b.Union(n.entries[i].box)
+	}
+	return b
+}
+
+// writeNode allocates a page for the node and writes it.
+func writeNode(disk *storage.Disk, n *diskNode) (storage.PageID, error) {
+	data, err := encodeNode(n, disk.PageSize())
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	id := disk.Allocate()
+	if err := disk.Write(id, data); err != nil {
+		return storage.InvalidPage, err
+	}
+	return id, nil
+}

@@ -1,0 +1,218 @@
+package diskrtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+	"spatialsim/internal/storage"
+)
+
+// Tree is a read-only disk-resident R-Tree built with STR bulk loading.
+// Queries fetch node pages through a buffer pool; the number of pages read
+// and the simulated I/O time are the quantities the Figure 2 experiment
+// reports.
+type Tree struct {
+	disk     *storage.Disk
+	pool     *storage.BufferPool
+	rootPage storage.PageID
+	height   int
+	size     int
+	fanout   int
+	counters instrument.Counters
+}
+
+// Config configures Build.
+type Config struct {
+	// Fanout limits entries per node; 0 means "as many as fit in a page",
+	// which is the conventional disk R-Tree choice (the paper: 4 KB nodes).
+	Fanout int
+	// PoolPages is the buffer pool capacity in pages (0 = no caching, the
+	// paper's cold-cache protocol).
+	PoolPages int
+}
+
+// Build bulk-loads a disk R-Tree over the items onto the given disk.
+func Build(disk *storage.Disk, items []index.Item, cfg Config) (*Tree, error) {
+	fanout := maxEntriesForPage(disk.PageSize())
+	if cfg.Fanout > 0 && cfg.Fanout < fanout {
+		fanout = cfg.Fanout
+	}
+	t := &Tree{
+		disk:   disk,
+		pool:   storage.NewBufferPool(disk, cfg.PoolPages),
+		fanout: fanout,
+		size:   len(items),
+	}
+	if len(items) == 0 {
+		root := &diskNode{leaf: true}
+		id, err := writeNode(disk, root)
+		if err != nil {
+			return nil, err
+		}
+		t.rootPage = id
+		t.height = 1
+		return t, nil
+	}
+
+	entries := make([]diskEntry, len(items))
+	for i, it := range items {
+		entries[i] = diskEntry{box: it.Box, ref: it.ID}
+	}
+	pages, boxes, err := t.packLevel(entries, true)
+	if err != nil {
+		return nil, err
+	}
+	t.height = 1
+	for len(pages) > 1 {
+		upper := make([]diskEntry, len(pages))
+		for i := range pages {
+			upper[i] = diskEntry{box: boxes[i], ref: int64(pages[i])}
+		}
+		pages, boxes, err = t.packLevel(upper, false)
+		if err != nil {
+			return nil, err
+		}
+		t.height++
+	}
+	t.rootPage = pages[0]
+	return t, nil
+}
+
+// packLevel STR-packs the entries into nodes, writes each node to its own
+// page and returns the page ids and bounding boxes of the created nodes.
+func (t *Tree) packLevel(entries []diskEntry, leaf bool) ([]storage.PageID, []geom.AABB, error) {
+	m := t.fanout
+	n := len(entries)
+	var groups [][]diskEntry
+	if n <= m {
+		groups = [][]diskEntry{entries}
+	} else {
+		pages := (n + m - 1) / m
+		s := int(math.Ceil(math.Cbrt(float64(pages))))
+		slabSize := s * s * m
+		runSize := s * m
+		sortEntriesByAxis(entries, 0)
+		for i := 0; i < n; i += slabSize {
+			slab := entries[i:min(i+slabSize, n)]
+			sortEntriesByAxis(slab, 1)
+			for j := 0; j < len(slab); j += runSize {
+				run := slab[j:min(j+runSize, len(slab))]
+				sortEntriesByAxis(run, 2)
+				for k := 0; k < len(run); k += m {
+					groups = append(groups, run[k:min(k+m, len(run))])
+				}
+			}
+		}
+	}
+	pageIDs := make([]storage.PageID, 0, len(groups))
+	boxes := make([]geom.AABB, 0, len(groups))
+	for _, g := range groups {
+		nd := &diskNode{leaf: leaf, entries: append([]diskEntry(nil), g...)}
+		id, err := writeNode(t.disk, nd)
+		if err != nil {
+			return nil, nil, err
+		}
+		pageIDs = append(pageIDs, id)
+		boxes = append(boxes, nodeBounds(nd))
+	}
+	return pageIDs, boxes, nil
+}
+
+func sortEntriesByAxis(entries []diskEntry, axis int) {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].box.Center().Axis(axis) < entries[j].box.Center().Axis(axis)
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree.
+func (t *Tree) Height() int { return t.height }
+
+// Counters returns the traversal counters.
+func (t *Tree) Counters() *instrument.Counters { return &t.counters }
+
+// Pool returns the buffer pool used by queries.
+func (t *Tree) Pool() *storage.BufferPool { return t.pool }
+
+// Disk returns the underlying simulated disk.
+func (t *Tree) Disk() *storage.Disk { return t.disk }
+
+// ClearCache drops the buffer pool contents (the paper's cold-cache
+// protocol between queries).
+func (t *Tree) ClearCache() { t.pool.Clear() }
+
+// Search invokes fn for every item whose box intersects query. Traversal
+// statistics are charged to the tree's counters: page reads to the
+// "reading data" category, node-level MBR tests and leaf-level tests to the
+// two intersection-test categories.
+func (t *Tree) Search(query geom.AABB, fn func(index.Item) bool) error {
+	_, err := t.searchPage(t.rootPage, query, fn)
+	return err
+}
+
+func (t *Tree) searchPage(page storage.PageID, query geom.AABB, fn func(index.Item) bool) (bool, error) {
+	data, hit, err := t.pool.GetTracked(page)
+	if err != nil {
+		return false, err
+	}
+	if !hit {
+		t.counters.AddPagesRead(1)
+		t.counters.AddBytesRead(int64(t.disk.PageSize()))
+	}
+	n, err := decodeNode(data)
+	if err != nil {
+		return false, err
+	}
+	t.counters.AddNodeVisits(1)
+	if n.leaf {
+		t.counters.AddElemIntersectTests(int64(len(n.entries)))
+		t.counters.AddElementsTouched(int64(len(n.entries)))
+		for i := range n.entries {
+			if query.Intersects(n.entries[i].box) {
+				t.counters.AddResults(1)
+				if !fn(index.Item{ID: n.entries[i].ref, Box: n.entries[i].box}) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+	t.counters.AddTreeIntersectTests(int64(len(n.entries)))
+	for i := range n.entries {
+		if query.Intersects(n.entries[i].box) {
+			cont, err := t.searchPage(storage.PageID(n.entries[i].ref), query, fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// SearchIDs collects the ids of all items intersecting query.
+func (t *Tree) SearchIDs(query geom.AABB) ([]int64, error) {
+	var out []int64
+	err := t.Search(query, func(it index.Item) bool {
+		out = append(out, it.ID)
+		return true
+	})
+	return out, err
+}
+
+// String describes the tree shape.
+func (t *Tree) String() string {
+	return fmt.Sprintf("diskrtree{items=%d height=%d fanout=%d pages=%d}", t.size, t.height, t.fanout, t.disk.NumPages())
+}

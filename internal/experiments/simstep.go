@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spatialsim/internal/core"
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/grid"
+	"spatialsim/internal/index"
+	"spatialsim/internal/mesh"
+	"spatialsim/internal/moving"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/sim"
+)
+
+// SimStepRow is one row of the end-to-end simulation-step comparison (E8).
+type SimStepRow struct {
+	Name       string
+	UpdateTime time.Duration
+	QueryTime  time.Duration
+	TotalTime  time.Duration
+}
+
+// SimStepResult is the experiment behind the paper's conclusion: a grid-based
+// index with cheap maintenance wins on total step time even if its individual
+// queries are not the fastest.
+type SimStepResult struct {
+	Rows  []SimStepRow
+	Steps int
+}
+
+// String renders the comparison as a table.
+func (r SimStepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E8: full simulation step cost (update + monitoring), %d steps\n", r.Steps)
+	fmt.Fprintf(&b, "  %-18s %-14s %-14s %s\n", "index", "update", "query", "total")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-18s %-14v %-14v %v\n", row.Name,
+			row.UpdateTime.Round(time.Microsecond), row.QueryTime.Round(time.Microsecond), row.TotalTime.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// SimStep runs the full time-stepped simulation (plasticity movement +
+// monitoring queries) with several index designs.
+func SimStep(s Scale, steps, queriesPerStep int) SimStepResult {
+	s = s.withDefaults()
+	if steps <= 0 {
+		steps = 3
+	}
+	if queriesPerStep <= 0 {
+		queriesPerStep = 100
+	}
+	base, items := neuronItems(s)
+	boxes := make([]geom.AABB, len(items))
+	for i := range items {
+		boxes[i] = items[i].Box
+	}
+	resolution := grid.ResolutionModel{}.SuggestResolutionForDataset(base.Universe, boxes)
+
+	type candidate struct {
+		name string
+		make func() index.Index
+	}
+	candidates := []candidate{
+		{"rtree-inplace", func() index.Index { return rtree.NewDefault() }},
+		{"rtree-throwaway", func() index.Index { return moving.NewThrowaway(rtree.NewDefault()) }},
+		{"grid-inplace", func() index.Index { return grid.New(grid.Config{Universe: base.Universe, CellsPerDim: resolution}) }},
+		{"simindex", func() index.Index {
+			return core.New(core.Config{Universe: base.Universe, ExpectedQueriesPerStep: queriesPerStep})
+		}},
+	}
+	result := SimStepResult{Steps: steps}
+	for _, c := range candidates {
+		d := base.Clone()
+		simulation := sim.New(d, datagen.NewPlasticityModel(s.Seed+30), c.make(), sim.Config{
+			QueriesPerStep:   queriesPerStep,
+			QuerySelectivity: s.Selectivity * 50,
+			KNNPerStep:       queriesPerStep / 10,
+			Seed:             s.Seed + 31,
+		})
+		run := simulation.Run(steps)
+		result.Rows = append(result.Rows, SimStepRow{
+			Name:       c.name,
+			UpdateTime: run.TotalUpdate,
+			QueryTime:  run.TotalQuery,
+			TotalTime:  run.Total(),
+		})
+	}
+	return result
+}
+
+// MeshRow is one row of the connectivity-driven query experiment (E9).
+type MeshRow struct {
+	Name            string
+	MaintenanceTime time.Duration
+	QueryTime       time.Duration
+	TotalTime       time.Duration
+	ResultErrors    int
+}
+
+// MeshResult compares connectivity-driven range queries (DLS, OCTOPUS) that
+// need no per-step maintenance against an R-Tree that must be rebuilt after
+// every deformation step.
+type MeshResult struct {
+	Rows     []MeshRow
+	Steps    int
+	Queries  int
+	Vertices int
+}
+
+// String renders the comparison as a table.
+func (r MeshResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E9: mesh range queries after deformation (%d vertices, %d steps, %d queries/step)\n",
+		r.Vertices, r.Steps, r.Queries)
+	fmt.Fprintf(&b, "  %-14s %-16s %-14s %-14s %s\n", "method", "maintenance", "queries", "total", "result errors")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-14s %-16v %-14v %-14v %d\n", row.Name,
+			row.MaintenanceTime.Round(time.Microsecond), row.QueryTime.Round(time.Microsecond),
+			row.TotalTime.Round(time.Microsecond), row.ResultErrors)
+	}
+	return b.String()
+}
+
+// Mesh runs the deforming-mesh experiment: per step the mesh deforms, then a
+// batch of range queries runs. DLS and OCTOPUS navigate the live mesh and
+// need no maintenance; the R-Tree baseline is rebuilt each step.
+func Mesh(s Scale, steps, queriesPerStep int) MeshResult {
+	s = s.withDefaults()
+	if steps <= 0 {
+		steps = 3
+	}
+	if queriesPerStep <= 0 {
+		queriesPerStep = 50
+	}
+	// Lattice sized to roughly s.Elements vertices.
+	n := 10
+	for n*n*n < s.Elements && n < 60 {
+		n++
+	}
+	universe := geom.NewAABB(geom.V(0, 0, 0), geom.V(10, 10, 10))
+	m := mesh.GenerateLattice(mesh.LatticeConfig{Nx: n, Ny: n, Nz: n, Universe: universe, Jitter: 0.2, Seed: s.Seed + 40})
+	dls := mesh.NewDLS(m, 8)
+	oct := mesh.NewOctopus(m, 8)
+	spacing := universe.Size().X / float64(n-1)
+
+	queriesFor := func(step int) []geom.AABB {
+		return datagen.GenerateRangeQueries(datagen.RangeQueryConfig{
+			N: queriesPerStep, Selectivity: 2e-3, Universe: universe, Seed: s.Seed + int64(50+step),
+		})
+	}
+
+	type method struct {
+		name     string
+		maintain func() time.Duration
+		query    func(q geom.AABB) int
+	}
+	// R-Tree baseline: rebuilt after every deformation step.
+	var rt *rtree.Tree
+	rebuildRT := func() time.Duration {
+		start := time.Now()
+		items := make([]index.Item, m.Len())
+		for i := range m.Vertices {
+			items[i] = index.Item{ID: m.Vertices[i].ID, Box: geom.PointAABB(m.Vertices[i].Pos)}
+		}
+		rt = rtree.NewDefault()
+		rt.BulkLoad(items)
+		return time.Since(start)
+	}
+	methods := []method{
+		{"dls", func() time.Duration { return 0 }, func(q geom.AABB) int { return len(dls.Range(q)) }},
+		{"octopus", func() time.Duration { return 0 }, func(q geom.AABB) int { return len(oct.Range(q)) }},
+		{"rtree-rebuild", rebuildRT, func(q geom.AABB) int { return len(index.SearchIDs(rt, q)) }},
+	}
+
+	result := MeshResult{Steps: steps, Queries: queriesPerStep, Vertices: m.Len()}
+	rows := make([]MeshRow, len(methods))
+	for i, meth := range methods {
+		rows[i].Name = meth.name
+	}
+	for step := 0; step < steps; step++ {
+		m.Deform(spacing*0.05, s.Seed+int64(60+step))
+		queries := queriesFor(step)
+		truth := make([]int, len(queries))
+		for qi, q := range queries {
+			truth[qi] = len(m.BruteForceRange(q))
+		}
+		for i, meth := range methods {
+			rows[i].MaintenanceTime += meth.maintain()
+			start := time.Now()
+			for qi, q := range queries {
+				got := meth.query(q)
+				if got != truth[qi] {
+					rows[i].ResultErrors += absInt(got - truth[qi])
+				}
+			}
+			rows[i].QueryTime += time.Since(start)
+		}
+	}
+	for i := range rows {
+		rows[i].TotalTime = rows[i].MaintenanceTime + rows[i].QueryTime
+	}
+	result.Rows = rows
+	return result
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AblationGridResolution sweeps the grid resolution for a fixed workload,
+// the tuning knob the paper's analytical-model discussion is about.
+type AblationGridResolutionRow struct {
+	CellsPerDim  int
+	BuildTime    time.Duration
+	QueryTime    time.Duration
+	ElementTests int64
+	Replication  float64
+}
+
+// AblationGridResolutionResult is the resolution sweep output.
+type AblationGridResolutionResult struct {
+	Rows      []AblationGridResolutionRow
+	Suggested int
+}
+
+// String renders the sweep.
+func (r AblationGridResolutionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: grid resolution sweep (model suggests %d cells/dim)\n", r.Suggested)
+	fmt.Fprintf(&b, "  %-10s %-12s %-12s %-14s %s\n", "cells/dim", "build", "range", "elem tests", "replication")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10d %-12v %-12v %-14d %.2f\n", row.CellsPerDim,
+			row.BuildTime.Round(time.Microsecond), row.QueryTime.Round(time.Microsecond), row.ElementTests, row.Replication)
+	}
+	return b.String()
+}
+
+// AblationGridResolution runs the resolution sweep.
+func AblationGridResolution(s Scale, resolutions []int) AblationGridResolutionResult {
+	s = s.withDefaults()
+	if len(resolutions) == 0 {
+		resolutions = []int{4, 8, 16, 32, 64}
+	}
+	d, items := neuronItems(s)
+	queries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{
+		N: s.Queries, Selectivity: s.Selectivity * 10, Universe: d.Universe, Seed: s.Seed + 70,
+	})
+	boxes := make([]geom.AABB, len(items))
+	for i := range items {
+		boxes[i] = items[i].Box
+	}
+	result := AblationGridResolutionResult{
+		Suggested: grid.ResolutionModel{}.SuggestResolutionForDataset(d.Universe, boxes),
+	}
+	for _, cells := range resolutions {
+		g := grid.New(grid.Config{Universe: d.Universe, CellsPerDim: cells})
+		start := time.Now()
+		g.BulkLoad(items)
+		build := time.Since(start)
+		g.Counters().Reset()
+		start = time.Now()
+		for _, q := range queries {
+			g.Search(q, func(index.Item) bool { return true })
+		}
+		query := time.Since(start)
+		result.Rows = append(result.Rows, AblationGridResolutionRow{
+			CellsPerDim:  cells,
+			BuildTime:    build,
+			QueryTime:    query,
+			ElementTests: g.Counters().ElemIntersectTests(),
+			Replication:  g.ReplicationFactor(),
+		})
+	}
+	return result
+}
+
+// AblationAdvisorRow compares SimIndex maintenance policies.
+type AblationAdvisorRow struct {
+	Policy    string
+	TotalTime time.Duration
+	Rebuilds  int
+}
+
+// AblationAdvisorResult compares the cost advisor against always-update and
+// always-rebuild policies over a mixed movement trace.
+type AblationAdvisorResult struct {
+	Rows  []AblationAdvisorRow
+	Steps int
+}
+
+// String renders the comparison.
+func (r AblationAdvisorResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: SimIndex maintenance policy over %d mixed steps\n", r.Steps)
+	fmt.Fprintf(&b, "  %-16s %-14s %s\n", "policy", "total", "rebuilds")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %-14v %d\n", row.Policy, row.TotalTime.Round(time.Microsecond), row.Rebuilds)
+	}
+	return b.String()
+}
+
+// AblationAdvisor runs the maintenance-policy ablation: the movement trace
+// alternates calm plasticity steps with occasional teleport steps, so neither
+// always-update nor always-rebuild is optimal throughout.
+func AblationAdvisor(s Scale, steps, queriesPerStep int) AblationAdvisorResult {
+	s = s.withDefaults()
+	if steps <= 0 {
+		steps = 6
+	}
+	if queriesPerStep <= 0 {
+		queriesPerStep = 100
+	}
+	base, items := neuronItems(s)
+
+	type policy struct {
+		name    string
+		advisor core.Advisor
+	}
+	policies := []policy{
+		{"advised", core.DefaultAdvisor()},
+		{"always-update", core.Advisor{UpdateCostFactor: 1e-9, ScanCostFactor: 1e-9, IndexedQueryCost: 1e-9}},
+		{"always-rebuild", core.Advisor{UpdateCostFactor: 1e9, ScanCostFactor: 1e-9, IndexedQueryCost: 1e-9}},
+	}
+	result := AblationAdvisorResult{Steps: steps}
+	for _, p := range policies {
+		d := base.Clone()
+		engine := core.New(core.Config{Universe: d.Universe, Advisor: p.advisor, ExpectedQueriesPerStep: queriesPerStep})
+		engine.BulkLoad(items)
+		calm := datagen.NewPlasticityModel(s.Seed + 80)
+		violent := datagen.NewDriftModel(s.Seed+81, geom.V(d.Universe.Size().X/10, 0, 0), d.Universe.Size().X/50)
+		start := time.Now()
+		for step := 0; step < steps; step++ {
+			old := make([]geom.AABB, d.Len())
+			for i := range d.Elements {
+				old[i] = d.Elements[i].Box
+			}
+			if step%3 == 2 {
+				violent.Step(d)
+			} else {
+				calm.Step(d)
+			}
+			moves := make([]index.Move, 0, d.Len())
+			for i := range d.Elements {
+				if d.Elements[i].Box != old[i] {
+					moves = append(moves, index.Move{ID: d.Elements[i].ID, OldBox: old[i], NewBox: d.Elements[i].Box})
+				}
+			}
+			engine.ApplyMoves(moves)
+			queries := datagen.GenerateDataCenteredQueries(d, queriesPerStep, s.Selectivity*50, s.Seed+int64(step))
+			for _, q := range queries {
+				engine.Search(q, func(index.Item) bool { return true })
+			}
+		}
+		elapsed := time.Since(start)
+		_, rebuilds, _ := engine.Stats()
+		result.Rows = append(result.Rows, AblationAdvisorRow{Policy: p.name, TotalTime: elapsed, Rebuilds: rebuilds})
+	}
+	return result
+}

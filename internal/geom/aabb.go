@@ -1,0 +1,253 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// AABB is an axis-aligned bounding box (the minimum bounding rectangle, MBR,
+// of the spatial indexing literature, generalized to three dimensions).
+// A valid AABB has Min.Axis(i) <= Max.Axis(i) for every axis. The zero value
+// is the degenerate box at the origin.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// NewAABB returns the AABB spanning the two corner points in any order.
+func NewAABB(a, b Vec3) AABB {
+	return AABB{Min: a.Min(b), Max: a.Max(b)}
+}
+
+// AABBFromCenter returns the AABB centered at c with the given half extents.
+func AABBFromCenter(c Vec3, half Vec3) AABB {
+	return AABB{Min: c.Sub(half), Max: c.Add(half)}
+}
+
+// PointAABB returns the degenerate AABB containing only p.
+func PointAABB(p Vec3) AABB { return AABB{Min: p, Max: p} }
+
+// EmptyAABB returns the canonical empty box: an inverted box that behaves as
+// the identity element for Union.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// IsEmpty reports whether the box is inverted on any axis (contains nothing).
+func (b AABB) IsEmpty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// IsValid reports whether the box has finite, ordered bounds.
+func (b AABB) IsValid() bool {
+	return !b.IsEmpty() && b.Min.IsFinite() && b.Max.IsFinite()
+}
+
+// Center returns the center point of the box.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Size returns the edge lengths of the box.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// HalfSize returns half the edge lengths of the box.
+func (b AABB) HalfSize() Vec3 { return b.Size().Scale(0.5) }
+
+// Volume returns the volume of the box; empty boxes have zero volume.
+func (b AABB) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// SurfaceArea returns the total surface area of the box.
+func (b AABB) SurfaceArea() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return 2 * (s.X*s.Y + s.Y*s.Z + s.X*s.Z)
+}
+
+// Margin returns the sum of the edge lengths (the R*-Tree "margin" metric).
+func (b AABB) Margin() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X + s.Y + s.Z
+}
+
+// Union returns the smallest AABB containing both b and o.
+func (b AABB) Union(o AABB) AABB {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return AABB{Min: b.Min.Min(o.Min), Max: b.Max.Max(o.Max)}
+}
+
+// ExtendPoint returns the smallest AABB containing b and the point p.
+func (b AABB) ExtendPoint(p Vec3) AABB {
+	if b.IsEmpty() {
+		return PointAABB(p)
+	}
+	return AABB{Min: b.Min.Min(p), Max: b.Max.Max(p)}
+}
+
+// Intersect returns the intersection of b and o; the result may be empty.
+func (b AABB) Intersect(o AABB) AABB {
+	return AABB{Min: b.Min.Max(o.Min), Max: b.Max.Min(o.Max)}
+}
+
+// Intersects reports whether b and o share at least one point (closed boxes:
+// touching faces count as intersecting).
+func (b AABB) Intersects(o AABB) bool {
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y &&
+		b.Min.Z <= o.Max.Z && b.Max.Z >= o.Min.Z
+}
+
+// Contains reports whether o lies entirely inside b (closed comparison).
+func (b AABB) Contains(o AABB) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return b.Min.X <= o.Min.X && b.Max.X >= o.Max.X &&
+		b.Min.Y <= o.Min.Y && b.Max.Y >= o.Max.Y &&
+		b.Min.Z <= o.Min.Z && b.Max.Z >= o.Max.Z
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of b.
+func (b AABB) ContainsPoint(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Enlargement returns how much the volume of b grows when united with o.
+// This is the classic R-Tree ChooseSubtree metric.
+func (b AABB) Enlargement(o AABB) float64 {
+	return b.Union(o).Volume() - b.Volume()
+}
+
+// OverlapVolume returns the volume of the intersection of b and o.
+func (b AABB) OverlapVolume(o AABB) float64 {
+	return b.Intersect(o).Volume()
+}
+
+// Expand returns b grown by d on every side (negative d shrinks the box).
+func (b AABB) Expand(d float64) AABB {
+	e := Vec3{d, d, d}
+	return AABB{Min: b.Min.Sub(e), Max: b.Max.Add(e)}
+}
+
+// Translate returns b moved by offset d.
+func (b AABB) Translate(d Vec3) AABB {
+	return AABB{Min: b.Min.Add(d), Max: b.Max.Add(d)}
+}
+
+// DistanceToPoint returns the minimum Euclidean distance from p to the box
+// (zero if p is inside the box).
+func (b AABB) DistanceToPoint(p Vec3) float64 {
+	return math.Sqrt(b.Distance2ToPoint(p))
+}
+
+// Distance2ToPoint returns the squared minimum distance from p to the box.
+func (b AABB) Distance2ToPoint(p Vec3) float64 {
+	var d2 float64
+	for i := 0; i < 3; i++ {
+		v := p.Axis(i)
+		lo, hi := b.Min.Axis(i), b.Max.Axis(i)
+		if v < lo {
+			d := lo - v
+			d2 += d * d
+		} else if v > hi {
+			d := v - hi
+			d2 += d * d
+		}
+	}
+	return d2
+}
+
+// MaxDistance2ToPoint returns the squared maximum distance from p to any point
+// of the box (the "MaxDist" bound used in kNN pruning).
+func (b AABB) MaxDistance2ToPoint(p Vec3) float64 {
+	var d2 float64
+	for i := 0; i < 3; i++ {
+		v := p.Axis(i)
+		lo, hi := b.Min.Axis(i), b.Max.Axis(i)
+		d := math.Max(math.Abs(v-lo), math.Abs(v-hi))
+		d2 += d * d
+	}
+	return d2
+}
+
+// Distance returns the minimum Euclidean distance between two boxes (zero if
+// they intersect).
+func (b AABB) Distance(o AABB) float64 {
+	return math.Sqrt(b.Distance2(o))
+}
+
+// Distance2 returns the squared minimum distance between two boxes.
+func (b AABB) Distance2(o AABB) float64 {
+	var d2 float64
+	for i := 0; i < 3; i++ {
+		lo1, hi1 := b.Min.Axis(i), b.Max.Axis(i)
+		lo2, hi2 := o.Min.Axis(i), o.Max.Axis(i)
+		switch {
+		case hi1 < lo2:
+			d := lo2 - hi1
+			d2 += d * d
+		case hi2 < lo1:
+			d := lo1 - hi2
+			d2 += d * d
+		}
+	}
+	return d2
+}
+
+// LongestAxis returns the index (0, 1 or 2) of the longest edge of b.
+func (b AABB) LongestAxis() int {
+	s := b.Size()
+	axis := 0
+	best := s.X
+	if s.Y > best {
+		axis, best = 1, s.Y
+	}
+	if s.Z > best {
+		axis = 2
+	}
+	return axis
+}
+
+// Octant returns the i-th (0..7) octant of the box obtained by splitting it at
+// its center. Bit 0 selects the upper half in X, bit 1 in Y, bit 2 in Z.
+func (b AABB) Octant(i int) AABB {
+	c := b.Center()
+	o := b
+	if i&1 != 0 {
+		o.Min.X = c.X
+	} else {
+		o.Max.X = c.X
+	}
+	if i&2 != 0 {
+		o.Min.Y = c.Y
+	} else {
+		o.Max.Y = c.Y
+	}
+	if i&4 != 0 {
+		o.Min.Z = c.Z
+	} else {
+		o.Max.Z = c.Z
+	}
+	return o
+}
+
+// String implements fmt.Stringer.
+func (b AABB) String() string {
+	return fmt.Sprintf("[%v - %v]", b.Min, b.Max)
+}

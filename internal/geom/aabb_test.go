@@ -1,0 +1,288 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAABBConstruction(t *testing.T) {
+	b := NewAABB(V(3, -1, 5), V(1, 2, 4))
+	if b.Min != V(1, -1, 4) || b.Max != V(3, 2, 5) {
+		t.Errorf("NewAABB = %v", b)
+	}
+	c := AABBFromCenter(V(1, 1, 1), V(2, 3, 4))
+	if c.Min != V(-1, -2, -3) || c.Max != V(3, 4, 5) {
+		t.Errorf("AABBFromCenter = %v", c)
+	}
+	p := PointAABB(V(7, 8, 9))
+	if p.Min != p.Max || p.Volume() != 0 {
+		t.Errorf("PointAABB = %v", p)
+	}
+}
+
+func TestAABBEmpty(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Error("EmptyAABB not empty")
+	}
+	if e.Volume() != 0 || e.SurfaceArea() != 0 || e.Margin() != 0 {
+		t.Error("empty box should have zero measures")
+	}
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	if got := e.Union(b); got != b {
+		t.Errorf("empty union b = %v", got)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("b union empty = %v", got)
+	}
+	if e.Contains(b) || b.Contains(e) {
+		t.Error("Contains involving empty box should be false")
+	}
+	if !b.IsValid() || e.IsValid() {
+		t.Error("IsValid misclassification")
+	}
+}
+
+func TestAABBMeasures(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(2, 3, 4))
+	if b.Volume() != 24 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	if b.SurfaceArea() != 2*(6+12+8) {
+		t.Errorf("SurfaceArea = %v", b.SurfaceArea())
+	}
+	if b.Margin() != 9 {
+		t.Errorf("Margin = %v", b.Margin())
+	}
+	if b.Center() != V(1, 1.5, 2) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Size() != V(2, 3, 4) {
+		t.Errorf("Size = %v", b.Size())
+	}
+	if b.HalfSize() != V(1, 1.5, 2) {
+		t.Errorf("HalfSize = %v", b.HalfSize())
+	}
+	if b.LongestAxis() != 2 {
+		t.Errorf("LongestAxis = %v", b.LongestAxis())
+	}
+	if NewAABB(V(0, 0, 0), V(5, 1, 1)).LongestAxis() != 0 {
+		t.Error("LongestAxis X")
+	}
+	if NewAABB(V(0, 0, 0), V(1, 5, 1)).LongestAxis() != 1 {
+		t.Error("LongestAxis Y")
+	}
+}
+
+func TestAABBIntersects(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(2, 2, 2))
+	b := NewAABB(V(1, 1, 1), V(3, 3, 3))
+	c := NewAABB(V(5, 5, 5), V(6, 6, 6))
+	touch := NewAABB(V(2, 0, 0), V(3, 2, 2))
+
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint boxes reported intersecting")
+	}
+	if !a.Intersects(touch) {
+		t.Error("touching boxes should intersect (closed boxes)")
+	}
+	inter := a.Intersect(b)
+	if inter.Min != V(1, 1, 1) || inter.Max != V(2, 2, 2) {
+		t.Errorf("Intersect = %v", inter)
+	}
+	if !a.Intersect(c).IsEmpty() {
+		t.Error("intersection of disjoint boxes should be empty")
+	}
+}
+
+func TestAABBContains(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(10, 10, 10))
+	b := NewAABB(V(1, 1, 1), V(2, 2, 2))
+	if !a.Contains(b) {
+		t.Error("a should contain b")
+	}
+	if b.Contains(a) {
+		t.Error("b should not contain a")
+	}
+	if !a.Contains(a) {
+		t.Error("a should contain itself")
+	}
+	if !a.ContainsPoint(V(5, 5, 5)) || !a.ContainsPoint(V(0, 0, 0)) || !a.ContainsPoint(V(10, 10, 10)) {
+		t.Error("ContainsPoint interior/boundary failed")
+	}
+	if a.ContainsPoint(V(11, 5, 5)) {
+		t.Error("ContainsPoint outside")
+	}
+}
+
+func TestAABBUnionExtend(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	b := NewAABB(V(2, 2, 2), V(3, 3, 3))
+	u := a.Union(b)
+	if u.Min != V(0, 0, 0) || u.Max != V(3, 3, 3) {
+		t.Errorf("Union = %v", u)
+	}
+	e := a.ExtendPoint(V(-1, 0.5, 2))
+	if e.Min != V(-1, 0, 0) || e.Max != V(1, 1, 2) {
+		t.Errorf("ExtendPoint = %v", e)
+	}
+	if got := EmptyAABB().ExtendPoint(V(1, 2, 3)); got != PointAABB(V(1, 2, 3)) {
+		t.Errorf("ExtendPoint on empty = %v", got)
+	}
+}
+
+func TestAABBEnlargementOverlap(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	b := NewAABB(V(0, 0, 0), V(2, 1, 1))
+	if got := a.Enlargement(b); got != 1 {
+		t.Errorf("Enlargement = %v, want 1", got)
+	}
+	if got := a.Enlargement(a); got != 0 {
+		t.Errorf("Enlargement(self) = %v, want 0", got)
+	}
+	c := NewAABB(V(0.5, 0, 0), V(1.5, 1, 1))
+	if got := a.OverlapVolume(c); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("OverlapVolume = %v, want 0.5", got)
+	}
+}
+
+func TestAABBExpandTranslate(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	e := a.Expand(0.5)
+	if e.Min != V(-0.5, -0.5, -0.5) || e.Max != V(1.5, 1.5, 1.5) {
+		t.Errorf("Expand = %v", e)
+	}
+	tr := a.Translate(V(1, 2, 3))
+	if tr.Min != V(1, 2, 3) || tr.Max != V(2, 3, 4) {
+		t.Errorf("Translate = %v", tr)
+	}
+}
+
+func TestAABBDistances(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	if d := a.DistanceToPoint(V(0.5, 0.5, 0.5)); d != 0 {
+		t.Errorf("inside distance = %v", d)
+	}
+	if d := a.DistanceToPoint(V(2, 0.5, 0.5)); d != 1 {
+		t.Errorf("outside distance = %v", d)
+	}
+	if d := a.DistanceToPoint(V(2, 2, 0.5)); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Errorf("corner distance = %v", d)
+	}
+	b := NewAABB(V(3, 0, 0), V(4, 1, 1))
+	if d := a.Distance(b); d != 2 {
+		t.Errorf("box distance = %v", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// MaxDist must always be >= MinDist.
+	p := V(5, -3, 2)
+	if a.MaxDistance2ToPoint(p) < a.Distance2ToPoint(p) {
+		t.Error("MaxDistance2 < Distance2")
+	}
+}
+
+func TestAABBOctants(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(2, 2, 2))
+	var total float64
+	for i := 0; i < 8; i++ {
+		o := b.Octant(i)
+		if o.Volume() != 1 {
+			t.Errorf("octant %d volume = %v", i, o.Volume())
+		}
+		if !b.Contains(o) {
+			t.Errorf("octant %d not contained in parent", i)
+		}
+		total += o.Volume()
+	}
+	if total != b.Volume() {
+		t.Errorf("octant volumes sum to %v, want %v", total, b.Volume())
+	}
+	// Octants only overlap on faces (zero volume).
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if v := b.Octant(i).OverlapVolume(b.Octant(j)); v != 0 {
+				t.Errorf("octants %d,%d overlap volume %v", i, j, v)
+			}
+		}
+	}
+}
+
+func randBox(r *rand.Rand) AABB {
+	a := V(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+	b := V(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+	return NewAABB(a, b)
+}
+
+// Property: union contains both operands; intersection is contained in both.
+func TestAABBUnionIntersectProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a, b := randBox(r), randBox(r)
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			t.Fatalf("union %v does not contain operands %v, %v", u, a, b)
+		}
+		inter := a.Intersect(b)
+		if !inter.IsEmpty() {
+			if !a.Contains(inter) || !b.Contains(inter) {
+				t.Fatalf("intersection %v not contained in operands", inter)
+			}
+			if !a.Intersects(b) {
+				t.Fatalf("non-empty intersection but Intersects false")
+			}
+		} else if a.Intersects(b) {
+			t.Fatalf("empty intersection but Intersects true: %v %v", a, b)
+		}
+	}
+}
+
+// Property: Intersects is symmetric, and volume of union >= max of volumes.
+func TestAABBIntersectsSymmetry(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz float64) bool {
+		if anyNaN(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz) {
+			return true
+		}
+		a := NewAABB(V(ax, ay, az), V(bx, by, bz))
+		b := NewAABB(V(cx, cy, cz), V(dx, dy, dz))
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		u := a.Union(b)
+		return u.Volume() >= a.Volume() && u.Volume() >= b.Volume() || math.IsInf(u.Volume(), 0) || math.IsNaN(u.Volume())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNaN(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: DistanceToPoint is zero iff the point is inside (within epsilon).
+func TestAABBDistanceZeroIffInside(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		b := randBox(r)
+		p := V(r.Float64()*30-15, r.Float64()*30-15, r.Float64()*30-15)
+		d := b.DistanceToPoint(p)
+		if b.ContainsPoint(p) && d != 0 {
+			t.Fatalf("point inside %v but distance %v", b, d)
+		}
+		if !b.ContainsPoint(p) && d == 0 {
+			t.Fatalf("point outside %v but distance 0: %v", b, p)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package geom
+
+import "math"
+
+// Sphere is a ball with a center and radius.
+type Sphere struct {
+	Center Vec3
+	Radius float64
+}
+
+// Bounds returns the AABB of the sphere.
+func (s Sphere) Bounds() AABB {
+	r := Vec3{s.Radius, s.Radius, s.Radius}
+	return AABB{Min: s.Center.Sub(r), Max: s.Center.Add(r)}
+}
+
+// ContainsPoint reports whether p lies inside or on the sphere.
+func (s Sphere) ContainsPoint(p Vec3) bool {
+	return s.Center.Dist2(p) <= s.Radius*s.Radius
+}
+
+// IntersectsAABB reports whether the sphere and the box share a point.
+func (s Sphere) IntersectsAABB(b AABB) bool {
+	return b.Distance2ToPoint(s.Center) <= s.Radius*s.Radius
+}
+
+// IntersectsSphere reports whether two spheres share a point.
+func (s Sphere) IntersectsSphere(o Sphere) bool {
+	r := s.Radius + o.Radius
+	return s.Center.Dist2(o.Center) <= r*r
+}
+
+// Volume returns the volume of the sphere.
+func (s Sphere) Volume() float64 {
+	return 4.0 / 3.0 * math.Pi * s.Radius * s.Radius * s.Radius
+}
+
+// Segment is a straight line segment between two endpoints.
+type Segment struct {
+	A, B Vec3
+}
+
+// Bounds returns the AABB of the segment.
+func (s Segment) Bounds() AABB { return NewAABB(s.A, s.B) }
+
+// Length returns the length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// PointAt returns the point at parameter t along the segment (t in [0,1]).
+func (s Segment) PointAt(t float64) Vec3 { return s.A.Lerp(s.B, t) }
+
+// ClosestPointTo returns the point on the segment closest to p and its
+// parameter t in [0,1].
+func (s Segment) ClosestPointTo(p Vec3) (Vec3, float64) {
+	d := s.B.Sub(s.A)
+	l2 := d.Len2()
+	if l2 == 0 {
+		return s.A, 0
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = clamp01(t)
+	return s.A.Add(d.Scale(t)), t
+}
+
+// DistanceToPoint returns the minimum distance from p to the segment.
+func (s Segment) DistanceToPoint(p Vec3) float64 {
+	c, _ := s.ClosestPointTo(p)
+	return c.Dist(p)
+}
+
+// DistanceToSegment returns the minimum distance between two segments.
+func (s Segment) DistanceToSegment(o Segment) float64 {
+	p1, p2 := closestPointsSegmentSegment(s.A, s.B, o.A, o.B)
+	return p1.Dist(p2)
+}
+
+// Cylinder is a capsule-like primitive used to model neuron morphology
+// segments: a line segment with a radius. Distances and intersection tests
+// treat it as a capsule (cylinder with hemispherical caps), which is the
+// standard approximation in neuroscience contact detection and errs on the
+// inclusive side.
+type Cylinder struct {
+	Axis   Segment
+	Radius float64
+}
+
+// NewCylinder constructs a cylinder from endpoints a, b and radius r.
+func NewCylinder(a, b Vec3, r float64) Cylinder {
+	return Cylinder{Axis: Segment{A: a, B: b}, Radius: r}
+}
+
+// Bounds returns the AABB of the cylinder.
+func (c Cylinder) Bounds() AABB {
+	return c.Axis.Bounds().Expand(c.Radius)
+}
+
+// Length returns the axis length of the cylinder.
+func (c Cylinder) Length() float64 { return c.Axis.Length() }
+
+// Volume returns the approximate volume (cylinder body plus spherical caps).
+func (c Cylinder) Volume() float64 {
+	body := math.Pi * c.Radius * c.Radius * c.Axis.Length()
+	caps := 4.0 / 3.0 * math.Pi * c.Radius * c.Radius * c.Radius
+	return body + caps
+}
+
+// ContainsPoint reports whether p lies inside the capsule.
+func (c Cylinder) ContainsPoint(p Vec3) bool {
+	return c.Axis.DistanceToPoint(p) <= c.Radius
+}
+
+// DistanceToPoint returns the minimum distance from p to the capsule surface
+// (zero if p is inside).
+func (c Cylinder) DistanceToPoint(p Vec3) float64 {
+	d := c.Axis.DistanceToPoint(p) - c.Radius
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Distance returns the minimum distance between two capsules (zero if they
+// intersect).
+func (c Cylinder) Distance(o Cylinder) float64 {
+	d := c.Axis.DistanceToSegment(o.Axis) - c.Radius - o.Radius
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Intersects reports whether two capsules share a point.
+func (c Cylinder) Intersects(o Cylinder) bool {
+	r := c.Radius + o.Radius
+	return c.Axis.DistanceToSegment(o.Axis) <= r
+}
+
+// WithinDistance reports whether the two capsules come within dist of each
+// other. This is the predicate used for synapse (contact) detection.
+func (c Cylinder) WithinDistance(o Cylinder, dist float64) bool {
+	r := c.Radius + o.Radius + dist
+	return c.Axis.DistanceToSegment(o.Axis) <= r
+}
+
+// IntersectsAABB reports whether the capsule and the box share a point. The
+// test is conservative-exact for capsules: it computes the distance from the
+// box to the axis segment and compares it with the radius.
+func (c Cylinder) IntersectsAABB(b AABB) bool {
+	return segmentAABBDistance2(c.Axis, b) <= c.Radius*c.Radius
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// closestPointsSegmentSegment returns the pair of closest points between
+// segments (p1,q1) and (p2,q2). Standard Ericson "Real-Time Collision
+// Detection" formulation.
+func closestPointsSegmentSegment(p1, q1, p2, q2 Vec3) (Vec3, Vec3) {
+	d1 := q1.Sub(p1)
+	d2 := q2.Sub(p2)
+	r := p1.Sub(p2)
+	a := d1.Len2()
+	e := d2.Len2()
+	f := d2.Dot(r)
+
+	var s, t float64
+	const eps = 1e-15
+
+	switch {
+	case a <= eps && e <= eps:
+		// Both segments degenerate to points.
+		return p1, p2
+	case a <= eps:
+		s = 0
+		t = clamp01(f / e)
+	default:
+		c := d1.Dot(r)
+		if e <= eps {
+			t = 0
+			s = clamp01(-c / a)
+		} else {
+			b := d1.Dot(d2)
+			denom := a*e - b*b
+			if denom > eps {
+				s = clamp01((b*f - c*e) / denom)
+			} else {
+				s = 0
+			}
+			t = (b*s + f) / e
+			if t < 0 {
+				t = 0
+				s = clamp01(-c / a)
+			} else if t > 1 {
+				t = 1
+				s = clamp01((b - c) / a)
+			}
+		}
+	}
+	return p1.Add(d1.Scale(s)), p2.Add(d2.Scale(t))
+}
+
+// segmentAABBDistance2 returns the squared minimum distance between a segment
+// and a box. It subdivides the segment adaptively; the recursion depth is
+// bounded and the result is within a tiny tolerance of exact, which is
+// sufficient for conservative intersection tests.
+func segmentAABBDistance2(s Segment, b AABB) float64 {
+	// Quick accept: either endpoint inside the box.
+	if b.ContainsPoint(s.A) || b.ContainsPoint(s.B) {
+		return 0
+	}
+	// Iterative golden-section-like refinement over the segment parameter of
+	// the distance function t -> dist2(point(t), box), which is convex in t.
+	lo, hi := 0.0, 1.0
+	f := func(t float64) float64 { return b.Distance2ToPoint(s.PointAt(t)) }
+	for i := 0; i < 48; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) <= f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return f((lo + hi) / 2)
+}

@@ -1,0 +1,219 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSphereBasics(t *testing.T) {
+	s := Sphere{Center: V(1, 1, 1), Radius: 2}
+	b := s.Bounds()
+	if b.Min != V(-1, -1, -1) || b.Max != V(3, 3, 3) {
+		t.Errorf("Bounds = %v", b)
+	}
+	if !s.ContainsPoint(V(1, 1, 2.9)) || s.ContainsPoint(V(1, 1, 3.1)) {
+		t.Error("ContainsPoint failed")
+	}
+	if math.Abs(s.Volume()-4.0/3.0*math.Pi*8) > 1e-12 {
+		t.Errorf("Volume = %v", s.Volume())
+	}
+}
+
+func TestSphereIntersections(t *testing.T) {
+	s := Sphere{Center: V(0, 0, 0), Radius: 1}
+	if !s.IntersectsSphere(Sphere{Center: V(1.5, 0, 0), Radius: 1}) {
+		t.Error("overlapping spheres reported disjoint")
+	}
+	if s.IntersectsSphere(Sphere{Center: V(3, 0, 0), Radius: 1}) {
+		t.Error("disjoint spheres reported intersecting")
+	}
+	if !s.IntersectsAABB(NewAABB(V(0.5, -1, -1), V(2, 1, 1))) {
+		t.Error("sphere-box overlap missed")
+	}
+	if s.IntersectsAABB(NewAABB(V(2, 2, 2), V(3, 3, 3))) {
+		t.Error("sphere-box false positive")
+	}
+	// Corner case: box corner just inside the radius.
+	c := V(1, 1, 1).Normalize().Scale(0.99)
+	if !s.IntersectsAABB(NewAABB(c, V(2, 2, 2))) {
+		t.Error("sphere-box corner overlap missed")
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment{A: V(0, 0, 0), B: V(10, 0, 0)}
+	if s.Length() != 10 {
+		t.Errorf("Length = %v", s.Length())
+	}
+	if got := s.PointAt(0.25); got != V(2.5, 0, 0) {
+		t.Errorf("PointAt = %v", got)
+	}
+	c, tp := s.ClosestPointTo(V(5, 3, 0))
+	if c != V(5, 0, 0) || tp != 0.5 {
+		t.Errorf("ClosestPointTo mid = %v (t=%v)", c, tp)
+	}
+	c, tp = s.ClosestPointTo(V(-5, 0, 0))
+	if c != V(0, 0, 0) || tp != 0 {
+		t.Errorf("ClosestPointTo clamp low = %v (t=%v)", c, tp)
+	}
+	c, tp = s.ClosestPointTo(V(20, 1, 0))
+	if c != V(10, 0, 0) || tp != 1 {
+		t.Errorf("ClosestPointTo clamp high = %v (t=%v)", c, tp)
+	}
+	if d := s.DistanceToPoint(V(5, 3, 4)); d != 5 {
+		t.Errorf("DistanceToPoint = %v", d)
+	}
+	// Degenerate segment behaves like a point.
+	p := Segment{A: V(1, 1, 1), B: V(1, 1, 1)}
+	if d := p.DistanceToPoint(V(1, 1, 3)); d != 2 {
+		t.Errorf("degenerate segment distance = %v", d)
+	}
+}
+
+func TestSegmentSegmentDistance(t *testing.T) {
+	a := Segment{A: V(0, 0, 0), B: V(10, 0, 0)}
+	b := Segment{A: V(0, 3, 0), B: V(10, 3, 0)} // parallel
+	if d := a.DistanceToSegment(b); math.Abs(d-3) > 1e-9 {
+		t.Errorf("parallel distance = %v, want 3", d)
+	}
+	c := Segment{A: V(5, -1, 4), B: V(5, 1, 4)} // crossing above
+	if d := a.DistanceToSegment(c); math.Abs(d-4) > 1e-9 {
+		t.Errorf("crossing distance = %v, want 4", d)
+	}
+	// Intersecting segments.
+	d1 := Segment{A: V(-1, -1, 0), B: V(1, 1, 0)}
+	d2 := Segment{A: V(-1, 1, 0), B: V(1, -1, 0)}
+	if d := d1.DistanceToSegment(d2); d > 1e-9 {
+		t.Errorf("intersecting distance = %v, want 0", d)
+	}
+	// Endpoint-to-endpoint.
+	e1 := Segment{A: V(0, 0, 0), B: V(1, 0, 0)}
+	e2 := Segment{A: V(3, 0, 0), B: V(5, 0, 0)}
+	if d := e1.DistanceToSegment(e2); math.Abs(d-2) > 1e-9 {
+		t.Errorf("collinear gap distance = %v, want 2", d)
+	}
+	// Degenerate both.
+	p1 := Segment{A: V(0, 0, 0), B: V(0, 0, 0)}
+	p2 := Segment{A: V(0, 0, 7), B: V(0, 0, 7)}
+	if d := p1.DistanceToSegment(p2); d != 7 {
+		t.Errorf("point-point distance = %v, want 7", d)
+	}
+	// Symmetry.
+	if math.Abs(a.DistanceToSegment(c)-c.DistanceToSegment(a)) > 1e-9 {
+		t.Error("segment distance not symmetric")
+	}
+}
+
+func TestCylinderBasics(t *testing.T) {
+	c := NewCylinder(V(0, 0, 0), V(10, 0, 0), 1)
+	b := c.Bounds()
+	if b.Min != V(-1, -1, -1) || b.Max != V(11, 1, 1) {
+		t.Errorf("Bounds = %v", b)
+	}
+	if c.Length() != 10 {
+		t.Errorf("Length = %v", c.Length())
+	}
+	if !c.ContainsPoint(V(5, 0.5, 0)) || c.ContainsPoint(V(5, 2, 0)) {
+		t.Error("ContainsPoint failed")
+	}
+	if d := c.DistanceToPoint(V(5, 3, 0)); math.Abs(d-2) > 1e-9 {
+		t.Errorf("DistanceToPoint = %v, want 2", d)
+	}
+	if d := c.DistanceToPoint(V(5, 0, 0)); d != 0 {
+		t.Errorf("inside DistanceToPoint = %v, want 0", d)
+	}
+	if c.Volume() <= math.Pi*10 {
+		t.Errorf("Volume = %v should exceed body volume", c.Volume())
+	}
+}
+
+func TestCylinderIntersections(t *testing.T) {
+	a := NewCylinder(V(0, 0, 0), V(10, 0, 0), 1)
+	b := NewCylinder(V(0, 1.5, 0), V(10, 1.5, 0), 1)
+	c := NewCylinder(V(0, 5, 0), V(10, 5, 0), 1)
+	if !a.Intersects(b) {
+		t.Error("overlapping capsules reported disjoint")
+	}
+	if a.Intersects(c) {
+		t.Error("distant capsules reported intersecting")
+	}
+	if !a.WithinDistance(c, 3.1) {
+		t.Error("WithinDistance(3.1) should be true (gap is 3)")
+	}
+	if a.WithinDistance(c, 2.9) {
+		t.Error("WithinDistance(2.9) should be false (gap is 3)")
+	}
+	if d := a.Distance(c); math.Abs(d-3) > 1e-9 {
+		t.Errorf("Distance = %v, want 3", d)
+	}
+	if d := a.Distance(b); d != 0 {
+		t.Errorf("overlapping Distance = %v, want 0", d)
+	}
+}
+
+func TestCylinderAABBIntersection(t *testing.T) {
+	c := NewCylinder(V(0, 0, 0), V(10, 0, 0), 1)
+	if !c.IntersectsAABB(NewAABB(V(4, -0.5, -0.5), V(6, 0.5, 0.5))) {
+		t.Error("box through capsule axis missed")
+	}
+	if !c.IntersectsAABB(NewAABB(V(4, 1.5, -0.5), V(6, 2.5, 0.5))) == false {
+		// box at distance 1.5 from axis, radius 1 -> no intersection expected
+		t.Error("box outside capsule reported intersecting")
+	}
+	if c.IntersectsAABB(NewAABB(V(4, 3, 3), V(6, 4, 4))) {
+		t.Error("distant box reported intersecting")
+	}
+	// Box touching the spherical cap region.
+	if !c.IntersectsAABB(NewAABB(V(10.5, -0.2, -0.2), V(11.5, 0.2, 0.2))) {
+		t.Error("box near cap should intersect")
+	}
+	if c.IntersectsAABB(NewAABB(V(11.5, 0, 0), V(12, 1, 1))) {
+		t.Error("box beyond cap reported intersecting")
+	}
+}
+
+// Property: capsule-capsule intersection is consistent with the bounding boxes
+// (intersecting capsules must have intersecting bounds) and symmetric.
+func TestCylinderIntersectionConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	randCyl := func() Cylinder {
+		a := V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		d := V(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+		return NewCylinder(a, a.Add(d), 0.1+r.Float64())
+	}
+	for i := 0; i < 300; i++ {
+		c1, c2 := randCyl(), randCyl()
+		i12, i21 := c1.Intersects(c2), c2.Intersects(c1)
+		if i12 != i21 {
+			t.Fatalf("intersection not symmetric: %v vs %v", i12, i21)
+		}
+		if i12 && !c1.Bounds().Intersects(c2.Bounds()) {
+			t.Fatalf("capsules intersect but bounds do not: %v %v", c1, c2)
+		}
+		// Distance and intersection agree.
+		if i12 != (c1.Distance(c2) == 0) {
+			t.Fatalf("Distance/Intersects disagree for %v %v", c1, c2)
+		}
+	}
+}
+
+// Property: if a capsule intersects a box, the box expanded by epsilon also
+// intersects, and the capsule's bounds intersect the box.
+func TestCylinderAABBConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		a := V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		d := V(r.Float64()*6-3, r.Float64()*6-3, r.Float64()*6-3)
+		c := NewCylinder(a, a.Add(d), 0.05+r.Float64()*0.5)
+		b := randBox(r).Translate(V(5, 5, 5))
+		if c.IntersectsAABB(b) {
+			if !c.Bounds().Intersects(b) {
+				t.Fatalf("capsule intersects box but bounds do not")
+			}
+			if !c.IntersectsAABB(b.Expand(0.01)) {
+				t.Fatalf("capsule intersects box but not the expanded box")
+			}
+		}
+	}
+}

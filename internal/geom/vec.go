@@ -1,0 +1,127 @@
+// Package geom provides the 3-D geometry substrate used by every index and
+// simulator in spatialsim: vectors, axis-aligned boxes, spheres, cylinders and
+// the intersection/containment/distance predicates between them.
+//
+// All coordinates are float64 and all shapes live in a right-handed Cartesian
+// space. The package is allocation-free on the hot paths (predicates and
+// vector arithmetic) so that indexes can call it millions of times per
+// simulation step without pressuring the garbage collector.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3-D space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product of v and o.
+func (v Vec3) Mul(o Vec3) Vec3 { return Vec3{v.X * o.X, v.Y * o.Y, v.Z * o.Z} }
+
+// Dot returns the dot product of v and o.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Cross returns the cross product of v and o.
+func (v Vec3) Cross(o Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*o.Z - v.Z*o.Y,
+		Y: v.Z*o.X - v.X*o.Z,
+		Z: v.X*o.Y - v.Y*o.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Len2 returns the squared Euclidean length of v.
+func (v Vec3) Len2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec3) Dist(o Vec3) float64 { return v.Sub(o).Len() }
+
+// Dist2 returns the squared Euclidean distance between v and o.
+func (v Vec3) Dist2(o Vec3) float64 { return v.Sub(o).Len2() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Min returns the component-wise minimum of v and o.
+func (v Vec3) Min(o Vec3) Vec3 {
+	return Vec3{math.Min(v.X, o.X), math.Min(v.Y, o.Y), math.Min(v.Z, o.Z)}
+}
+
+// Max returns the component-wise maximum of v and o.
+func (v Vec3) Max(o Vec3) Vec3 {
+	return Vec3{math.Max(v.X, o.X), math.Max(v.Y, o.Y), math.Max(v.Z, o.Z)}
+}
+
+// Axis returns the i-th component of v (0 = X, 1 = Y, 2 = Z).
+func (v Vec3) Axis(i int) float64 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// SetAxis returns a copy of v with the i-th component replaced by val.
+func (v Vec3) SetAxis(i int, val float64) Vec3 {
+	switch i {
+	case 0:
+		v.X = val
+	case 1:
+		v.Y = val
+	default:
+		v.Z = val
+	}
+	return v
+}
+
+// Lerp returns the linear interpolation between v and o at parameter t
+// (t=0 yields v, t=1 yields o).
+func (v Vec3) Lerp(o Vec3, t float64) Vec3 {
+	return v.Add(o.Sub(v).Scale(t))
+}
+
+// ApproxEqual reports whether v and o differ by at most eps in every
+// component.
+func (v Vec3) ApproxEqual(o Vec3, eps float64) bool {
+	return math.Abs(v.X-o.X) <= eps && math.Abs(v.Y-o.Y) <= eps && math.Abs(v.Z-o.Z) <= eps
+}
+
+// IsFinite reports whether all components are finite (no NaN or Inf).
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%g, %g, %g)", v.X, v.Y, v.Z)
+}

@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasicArithmetic(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Mul(b); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecCross(t *testing.T) {
+	x := V(1, 0, 0)
+	y := V(0, 1, 0)
+	z := V(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want %v", got, z)
+	}
+	if got := y.Cross(x); got != z.Scale(-1) {
+		t.Errorf("y cross x = %v, want %v", got, z.Scale(-1))
+	}
+	// Cross product is orthogonal to both operands.
+	a := V(1.5, -2.25, 3.75)
+	b := V(-0.5, 4, 2)
+	c := a.Cross(b)
+	if math.Abs(c.Dot(a)) > 1e-12 || math.Abs(c.Dot(b)) > 1e-12 {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+}
+
+func TestVecLenDist(t *testing.T) {
+	v := V(3, 4, 0)
+	if v.Len() != 5 {
+		t.Errorf("Len = %v, want 5", v.Len())
+	}
+	if v.Len2() != 25 {
+		t.Errorf("Len2 = %v, want 25", v.Len2())
+	}
+	if d := V(1, 1, 1).Dist(V(1, 1, 2)); d != 1 {
+		t.Errorf("Dist = %v, want 1", d)
+	}
+}
+
+func TestVecNormalize(t *testing.T) {
+	v := V(10, 0, 0).Normalize()
+	if v != V(1, 0, 0) {
+		t.Errorf("Normalize = %v", v)
+	}
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize(zero) = %v, want zero", got)
+	}
+	n := V(1, 2, 3).Normalize()
+	if math.Abs(n.Len()-1) > 1e-12 {
+		t.Errorf("normalized length = %v", n.Len())
+	}
+}
+
+func TestVecMinMaxAxis(t *testing.T) {
+	a := V(1, 5, -2)
+	b := V(3, -1, 0)
+	if got := a.Min(b); got != V(1, -1, -2) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != V(3, 5, 0) {
+		t.Errorf("Max = %v", got)
+	}
+	for i, want := range []float64{1, 5, -2} {
+		if got := a.Axis(i); got != want {
+			t.Errorf("Axis(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := a.SetAxis(1, 9); got != V(1, 9, -2) {
+		t.Errorf("SetAxis = %v", got)
+	}
+	if got := a.SetAxis(0, 7); got != V(7, 5, -2) {
+		t.Errorf("SetAxis(0) = %v", got)
+	}
+	if got := a.SetAxis(2, 7); got != V(1, 5, 7) {
+		t.Errorf("SetAxis(2) = %v", got)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, 20, -10)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(5, 10, -5) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vec3{X: math.NaN()}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vec3{Z: math.Inf(-1)}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestVecApproxEqual(t *testing.T) {
+	a := V(1, 2, 3)
+	if !a.ApproxEqual(V(1+1e-12, 2, 3-1e-12), 1e-9) {
+		t.Error("ApproxEqual false for near-equal vectors")
+	}
+	if a.ApproxEqual(V(1.1, 2, 3), 1e-3) {
+		t.Error("ApproxEqual true for distant vectors")
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := V(1, 2.5, -3).String(); got != "(1, 2.5, -3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: dot product is commutative and distributes over addition.
+func TestVecDotProperties(t *testing.T) {
+	clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		if anyNaN(ax, ay, az, bx, by, bz, cx, cy, cz) {
+			return true
+		}
+		a := V(clamp(ax), clamp(ay), clamp(az))
+		b := V(clamp(bx), clamp(by), clamp(bz))
+		c := V(clamp(cx), clamp(cy), clamp(cz))
+		if a.Dot(b) != b.Dot(a) {
+			return false
+		}
+		lhs := a.Dot(b.Add(c))
+		rhs := a.Dot(b) + a.Dot(c)
+		scale := math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs)))
+		return math.Abs(lhs-rhs) <= 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for distances.
+func TestVecTriangleInequality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a, b, c := V(ax, ay, az), V(bx, by, bz), V(cx, cy, cz)
+		if !a.IsFinite() || !b.IsFinite() || !c.IsFinite() {
+			return true
+		}
+		ab, bc, ac := a.Dist(b), b.Dist(c), a.Dist(c)
+		if math.IsInf(ab, 0) || math.IsInf(bc, 0) || math.IsInf(ac, 0) {
+			return true
+		}
+		return ac <= ab+bc+1e-9*(1+ab+bc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

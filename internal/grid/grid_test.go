@@ -1,0 +1,452 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func universe() geom.AABB { return geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)) }
+
+func randomItems(n int, seed int64) []index.Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		half := geom.V(r.Float64()*0.8, r.Float64()*0.8, r.Float64()*0.8)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	return items
+}
+
+func bruteRange(items []index.Item, q geom.AABB) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, it := range items {
+		if q.Intersects(it.Box) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func checkQuery(t *testing.T, ix index.Index, items []index.Item, q geom.AABB, context string) {
+	t.Helper()
+	got := index.SearchIDs(ix, q)
+	want := bruteRange(items, q)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", context, len(got), len(want))
+	}
+	seen := make(map[int64]bool)
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("%s: unexpected id %d", context, id)
+		}
+		if seen[id] {
+			t.Fatalf("%s: duplicate id %d in results", context, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGridInsertSearchMatchesBruteForce(t *testing.T) {
+	items := randomItems(3000, 1)
+	g := New(Config{Universe: universe(), CellsPerDim: 20})
+	for _, it := range items {
+		g.Insert(it.ID, it.Box)
+	}
+	if g.Len() != len(items) {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	r := rand.New(rand.NewSource(2))
+	for q := 0; q < 50; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		half := geom.V(1+r.Float64()*8, 1+r.Float64()*8, 1+r.Float64()*8)
+		checkQuery(t, g, items, geom.AABBFromCenter(c, half), "grid range")
+	}
+	// Whole-universe query returns everything exactly once (dedup check).
+	checkQuery(t, g, items, universe().Expand(1), "grid full scan")
+}
+
+func TestGridDeleteUpdate(t *testing.T) {
+	items := randomItems(1000, 3)
+	g := New(Config{Universe: universe(), CellsPerDim: 16})
+	for _, it := range items {
+		g.Insert(it.ID, it.Box)
+	}
+	// Delete a third.
+	for i := 0; i < len(items); i += 3 {
+		if !g.Delete(items[i].ID, items[i].Box) {
+			t.Fatalf("Delete(%d) failed", items[i].ID)
+		}
+	}
+	if g.Delete(999999, geom.AABB{}) {
+		t.Fatal("Delete of missing id succeeded")
+	}
+	live := make([]index.Item, 0, len(items))
+	for i, it := range items {
+		if i%3 != 0 {
+			live = append(live, it)
+		}
+	}
+	if g.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(live))
+	}
+	checkQuery(t, g, live, universe().Expand(1), "after delete")
+
+	// Update: move everything slightly (same-cell fast path) and verify.
+	r := rand.New(rand.NewSource(4))
+	for i := range live {
+		delta := geom.V(r.Float64()*0.01, r.Float64()*0.01, r.Float64()*0.01)
+		newBox := live[i].Box.Translate(delta)
+		g.Update(live[i].ID, live[i].Box, newBox)
+		live[i].Box = newBox
+	}
+	checkQuery(t, g, live, universe().Expand(1), "after small updates")
+
+	// Large moves (cell changes).
+	for i := 0; i < 50; i++ {
+		newBox := geom.AABBFromCenter(geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100), geom.V(0.5, 0.5, 0.5))
+		g.Update(live[i].ID, live[i].Box, newBox)
+		live[i].Box = newBox
+	}
+	checkQuery(t, g, live, universe().Expand(1), "after large updates")
+	for q := 0; q < 20; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		checkQuery(t, g, live, geom.AABBFromCenter(c, geom.V(5, 5, 5)), "after updates (range)")
+	}
+	// Upsert via Update of unknown id.
+	g.Update(777777, geom.AABB{}, geom.AABBFromCenter(geom.V(1, 1, 1), geom.V(0.1, 0.1, 0.1)))
+	if g.Len() != len(live)+1 {
+		t.Fatal("upsert did not insert")
+	}
+}
+
+func TestGridMovementAwareUpdatesCountCellMoves(t *testing.T) {
+	// Tiny displacements relative to cell size must not cause cell moves.
+	g := New(Config{Universe: universe(), CellsPerDim: 10}) // 10-unit cells
+	items := randomItems(500, 5)
+	for _, it := range items {
+		g.Insert(it.ID, it.Box)
+	}
+	g.Counters().Reset()
+	for _, it := range items {
+		newBox := it.Box.Translate(geom.V(1e-4, 1e-4, 1e-4))
+		g.Update(it.ID, it.Box, newBox)
+	}
+	moves := g.Counters().CellMoves()
+	// Only elements straddling a cell boundary can move; with a 1e-4 shift
+	// virtually none should.
+	if moves > int64(len(items)/20) {
+		t.Fatalf("tiny displacements caused %d cell moves", moves)
+	}
+	// Large displacements cause cell moves for most elements.
+	g.Counters().Reset()
+	for _, it := range items {
+		newBox := it.Box.Translate(geom.V(25, 25, 25))
+		g.Update(it.ID, it.Box.Translate(geom.V(1e-4, 1e-4, 1e-4)), newBox)
+	}
+	if g.Counters().CellMoves() < int64(len(items)/2) {
+		t.Fatalf("large displacements caused only %d cell moves", g.Counters().CellMoves())
+	}
+}
+
+func TestGridKNNMatchesBruteForce(t *testing.T) {
+	items := randomItems(2000, 6)
+	g := New(Config{Universe: universe(), CellsPerDim: 16})
+	g.BulkLoad(items)
+	r := rand.New(rand.NewSource(7))
+	for q := 0; q < 25; q++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		k := 1 + r.Intn(15)
+		got := g.KNN(p, k)
+		if len(got) != k {
+			t.Fatalf("KNN returned %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Box.Distance2ToPoint(p)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			d := it.Box.Distance2ToPoint(p)
+			if d > dists[k-1]+1e-9 {
+				t.Fatalf("KNN result %d at distance %v beyond k-th %v", i, d, dists[k-1])
+			}
+			if i > 0 && got[i-1].Box.Distance2ToPoint(p) > d+1e-12 {
+				t.Fatal("KNN results not sorted")
+			}
+		}
+	}
+	if g.KNN(geom.V(0, 0, 0), 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := g.KNN(geom.V(50, 50, 50), len(items)+5); len(got) != len(items) {
+		t.Errorf("k>n returned %d", len(got))
+	}
+	empty := New(Config{Universe: universe()})
+	if empty.KNN(geom.V(0, 0, 0), 3) != nil {
+		t.Error("empty grid KNN should return nil")
+	}
+}
+
+func TestGridBulkLoadAndOccupancy(t *testing.T) {
+	items := randomItems(4000, 8)
+	g := New(Config{Universe: universe(), CellsPerDim: 16})
+	g.BulkLoad(items)
+	if g.Len() != len(items) {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	avg, nonEmpty := g.AverageOccupancy()
+	if nonEmpty == 0 || avg <= 0 {
+		t.Fatal("occupancy not computed")
+	}
+	if rf := g.ReplicationFactor(); rf < 1 {
+		t.Fatalf("replication factor %v < 1", rf)
+	}
+	// Reload replaces contents.
+	g.BulkLoad(items[:100])
+	if g.Len() != 100 {
+		t.Fatalf("Len after reload = %d", g.Len())
+	}
+	checkQuery(t, g, items[:100], universe().Expand(1), "after reload")
+	// Empty grid metrics.
+	g.BulkLoad(nil)
+	if avg, ne := g.AverageOccupancy(); avg != 0 || ne != 0 {
+		t.Fatal("empty grid occupancy should be zero")
+	}
+	if g.ReplicationFactor() != 0 {
+		t.Fatal("empty grid replication should be zero")
+	}
+}
+
+func TestGridHandlesOutOfUniverseBoxes(t *testing.T) {
+	g := New(Config{Universe: universe(), CellsPerDim: 8})
+	// Box partially outside the universe is clamped into boundary cells.
+	box := geom.NewAABB(geom.V(-10, 50, 50), geom.V(5, 55, 55))
+	g.Insert(1, box)
+	got := index.SearchIDs(g, geom.NewAABB(geom.V(0, 49, 49), geom.V(1, 56, 56)))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("clamped element not found: %v", got)
+	}
+	// Completely outside.
+	g.Insert(2, geom.NewAABB(geom.V(200, 200, 200), geom.V(201, 201, 201)))
+	if g.Len() != 2 {
+		t.Fatal("outside element not stored")
+	}
+	// It lives in the last boundary cell; a query near that corner finds it.
+	got = index.SearchIDs(g, geom.NewAABB(geom.V(99, 99, 99), geom.V(300, 300, 300)))
+	found := false
+	for _, id := range got {
+		if id == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("out-of-universe element unreachable")
+	}
+}
+
+func TestGridSearchEarlyTermination(t *testing.T) {
+	items := randomItems(500, 9)
+	g := New(Config{Universe: universe(), CellsPerDim: 8})
+	g.BulkLoad(items)
+	count := 0
+	g.Search(universe().Expand(1), func(index.Item) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early termination visited %d", count)
+	}
+}
+
+func TestGridCountersReflectSpaceOrientedPartitioning(t *testing.T) {
+	// The grid must test far fewer elements per query than a full scan on
+	// clustered data — the Figure 4 argument.
+	d := datagen.GenerateClustered(datagen.ClusteredConfig{N: 5000, Clusters: 8, Universe: universe(), Seed: 10})
+	items := make([]index.Item, d.Len())
+	for i := range d.Elements {
+		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+	}
+	g := New(Config{Universe: universe(), CellsPerDim: 25})
+	g.BulkLoad(items)
+	g.Counters().Reset()
+	queries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{N: 100, Selectivity: 1e-4, Universe: universe(), Seed: 11})
+	for _, q := range queries {
+		index.SearchIDs(g, q)
+	}
+	c := g.Counters().Snapshot()
+	if c.ElemIntersectTests == 0 {
+		t.Fatal("no element tests recorded")
+	}
+	if c.ElemIntersectTests >= int64(len(items)*len(queries))/10 {
+		t.Fatalf("grid tested %d elements — not selective", c.ElemIntersectTests)
+	}
+}
+
+func TestResolutionModel(t *testing.T) {
+	m := ResolutionModel{}
+	u := universe()
+	// More elements -> finer grid.
+	r1 := m.SuggestResolution(u, 1000, 0.5)
+	r2 := m.SuggestResolution(u, 100000, 0.5)
+	if r2 <= r1 {
+		t.Fatalf("resolution should grow with density: %d vs %d", r1, r2)
+	}
+	// Large elements cap the resolution.
+	rBig := m.SuggestResolution(u, 100000, 20)
+	if rBig > 10 {
+		t.Fatalf("large elements should cap resolution, got %d", rBig)
+	}
+	// Expected query size caps the resolution.
+	mq := ResolutionModel{ExpectedQueryEdge: 50}
+	if rq := mq.SuggestResolution(u, 1000000, 0.01); rq > 8 {
+		t.Fatalf("query-size cap not applied: %d", rq)
+	}
+	// Degenerate inputs.
+	if m.SuggestResolution(u, 0, 1) != 1 {
+		t.Error("zero elements should give resolution 1")
+	}
+	if m.SuggestResolution(geom.EmptyAABB(), 100, 1) != 1 {
+		t.Error("empty universe should give resolution 1")
+	}
+	// Cap at 512.
+	if r := m.SuggestResolution(u, 1<<40, 1e-9); r != 512 {
+		t.Errorf("resolution cap = %d", r)
+	}
+	// Dataset helper.
+	boxes := make([]geom.AABB, 500)
+	for i := range boxes {
+		boxes[i] = geom.AABBFromCenter(geom.V(float64(i%10)*10, 5, 5), geom.V(0.5, 0.5, 0.5))
+	}
+	if r := m.SuggestResolutionForDataset(u, boxes); r < 2 {
+		t.Errorf("dataset resolution = %d", r)
+	}
+	if m.SuggestResolutionForDataset(u, nil) != 1 {
+		t.Error("empty dataset should give resolution 1")
+	}
+}
+
+func TestMultiGridMatchesBruteForce(t *testing.T) {
+	// Mix small and large elements so several levels are used.
+	r := rand.New(rand.NewSource(12))
+	items := make([]index.Item, 2000)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		var half geom.Vec3
+		if i%10 == 0 {
+			half = geom.V(3+r.Float64()*5, 3+r.Float64()*5, 3+r.Float64()*5) // large
+		} else {
+			half = geom.V(r.Float64()*0.4, r.Float64()*0.4, r.Float64()*0.4) // small
+		}
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	m := NewMulti(MultiConfig{Universe: universe(), CoarsestCells: 4, Levels: 5})
+	if m.Name() != "multigrid" || m.Levels() != 5 {
+		t.Fatal("multigrid metadata wrong")
+	}
+	for _, it := range items {
+		m.Insert(it.ID, it.Box)
+	}
+	if m.Len() != len(items) {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for q := 0; q < 40; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		checkQuery(t, m, items, geom.AABBFromCenter(c, geom.V(4, 4, 4)), "multigrid range")
+	}
+	checkQuery(t, m, items, universe().Expand(1), "multigrid full")
+
+	// KNN: first result must be the true nearest.
+	for q := 0; q < 10; q++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		got := m.KNN(p, 5)
+		if len(got) != 5 {
+			t.Fatalf("multigrid KNN returned %d", len(got))
+		}
+		best := got[0].Box.Distance2ToPoint(p)
+		for _, it := range items {
+			if it.Box.Distance2ToPoint(p) < best-1e-9 {
+				t.Fatal("multigrid KNN missed nearest")
+			}
+		}
+	}
+	if m.KNN(geom.V(0, 0, 0), 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+
+	// Delete and update.
+	for i := 0; i < 200; i++ {
+		if !m.Delete(items[i].ID, items[i].Box) {
+			t.Fatalf("Delete(%d) failed", items[i].ID)
+		}
+	}
+	if m.Delete(99999999, geom.AABB{}) {
+		t.Fatal("Delete missing succeeded")
+	}
+	live := items[200:]
+	liveCopy := append([]index.Item(nil), live...)
+	for i := range liveCopy {
+		newBox := liveCopy[i].Box.Translate(geom.V(0.5, 0.5, 0.5))
+		m.Update(liveCopy[i].ID, liveCopy[i].Box, newBox)
+		liveCopy[i].Box = newBox
+	}
+	checkQuery(t, m, liveCopy, universe().Expand(2), "multigrid after update")
+	// Update that changes the element size enough to switch level.
+	big := geom.AABBFromCenter(geom.V(50, 50, 50), geom.V(9, 9, 9))
+	m.Update(liveCopy[0].ID, liveCopy[0].Box, big)
+	liveCopy[0].Box = big
+	checkQuery(t, m, liveCopy, universe().Expand(2), "multigrid after level change")
+	if m.AggregateCounters().ElemIntersectTests == 0 {
+		t.Error("aggregate counters empty")
+	}
+	// Upsert.
+	m.Update(555555, geom.AABB{}, geom.AABBFromCenter(geom.V(1, 1, 1), geom.V(0.1, 0.1, 0.1)))
+	if m.Len() != len(liveCopy)+1 {
+		t.Fatal("multigrid upsert failed")
+	}
+	// BulkLoad replaces.
+	m.BulkLoad(items[:50])
+	if m.Len() != 50 {
+		t.Fatalf("Len after BulkLoad = %d", m.Len())
+	}
+	checkQuery(t, m, items[:50], universe().Expand(1), "multigrid after bulk load")
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestMultiGridEarlyTermination(t *testing.T) {
+	m := NewMulti(MultiConfig{Universe: universe()})
+	items := randomItems(300, 13)
+	m.BulkLoad(items)
+	count := 0
+	m.Search(universe().Expand(1), func(index.Item) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Fatalf("early termination visited %d", count)
+	}
+}
+
+func TestGridDefaults(t *testing.T) {
+	g := New(Config{})
+	if g.CellsPerDim() != 32 {
+		t.Errorf("default cells = %d", g.CellsPerDim())
+	}
+	if !g.Universe().IsValid() {
+		t.Error("default universe invalid")
+	}
+	if g.String() == "" || g.Name() != "grid" {
+		t.Error("metadata wrong")
+	}
+	m := NewMulti(MultiConfig{})
+	if m.Levels() != 4 {
+		t.Errorf("default levels = %d", m.Levels())
+	}
+}

@@ -1,0 +1,147 @@
+package grid
+
+import (
+	"container/heap"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+// KNN implements index.Index with an expanding-shell search: cells are
+// examined in rings of increasing Chebyshev radius around the query point's
+// cell; the search stops when the closest possible element in the next ring
+// cannot beat the current k-th best. This is the kNN strategy the paper
+// identifies as the weak spot of coarse grids — with a suitable resolution it
+// examines only a handful of cells.
+func (g *Grid) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || g.size == 0 {
+		return nil
+	}
+	center := g.coord(p)
+	best := &maxHeap{}
+	heap.Init(best)
+	seen := make(map[int64]struct{})
+
+	maxRadius := maxI(g.n[0], maxI(g.n[1], g.n[2]))
+	for radius := 0; radius <= maxRadius; radius++ {
+		// Prune: the closest any element in this shell can be is the distance
+		// from p to the shell's inner boundary.
+		if best.Len() == k && radius > 0 {
+			shellDist := g.shellMinDistance2(p, center, radius)
+			if shellDist > (*best)[0].d2 {
+				break
+			}
+		}
+		g.visitShell(center, radius, func(c [3]int) {
+			g.counters.AddTreeIntersectTests(1)
+			items := g.cells[g.cellIndex(c)]
+			g.counters.AddElementsTouched(int64(len(items)))
+			for i := range items {
+				it := items[i]
+				if _, dup := seen[it.id]; dup {
+					continue
+				}
+				seen[it.id] = struct{}{}
+				g.counters.AddElemIntersectTests(1)
+				d2 := it.box.Distance2ToPoint(p)
+				if best.Len() < k {
+					heap.Push(best, knnCand{item: index.Item{ID: it.id, Box: it.box}, d2: d2})
+				} else if d2 < (*best)[0].d2 {
+					(*best)[0] = knnCand{item: index.Item{ID: it.id, Box: it.box}, d2: d2}
+					heap.Fix(best, 0)
+				}
+			}
+		})
+	}
+	// Extract in ascending distance order.
+	out := make([]index.Item, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(knnCand).item
+	}
+	return out
+}
+
+// shellMinDistance2 returns the squared distance from p to the nearest point
+// of the shell of cells at Chebyshev radius r around the center cell.
+func (g *Grid) shellMinDistance2(p geom.Vec3, center [3]int, radius int) float64 {
+	// The shell's inner boundary is the box of cells within radius-1 of the
+	// center; any element outside that box is at least this far away.
+	inner := cellRange{
+		lo: [3]int{
+			clampI(center[0]-(radius-1), 0, g.n[0]-1),
+			clampI(center[1]-(radius-1), 0, g.n[1]-1),
+			clampI(center[2]-(radius-1), 0, g.n[2]-1),
+		},
+		hi: [3]int{
+			clampI(center[0]+(radius-1), 0, g.n[0]-1),
+			clampI(center[1]+(radius-1), 0, g.n[1]-1),
+			clampI(center[2]+(radius-1), 0, g.n[2]-1),
+		},
+	}
+	innerBox := g.cellBox(inner.lo).Union(g.cellBox(inner.hi))
+	// Distance from p to the complement of innerBox: if p is inside, it is
+	// the distance to the nearest face; measured from inside the box.
+	d := innerBox.Max.Sub(p).Min(p.Sub(innerBox.Min))
+	m := d.X
+	if d.Y < m {
+		m = d.Y
+	}
+	if d.Z < m {
+		m = d.Z
+	}
+	if m < 0 {
+		return 0
+	}
+	return m * m
+}
+
+// visitShell calls fn for every in-bounds cell whose Chebyshev distance to
+// center equals radius.
+func (g *Grid) visitShell(center [3]int, radius int, fn func(c [3]int)) {
+	if radius == 0 {
+		fn(center)
+		return
+	}
+	lo := [3]int{center[0] - radius, center[1] - radius, center[2] - radius}
+	hi := [3]int{center[0] + radius, center[1] + radius, center[2] + radius}
+	for z := lo[2]; z <= hi[2]; z++ {
+		if z < 0 || z >= g.n[2] {
+			continue
+		}
+		for y := lo[1]; y <= hi[1]; y++ {
+			if y < 0 || y >= g.n[1] {
+				continue
+			}
+			for x := lo[0]; x <= hi[0]; x++ {
+				if x < 0 || x >= g.n[0] {
+					continue
+				}
+				// Only the shell surface, not the interior.
+				if x != lo[0] && x != hi[0] && y != lo[1] && y != hi[1] && z != lo[2] && z != hi[2] {
+					continue
+				}
+				fn([3]int{x, y, z})
+			}
+		}
+	}
+}
+
+type knnCand struct {
+	item index.Item
+	d2   float64
+}
+
+// maxHeap keeps the k current-best candidates with the worst on top.
+type maxHeap []knnCand
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(knnCand)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

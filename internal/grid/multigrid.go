@@ -1,0 +1,196 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+)
+
+// MultiGrid realizes the paper's suggestion to "use several uniform grids
+// each with a different resolution": each element is stored in the finest
+// grid whose cells are still at least as large as the element, which bounds
+// replication to at most 8 cells per element, while small elements still
+// benefit from fine cells. Queries consult every level.
+type MultiGrid struct {
+	universe geom.AABB
+	levels   []*Grid // levels[0] is the coarsest
+	level    map[int64]int
+	counters instrument.Counters
+}
+
+// MultiConfig configures a MultiGrid.
+type MultiConfig struct {
+	Universe geom.AABB
+	// CoarsestCells is the per-dimension resolution of level 0 (default 8).
+	CoarsestCells int
+	// Levels is the number of levels; each level doubles the resolution of
+	// the previous one (default 4).
+	Levels int
+}
+
+// NewMulti returns an empty multi-resolution grid.
+func NewMulti(cfg MultiConfig) *MultiGrid {
+	if cfg.CoarsestCells <= 0 {
+		cfg.CoarsestCells = 8
+	}
+	if cfg.Levels <= 0 {
+		cfg.Levels = 4
+	}
+	if !cfg.Universe.IsValid() {
+		cfg.Universe = geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	}
+	m := &MultiGrid{
+		universe: cfg.Universe,
+		level:    make(map[int64]int),
+	}
+	cells := cfg.CoarsestCells
+	for i := 0; i < cfg.Levels; i++ {
+		m.levels = append(m.levels, New(Config{Universe: cfg.Universe, CellsPerDim: cells}))
+		cells *= 2
+	}
+	return m
+}
+
+// Name implements index.Index.
+func (m *MultiGrid) Name() string { return "multigrid" }
+
+// Len implements index.Index.
+func (m *MultiGrid) Len() int { return len(m.level) }
+
+// Counters implements index.Index. The multigrid's own counters aggregate
+// update-level activity; traversal work is charged to the per-level grids and
+// summed here on demand.
+func (m *MultiGrid) Counters() *instrument.Counters { return &m.counters }
+
+// Levels returns the number of resolution levels.
+func (m *MultiGrid) Levels() int { return len(m.levels) }
+
+// chooseLevel returns the finest level whose cell edge is at least the box's
+// largest edge.
+func (m *MultiGrid) chooseLevel(box geom.AABB) int {
+	s := box.Size()
+	edge := math.Max(s.X, math.Max(s.Y, s.Z))
+	best := 0
+	for i, g := range m.levels {
+		cs := g.CellSize()
+		minCell := math.Min(cs.X, math.Min(cs.Y, cs.Z))
+		if minCell >= edge {
+			best = i
+		}
+	}
+	return best
+}
+
+// Insert implements index.Index.
+func (m *MultiGrid) Insert(id int64, box geom.AABB) {
+	m.counters.AddUpdates(1)
+	lvl := m.chooseLevel(box)
+	m.level[id] = lvl
+	m.levels[lvl].Insert(id, box)
+}
+
+// Delete implements index.Index.
+func (m *MultiGrid) Delete(id int64, box geom.AABB) bool {
+	lvl, ok := m.level[id]
+	if !ok {
+		return false
+	}
+	m.counters.AddUpdates(1)
+	delete(m.level, id)
+	return m.levels[lvl].Delete(id, box)
+}
+
+// Update implements index.Index. Elements stay at their level unless their
+// size changed enough to warrant a different one, so plasticity-style motion
+// updates remain cheap.
+func (m *MultiGrid) Update(id int64, oldBox, newBox geom.AABB) {
+	m.counters.AddUpdates(1)
+	lvl, ok := m.level[id]
+	if !ok {
+		m.Insert(id, newBox)
+		return
+	}
+	newLvl := m.chooseLevel(newBox)
+	if newLvl == lvl {
+		m.levels[lvl].Update(id, oldBox, newBox)
+		return
+	}
+	m.counters.AddCellMoves(1)
+	m.levels[lvl].Delete(id, oldBox)
+	m.levels[newLvl].Insert(id, newBox)
+	m.level[id] = newLvl
+}
+
+// BulkLoad implements index.BulkLoader.
+func (m *MultiGrid) BulkLoad(items []index.Item) {
+	for _, g := range m.levels {
+		g.BulkLoad(nil)
+	}
+	m.level = make(map[int64]int, len(items))
+	for _, it := range items {
+		m.Insert(it.ID, it.Box)
+	}
+}
+
+// Search implements index.Index by querying every level.
+func (m *MultiGrid) Search(query geom.AABB, fn func(index.Item) bool) {
+	for _, g := range m.levels {
+		stopped := false
+		g.Search(query, func(it index.Item) bool {
+			if !fn(it) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// KNN implements index.Index by merging per-level candidates.
+func (m *MultiGrid) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || m.Len() == 0 {
+		return nil
+	}
+	var cands []index.Item
+	for _, g := range m.levels {
+		cands = append(cands, g.KNN(p, k)...)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].Box.Distance2ToPoint(p) < cands[j].Box.Distance2ToPoint(p)
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// AggregateCounters returns the sum of the per-level traversal counters plus
+// the multigrid's own update counters.
+func (m *MultiGrid) AggregateCounters() instrument.CounterSnapshot {
+	total := m.counters.Snapshot()
+	for _, g := range m.levels {
+		s := g.Counters().Snapshot()
+		total.NodeVisits += s.NodeVisits
+		total.TreeIntersectTests += s.TreeIntersectTests
+		total.ElemIntersectTests += s.ElemIntersectTests
+		total.ElementsTouched += s.ElementsTouched
+		total.Results += s.Results
+		total.CellMoves += s.CellMoves
+	}
+	return total
+}
+
+// String describes the multigrid.
+func (m *MultiGrid) String() string {
+	return fmt.Sprintf("multigrid{levels=%d items=%d}", len(m.levels), m.Len())
+}
+
+var _ index.Index = (*MultiGrid)(nil)
+var _ index.BulkLoader = (*MultiGrid)(nil)

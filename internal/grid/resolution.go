@@ -1,0 +1,84 @@
+package grid
+
+import (
+	"math"
+
+	"spatialsim/internal/geom"
+)
+
+// ResolutionModel is the analytical model the paper calls for ("an analytical
+// model needs to be developed to determine [the resolution] for a given
+// dataset"). It balances three forces:
+//
+//   - cells should contain a bounded number of elements (TargetPerCell), so
+//     that queries test few candidates;
+//   - cells should not be much smaller than the elements themselves, or
+//     replication explodes (the paper's excessive-replication warning);
+//   - the expected query size, when known, bounds the useful resolution: cells
+//     much smaller than a query only add traversal overhead.
+type ResolutionModel struct {
+	// TargetPerCell is the desired average number of elements per occupied
+	// cell (default 8).
+	TargetPerCell float64
+	// MaxReplication caps the allowed ratio between the average element edge
+	// and the cell edge (default 1.0: cells at least as large as elements).
+	MaxReplication float64
+	// ExpectedQueryEdge is the edge length of a typical range query (0 if
+	// unknown).
+	ExpectedQueryEdge float64
+}
+
+// SuggestResolution returns the recommended number of cells per dimension for
+// n elements of average edge length avgElemEdge in the given universe.
+func (m ResolutionModel) SuggestResolution(universe geom.AABB, n int, avgElemEdge float64) int {
+	if n <= 0 || !universe.IsValid() {
+		return 1
+	}
+	if m.TargetPerCell <= 0 {
+		m.TargetPerCell = 8
+	}
+	if m.MaxReplication <= 0 {
+		m.MaxReplication = 1
+	}
+	edge := math.Cbrt(universe.Volume())
+	if edge <= 0 {
+		return 1
+	}
+	// Density bound: enough cells for TargetPerCell elements per cell.
+	cellsDensity := math.Cbrt(float64(n) / m.TargetPerCell)
+	// Element-size bound: cell edge >= avgElemEdge / MaxReplication.
+	cellsElement := math.Inf(1)
+	if avgElemEdge > 0 {
+		cellsElement = edge / (avgElemEdge / m.MaxReplication)
+	}
+	// Query-size bound: no point making cells much smaller than a quarter of
+	// the query edge.
+	cellsQuery := math.Inf(1)
+	if m.ExpectedQueryEdge > 0 {
+		cellsQuery = 4 * edge / m.ExpectedQueryEdge
+	}
+	cells := math.Min(cellsDensity, math.Min(cellsElement, cellsQuery))
+	r := int(math.Round(cells))
+	if r < 1 {
+		r = 1
+	}
+	const maxCellsPerDim = 512 // 512^3 cells = 134M cells, a sane memory cap
+	if r > maxCellsPerDim {
+		r = maxCellsPerDim
+	}
+	return r
+}
+
+// SuggestResolutionForDataset computes the average element edge from the
+// items themselves and applies the model.
+func (m ResolutionModel) SuggestResolutionForDataset(universe geom.AABB, boxes []geom.AABB) int {
+	if len(boxes) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, b := range boxes {
+		s := b.Size()
+		sum += (s.X + s.Y + s.Z) / 3
+	}
+	return m.SuggestResolution(universe, len(boxes), sum/float64(len(boxes)))
+}

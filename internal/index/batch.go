@@ -1,0 +1,19 @@
+package index
+
+import "spatialsim/internal/geom"
+
+// Move describes one element's position change during a simulation step.
+type Move struct {
+	ID     int64
+	OldBox geom.AABB
+	NewBox geom.AABB
+}
+
+// BatchUpdater is implemented by indexes that can apply a whole simulation
+// step's worth of movement at once and choose the cheapest maintenance
+// strategy for it (update in place, rebuild, or neither). The simulation
+// harness prefers this interface over element-by-element Update calls when it
+// is available.
+type BatchUpdater interface {
+	ApplyMoves(moves []Move)
+}

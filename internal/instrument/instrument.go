@@ -1,0 +1,280 @@
+// Package instrument provides the cost accounting used to reproduce the
+// paper's query execution breakdowns (Figures 2 and 3 of Heinis et al.,
+// EDBT 2014). Index implementations charge work to named cost categories —
+// "reading data", "intersection tests (tree)", "intersection tests
+// (elements)", "remaining computation" — and experiment harnesses render the
+// resulting breakdowns as percentages, exactly as the paper does.
+//
+// Two complementary accounting modes are supported:
+//
+//   - operation counting (cheap, deterministic): indexes bump counters for
+//     node visits, intersection tests, elements touched, pages read;
+//   - time attribution (used by the figure harnesses): a Profile converts the
+//     counters into a time breakdown using per-operation costs that are either
+//     measured (memory) or modeled (simulated disk latencies).
+package instrument
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Cost categories used throughout the library. They mirror the categories of
+// the paper's Figures 2 and 3.
+const (
+	CatReadingData      = "reading data"
+	CatIntersectTree    = "intersection tests (tree)"
+	CatIntersectElement = "intersection tests (elements)"
+	CatRemaining        = "remaining computation"
+)
+
+// Counters accumulates operation counts for a query, a batch of queries, or a
+// whole simulation step. The zero value is ready to use. Counters is safe for
+// concurrent use.
+type Counters struct {
+	nodeVisits        atomic.Int64 // inner/leaf nodes visited during traversal
+	treeIntersectTest atomic.Int64 // MBR tests against tree nodes / grid cells
+	elemIntersectTest atomic.Int64 // exact geometry tests against data elements
+	elementsTouched   atomic.Int64 // candidate elements examined
+	resultsProduced   atomic.Int64 // elements reported as results
+	pagesRead         atomic.Int64 // disk pages fetched (disk indexes only)
+	bytesRead         atomic.Int64 // bytes transferred from the (simulated) disk
+	updates           atomic.Int64 // element updates applied to the index
+	cellMoves         atomic.Int64 // grid cell reassignments (grid indexes only)
+	comparisons       atomic.Int64 // pairwise comparisons (joins)
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.nodeVisits.Store(0)
+	c.treeIntersectTest.Store(0)
+	c.elemIntersectTest.Store(0)
+	c.elementsTouched.Store(0)
+	c.resultsProduced.Store(0)
+	c.pagesRead.Store(0)
+	c.bytesRead.Store(0)
+	c.updates.Store(0)
+	c.cellMoves.Store(0)
+	c.comparisons.Store(0)
+}
+
+// AddNodeVisits records n visited index nodes.
+func (c *Counters) AddNodeVisits(n int64) { c.nodeVisits.Add(n) }
+
+// AddTreeIntersectTests records n MBR intersection tests against index nodes.
+func (c *Counters) AddTreeIntersectTests(n int64) { c.treeIntersectTest.Add(n) }
+
+// AddElemIntersectTests records n intersection tests against data elements.
+func (c *Counters) AddElemIntersectTests(n int64) { c.elemIntersectTest.Add(n) }
+
+// AddElementsTouched records n candidate elements examined.
+func (c *Counters) AddElementsTouched(n int64) { c.elementsTouched.Add(n) }
+
+// AddResults records n result elements produced.
+func (c *Counters) AddResults(n int64) { c.resultsProduced.Add(n) }
+
+// AddPagesRead records n disk pages read.
+func (c *Counters) AddPagesRead(n int64) { c.pagesRead.Add(n) }
+
+// AddBytesRead records n bytes transferred from disk.
+func (c *Counters) AddBytesRead(n int64) { c.bytesRead.Add(n) }
+
+// AddUpdates records n element updates applied to an index.
+func (c *Counters) AddUpdates(n int64) { c.updates.Add(n) }
+
+// AddCellMoves records n grid cell reassignments.
+func (c *Counters) AddCellMoves(n int64) { c.cellMoves.Add(n) }
+
+// AddComparisons records n pairwise comparisons performed by a join.
+func (c *Counters) AddComparisons(n int64) { c.comparisons.Add(n) }
+
+// NodeVisits returns the number of index nodes visited.
+func (c *Counters) NodeVisits() int64 { return c.nodeVisits.Load() }
+
+// TreeIntersectTests returns the number of node-level intersection tests.
+func (c *Counters) TreeIntersectTests() int64 { return c.treeIntersectTest.Load() }
+
+// ElemIntersectTests returns the number of element-level intersection tests.
+func (c *Counters) ElemIntersectTests() int64 { return c.elemIntersectTest.Load() }
+
+// ElementsTouched returns the number of candidate elements examined.
+func (c *Counters) ElementsTouched() int64 { return c.elementsTouched.Load() }
+
+// Results returns the number of results produced.
+func (c *Counters) Results() int64 { return c.resultsProduced.Load() }
+
+// PagesRead returns the number of disk pages read.
+func (c *Counters) PagesRead() int64 { return c.pagesRead.Load() }
+
+// BytesRead returns the number of bytes transferred from disk.
+func (c *Counters) BytesRead() int64 { return c.bytesRead.Load() }
+
+// Updates returns the number of element updates applied.
+func (c *Counters) Updates() int64 { return c.updates.Load() }
+
+// CellMoves returns the number of grid cell reassignments.
+func (c *Counters) CellMoves() int64 { return c.cellMoves.Load() }
+
+// Comparisons returns the number of pairwise comparisons.
+func (c *Counters) Comparisons() int64 { return c.comparisons.Load() }
+
+// Snapshot returns a plain-value copy of the counters, convenient for diffs
+// and reporting.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		NodeVisits:         c.NodeVisits(),
+		TreeIntersectTests: c.TreeIntersectTests(),
+		ElemIntersectTests: c.ElemIntersectTests(),
+		ElementsTouched:    c.ElementsTouched(),
+		Results:            c.Results(),
+		PagesRead:          c.PagesRead(),
+		BytesRead:          c.BytesRead(),
+		Updates:            c.Updates(),
+		CellMoves:          c.CellMoves(),
+		Comparisons:        c.Comparisons(),
+	}
+}
+
+// CounterSnapshot is an immutable copy of a Counters value.
+type CounterSnapshot struct {
+	NodeVisits         int64
+	TreeIntersectTests int64
+	ElemIntersectTests int64
+	ElementsTouched    int64
+	Results            int64
+	PagesRead          int64
+	BytesRead          int64
+	Updates            int64
+	CellMoves          int64
+	Comparisons        int64
+}
+
+// Sub returns the component-wise difference s - o.
+func (s CounterSnapshot) Sub(o CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		NodeVisits:         s.NodeVisits - o.NodeVisits,
+		TreeIntersectTests: s.TreeIntersectTests - o.TreeIntersectTests,
+		ElemIntersectTests: s.ElemIntersectTests - o.ElemIntersectTests,
+		ElementsTouched:    s.ElementsTouched - o.ElementsTouched,
+		Results:            s.Results - o.Results,
+		PagesRead:          s.PagesRead - o.PagesRead,
+		BytesRead:          s.BytesRead - o.BytesRead,
+		Updates:            s.Updates - o.Updates,
+		CellMoves:          s.CellMoves - o.CellMoves,
+		Comparisons:        s.Comparisons - o.Comparisons,
+	}
+}
+
+// Breakdown is a set of named durations summing to a total. It is the shape of
+// the paper's Figure 2 and Figure 3 bars.
+type Breakdown struct {
+	parts map[string]time.Duration
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{parts: make(map[string]time.Duration)}
+}
+
+// Add charges d to the named category.
+func (b *Breakdown) Add(category string, d time.Duration) {
+	b.parts[category] += d
+}
+
+// Get returns the duration charged to the named category.
+func (b *Breakdown) Get(category string) time.Duration { return b.parts[category] }
+
+// Total returns the sum of all categories.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.parts {
+		t += d
+	}
+	return t
+}
+
+// Percent returns the share (0-100) of the named category.
+func (b *Breakdown) Percent(category string) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(b.parts[category]) / float64(total)
+}
+
+// Categories returns the category names sorted by descending share.
+func (b *Breakdown) Categories() []string {
+	names := make([]string, 0, len(b.parts))
+	for n := range b.parts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if b.parts[names[i]] != b.parts[names[j]] {
+			return b.parts[names[i]] > b.parts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// String renders the breakdown as "cat: xx.x%, ..." in descending order.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i, name := range b.Categories() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s: %.1f%%", name, b.Percent(name))
+	}
+	return sb.String()
+}
+
+// Timer measures wall-clock durations and attributes them to a category of a
+// Breakdown. It is intentionally minimal: Start/Stop pairs around hot regions.
+type Timer struct {
+	start time.Time
+}
+
+// Start begins timing.
+func (t *Timer) Start() { t.start = time.Now() }
+
+// Stop ends timing and charges the elapsed time to the category.
+func (t *Timer) Stop(b *Breakdown, category string) time.Duration {
+	d := time.Since(t.start)
+	b.Add(category, d)
+	return d
+}
+
+// CostModel converts operation counts into a time breakdown. The per-operation
+// costs are calibrated by the experiment harnesses (measured for in-memory
+// operations, modeled for the simulated disk).
+type CostModel struct {
+	// PageReadCost is the cost of fetching one page from the (simulated) disk.
+	PageReadCost time.Duration
+	// NodeTestCost is the cost of one MBR intersection test against a tree node.
+	NodeTestCost time.Duration
+	// ElementTestCost is the cost of one exact intersection test against a data
+	// element.
+	ElementTestCost time.Duration
+	// ElementReadCost is the in-memory cost of touching one candidate element
+	// (pointer chase + cache miss); charged to "reading data" for in-memory
+	// indexes.
+	ElementReadCost time.Duration
+	// OverheadCost is charged once per query to "remaining computation"
+	// (result materialization, queue maintenance, etc.).
+	OverheadCost time.Duration
+}
+
+// Apply converts the counter snapshot into a Figure 2/3-style breakdown.
+func (m CostModel) Apply(s CounterSnapshot, queries int) *Breakdown {
+	b := NewBreakdown()
+	b.Add(CatReadingData, time.Duration(s.PagesRead)*m.PageReadCost+
+		time.Duration(s.ElementsTouched)*m.ElementReadCost)
+	b.Add(CatIntersectTree, time.Duration(s.TreeIntersectTests)*m.NodeTestCost)
+	b.Add(CatIntersectElement, time.Duration(s.ElemIntersectTests)*m.ElementTestCost)
+	b.Add(CatRemaining, time.Duration(queries)*m.OverheadCost)
+	return b
+}

@@ -1,0 +1,160 @@
+package instrument
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	c.AddNodeVisits(3)
+	c.AddTreeIntersectTests(10)
+	c.AddElemIntersectTests(20)
+	c.AddElementsTouched(20)
+	c.AddResults(5)
+	c.AddPagesRead(7)
+	c.AddBytesRead(7 * 4096)
+	c.AddUpdates(2)
+	c.AddCellMoves(1)
+	c.AddComparisons(100)
+
+	if c.NodeVisits() != 3 || c.TreeIntersectTests() != 10 || c.ElemIntersectTests() != 20 {
+		t.Error("traversal counters wrong")
+	}
+	if c.ElementsTouched() != 20 || c.Results() != 5 {
+		t.Error("element counters wrong")
+	}
+	if c.PagesRead() != 7 || c.BytesRead() != 7*4096 {
+		t.Error("I/O counters wrong")
+	}
+	if c.Updates() != 2 || c.CellMoves() != 1 || c.Comparisons() != 100 {
+		t.Error("update/join counters wrong")
+	}
+
+	c.Reset()
+	if c.Snapshot() != (CounterSnapshot{}) {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddElemIntersectTests(1)
+				c.AddNodeVisits(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.ElemIntersectTests() != 8000 {
+		t.Errorf("ElemIntersectTests = %d, want 8000", c.ElemIntersectTests())
+	}
+	if c.NodeVisits() != 16000 {
+		t.Errorf("NodeVisits = %d, want 16000", c.NodeVisits())
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.AddPagesRead(10)
+	before := c.Snapshot()
+	c.AddPagesRead(5)
+	c.AddResults(3)
+	diff := c.Snapshot().Sub(before)
+	if diff.PagesRead != 5 || diff.Results != 3 || diff.NodeVisits != 0 {
+		t.Errorf("Sub = %+v", diff)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(CatReadingData, 10*time.Millisecond)
+	b.Add(CatIntersectTree, 55*time.Millisecond)
+	b.Add(CatIntersectElement, 25*time.Millisecond)
+	b.Add(CatRemaining, 10*time.Millisecond)
+
+	if b.Total() != 100*time.Millisecond {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if p := b.Percent(CatIntersectTree); p != 55 {
+		t.Errorf("Percent tree = %v", p)
+	}
+	if p := b.Percent("nonexistent"); p != 0 {
+		t.Errorf("Percent missing = %v", p)
+	}
+	cats := b.Categories()
+	if cats[0] != CatIntersectTree || cats[1] != CatIntersectElement {
+		t.Errorf("Categories order = %v", cats)
+	}
+	s := b.String()
+	if !strings.Contains(s, "intersection tests (tree): 55.0%") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	b := NewBreakdown()
+	if b.Total() != 0 {
+		t.Error("empty total nonzero")
+	}
+	if b.Percent(CatReadingData) != 0 {
+		t.Error("empty percent nonzero")
+	}
+	if len(b.Categories()) != 0 {
+		t.Error("empty categories nonempty")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	b := NewBreakdown()
+	var tm Timer
+	tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	d := tm.Stop(b, CatRemaining)
+	if d < time.Millisecond {
+		t.Errorf("timer measured %v, expected >= 1ms", d)
+	}
+	if b.Get(CatRemaining) != d {
+		t.Error("breakdown not charged")
+	}
+}
+
+func TestCostModelApply(t *testing.T) {
+	m := CostModel{
+		PageReadCost:    10 * time.Millisecond,
+		NodeTestCost:    time.Microsecond,
+		ElementTestCost: 2 * time.Microsecond,
+		ElementReadCost: 100 * time.Nanosecond,
+		OverheadCost:    time.Millisecond,
+	}
+	s := CounterSnapshot{
+		PagesRead:          100,
+		TreeIntersectTests: 1000,
+		ElemIntersectTests: 500,
+		ElementsTouched:    500,
+	}
+	b := m.Apply(s, 10)
+	if b.Get(CatReadingData) != 100*10*time.Millisecond+500*100*time.Nanosecond {
+		t.Errorf("reading data = %v", b.Get(CatReadingData))
+	}
+	if b.Get(CatIntersectTree) != 1000*time.Microsecond {
+		t.Errorf("tree tests = %v", b.Get(CatIntersectTree))
+	}
+	if b.Get(CatIntersectElement) != 500*2*time.Microsecond {
+		t.Errorf("element tests = %v", b.Get(CatIntersectElement))
+	}
+	if b.Get(CatRemaining) != 10*time.Millisecond {
+		t.Errorf("remaining = %v", b.Get(CatRemaining))
+	}
+	// Disk-style model: page reads dominate.
+	if b.Percent(CatReadingData) < 90 {
+		t.Errorf("disk-style model should be I/O dominated, got %v%%", b.Percent(CatReadingData))
+	}
+}

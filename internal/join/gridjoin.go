@@ -1,0 +1,143 @@
+package join
+
+import (
+	"math"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+// GridJoinConfig configures the PBSM-style grid join.
+type GridJoinConfig struct {
+	// CellsPerDim is the grid resolution; 0 derives it from the input size
+	// (roughly one cell per few elements, capped).
+	CellsPerDim int
+}
+
+// GridJoin is the partition-based spatial-merge join (Patel & DeWitt's PBSM
+// adapted to memory, as the paper suggests): both inputs are partitioned into
+// a uniform grid (with replication at cell borders, enlarged by Eps) and only
+// elements sharing a cell are compared. Pairs found in several cells are
+// deduplicated before returning.
+func GridJoin(as, bs []index.Item, opts Options, cfg GridJoinConfig) []Pair {
+	if len(as) == 0 || len(bs) == 0 {
+		return nil
+	}
+	u := universeOf(as, bs).Expand(opts.Eps + 1e-9)
+	cells := cfg.CellsPerDim
+	if cells <= 0 {
+		cells = defaultJoinCells(len(as) + len(bs))
+	}
+	part := newPartitioner(u, cells)
+	aCells := part.assign(as, opts.Eps)
+	bCells := part.assign(bs, opts.Eps)
+	var pairs []Pair
+	for cell, aList := range aCells {
+		bList, ok := bCells[cell]
+		if !ok {
+			continue
+		}
+		for _, ai := range aList {
+			for _, bi := range bList {
+				if opts.match(as[ai], bs[bi]) {
+					pairs = append(pairs, Pair{A: as[ai].ID, B: bs[bi].ID})
+				}
+			}
+		}
+	}
+	return DedupPairs(pairs)
+}
+
+// SelfGridJoin is the grid join of a set with itself (e.g. synapse
+// detection). Pairs are reported once with A < B.
+func SelfGridJoin(items []index.Item, opts Options, cfg GridJoinConfig) []Pair {
+	if len(items) == 0 {
+		return nil
+	}
+	u := universeOf(items, nil).Expand(opts.Eps + 1e-9)
+	cells := cfg.CellsPerDim
+	if cells <= 0 {
+		cells = defaultJoinCells(len(items))
+	}
+	part := newPartitioner(u, cells)
+	assigned := part.assign(items, opts.Eps)
+	var pairs []Pair
+	for _, list := range assigned {
+		for x := 0; x < len(list); x++ {
+			for y := x + 1; y < len(list); y++ {
+				i, j := list[x], list[y]
+				if items[i].ID == items[j].ID {
+					continue
+				}
+				if opts.match(items[i], items[j]) {
+					pairs = append(pairs, orderPair(items[i].ID, items[j].ID))
+				}
+			}
+		}
+	}
+	return DedupPairs(pairs)
+}
+
+func defaultJoinCells(n int) int {
+	c := int(math.Cbrt(float64(n) / 4))
+	if c < 2 {
+		c = 2
+	}
+	if c > 128 {
+		c = 128
+	}
+	return c
+}
+
+type partitioner struct {
+	universe geom.AABB
+	n        int
+	cell     geom.Vec3
+}
+
+func newPartitioner(u geom.AABB, cells int) *partitioner {
+	s := u.Size()
+	return &partitioner{
+		universe: u,
+		n:        cells,
+		cell:     geom.V(s.X/float64(cells), s.Y/float64(cells), s.Z/float64(cells)),
+	}
+}
+
+func (p *partitioner) coord(v geom.Vec3) [3]int {
+	var c [3]int
+	for i := 0; i < 3; i++ {
+		x := (v.Axis(i) - p.universe.Min.Axis(i)) / p.cell.Axis(i)
+		c[i] = clampInt(int(x), 0, p.n-1)
+	}
+	return c
+}
+
+// assign maps each item index to every cell its Eps-expanded box overlaps.
+func (p *partitioner) assign(items []index.Item, eps float64) map[[3]int][]int {
+	out := make(map[[3]int][]int)
+	for idx := range items {
+		box := items[idx].Box.Expand(eps/2 + 1e-12)
+		lo := p.coord(box.Min)
+		hi := p.coord(box.Max)
+		for z := lo[2]; z <= hi[2]; z++ {
+			for y := lo[1]; y <= hi[1]; y++ {
+				for x := lo[0]; x <= hi[0]; x++ {
+					key := [3]int{x, y, z}
+					out[key] = append(out[key], idx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

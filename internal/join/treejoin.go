@@ -1,0 +1,241 @@
+package join
+
+import (
+	"sort"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+// joinNode is a node of the lightweight STR hierarchy the tree-based joins
+// build over one input. It is deliberately separate from package rtree: the
+// joins only need a static, bulk-built hierarchy, and keeping it local makes
+// the join algorithms self-contained.
+type joinNode struct {
+	box      geom.AABB
+	children []*joinNode
+	items    []index.Item // non-empty only for leaves
+	// assigned holds the probe-side items TOUCH assigns to this node.
+	assigned []index.Item
+}
+
+const joinFanout = 16
+
+// buildHierarchy STR-packs the items into a hierarchy and returns its root.
+func buildHierarchy(items []index.Item) *joinNode {
+	if len(items) == 0 {
+		return &joinNode{box: geom.EmptyAABB()}
+	}
+	leaves := packItems(items)
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = packNodes(nodes)
+	}
+	return nodes[0]
+}
+
+func packItems(items []index.Item) []*joinNode {
+	sorted := append([]index.Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Box.Center().X < sorted[j].Box.Center().X
+	})
+	var leaves []*joinNode
+	for i := 0; i < len(sorted); i += joinFanout {
+		chunk := sorted[i:minInt(i+joinFanout, len(sorted))]
+		box := geom.EmptyAABB()
+		for _, it := range chunk {
+			box = box.Union(it.Box)
+		}
+		leaves = append(leaves, &joinNode{box: box, items: append([]index.Item(nil), chunk...)})
+	}
+	return leaves
+}
+
+func packNodes(nodes []*joinNode) []*joinNode {
+	sorted := append([]*joinNode(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].box.Center().X < sorted[j].box.Center().X
+	})
+	var parents []*joinNode
+	for i := 0; i < len(sorted); i += joinFanout {
+		chunk := sorted[i:minInt(i+joinFanout, len(sorted))]
+		box := geom.EmptyAABB()
+		for _, c := range chunk {
+			box = box.Union(c.box)
+		}
+		parents = append(parents, &joinNode{box: box, children: append([]*joinNode(nil), chunk...)})
+	}
+	return parents
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RTreeJoin performs a synchronized traversal join: hierarchies are built
+// over both inputs and node pairs whose boxes are within Eps are expanded
+// recursively; only leaf pairs generate element comparisons. This is the
+// classic index-based spatial join the paper's survey references.
+func RTreeJoin(as, bs []index.Item, opts Options) []Pair {
+	if len(as) == 0 || len(bs) == 0 {
+		return nil
+	}
+	ra := buildHierarchy(as)
+	rb := buildHierarchy(bs)
+	var out []Pair
+	var recurse func(a, b *joinNode)
+	recurse = func(a, b *joinNode) {
+		if opts.Counters != nil {
+			opts.Counters.AddTreeIntersectTests(1)
+		}
+		if a.box.Distance2(b.box) > opts.Eps*opts.Eps {
+			return
+		}
+		switch {
+		case a.items != nil && b.items != nil:
+			for _, ia := range a.items {
+				for _, ib := range b.items {
+					if opts.match(ia, ib) {
+						out = append(out, Pair{A: ia.ID, B: ib.ID})
+					}
+				}
+			}
+		case a.items != nil:
+			for _, c := range b.children {
+				recurse(a, c)
+			}
+		case b.items != nil:
+			for _, c := range a.children {
+				recurse(c, b)
+			}
+		default:
+			for _, ca := range a.children {
+				for _, cb := range b.children {
+					recurse(ca, cb)
+				}
+			}
+		}
+	}
+	recurse(ra, rb)
+	return out
+}
+
+// SelfRTreeJoin joins a set with itself by synchronized traversal.
+func SelfRTreeJoin(items []index.Item, opts Options) []Pair {
+	pairs := RTreeJoin(items, items, opts)
+	out := pairs[:0]
+	for _, p := range pairs {
+		if p.A == p.B {
+			continue
+		}
+		out = append(out, orderPair(p.A, p.B))
+	}
+	return DedupPairs(out)
+}
+
+// TOUCHJoin is an in-memory join in the spirit of TOUCH (Nobari et al.,
+// SIGMOD 2013), the hierarchical data-oriented partitioning join the paper's
+// authors designed: a hierarchy is built over the build side (as); every
+// probe element (bs) is assigned to the lowest hierarchy node whose box
+// (expanded by Eps) contains it; finally each node's assigned probe elements
+// are compared only against the build elements stored in that node's subtree,
+// pruned by child boxes. Probe elements that fit no node are compared at the
+// root.
+func TOUCHJoin(as, bs []index.Item, opts Options) []Pair {
+	if len(as) == 0 || len(bs) == 0 {
+		return nil
+	}
+	root := buildHierarchy(as)
+	// Assignment phase.
+	for _, b := range bs {
+		assignTouch(root, b, opts.Eps)
+	}
+	// Join phase.
+	var out []Pair
+	var walk func(n *joinNode)
+	walk = func(n *joinNode) {
+		for _, b := range n.assigned {
+			out = joinAgainstSubtree(n, b, opts, out)
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// assignTouch pushes b down the hierarchy as long as exactly one child can
+// contain join partners for it: the descent stops (and b is assigned) at the
+// first node where zero or more than one child box intersects b's
+// Eps-expanded box. This guarantees every potential partner lies in the
+// subtree b is assigned to.
+func assignTouch(n *joinNode, b index.Item, eps float64) {
+	expanded := b.Box.Expand(eps)
+	cur := n
+	for {
+		var next *joinNode
+		matches := 0
+		for _, c := range cur.children {
+			if c.box.Intersects(expanded) {
+				matches++
+				next = c
+				if matches > 1 {
+					break
+				}
+			}
+		}
+		if matches != 1 {
+			cur.assigned = append(cur.assigned, b)
+			return
+		}
+		cur = next
+	}
+}
+
+// joinAgainstSubtree compares b against every build element in n's subtree,
+// pruning subtrees whose box is farther than Eps.
+func joinAgainstSubtree(n *joinNode, b index.Item, opts Options, out []Pair) []Pair {
+	if opts.Counters != nil {
+		opts.Counters.AddTreeIntersectTests(1)
+	}
+	if n.box.Distance2(b.Box) > opts.Eps*opts.Eps {
+		return out
+	}
+	for _, a := range n.items {
+		if opts.match(a, b) {
+			out = append(out, Pair{A: a.ID, B: b.ID})
+		}
+	}
+	for _, c := range n.children {
+		out = joinAgainstSubtree(c, b, opts, out)
+	}
+	return out
+}
+
+// SelfTOUCHJoin joins a set with itself using TOUCH.
+func SelfTOUCHJoin(items []index.Item, opts Options) []Pair {
+	pairs := TOUCHJoin(items, items, opts)
+	out := pairs[:0]
+	for _, p := range pairs {
+		if p.A == p.B {
+			continue
+		}
+		out = append(out, orderPair(p.A, p.B))
+	}
+	return DedupPairs(out)
+}
+
+// ExpectedComparisonsNestedLoop returns n*m, the comparison count of the
+// nested-loop join; used by experiments to report comparison savings.
+func ExpectedComparisonsNestedLoop(n, m int) float64 {
+	return float64(n) * float64(m)
+}
+
+// ExpectedComparisonsSelfNestedLoop returns n*(n-1)/2.
+func ExpectedComparisonsSelfNestedLoop(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}

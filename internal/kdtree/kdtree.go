@@ -1,0 +1,217 @@
+// Package kdtree implements the KD-Tree point access method (Bentley 1975)
+// the paper lists among the in-memory indexing options. It indexes the
+// representative points of simulation elements (vertex positions, particle
+// centers) and supports bulk building by median splitting, incremental
+// insertion, range search and exact k-nearest-neighbor search.
+//
+// As the paper notes, point access methods handle volumetric objects only
+// through replication or enlarged partitions; in spatialsim the KD-Tree is
+// therefore used where the workload genuinely is point-based — material
+// vertex neighborhoods and n-body interaction lists — while volumetric
+// elements go to the R-Tree, Octree or grid families.
+package kdtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/instrument"
+)
+
+// Point is an (id, position) pair stored in the tree.
+type Point struct {
+	ID  int64
+	Pos geom.Vec3
+}
+
+type node struct {
+	point       Point
+	axis        int
+	left, right *node
+}
+
+// Tree is a KD-Tree over points. It is not safe for concurrent mutation.
+type Tree struct {
+	root     *node
+	size     int
+	counters instrument.Counters
+}
+
+// New returns an empty KD-Tree.
+func New() *Tree { return &Tree{} }
+
+// Build returns a balanced KD-Tree over the given points (median split on the
+// axis cycling with depth).
+func Build(points []Point) *Tree {
+	t := &Tree{}
+	pts := append([]Point(nil), points...)
+	t.root = build(pts, 0)
+	t.size = len(pts)
+	return t
+}
+
+func build(pts []Point, depth int) *node {
+	if len(pts) == 0 {
+		return nil
+	}
+	axis := depth % 3
+	sort.Slice(pts, func(i, j int) bool {
+		return pts[i].Pos.Axis(axis) < pts[j].Pos.Axis(axis)
+	})
+	mid := len(pts) / 2
+	n := &node{point: pts[mid], axis: axis}
+	n.left = build(pts[:mid], depth+1)
+	n.right = build(pts[mid+1:], depth+1)
+	return n
+}
+
+// Len returns the number of points stored.
+func (t *Tree) Len() int { return t.size }
+
+// Counters returns the traversal counters.
+func (t *Tree) Counters() *instrument.Counters { return &t.counters }
+
+// Insert adds a point (the tree is not rebalanced).
+func (t *Tree) Insert(id int64, p geom.Vec3) {
+	t.counters.AddUpdates(1)
+	t.size++
+	newNode := &node{point: Point{ID: id, Pos: p}}
+	if t.root == nil {
+		t.root = newNode
+		return
+	}
+	cur := t.root
+	depth := 0
+	for {
+		axis := depth % 3
+		cur.axis = axis // ensure axis is set even for nodes inserted dynamically
+		if p.Axis(axis) < cur.point.Pos.Axis(axis) {
+			if cur.left == nil {
+				newNode.axis = (depth + 1) % 3
+				cur.left = newNode
+				return
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				newNode.axis = (depth + 1) % 3
+				cur.right = newNode
+				return
+			}
+			cur = cur.right
+		}
+		depth++
+	}
+}
+
+// Range invokes fn for every point inside the box (boundary inclusive).
+func (t *Tree) Range(box geom.AABB, fn func(Point) bool) {
+	t.rangeRec(t.root, box, fn)
+}
+
+func (t *Tree) rangeRec(n *node, box geom.AABB, fn func(Point) bool) bool {
+	if n == nil {
+		return true
+	}
+	t.counters.AddNodeVisits(1)
+	t.counters.AddElemIntersectTests(1)
+	if box.ContainsPoint(n.point.Pos) {
+		t.counters.AddResults(1)
+		if !fn(n.point) {
+			return false
+		}
+	}
+	v := n.point.Pos.Axis(n.axis)
+	t.counters.AddTreeIntersectTests(1)
+	if box.Min.Axis(n.axis) <= v {
+		if !t.rangeRec(n.left, box, fn) {
+			return false
+		}
+	}
+	if box.Max.Axis(n.axis) >= v {
+		if !t.rangeRec(n.right, box, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeIDs collects the ids of all points inside the box.
+func (t *Tree) RangeIDs(box geom.AABB) []int64 {
+	var out []int64
+	t.Range(box, func(p Point) bool {
+		out = append(out, p.ID)
+		return true
+	})
+	return out
+}
+
+// KNN returns the k points nearest to q, closest first.
+func (t *Tree) KNN(q geom.Vec3, k int) []Point {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	best := &pointMaxHeap{}
+	heap.Init(best)
+	t.knnRec(t.root, q, k, best)
+	out := make([]Point, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(pointCand).p
+	}
+	return out
+}
+
+func (t *Tree) knnRec(n *node, q geom.Vec3, k int, best *pointMaxHeap) {
+	if n == nil {
+		return
+	}
+	t.counters.AddNodeVisits(1)
+	d2 := n.point.Pos.Dist2(q)
+	if best.Len() < k {
+		heap.Push(best, pointCand{p: n.point, d2: d2})
+	} else if d2 < (*best)[0].d2 {
+		(*best)[0] = pointCand{p: n.point, d2: d2}
+		heap.Fix(best, 0)
+	}
+	axis := n.axis
+	diff := q.Axis(axis) - n.point.Pos.Axis(axis)
+	near, far := n.left, n.right
+	if diff >= 0 {
+		near, far = n.right, n.left
+	}
+	t.knnRec(near, q, k, best)
+	// Visit the far side only if the splitting plane is closer than the
+	// current k-th best.
+	if best.Len() < k || diff*diff < (*best)[0].d2 {
+		t.knnRec(far, q, k, best)
+	}
+}
+
+// Nearest returns the single nearest point and whether the tree is non-empty.
+func (t *Tree) Nearest(q geom.Vec3) (Point, bool) {
+	res := t.KNN(q, 1)
+	if len(res) == 0 {
+		return Point{}, false
+	}
+	return res[0], true
+}
+
+type pointCand struct {
+	p  Point
+	d2 float64
+}
+
+type pointMaxHeap []pointCand
+
+func (h pointMaxHeap) Len() int            { return len(h) }
+func (h pointMaxHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
+func (h pointMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pointMaxHeap) Push(x interface{}) { *h = append(*h, x.(pointCand)) }
+func (h *pointMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,172 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/geom"
+)
+
+func randomPoints(n int, seed int64) []Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{ID: int64(i), Pos: geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)}
+	}
+	return pts
+}
+
+func bruteRange(pts []Point, box geom.AABB) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, p := range pts {
+		if box.ContainsPoint(p.Pos) {
+			out[p.ID] = true
+		}
+	}
+	return out
+}
+
+func TestBuildRangeMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(3000, 1)
+	tr := Build(pts)
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	r := rand.New(rand.NewSource(2))
+	for q := 0; q < 50; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		box := geom.AABBFromCenter(c, geom.V(5, 5, 5))
+		got := tr.RangeIDs(box)
+		want := bruteRange(pts, box)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("unexpected id %d", id)
+			}
+		}
+	}
+}
+
+func TestInsertRangeMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(1500, 3)
+	tr := New()
+	for _, p := range pts {
+		tr.Insert(p.ID, p.Pos)
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	r := rand.New(rand.NewSource(4))
+	for q := 0; q < 30; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		box := geom.AABBFromCenter(c, geom.V(6, 6, 6))
+		got := tr.RangeIDs(box)
+		want := bruteRange(pts, box)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+	}
+	if tr.Counters().NodeVisits() == 0 {
+		t.Error("counters not populated")
+	}
+}
+
+func TestKNNExact(t *testing.T) {
+	pts := randomPoints(2000, 5)
+	tr := Build(pts)
+	r := rand.New(rand.NewSource(6))
+	for q := 0; q < 30; q++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		k := 1 + r.Intn(10)
+		got := tr.KNN(p, k)
+		if len(got) != k {
+			t.Fatalf("KNN returned %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(pts))
+		for i, pt := range pts {
+			dists[i] = pt.Pos.Dist2(p)
+		}
+		sort.Float64s(dists)
+		for i, pt := range got {
+			d := pt.Pos.Dist2(p)
+			if d > dists[k-1]+1e-9 {
+				t.Fatalf("result %d distance %v beyond k-th %v", i, d, dists[k-1])
+			}
+			if i > 0 && got[i-1].Pos.Dist2(p) > d+1e-12 {
+				t.Fatal("results not sorted")
+			}
+		}
+	}
+	// Nearest convenience.
+	p := geom.V(50, 50, 50)
+	nearest, ok := tr.Nearest(p)
+	if !ok {
+		t.Fatal("Nearest on non-empty tree failed")
+	}
+	for _, pt := range pts {
+		if pt.Pos.Dist2(p) < nearest.Pos.Dist2(p)-1e-12 {
+			t.Fatal("Nearest is not the nearest")
+		}
+	}
+}
+
+func TestEmptyAndEdgeCases(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if got := tr.RangeIDs(geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))); len(got) != 0 {
+		t.Fatal("empty range not empty")
+	}
+	if tr.KNN(geom.V(0, 0, 0), 3) != nil {
+		t.Fatal("empty KNN not nil")
+	}
+	if _, ok := tr.Nearest(geom.V(0, 0, 0)); ok {
+		t.Fatal("Nearest on empty tree reported ok")
+	}
+	if Build(nil).Len() != 0 {
+		t.Fatal("Build(nil) not empty")
+	}
+	// Single point.
+	tr.Insert(7, geom.V(1, 2, 3))
+	if got := tr.KNN(geom.V(0, 0, 0), 5); len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("single-point KNN = %v", got)
+	}
+	if tr.KNN(geom.V(0, 0, 0), 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	// Duplicate positions are all retained.
+	tr2 := New()
+	for i := 0; i < 5; i++ {
+		tr2.Insert(int64(i), geom.V(1, 1, 1))
+	}
+	if got := tr2.RangeIDs(geom.AABBFromCenter(geom.V(1, 1, 1), geom.V(0.1, 0.1, 0.1))); len(got) != 5 {
+		t.Fatalf("duplicate positions: %d results", len(got))
+	}
+}
+
+func TestRangeEarlyTermination(t *testing.T) {
+	tr := Build(randomPoints(500, 7))
+	count := 0
+	tr.Range(geom.NewAABB(geom.V(-1, -1, -1), geom.V(101, 101, 101)), func(Point) bool {
+		count++
+		return count < 9
+	})
+	if count != 9 {
+		t.Fatalf("early termination visited %d", count)
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	pts := randomPoints(100, 8)
+	orig := append([]Point(nil), pts...)
+	Build(pts)
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatal("Build mutated input slice")
+		}
+	}
+}

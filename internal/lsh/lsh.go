@@ -1,0 +1,254 @@
+// Package lsh implements locality-sensitive hashing for nearest-neighbor
+// queries in low dimensions, the alternative the paper suggests for kNN
+// without any tree structure (Section 3.3): every element is hashed by
+// several spatial hash functions into cache-friendly buckets, and a query
+// probes the buckets its point falls into (plus neighboring buckets,
+// "multi-probe") and refines the candidates by exact distance.
+//
+// The hash family used is the standard lattice hash for Euclidean space:
+// h(p) = floor((p + shift) / w), a randomly shifted uniform grid. Different
+// tables use independent shifts, so points close to a cell boundary in one
+// table are likely to share a bucket in another — this is what gives LSH its
+// recall without a tree.
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/instrument"
+)
+
+// Point is an (id, position) pair stored in the index.
+type Point struct {
+	ID  int64
+	Pos geom.Vec3
+}
+
+// Config configures an Index.
+type Config struct {
+	// CellWidth is the hash cell width w; it should be on the order of the
+	// expected nearest-neighbor distance.
+	CellWidth float64
+	// Tables is the number of independent hash tables (default 4).
+	Tables int
+	// MultiProbe enables probing the 26 neighboring cells of the query cell
+	// in every table, trading more candidates for higher recall (default on).
+	MultiProbe bool
+	// Seed seeds the random shifts.
+	Seed int64
+}
+
+type bucketKey struct {
+	x, y, z int32
+}
+
+type table struct {
+	shift   geom.Vec3
+	buckets map[bucketKey][]Point
+}
+
+// Index is an LSH index over points. It is approximate: KNN returns the best
+// candidates found in the probed buckets, which with adequate CellWidth and
+// table count is the true answer with high probability.
+type Index struct {
+	cfg      Config
+	tables   []table
+	size     int
+	counters instrument.Counters
+}
+
+// New returns an empty LSH index.
+func New(cfg Config) *Index {
+	if cfg.CellWidth <= 0 {
+		cfg.CellWidth = 1
+	}
+	if cfg.Tables <= 0 {
+		cfg.Tables = 4
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	idx := &Index{cfg: cfg}
+	for i := 0; i < cfg.Tables; i++ {
+		idx.tables = append(idx.tables, table{
+			shift:   geom.V(r.Float64()*cfg.CellWidth, r.Float64()*cfg.CellWidth, r.Float64()*cfg.CellWidth),
+			buckets: make(map[bucketKey][]Point),
+		})
+	}
+	return idx
+}
+
+// Len returns the number of points stored.
+func (ix *Index) Len() int { return ix.size }
+
+// Counters returns the instrumentation counters.
+func (ix *Index) Counters() *instrument.Counters { return &ix.counters }
+
+// Tables returns the number of hash tables.
+func (ix *Index) Tables() int { return len(ix.tables) }
+
+func (ix *Index) key(t *table, p geom.Vec3) bucketKey {
+	w := ix.cfg.CellWidth
+	return bucketKey{
+		x: int32(floorDiv(p.X+t.shift.X, w)),
+		y: int32(floorDiv(p.Y+t.shift.Y, w)),
+		z: int32(floorDiv(p.Z+t.shift.Z, w)),
+	}
+}
+
+func floorDiv(v, w float64) float64 {
+	q := v / w
+	f := float64(int64(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}
+
+// Insert adds a point to every table.
+func (ix *Index) Insert(id int64, p geom.Vec3) {
+	ix.counters.AddUpdates(1)
+	for i := range ix.tables {
+		t := &ix.tables[i]
+		k := ix.key(t, p)
+		t.buckets[k] = append(t.buckets[k], Point{ID: id, Pos: p})
+	}
+	ix.size++
+}
+
+// Delete removes the point with the given id and position. It reports whether
+// the point was found in at least one table.
+func (ix *Index) Delete(id int64, p geom.Vec3) bool {
+	found := false
+	for i := range ix.tables {
+		t := &ix.tables[i]
+		k := ix.key(t, p)
+		pts := t.buckets[k]
+		for j := range pts {
+			if pts[j].ID == id {
+				pts[j] = pts[len(pts)-1]
+				t.buckets[k] = pts[:len(pts)-1]
+				found = true
+				break
+			}
+		}
+	}
+	if found {
+		ix.counters.AddUpdates(1)
+		ix.size--
+	}
+	return found
+}
+
+// Update moves a point: cheap when the movement stays within the same bucket
+// in every table (the common case for plasticity-scale motion).
+func (ix *Index) Update(id int64, oldPos, newPos geom.Vec3) {
+	ix.counters.AddUpdates(1)
+	moved := false
+	for i := range ix.tables {
+		t := &ix.tables[i]
+		oldKey := ix.key(t, oldPos)
+		newKey := ix.key(t, newPos)
+		if oldKey == newKey {
+			pts := t.buckets[oldKey]
+			for j := range pts {
+				if pts[j].ID == id {
+					pts[j].Pos = newPos
+					break
+				}
+			}
+			continue
+		}
+		moved = true
+		pts := t.buckets[oldKey]
+		for j := range pts {
+			if pts[j].ID == id {
+				pts[j] = pts[len(pts)-1]
+				t.buckets[oldKey] = pts[:len(pts)-1]
+				break
+			}
+		}
+		t.buckets[newKey] = append(t.buckets[newKey], Point{ID: id, Pos: newPos})
+	}
+	if moved {
+		ix.counters.AddCellMoves(1)
+	}
+}
+
+// KNN returns the (approximately) k nearest stored points to q, closest
+// first.
+func (ix *Index) KNN(q geom.Vec3, k int) []Point {
+	if k <= 0 || ix.size == 0 {
+		return nil
+	}
+	seen := make(map[int64]struct{})
+	var cands []Point
+	probe := func(t *table, key bucketKey) {
+		ix.counters.AddTreeIntersectTests(1)
+		for _, p := range t.buckets[key] {
+			if _, dup := seen[p.ID]; dup {
+				continue
+			}
+			seen[p.ID] = struct{}{}
+			ix.counters.AddElemIntersectTests(1)
+			cands = append(cands, p)
+		}
+	}
+	for i := range ix.tables {
+		t := &ix.tables[i]
+		center := ix.key(t, q)
+		probe(t, center)
+		if ix.cfg.MultiProbe {
+			for dx := int32(-1); dx <= 1; dx++ {
+				for dy := int32(-1); dy <= 1; dy++ {
+					for dz := int32(-1); dz <= 1; dz++ {
+						if dx == 0 && dy == 0 && dz == 0 {
+							continue
+						}
+						probe(t, bucketKey{center.x + dx, center.y + dy, center.z + dz})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].Pos.Dist2(q) < cands[j].Pos.Dist2(q)
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// Nearest returns the (approximately) nearest point to q.
+func (ix *Index) Nearest(q geom.Vec3) (Point, bool) {
+	r := ix.KNN(q, 1)
+	if len(r) == 0 {
+		return Point{}, false
+	}
+	return r[0], true
+}
+
+// BucketStats returns the number of non-empty buckets and the mean occupancy
+// across all tables; used to verify the cell width is sensible.
+func (ix *Index) BucketStats() (buckets int, meanOccupancy float64) {
+	total := 0
+	for i := range ix.tables {
+		for _, pts := range ix.tables[i].buckets {
+			if len(pts) > 0 {
+				buckets++
+				total += len(pts)
+			}
+		}
+	}
+	if buckets == 0 {
+		return 0, 0
+	}
+	return buckets, float64(total) / float64(buckets)
+}
+
+// String describes the index.
+func (ix *Index) String() string {
+	return fmt.Sprintf("lsh{tables=%d w=%g points=%d}", len(ix.tables), ix.cfg.CellWidth, ix.size)
+}

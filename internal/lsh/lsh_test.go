@@ -1,0 +1,182 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialsim/internal/geom"
+)
+
+func randomPoints(n int, seed int64) []Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{ID: int64(i), Pos: geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)}
+	}
+	return pts
+}
+
+func bruteNearest(pts []Point, q geom.Vec3) Point {
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Pos.Dist2(q) < best.Pos.Dist2(q) {
+			best = p
+		}
+	}
+	return best
+}
+
+func TestInsertAndNearestRecall(t *testing.T) {
+	pts := randomPoints(5000, 1)
+	// ~5000 points in 100^3: mean NN distance ~ (10^6/5000)^(1/3) ~ 5.8.
+	ix := New(Config{CellWidth: 6, Tables: 6, MultiProbe: true, Seed: 2})
+	for _, p := range pts {
+		ix.Insert(p.ID, p.Pos)
+	}
+	if ix.Len() != len(pts) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	r := rand.New(rand.NewSource(3))
+	queries := 200
+	hits := 0
+	for i := 0; i < queries; i++ {
+		q := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		got, ok := ix.Nearest(q)
+		if !ok {
+			t.Fatal("Nearest returned no result")
+		}
+		if got.ID == bruteNearest(pts, q).ID {
+			hits++
+		}
+	}
+	recall := float64(hits) / float64(queries)
+	if recall < 0.9 {
+		t.Fatalf("nearest-neighbor recall %.2f below 0.9", recall)
+	}
+	buckets, occ := ix.BucketStats()
+	if buckets == 0 || occ <= 0 {
+		t.Fatal("bucket stats empty")
+	}
+	if ix.Counters().ElemIntersectTests() == 0 {
+		t.Fatal("counters not populated")
+	}
+	if ix.String() == "" || ix.Tables() != 6 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestKNNOrderingAndBounds(t *testing.T) {
+	pts := randomPoints(2000, 4)
+	ix := New(Config{CellWidth: 8, Tables: 4, MultiProbe: true, Seed: 5})
+	for _, p := range pts {
+		ix.Insert(p.ID, p.Pos)
+	}
+	q := geom.V(50, 50, 50)
+	got := ix.KNN(q, 10)
+	if len(got) != 10 {
+		t.Fatalf("KNN returned %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Pos.Dist2(q) > got[i].Pos.Dist2(q) {
+			t.Fatal("KNN results not sorted")
+		}
+	}
+	// Results must not contain duplicates.
+	seen := make(map[int64]bool)
+	for _, p := range got {
+		if seen[p.ID] {
+			t.Fatal("duplicate in KNN results")
+		}
+		seen[p.ID] = true
+	}
+	if ix.KNN(q, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	empty := New(Config{CellWidth: 1})
+	if empty.KNN(q, 5) != nil {
+		t.Error("empty KNN should return nil")
+	}
+	if _, ok := empty.Nearest(q); ok {
+		t.Error("empty Nearest should report !ok")
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	pts := randomPoints(500, 6)
+	ix := New(Config{CellWidth: 5, Tables: 3, MultiProbe: true, Seed: 7})
+	for _, p := range pts {
+		ix.Insert(p.ID, p.Pos)
+	}
+	// Delete and verify it no longer appears.
+	target := pts[42]
+	if !ix.Delete(target.ID, target.Pos) {
+		t.Fatal("Delete failed")
+	}
+	if ix.Delete(target.ID, target.Pos) {
+		t.Fatal("double Delete succeeded")
+	}
+	if ix.Len() != len(pts)-1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	got := ix.KNN(target.Pos, 5)
+	for _, p := range got {
+		if p.ID == target.ID {
+			t.Fatal("deleted point still returned")
+		}
+	}
+	// Small update: stays in the same buckets most of the time, position is
+	// refreshed.
+	p0 := pts[0]
+	newPos := p0.Pos.Add(geom.V(0.001, 0.001, 0.001))
+	ix.Update(p0.ID, p0.Pos, newPos)
+	nearest, ok := ix.Nearest(newPos)
+	if !ok || nearest.ID != p0.ID {
+		t.Fatalf("updated point not found at new position: %+v", nearest)
+	}
+	if !nearest.Pos.ApproxEqual(newPos, 1e-12) {
+		t.Fatal("stored position not refreshed")
+	}
+	// Large update: moves buckets.
+	before := ix.Counters().CellMoves()
+	far := geom.V(-50, -50, -50)
+	ix.Update(p0.ID, newPos, far)
+	if ix.Counters().CellMoves() != before+1 {
+		t.Fatal("large update did not record a cell move")
+	}
+	nearest, _ = ix.Nearest(far)
+	if nearest.ID != p0.ID {
+		t.Fatal("moved point not found at far position")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	ix := New(Config{})
+	if ix.cfg.CellWidth != 1 || ix.Tables() != 4 {
+		t.Fatalf("defaults not applied: %+v", ix.cfg)
+	}
+	// Negative coordinates hash consistently (floorDiv behavior).
+	ix.Insert(1, geom.V(-0.5, -0.5, -0.5))
+	ix.Insert(2, geom.V(-0.4, -0.4, -0.4))
+	got := ix.KNN(geom.V(-0.45, -0.45, -0.45), 2)
+	if len(got) != 2 {
+		t.Fatalf("negative-coordinate KNN returned %d", len(got))
+	}
+}
+
+func TestSingleTableNoMultiProbe(t *testing.T) {
+	pts := randomPoints(1000, 8)
+	ix := New(Config{CellWidth: 10, Tables: 1, MultiProbe: false, Seed: 9})
+	for _, p := range pts {
+		ix.Insert(p.ID, p.Pos)
+	}
+	// Without multi-probe the candidate set is one bucket; recall is lower
+	// but results are still sorted, deduplicated and non-empty for most
+	// queries.
+	q := geom.V(55, 55, 55)
+	got := ix.KNN(q, 3)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Pos.Dist2(q) > got[i].Pos.Dist2(q) {
+			t.Fatal("results not sorted")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package mesh
+
+import (
+	"math"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/instrument"
+)
+
+// SeedIndex is the small, approximate index the connectivity-driven methods
+// use to find a starting vertex near a query. It samples one vertex per cell
+// of a coarse uniform grid at construction time and is deliberately never
+// updated when the mesh deforms: stale sample positions only make the start
+// point slightly worse, they never affect result correctness.
+type SeedIndex struct {
+	cells    int
+	universe geom.AABB
+	cellSize geom.Vec3
+	// sample[cell] is a vertex index whose construction-time position fell in
+	// the cell, or -1.
+	sample []int32
+	// pos records the construction-time position of each sample (kept so the
+	// index does not need to chase the live mesh).
+	pos map[int32]geom.Vec3
+}
+
+// NewSeedIndex builds a seed index over the mesh with the given per-dimension
+// resolution (default 8).
+func NewSeedIndex(m *Mesh, cells int) *SeedIndex {
+	if cells <= 0 {
+		cells = 8
+	}
+	s := &SeedIndex{
+		cells:    cells,
+		universe: m.Universe,
+		sample:   make([]int32, cells*cells*cells),
+		pos:      make(map[int32]geom.Vec3),
+	}
+	sz := m.Universe.Size()
+	s.cellSize = geom.V(sz.X/float64(cells), sz.Y/float64(cells), sz.Z/float64(cells))
+	for i := range s.sample {
+		s.sample[i] = -1
+	}
+	for i := range m.Vertices {
+		c := s.cellOf(m.Vertices[i].Pos)
+		if s.sample[c] == -1 {
+			s.sample[c] = int32(i)
+			s.pos[int32(i)] = m.Vertices[i].Pos
+		}
+	}
+	return s
+}
+
+func (s *SeedIndex) cellOf(p geom.Vec3) int {
+	var c [3]int
+	for i := 0; i < 3; i++ {
+		v := int((p.Axis(i) - s.universe.Min.Axis(i)) / s.cellSize.Axis(i))
+		if v < 0 {
+			v = 0
+		}
+		if v >= s.cells {
+			v = s.cells - 1
+		}
+		c[i] = v
+	}
+	return (c[2]*s.cells+c[1])*s.cells + c[0]
+}
+
+// NearestSample returns the sampled vertex whose construction-time position is
+// nearest to p, or -1 if the index is empty.
+func (s *SeedIndex) NearestSample(p geom.Vec3) int32 {
+	best := int32(-1)
+	bestD := math.Inf(1)
+	for v, pos := range s.pos {
+		if d := pos.Dist2(p); d < bestD {
+			best, bestD = v, d
+		}
+	}
+	return best
+}
+
+// SamplesIn returns the sampled vertices whose construction-time positions lie
+// inside box (approximate: positions may have drifted since construction).
+func (s *SeedIndex) SamplesIn(box geom.AABB) []int32 {
+	var out []int32
+	for v, pos := range s.pos {
+		if box.ContainsPoint(pos) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Samples returns the number of sampled vertices.
+func (s *SeedIndex) Samples() int { return len(s.pos) }
+
+// DLS implements the Directed Local Search strategy: an approximate seed
+// index provides a start vertex, a greedy walk over mesh connectivity moves
+// the start toward the query region, and a constrained breadth-first
+// expansion collects every vertex inside the range. Exact for convex meshes;
+// concave meshes (holes) can cut the walk off, which is the limitation
+// OCTOPUS lifts.
+type DLS struct {
+	Mesh     *Mesh
+	Seeds    *SeedIndex
+	counters instrument.Counters
+}
+
+// NewDLS returns a DLS query processor over the mesh.
+func NewDLS(m *Mesh, seedCells int) *DLS {
+	return &DLS{Mesh: m, Seeds: NewSeedIndex(m, seedCells)}
+}
+
+// Counters returns traversal counters.
+func (d *DLS) Counters() *instrument.Counters { return &d.counters }
+
+// Range returns the indices of the mesh vertices inside box.
+func (d *DLS) Range(box geom.AABB) []int32 {
+	start := d.walkToward(box)
+	if start < 0 {
+		return nil
+	}
+	return d.Mesh.expandInRange(box, []int32{start}, d.Mesh.TypicalEdgeLength(), &d.counters)
+}
+
+// walkToward greedily walks from the seed nearest to the query center toward
+// the query box, following the neighbor that most reduces the distance to the
+// box, and returns the reached vertex (ideally inside the box).
+func (d *DLS) walkToward(box geom.AABB) int32 {
+	cur := d.Seeds.NearestSample(box.Center())
+	if cur < 0 {
+		return -1
+	}
+	for steps := 0; steps < len(d.Mesh.Vertices); steps++ {
+		d.counters.AddNodeVisits(1)
+		curDist := box.Distance2ToPoint(d.Mesh.Vertices[cur].Pos)
+		if curDist == 0 {
+			return cur
+		}
+		best := int32(-1)
+		bestDist := curDist
+		for _, n := range d.Mesh.Adjacency[cur] {
+			d.counters.AddElemIntersectTests(1)
+			if dist := box.Distance2ToPoint(d.Mesh.Vertices[n].Pos); dist < bestDist {
+				best, bestDist = n, dist
+			}
+		}
+		if best < 0 {
+			// Local minimum: the walk cannot get closer (concave mesh or the
+			// box lies outside the mesh). Return the closest vertex found.
+			return cur
+		}
+		cur = best
+	}
+	return cur
+}
+
+// Octopus implements the OCTOPUS strategy: like DLS, but queries additionally
+// start from every surface vertex currently inside the range, which restores
+// completeness on concave meshes (result components that touch a hole or the
+// outer boundary are reached from the surface even when the greedy walk is
+// cut off).
+type Octopus struct {
+	Mesh     *Mesh
+	Seeds    *SeedIndex
+	surface  []int32
+	counters instrument.Counters
+}
+
+// NewOctopus returns an OCTOPUS query processor over the mesh.
+func NewOctopus(m *Mesh, seedCells int) *Octopus {
+	o := &Octopus{Mesh: m, Seeds: NewSeedIndex(m, seedCells)}
+	for i := range m.Vertices {
+		if m.Vertices[i].Surface {
+			o.surface = append(o.surface, int32(i))
+		}
+	}
+	return o
+}
+
+// Counters returns traversal counters.
+func (o *Octopus) Counters() *instrument.Counters { return &o.counters }
+
+// SurfaceVertices returns the number of surface vertices used as potential
+// query start points.
+func (o *Octopus) SurfaceVertices() int { return len(o.surface) }
+
+// Range returns the indices of the mesh vertices inside box.
+func (o *Octopus) Range(box geom.AABB) []int32 {
+	var seeds []int32
+	// Surface start points currently inside the range (checked against live
+	// positions — the surface list itself never changes).
+	for _, v := range o.surface {
+		o.counters.AddElemIntersectTests(1)
+		if box.ContainsPoint(o.Mesh.Vertices[v].Pos) {
+			seeds = append(seeds, v)
+		}
+	}
+	// Plus the DLS-style walked start, for ranges in the interior.
+	d := DLS{Mesh: o.Mesh, Seeds: o.Seeds}
+	if start := d.walkToward(box); start >= 0 {
+		seeds = append(seeds, start)
+	}
+	o.counters.AddNodeVisits(d.counters.NodeVisits())
+	return o.Mesh.expandInRange(box, seeds, o.Mesh.TypicalEdgeLength(), &o.counters)
+}

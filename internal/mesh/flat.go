@@ -1,0 +1,181 @@
+package mesh
+
+import (
+	"spatialsim/internal/geom"
+	"spatialsim/internal/instrument"
+	"spatialsim/internal/kdtree"
+)
+
+// FLAT augments a dataset that has no natural mesh connectivity with
+// neighborhood links (each element is linked to its k nearest neighbors at
+// construction time) and then answers range queries by seeded graph
+// expansion, the idea the paper attributes to FLAT ("adds connectivity
+// (neighborhood) information to the dataset and then uses it to execute
+// spatial queries") and suggests carrying over to memory.
+//
+// Like the mesh methods, the connectivity and the coarse seed index are built
+// once; element positions may drift afterwards (the live positions are always
+// consulted during expansion), so no per-step maintenance is required.
+type FLAT struct {
+	positions []geom.Vec3 // live positions, updated via UpdatePosition
+	ids       []int64
+	adjacency [][]int32
+	seeds     *SeedIndex
+	universe  geom.AABB
+	// linkLength is the average construction-time distance to the nearest
+	// linked neighbor; expansion traverses elements within this margin of the
+	// query so that in-range elements connected only through just-outside
+	// elements are still reached.
+	linkLength float64
+	counters   instrument.Counters
+}
+
+// FLATConfig configures NewFLAT.
+type FLATConfig struct {
+	// Neighbors is the number of neighborhood links per element (default 8).
+	Neighbors int
+	// SeedCells is the per-dimension resolution of the seed index (default 8).
+	SeedCells int
+}
+
+// NewFLAT builds the neighborhood graph and seed index over the elements.
+func NewFLAT(ids []int64, positions []geom.Vec3, universe geom.AABB, cfg FLATConfig) *FLAT {
+	if cfg.Neighbors <= 0 {
+		cfg.Neighbors = 8
+	}
+	if cfg.SeedCells <= 0 {
+		cfg.SeedCells = 8
+	}
+	f := &FLAT{
+		positions: append([]geom.Vec3(nil), positions...),
+		ids:       append([]int64(nil), ids...),
+		adjacency: make([][]int32, len(positions)),
+		universe:  universe,
+	}
+	// kNN connectivity via a KD-Tree over construction-time positions.
+	pts := make([]kdtree.Point, len(positions))
+	for i := range positions {
+		pts[i] = kdtree.Point{ID: int64(i), Pos: positions[i]}
+	}
+	kt := kdtree.Build(pts)
+	var linkSum float64
+	var linkN int
+	for i := range positions {
+		nbrs := kt.KNN(positions[i], cfg.Neighbors+1)
+		for _, n := range nbrs {
+			if n.ID == int64(i) {
+				continue
+			}
+			f.adjacency[i] = append(f.adjacency[i], int32(n.ID))
+			linkSum += positions[i].Dist(n.Pos)
+			linkN++
+		}
+	}
+	if linkN > 0 {
+		f.linkLength = linkSum / float64(linkN)
+	}
+	// Symmetrize so expansion can traverse links in both directions.
+	for i := range f.adjacency {
+		for _, j := range f.adjacency[i] {
+			if !contains(f.adjacency[j], int32(i)) {
+				f.adjacency[j] = append(f.adjacency[j], int32(i))
+			}
+		}
+	}
+	// Seed index over a temporary mesh view.
+	view := &Mesh{Vertices: make([]Vertex, len(positions)), Universe: universe}
+	for i := range positions {
+		view.Vertices[i] = Vertex{ID: int64(i), Pos: positions[i]}
+	}
+	f.seeds = NewSeedIndex(view, cfg.SeedCells)
+	return f
+}
+
+// Len returns the number of elements.
+func (f *FLAT) Len() int { return len(f.positions) }
+
+// Counters returns traversal counters.
+func (f *FLAT) Counters() *instrument.Counters { return &f.counters }
+
+// UpdatePosition records an element's new position. Only the live position
+// array is touched; connectivity and seeds stay as built.
+func (f *FLAT) UpdatePosition(idx int, p geom.Vec3) { f.positions[idx] = p }
+
+// Position returns the live position of element idx.
+func (f *FLAT) Position(idx int) geom.Vec3 { return f.positions[idx] }
+
+// Range returns the ids of all elements whose live position lies in box,
+// found by seeded expansion over the neighborhood graph.
+func (f *FLAT) Range(box geom.AABB) []int64 {
+	// Seeds: every sample inside the box (by construction-time position) plus
+	// the sample nearest to the box center, walked toward the box.
+	seeds := f.seeds.SamplesIn(box)
+	if s := f.seeds.NearestSample(box.Center()); s >= 0 {
+		seeds = append(seeds, f.walkToward(int(s), box))
+	}
+	visited := make(map[int32]bool)
+	var queue []int32
+	var out []int64
+	margin2 := f.linkLength * f.linkLength
+	push := func(v int32) {
+		if v < 0 || visited[v] {
+			return
+		}
+		visited[v] = true
+		f.counters.AddElemIntersectTests(1)
+		if box.ContainsPoint(f.positions[v]) {
+			out = append(out, f.ids[v])
+		}
+		if box.Distance2ToPoint(f.positions[v]) <= margin2 {
+			queue = append(queue, v)
+		}
+	}
+	for _, s := range seeds {
+		push(s)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		f.counters.AddNodeVisits(1)
+		for _, n := range f.adjacency[v] {
+			push(n)
+		}
+	}
+	return out
+}
+
+// walkToward greedily follows neighborhood links from start toward the box
+// and returns the closest element reached.
+func (f *FLAT) walkToward(start int, box geom.AABB) int32 {
+	cur := int32(start)
+	for steps := 0; steps < len(f.positions); steps++ {
+		curDist := box.Distance2ToPoint(f.positions[cur])
+		if curDist == 0 {
+			return cur
+		}
+		best := int32(-1)
+		bestDist := curDist
+		for _, n := range f.adjacency[cur] {
+			if d := box.Distance2ToPoint(f.positions[n]); d < bestDist {
+				best, bestDist = n, d
+			}
+		}
+		if best < 0 {
+			return cur
+		}
+		cur = best
+	}
+	return cur
+}
+
+// BruteForceRange returns the ids of all elements whose live position lies in
+// box; the ground truth used by tests and experiments.
+func (f *FLAT) BruteForceRange(box geom.AABB) []int64 {
+	var out []int64
+	for i, p := range f.positions {
+		if box.ContainsPoint(p) {
+			out = append(out, f.ids[i])
+		}
+	}
+	return out
+}

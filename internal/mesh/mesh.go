@@ -1,0 +1,268 @@
+// Package mesh implements the mesh-connectivity substrate and the
+// connectivity-driven range-query strategies the paper points to as a way to
+// avoid index maintenance entirely (Section 4.3): DLS (Papadomanolakis et
+// al.), OCTOPUS (Tauheed et al.) and a FLAT-style neighborhood augmentation
+// for non-mesh datasets.
+//
+// The core observation these methods share: the dataset itself is updated by
+// the simulation at every step and is therefore always current; if queries
+// navigate the dataset's connectivity instead of a spatial index, the only
+// auxiliary structure is a small, approximate seed index that may be stale
+// without affecting correctness.
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/instrument"
+)
+
+// Vertex is one mesh vertex.
+type Vertex struct {
+	ID  int64
+	Pos geom.Vec3
+	// Surface marks vertices on the mesh boundary (including hole
+	// boundaries); OCTOPUS uses them as additional query start points.
+	Surface bool
+}
+
+// Mesh is an unstructured mesh represented by its vertices and vertex
+// adjacency (the connectivity the simulation maintains anyway).
+type Mesh struct {
+	Vertices []Vertex
+	// Adjacency lists neighbor vertex indices (not ids) for each vertex.
+	Adjacency [][]int32
+	Universe  geom.AABB
+}
+
+// Len returns the number of vertices.
+func (m *Mesh) Len() int { return len(m.Vertices) }
+
+// Validate checks structural consistency: adjacency is symmetric, indexes are
+// in range and positions are finite.
+func (m *Mesh) Validate() error {
+	if len(m.Adjacency) != len(m.Vertices) {
+		return fmt.Errorf("mesh: adjacency size %d != vertex count %d", len(m.Adjacency), len(m.Vertices))
+	}
+	for i, nbrs := range m.Adjacency {
+		if !m.Vertices[i].Pos.IsFinite() {
+			return fmt.Errorf("mesh: vertex %d has non-finite position", i)
+		}
+		for _, j := range nbrs {
+			if j < 0 || int(j) >= len(m.Vertices) {
+				return fmt.Errorf("mesh: vertex %d has out-of-range neighbor %d", i, j)
+			}
+			if int(j) == i {
+				return fmt.Errorf("mesh: vertex %d is its own neighbor", i)
+			}
+			if !contains(m.Adjacency[j], int32(i)) {
+				return fmt.Errorf("mesh: adjacency not symmetric between %d and %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// LatticeConfig configures GenerateLattice.
+type LatticeConfig struct {
+	// Nx, Ny, Nz are the lattice dimensions in vertices.
+	Nx, Ny, Nz int
+	// Universe is the spatial extent of the lattice.
+	Universe geom.AABB
+	// Jitter displaces each vertex by up to this fraction of the lattice
+	// spacing, producing an unstructured-looking mesh while preserving
+	// connectivity.
+	Jitter float64
+	// Hole, if non-empty, removes all vertices inside the box, producing a
+	// concave mesh (the case DLS cannot handle but OCTOPUS can).
+	Hole geom.AABB
+	Seed int64
+}
+
+// GenerateLattice builds a 6-connected lattice mesh, the synthetic stand-in
+// for the tetrahedral meshes of the paper's material-deformation and
+// earthquake use cases.
+func GenerateLattice(cfg LatticeConfig) *Mesh {
+	if cfg.Nx <= 0 {
+		cfg.Nx = 10
+	}
+	if cfg.Ny <= 0 {
+		cfg.Ny = 10
+	}
+	if cfg.Nz <= 0 {
+		cfg.Nz = 10
+	}
+	if !cfg.Universe.IsValid() {
+		cfg.Universe = geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	size := cfg.Universe.Size()
+	dx := size.X / float64(maxInt(cfg.Nx-1, 1))
+	dy := size.Y / float64(maxInt(cfg.Ny-1, 1))
+	dz := size.Z / float64(maxInt(cfg.Nz-1, 1))
+
+	// First pass: decide which lattice sites exist (hole removal) and assign
+	// dense vertex indices.
+	indexOf := make(map[[3]int]int32)
+	var vertices []Vertex
+	hole := cfg.Hole
+	useHole := hole.IsValid() && hole.Volume() > 0
+	for z := 0; z < cfg.Nz; z++ {
+		for y := 0; y < cfg.Ny; y++ {
+			for x := 0; x < cfg.Nx; x++ {
+				p := geom.V(
+					cfg.Universe.Min.X+float64(x)*dx,
+					cfg.Universe.Min.Y+float64(y)*dy,
+					cfg.Universe.Min.Z+float64(z)*dz,
+				)
+				if useHole && hole.ContainsPoint(p) {
+					continue
+				}
+				jp := p
+				if cfg.Jitter > 0 {
+					jp = p.Add(geom.V(
+						(r.Float64()*2-1)*cfg.Jitter*dx,
+						(r.Float64()*2-1)*cfg.Jitter*dy,
+						(r.Float64()*2-1)*cfg.Jitter*dz,
+					))
+				}
+				indexOf[[3]int{x, y, z}] = int32(len(vertices))
+				vertices = append(vertices, Vertex{ID: int64(len(vertices)), Pos: jp})
+			}
+		}
+	}
+	m := &Mesh{Vertices: vertices, Adjacency: make([][]int32, len(vertices)), Universe: cfg.Universe}
+	// Second pass: connectivity and surface flags.
+	for key, vi := range indexOf {
+		x, y, z := key[0], key[1], key[2]
+		neighbors := [][3]int{
+			{x - 1, y, z}, {x + 1, y, z},
+			{x, y - 1, z}, {x, y + 1, z},
+			{x, y, z - 1}, {x, y, z + 1},
+		}
+		surface := false
+		for _, nk := range neighbors {
+			if nk[0] < 0 || nk[0] >= cfg.Nx || nk[1] < 0 || nk[1] >= cfg.Ny || nk[2] < 0 || nk[2] >= cfg.Nz {
+				surface = true
+				continue
+			}
+			nj, ok := indexOf[nk]
+			if !ok {
+				// Neighbor removed by the hole: this vertex is on the hole
+				// boundary, i.e. on the surface.
+				surface = true
+				continue
+			}
+			m.Adjacency[vi] = append(m.Adjacency[vi], nj)
+		}
+		m.Vertices[vi].Surface = surface
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Deform applies a small random displacement to every vertex (bounded by
+// maxStep), simulating one deformation time step. Connectivity is untouched —
+// which is precisely why connectivity-driven queries need no index
+// maintenance.
+func (m *Mesh) Deform(maxStep float64, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := range m.Vertices {
+		d := geom.V(
+			(r.Float64()*2-1)*maxStep,
+			(r.Float64()*2-1)*maxStep,
+			(r.Float64()*2-1)*maxStep,
+		)
+		m.Vertices[i].Pos = m.Vertices[i].Pos.Add(d)
+	}
+}
+
+// BruteForceRange returns the indices of all vertices inside the box; the
+// ground truth used by tests and experiments.
+func (m *Mesh) BruteForceRange(box geom.AABB) []int32 {
+	var out []int32
+	for i := range m.Vertices {
+		if box.ContainsPoint(m.Vertices[i].Pos) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// TypicalEdgeLength returns the average edge length over a sample of the
+// mesh, used as the expansion margin of the connectivity-driven queries.
+func (m *Mesh) TypicalEdgeLength() float64 {
+	var sum float64
+	var n int
+	step := len(m.Vertices)/256 + 1
+	for i := 0; i < len(m.Vertices); i += step {
+		for _, j := range m.Adjacency[i] {
+			sum += m.Vertices[i].Pos.Dist(m.Vertices[j].Pos)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// expandInRange runs a BFS over mesh connectivity starting from the given
+// seed vertex indices. The traversal continues through any vertex within
+// `margin` of the box (so that jittered or deformed meshes whose strictly
+// in-range vertices form a disconnected subgraph are still fully covered),
+// but only vertices strictly inside the box are reported. Charges traversal
+// work to counters if non-nil.
+func (m *Mesh) expandInRange(box geom.AABB, seeds []int32, margin float64, counters *instrument.Counters) []int32 {
+	visited := make(map[int32]bool, len(seeds)*4)
+	var queue []int32
+	var out []int32
+	margin2 := margin * margin
+	push := func(v int32) {
+		if visited[v] {
+			return
+		}
+		visited[v] = true
+		if counters != nil {
+			counters.AddElemIntersectTests(1)
+		}
+		pos := m.Vertices[v].Pos
+		if box.ContainsPoint(pos) {
+			out = append(out, v)
+		}
+		if box.Distance2ToPoint(pos) <= margin2 {
+			queue = append(queue, v)
+		}
+	}
+	for _, s := range seeds {
+		push(s)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if counters != nil {
+			counters.AddNodeVisits(1)
+		}
+		for _, n := range m.Adjacency[v] {
+			push(n)
+		}
+	}
+	return out
+}

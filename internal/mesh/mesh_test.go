@@ -1,0 +1,291 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialsim/internal/geom"
+)
+
+func latticeUniverse() geom.AABB { return geom.NewAABB(geom.V(0, 0, 0), geom.V(10, 10, 10)) }
+
+func toSet(xs []int32) map[int32]bool {
+	s := make(map[int32]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}
+
+func TestGenerateLatticeStructure(t *testing.T) {
+	m := GenerateLattice(LatticeConfig{Nx: 8, Ny: 8, Nz: 8, Universe: latticeUniverse(), Jitter: 0.2, Seed: 1})
+	if m.Len() != 512 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Interior vertices have 6 neighbors; corner vertices have 3.
+	counts := map[int]int{}
+	for _, adj := range m.Adjacency {
+		counts[len(adj)]++
+	}
+	if counts[6] == 0 || counts[3] != 8 {
+		t.Fatalf("unexpected degree distribution: %v", counts)
+	}
+	// Surface flags: a 8^3 lattice has 8^3 - 6^3 = 296 surface vertices.
+	surf := 0
+	for _, v := range m.Vertices {
+		if v.Surface {
+			surf++
+		}
+	}
+	if surf != 512-216 {
+		t.Fatalf("surface vertices = %d, want %d", surf, 512-216)
+	}
+	// Defaults.
+	d := GenerateLattice(LatticeConfig{})
+	if d.Len() != 1000 {
+		t.Fatalf("default lattice size = %d", d.Len())
+	}
+}
+
+func TestLatticeWithHole(t *testing.T) {
+	hole := geom.NewAABB(geom.V(4, 4, 4), geom.V(6, 6, 6))
+	m := GenerateLattice(LatticeConfig{Nx: 10, Ny: 10, Nz: 10, Universe: latticeUniverse(), Hole: hole, Seed: 2})
+	if m.Len() >= 1000 {
+		t.Fatalf("hole did not remove vertices: %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Vertices adjacent to the hole must be flagged as surface.
+	foundHoleSurface := false
+	for i, v := range m.Vertices {
+		if v.Surface && len(m.Adjacency[i]) < 6 && !onOuterBoundary(v.Pos, latticeUniverse()) {
+			foundHoleSurface = true
+			break
+		}
+	}
+	if !foundHoleSurface {
+		t.Fatal("no hole-boundary surface vertices found")
+	}
+}
+
+func onOuterBoundary(p geom.Vec3, u geom.AABB) bool {
+	const eps = 1e-9
+	for i := 0; i < 3; i++ {
+		if p.Axis(i) < u.Min.Axis(i)+eps || p.Axis(i) > u.Max.Axis(i)-eps {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDLSExactOnConvexMesh(t *testing.T) {
+	m := GenerateLattice(LatticeConfig{Nx: 15, Ny: 15, Nz: 15, Universe: latticeUniverse(), Jitter: 0.1, Seed: 3})
+	d := NewDLS(m, 5)
+	r := rand.New(rand.NewSource(4))
+	for q := 0; q < 40; q++ {
+		c := geom.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		box := geom.AABBFromCenter(c, geom.V(1.2, 1.2, 1.2))
+		got := toSet(d.Range(box))
+		want := toSet(m.BruteForceRange(box))
+		if len(got) != len(want) {
+			t.Fatalf("query %d: DLS %d results, want %d", q, len(got), len(want))
+		}
+		for v := range got {
+			if !want[v] {
+				t.Fatalf("query %d: unexpected vertex %d", q, v)
+			}
+		}
+	}
+	if d.Counters().NodeVisits() == 0 {
+		t.Error("counters not populated")
+	}
+	if d.Seeds.Samples() == 0 {
+		t.Error("seed index empty")
+	}
+}
+
+func TestDLSExactAfterDeformationWithoutMaintenance(t *testing.T) {
+	m := GenerateLattice(LatticeConfig{Nx: 12, Ny: 12, Nz: 12, Universe: latticeUniverse(), Jitter: 0.1, Seed: 5})
+	d := NewDLS(m, 5)
+	// Deform the mesh several times WITHOUT rebuilding the seed index.
+	for step := 0; step < 5; step++ {
+		m.Deform(0.05, int64(10+step))
+	}
+	r := rand.New(rand.NewSource(6))
+	for q := 0; q < 30; q++ {
+		c := geom.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		box := geom.AABBFromCenter(c, geom.V(1.5, 1.5, 1.5))
+		got := toSet(d.Range(box))
+		want := toSet(m.BruteForceRange(box))
+		if len(got) != len(want) {
+			t.Fatalf("query %d after deformation: DLS %d results, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestOctopusExactOnConcaveMesh(t *testing.T) {
+	hole := geom.NewAABB(geom.V(3, 3, 0), geom.V(7, 7, 10))
+	m := GenerateLattice(LatticeConfig{Nx: 14, Ny: 14, Nz: 14, Universe: latticeUniverse(), Hole: hole, Seed: 7})
+	o := NewOctopus(m, 5)
+	if o.SurfaceVertices() == 0 {
+		t.Fatal("no surface vertices")
+	}
+	d := NewDLS(m, 5)
+	r := rand.New(rand.NewSource(8))
+	octExact := 0
+	dlsMissed := false
+	for q := 0; q < 50; q++ {
+		c := geom.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		box := geom.AABBFromCenter(c, geom.V(1.5+r.Float64()*2, 1.5+r.Float64()*2, 1.5+r.Float64()*2))
+		want := toSet(m.BruteForceRange(box))
+		gotO := toSet(o.Range(box))
+		gotD := toSet(d.Range(box))
+		// OCTOPUS must be exact.
+		if len(gotO) != len(want) {
+			t.Fatalf("query %d: OCTOPUS %d results, want %d", q, len(gotO), len(want))
+		}
+		for v := range gotO {
+			if !want[v] {
+				t.Fatalf("query %d: OCTOPUS returned vertex %d not in range", q, v)
+			}
+		}
+		octExact++
+		// DLS must never return wrong vertices, but may miss some on a
+		// concave mesh.
+		for v := range gotD {
+			if !want[v] {
+				t.Fatalf("query %d: DLS returned vertex %d not in range", q, v)
+			}
+		}
+		if len(gotD) < len(want) {
+			dlsMissed = true
+		}
+	}
+	if octExact == 0 {
+		t.Fatal("no queries executed")
+	}
+	_ = dlsMissed // DLS may or may not miss depending on geometry; only OCTOPUS has the guarantee.
+}
+
+func TestSeedIndexBasics(t *testing.T) {
+	m := GenerateLattice(LatticeConfig{Nx: 6, Ny: 6, Nz: 6, Universe: latticeUniverse(), Seed: 9})
+	s := NewSeedIndex(m, 3)
+	if s.Samples() == 0 || s.Samples() > 27 {
+		t.Fatalf("Samples = %d", s.Samples())
+	}
+	if s.NearestSample(geom.V(5, 5, 5)) < 0 {
+		t.Fatal("NearestSample returned -1 on non-empty index")
+	}
+	if got := s.SamplesIn(latticeUniverse()); len(got) != s.Samples() {
+		t.Fatalf("SamplesIn(universe) = %d, want %d", len(got), s.Samples())
+	}
+	if got := s.SamplesIn(geom.NewAABB(geom.V(100, 100, 100), geom.V(101, 101, 101))); len(got) != 0 {
+		t.Fatalf("SamplesIn(far away) = %d", len(got))
+	}
+	// Empty mesh.
+	empty := &Mesh{Universe: latticeUniverse()}
+	se := NewSeedIndex(empty, 0)
+	if se.NearestSample(geom.V(0, 0, 0)) != -1 {
+		t.Fatal("NearestSample on empty index should be -1")
+	}
+	dls := NewDLS(empty, 2)
+	if got := dls.Range(geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))); got != nil {
+		t.Fatal("DLS on empty mesh should return nil")
+	}
+}
+
+func TestMeshValidateCatchesCorruption(t *testing.T) {
+	m := GenerateLattice(LatticeConfig{Nx: 4, Ny: 4, Nz: 4, Universe: latticeUniverse(), Seed: 10})
+	m.Adjacency[0] = append(m.Adjacency[0], 999)
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate missed out-of-range neighbor")
+	}
+	m2 := GenerateLattice(LatticeConfig{Nx: 4, Ny: 4, Nz: 4, Universe: latticeUniverse(), Seed: 10})
+	m2.Adjacency[0] = append(m2.Adjacency[0], 5)
+	if contains(m2.Adjacency[5], 0) {
+		// make it asymmetric by removing the back edge if present
+		var filtered []int32
+		for _, x := range m2.Adjacency[5] {
+			if x != 0 {
+				filtered = append(filtered, x)
+			}
+		}
+		m2.Adjacency[5] = filtered
+	}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("Validate missed asymmetric adjacency")
+	}
+	m3 := GenerateLattice(LatticeConfig{Nx: 4, Ny: 4, Nz: 4, Universe: latticeUniverse(), Seed: 10})
+	m3.Adjacency = m3.Adjacency[:10]
+	if err := m3.Validate(); err == nil {
+		t.Fatal("Validate missed adjacency size mismatch")
+	}
+}
+
+func TestFLATRangeOnScatteredData(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := 3000
+	ids := make([]int64, n)
+	pos := make([]geom.Vec3, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i) + 1000
+		pos[i] = geom.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+	}
+	f := NewFLAT(ids, pos, latticeUniverse(), FLATConfig{Neighbors: 10, SeedCells: 6})
+	if f.Len() != n {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	// Recall measurement: FLAT is exact whenever the in-range elements are
+	// connected to a seed through the neighborhood graph; with 10 links per
+	// element and seed samples inside the query this should be nearly always.
+	totalWant, totalGot := 0, 0
+	for q := 0; q < 40; q++ {
+		c := geom.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		box := geom.AABBFromCenter(c, geom.V(1.0, 1.0, 1.0))
+		want := f.BruteForceRange(box)
+		got := f.Range(box)
+		wantSet := make(map[int64]bool, len(want))
+		for _, id := range want {
+			wantSet[id] = true
+		}
+		for _, id := range got {
+			if !wantSet[id] {
+				t.Fatalf("query %d: FLAT returned id %d outside the range", q, id)
+			}
+		}
+		totalWant += len(want)
+		totalGot += len(got)
+	}
+	if totalWant == 0 {
+		t.Fatal("no results expected at all; enlarge the query")
+	}
+	recall := float64(totalGot) / float64(totalWant)
+	if recall < 0.95 {
+		t.Fatalf("FLAT recall %.3f below 0.95", recall)
+	}
+	// Positions can be updated without rebuilding; results follow the live
+	// positions for the small, plasticity-scale movements FLAT targets.
+	oldPos := f.Position(0)
+	newPos := oldPos.Add(geom.V(0.05, 0.05, 0.05))
+	f.UpdatePosition(0, newPos)
+	if f.Position(0) != newPos {
+		t.Fatal("UpdatePosition not applied")
+	}
+	got := f.Range(geom.AABBFromCenter(newPos, geom.V(0.7, 0.7, 0.7)))
+	found := false
+	for _, id := range got {
+		if id == ids[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("moved element not found at its new position")
+	}
+	if f.Counters().NodeVisits() == 0 {
+		t.Error("counters not populated")
+	}
+}

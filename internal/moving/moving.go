@@ -1,0 +1,420 @@
+// Package moving implements the moving-object update strategies the paper
+// surveys in Section 4.2 and argues shift cost from maintenance to query
+// execution:
+//
+//   - Throwaway: never update in place; rebuild the wrapped index from the
+//     current element positions at every simulation step (the short-lived
+//     "throwaway" index / full rebuild strategy);
+//   - Lazy: a grace window (loose bounding boxes) absorbs small movements so
+//     the wrapped index is only touched when an element leaves its loose box;
+//     every query must refine results against the current tight boxes;
+//   - Buffered: updates accumulate in a side buffer that queries must also
+//     search; the buffer is flushed into the wrapped index when it grows past
+//     a threshold.
+//
+// All three wrap any index.Index and implement index.Index themselves, so
+// experiment harnesses can swap them freely against plain in-place updates.
+package moving
+
+import (
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+)
+
+// Throwaway wraps a bulk-loadable index and rebuilds it from scratch instead
+// of applying individual updates. Updates only modify the staging table;
+// Rebuild pushes the staged state into the wrapped index.
+type Throwaway struct {
+	inner    index.Index
+	loader   index.BulkLoader
+	current  map[int64]geom.AABB
+	dirty    bool
+	counters instrument.Counters
+}
+
+// NewThrowaway wraps inner, which must also implement index.BulkLoader.
+func NewThrowaway(inner index.Index) *Throwaway {
+	loader, ok := inner.(index.BulkLoader)
+	if !ok {
+		panic("moving: NewThrowaway requires an index that implements BulkLoader")
+	}
+	return &Throwaway{inner: inner, loader: loader, current: make(map[int64]geom.AABB)}
+}
+
+// Name implements index.Index.
+func (t *Throwaway) Name() string { return "throwaway-" + t.inner.Name() }
+
+// Len implements index.Index.
+func (t *Throwaway) Len() int { return len(t.current) }
+
+// Counters implements index.Index.
+func (t *Throwaway) Counters() *instrument.Counters { return &t.counters }
+
+// Insert implements index.Index.
+func (t *Throwaway) Insert(id int64, box geom.AABB) {
+	t.counters.AddUpdates(1)
+	t.current[id] = box
+	t.dirty = true
+}
+
+// Delete implements index.Index.
+func (t *Throwaway) Delete(id int64, _ geom.AABB) bool {
+	if _, ok := t.current[id]; !ok {
+		return false
+	}
+	t.counters.AddUpdates(1)
+	delete(t.current, id)
+	t.dirty = true
+	return true
+}
+
+// Update implements index.Index.
+func (t *Throwaway) Update(id int64, _, newBox geom.AABB) {
+	t.counters.AddUpdates(1)
+	t.current[id] = newBox
+	t.dirty = true
+}
+
+// Rebuild bulk-loads the wrapped index from the staged state. Call it once
+// per simulation step, after the update phase and before the query phase.
+func (t *Throwaway) Rebuild() {
+	items := make([]index.Item, 0, len(t.current))
+	for id, box := range t.current {
+		items = append(items, index.Item{ID: id, Box: box})
+	}
+	t.loader.BulkLoad(items)
+	t.dirty = false
+}
+
+// Search implements index.Index; it rebuilds first if updates are pending.
+func (t *Throwaway) Search(query geom.AABB, fn func(index.Item) bool) {
+	if t.dirty {
+		t.Rebuild()
+	}
+	t.inner.Search(query, fn)
+}
+
+// KNN implements index.Index; it rebuilds first if updates are pending.
+func (t *Throwaway) KNN(p geom.Vec3, k int) []index.Item {
+	if t.dirty {
+		t.Rebuild()
+	}
+	return t.inner.KNN(p, k)
+}
+
+var _ index.Index = (*Throwaway)(nil)
+
+// Lazy wraps an index with a grace window: the wrapped index stores boxes
+// enlarged by Grace, and an element's entry is only replaced when its tight
+// box escapes the stored loose box. Queries filter the loose matches against
+// the tight boxes, which is exactly the query-time overhead the paper
+// attributes to this class of methods.
+type Lazy struct {
+	inner index.Index
+	// Grace is the padding added around an element's box when (re)inserting.
+	Grace    float64
+	loose    map[int64]geom.AABB
+	tight    map[int64]geom.AABB
+	counters instrument.Counters
+}
+
+// NewLazy wraps inner with the given grace window.
+func NewLazy(inner index.Index, grace float64) *Lazy {
+	if grace < 0 {
+		grace = 0
+	}
+	return &Lazy{
+		inner: inner,
+		Grace: grace,
+		loose: make(map[int64]geom.AABB),
+		tight: make(map[int64]geom.AABB),
+	}
+}
+
+// Name implements index.Index.
+func (l *Lazy) Name() string { return "lazy-" + l.inner.Name() }
+
+// Len implements index.Index.
+func (l *Lazy) Len() int { return len(l.tight) }
+
+// Counters implements index.Index.
+func (l *Lazy) Counters() *instrument.Counters { return &l.counters }
+
+// Insert implements index.Index.
+func (l *Lazy) Insert(id int64, box geom.AABB) {
+	l.counters.AddUpdates(1)
+	loose := box.Expand(l.Grace)
+	l.loose[id] = loose
+	l.tight[id] = box
+	l.inner.Insert(id, loose)
+}
+
+// Delete implements index.Index.
+func (l *Lazy) Delete(id int64, _ geom.AABB) bool {
+	loose, ok := l.loose[id]
+	if !ok {
+		return false
+	}
+	l.counters.AddUpdates(1)
+	l.inner.Delete(id, loose)
+	delete(l.loose, id)
+	delete(l.tight, id)
+	return true
+}
+
+// Update implements index.Index. Movements that stay within the grace window
+// do not touch the wrapped index at all.
+func (l *Lazy) Update(id int64, _, newBox geom.AABB) {
+	l.counters.AddUpdates(1)
+	loose, ok := l.loose[id]
+	if !ok {
+		l.Insert(id, newBox)
+		return
+	}
+	l.tight[id] = newBox
+	if loose.Contains(newBox) {
+		return
+	}
+	// Escaped the grace window: replace the loose entry.
+	l.counters.AddCellMoves(1)
+	newLoose := newBox.Expand(l.Grace)
+	l.inner.Update(id, loose, newLoose)
+	l.loose[id] = newLoose
+}
+
+// EscapedUpdates returns how many updates actually modified the wrapped index
+// (the complement of the savings the grace window buys).
+func (l *Lazy) EscapedUpdates() int64 { return l.counters.CellMoves() }
+
+// Search implements index.Index: loose matches are refined against the tight
+// boxes before being reported.
+func (l *Lazy) Search(query geom.AABB, fn func(index.Item) bool) {
+	l.inner.Search(query, func(it index.Item) bool {
+		tight, ok := l.tight[it.ID]
+		if !ok {
+			return true
+		}
+		l.counters.AddElemIntersectTests(1)
+		if !query.Intersects(tight) {
+			return true
+		}
+		l.counters.AddResults(1)
+		return fn(index.Item{ID: it.ID, Box: tight})
+	})
+}
+
+// KNN implements index.Index. Candidates are gathered with an enlarged k from
+// the wrapped (loose) index and re-ranked by tight-box distance; because a
+// loose box understates no distance by more than the grace window, gathering
+// extra candidates and re-ranking restores correct ordering in practice.
+func (l *Lazy) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || len(l.tight) == 0 {
+		return nil
+	}
+	fetch := k * 4
+	if fetch < k+8 {
+		fetch = k + 8
+	}
+	cands := l.inner.KNN(p, fetch)
+	out := make([]index.Item, 0, len(cands))
+	for _, it := range cands {
+		if tight, ok := l.tight[it.ID]; ok {
+			out = append(out, index.Item{ID: it.ID, Box: tight})
+		}
+	}
+	sortByDistance(out, p)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+var _ index.Index = (*Lazy)(nil)
+
+// Buffered wraps an index with an update buffer (Biveinis et al.): updates
+// accumulate in memory and are applied to the wrapped index in batches.
+// Until a flush happens, queries must consult both the wrapped index and the
+// buffer — the query-time overhead the paper points out.
+type Buffered struct {
+	inner index.Index
+	// FlushThreshold is the buffer size that triggers an automatic flush.
+	FlushThreshold int
+	buffer         map[int64]geom.AABB // pending upserts (tight boxes)
+	deleted        map[int64]bool      // pending deletes
+	inIndex        map[int64]geom.AABB // state currently reflected in inner
+	counters       instrument.Counters
+}
+
+// NewBuffered wraps inner with the given flush threshold (default 1024).
+func NewBuffered(inner index.Index, flushThreshold int) *Buffered {
+	if flushThreshold <= 0 {
+		flushThreshold = 1024
+	}
+	return &Buffered{
+		inner:          inner,
+		FlushThreshold: flushThreshold,
+		buffer:         make(map[int64]geom.AABB),
+		deleted:        make(map[int64]bool),
+		inIndex:        make(map[int64]geom.AABB),
+	}
+}
+
+// Name implements index.Index.
+func (b *Buffered) Name() string { return "buffered-" + b.inner.Name() }
+
+// Len implements index.Index.
+func (b *Buffered) Len() int {
+	n := len(b.inIndex) + len(b.buffer)
+	for id := range b.buffer {
+		if _, dup := b.inIndex[id]; dup {
+			n--
+		}
+	}
+	for id := range b.deleted {
+		if _, ok := b.inIndex[id]; ok {
+			if _, pending := b.buffer[id]; !pending {
+				n--
+			}
+		}
+	}
+	return n
+}
+
+// Counters implements index.Index.
+func (b *Buffered) Counters() *instrument.Counters { return &b.counters }
+
+// BufferSize returns the number of pending buffered operations.
+func (b *Buffered) BufferSize() int { return len(b.buffer) + len(b.deleted) }
+
+// Insert implements index.Index.
+func (b *Buffered) Insert(id int64, box geom.AABB) {
+	b.counters.AddUpdates(1)
+	b.buffer[id] = box
+	delete(b.deleted, id)
+	b.maybeFlush()
+}
+
+// Delete implements index.Index.
+func (b *Buffered) Delete(id int64, _ geom.AABB) bool {
+	_, inBuf := b.buffer[id]
+	_, inIdx := b.inIndex[id]
+	if !inBuf && !inIdx {
+		return false
+	}
+	if b.deleted[id] && !inBuf {
+		return false
+	}
+	b.counters.AddUpdates(1)
+	delete(b.buffer, id)
+	if inIdx {
+		b.deleted[id] = true
+	}
+	b.maybeFlush()
+	return true
+}
+
+// Update implements index.Index.
+func (b *Buffered) Update(id int64, _, newBox geom.AABB) {
+	b.counters.AddUpdates(1)
+	b.buffer[id] = newBox
+	delete(b.deleted, id)
+	b.maybeFlush()
+}
+
+func (b *Buffered) maybeFlush() {
+	if b.BufferSize() >= b.FlushThreshold {
+		b.Flush()
+	}
+}
+
+// Flush applies all buffered operations to the wrapped index.
+func (b *Buffered) Flush() {
+	for id := range b.deleted {
+		if old, ok := b.inIndex[id]; ok {
+			b.inner.Delete(id, old)
+			delete(b.inIndex, id)
+		}
+	}
+	b.deleted = make(map[int64]bool)
+	for id, box := range b.buffer {
+		if old, ok := b.inIndex[id]; ok {
+			b.inner.Update(id, old, box)
+		} else {
+			b.inner.Insert(id, box)
+		}
+		b.inIndex[id] = box
+	}
+	b.buffer = make(map[int64]geom.AABB)
+}
+
+// Search implements index.Index: both the wrapped index and the buffer are
+// consulted.
+func (b *Buffered) Search(query geom.AABB, fn func(index.Item) bool) {
+	stopped := false
+	b.inner.Search(query, func(it index.Item) bool {
+		if b.deleted[it.ID] {
+			return true
+		}
+		if pending, ok := b.buffer[it.ID]; ok {
+			// The buffered version supersedes the indexed one; it is reported
+			// from the buffer scan below.
+			_ = pending
+			return true
+		}
+		b.counters.AddResults(1)
+		if !fn(it) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	b.counters.AddElemIntersectTests(int64(len(b.buffer)))
+	for id, box := range b.buffer {
+		if query.Intersects(box) {
+			b.counters.AddResults(1)
+			if !fn(index.Item{ID: id, Box: box}) {
+				return
+			}
+		}
+	}
+}
+
+// KNN implements index.Index: candidates from the wrapped index and the
+// buffer are merged and re-ranked.
+func (b *Buffered) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || b.Len() == 0 {
+		return nil
+	}
+	cands := make([]index.Item, 0, k+len(b.buffer))
+	for _, it := range b.inner.KNN(p, k+len(b.buffer)) {
+		if b.deleted[it.ID] {
+			continue
+		}
+		if _, pending := b.buffer[it.ID]; pending {
+			continue
+		}
+		cands = append(cands, it)
+	}
+	for id, box := range b.buffer {
+		cands = append(cands, index.Item{ID: id, Box: box})
+	}
+	sortByDistance(cands, p)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+var _ index.Index = (*Buffered)(nil)
+
+func sortByDistance(items []index.Item, p geom.Vec3) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].Box.Distance2ToPoint(p) < items[j-1].Box.Distance2ToPoint(p); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}

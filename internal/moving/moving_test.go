@@ -1,0 +1,259 @@
+package moving
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/grid"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+	"spatialsim/internal/rtree"
+)
+
+func universe() geom.AABB { return geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)) }
+
+func randomItems(n int, seed int64) []index.Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.4, 0.4, 0.4))}
+	}
+	return items
+}
+
+func bruteRange(items map[int64]geom.AABB, q geom.AABB) map[int64]bool {
+	out := make(map[int64]bool)
+	for id, box := range items {
+		if q.Intersects(box) {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func checkAgainst(t *testing.T, ix index.Index, truth map[int64]geom.AABB, q geom.AABB, ctx string) {
+	t.Helper()
+	got := index.SearchIDs(ix, q)
+	want := bruteRange(truth, q)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", ctx, len(got), len(want))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("%s: unexpected id %d", ctx, id)
+		}
+	}
+}
+
+// driveStrategy runs a generic correctness workload against a moving-object
+// strategy: inserts, small moves, large moves, deletes, queries, kNN.
+func driveStrategy(t *testing.T, ix index.Index) {
+	items := randomItems(800, 1)
+	truth := make(map[int64]geom.AABB)
+	for _, it := range items {
+		ix.Insert(it.ID, it.Box)
+		truth[it.ID] = it.Box
+	}
+	if ix.Len() != len(items) {
+		t.Fatalf("%s: Len = %d, want %d", ix.Name(), ix.Len(), len(items))
+	}
+	r := rand.New(rand.NewSource(2))
+	// Small (plasticity-scale) movements for every element.
+	for id, box := range truth {
+		delta := geom.V(r.Float64()*0.05, r.Float64()*0.05, r.Float64()*0.05)
+		newBox := box.Translate(delta)
+		ix.Update(id, box, newBox)
+		truth[id] = newBox
+	}
+	checkAgainst(t, ix, truth, universe().Expand(1), ix.Name()+" full after small moves")
+	for q := 0; q < 15; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		checkAgainst(t, ix, truth, geom.AABBFromCenter(c, geom.V(5, 5, 5)), ix.Name()+" range after small moves")
+	}
+	// Large movements for a subset.
+	for id := int64(0); id < 100; id++ {
+		old := truth[id]
+		newBox := geom.AABBFromCenter(geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100), geom.V(0.4, 0.4, 0.4))
+		ix.Update(id, old, newBox)
+		truth[id] = newBox
+	}
+	checkAgainst(t, ix, truth, universe().Expand(1), ix.Name()+" full after large moves")
+	// Deletes.
+	for id := int64(100); id < 200; id++ {
+		if !ix.Delete(id, truth[id]) {
+			t.Fatalf("%s: Delete(%d) failed", ix.Name(), id)
+		}
+		delete(truth, id)
+	}
+	if ix.Delete(99999, geom.AABB{}) {
+		t.Fatalf("%s: Delete of missing id succeeded", ix.Name())
+	}
+	if ix.Len() != len(truth) {
+		t.Fatalf("%s: Len = %d, want %d", ix.Name(), ix.Len(), len(truth))
+	}
+	checkAgainst(t, ix, truth, universe().Expand(1), ix.Name()+" full after deletes")
+	// KNN sanity: nearest result must be the true nearest tight box.
+	for q := 0; q < 10; q++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		got := ix.KNN(p, 3)
+		if len(got) != 3 {
+			t.Fatalf("%s: KNN returned %d", ix.Name(), len(got))
+		}
+		best := got[0].Box.Distance2ToPoint(p)
+		for _, box := range truth {
+			if box.Distance2ToPoint(p) < best-1e-9 {
+				t.Fatalf("%s: KNN missed the nearest element", ix.Name())
+			}
+		}
+	}
+	if ix.KNN(geom.V(0, 0, 0), 0) != nil {
+		t.Fatalf("%s: k=0 should return nil", ix.Name())
+	}
+}
+
+func TestThrowawayOverRTree(t *testing.T) {
+	driveStrategy(t, NewThrowaway(rtree.NewDefault()))
+}
+
+func TestThrowawayOverGrid(t *testing.T) {
+	driveStrategy(t, NewThrowaway(grid.New(grid.Config{Universe: universe(), CellsPerDim: 16})))
+}
+
+func TestLazyOverRTree(t *testing.T) {
+	driveStrategy(t, NewLazy(rtree.NewDefault(), 0.5))
+}
+
+func TestLazyZeroGrace(t *testing.T) {
+	driveStrategy(t, NewLazy(rtree.NewDefault(), 0))
+}
+
+func TestBufferedOverRTree(t *testing.T) {
+	driveStrategy(t, NewBuffered(rtree.NewDefault(), 64))
+}
+
+func TestBufferedLargeThresholdNeverAutoFlushes(t *testing.T) {
+	driveStrategy(t, NewBuffered(rtree.NewDefault(), 1<<30))
+}
+
+func TestThrowawayRequiresBulkLoader(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-bulk-loadable index")
+		}
+	}()
+	NewThrowaway(nonLoader{})
+}
+
+// nonLoader implements index.Index but not index.BulkLoader.
+type nonLoader struct{}
+
+func (nonLoader) Name() string                            { return "nonloader" }
+func (nonLoader) Len() int                                { return 0 }
+func (nonLoader) Insert(int64, geom.AABB)                 {}
+func (nonLoader) Delete(int64, geom.AABB) bool            { return false }
+func (nonLoader) Update(int64, geom.AABB, geom.AABB)      {}
+func (nonLoader) Search(geom.AABB, func(index.Item) bool) {}
+func (nonLoader) KNN(geom.Vec3, int) []index.Item         { return nil }
+func (nonLoader) Counters() *instrument.Counters          { return nil }
+
+func TestLazyGraceWindowAvoidsInnerUpdates(t *testing.T) {
+	inner := rtree.NewDefault()
+	l := NewLazy(inner, 1.0)
+	items := randomItems(500, 3)
+	for _, it := range items {
+		l.Insert(it.ID, it.Box)
+	}
+	innerUpdatesBefore := inner.Counters().Updates()
+	// Move everything by far less than the grace window.
+	for _, it := range items {
+		l.Update(it.ID, it.Box, it.Box.Translate(geom.V(0.01, 0.01, 0.01)))
+	}
+	if inner.Counters().Updates() != innerUpdatesBefore {
+		t.Fatal("small movements should not touch the wrapped index")
+	}
+	if l.EscapedUpdates() != 0 {
+		t.Fatal("no update should have escaped the grace window")
+	}
+	// Move one element far: exactly one escaped update.
+	l.Update(items[0].ID, items[0].Box, items[0].Box.Translate(geom.V(50, 0, 0)))
+	if l.EscapedUpdates() != 1 {
+		t.Fatalf("EscapedUpdates = %d, want 1", l.EscapedUpdates())
+	}
+	if inner.Counters().Updates() == innerUpdatesBefore {
+		t.Fatal("large movement should touch the wrapped index")
+	}
+}
+
+func TestBufferedFlushBehavior(t *testing.T) {
+	inner := rtree.NewDefault()
+	b := NewBuffered(inner, 10)
+	// Nine updates stay buffered.
+	for i := 0; i < 9; i++ {
+		b.Insert(int64(i), geom.AABBFromCenter(geom.V(float64(i), 0, 0), geom.V(0.1, 0.1, 0.1)))
+	}
+	if inner.Len() != 0 {
+		t.Fatalf("inner index should be empty before flush, has %d", inner.Len())
+	}
+	if b.BufferSize() != 9 {
+		t.Fatalf("BufferSize = %d", b.BufferSize())
+	}
+	// Queries see buffered elements.
+	got := index.SearchIDs(b, geom.NewAABB(geom.V(-1, -1, -1), geom.V(10, 1, 1)))
+	if len(got) != 9 {
+		t.Fatalf("buffered search = %d results", len(got))
+	}
+	// The tenth update triggers a flush.
+	b.Insert(9, geom.AABBFromCenter(geom.V(9, 0, 0), geom.V(0.1, 0.1, 0.1)))
+	if inner.Len() != 10 {
+		t.Fatalf("inner index should hold 10 after flush, has %d", inner.Len())
+	}
+	if b.BufferSize() != 0 {
+		t.Fatalf("buffer should be empty after flush, has %d", b.BufferSize())
+	}
+	// Explicit flush of deletes.
+	if !b.Delete(0, geom.AABB{}) {
+		t.Fatal("Delete failed")
+	}
+	b.Flush()
+	if inner.Len() != 9 {
+		t.Fatalf("inner should hold 9 after delete flush, has %d", inner.Len())
+	}
+	if b.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", b.Len())
+	}
+	// Double delete returns false.
+	if b.Delete(0, geom.AABB{}) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestThrowawayRebuildSemantics(t *testing.T) {
+	inner := rtree.NewDefault()
+	tw := NewThrowaway(inner)
+	items := randomItems(300, 4)
+	for _, it := range items {
+		tw.Insert(it.ID, it.Box)
+	}
+	// Before any query/rebuild the inner index is stale (empty).
+	if inner.Len() != 0 {
+		t.Fatal("inner index should be empty before rebuild")
+	}
+	tw.Rebuild()
+	if inner.Len() != len(items) {
+		t.Fatalf("inner Len = %d after rebuild", inner.Len())
+	}
+	// Updates mark dirty; next Search rebuilds automatically.
+	tw.Update(items[0].ID, items[0].Box, items[0].Box.Translate(geom.V(30, 0, 0)))
+	got := index.SearchIDs(tw, items[0].Box.Translate(geom.V(30, 0, 0)).Expand(0.1))
+	found := false
+	for _, id := range got {
+		if id == items[0].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("moved element not found after implicit rebuild")
+	}
+}

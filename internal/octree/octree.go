@@ -1,0 +1,322 @@
+// Package octree implements the Octree (Jackins & Tanimoto 1980) and its
+// "loose" variant, the space-oriented point-access methods the paper lists
+// among the in-memory indexing options for volumetric objects.
+//
+// Two element-placement policies are provided, matching the paper's
+// discussion of the trade-off:
+//
+//   - replicating octree (Loose = false): an element is stored in every leaf
+//     its bounding box overlaps, which can increase index size massively for
+//     large elements;
+//   - loose octree (Loose = true): node regions are enlarged by a looseness
+//     factor and each element is stored in exactly one node (the deepest node
+//     whose loose region contains it), avoiding replication at the price of
+//     overlapping partitions and therefore extra traversal, exactly the
+//     overhead the paper attributes to loose partitioning.
+package octree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+)
+
+// Config configures a Tree.
+type Config struct {
+	// Universe is the root region.
+	Universe geom.AABB
+	// LeafCapacity is the number of elements a leaf holds before splitting
+	// (default 16).
+	LeafCapacity int
+	// MaxDepth bounds the tree depth (default 10).
+	MaxDepth int
+	// Loose enables the loose-octree placement policy.
+	Loose bool
+	// Looseness is the region enlargement factor for the loose variant
+	// (default 2.0, the classic loose octree).
+	Looseness float64
+}
+
+type item struct {
+	id  int64
+	box geom.AABB
+}
+
+type node struct {
+	region   geom.AABB
+	items    []item
+	children *[8]*node
+	depth    int
+}
+
+// Tree is an Octree over bounding boxes implementing index.Index.
+type Tree struct {
+	cfg      Config
+	root     *node
+	size     int
+	counters instrument.Counters
+}
+
+// New returns an empty Octree.
+func New(cfg Config) *Tree {
+	if cfg.LeafCapacity <= 0 {
+		cfg.LeafCapacity = 16
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 10
+	}
+	if cfg.Looseness <= 1 {
+		cfg.Looseness = 2.0
+	}
+	if !cfg.Universe.IsValid() {
+		cfg.Universe = geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	}
+	return &Tree{cfg: cfg, root: &node{region: cfg.Universe}}
+}
+
+// Name implements index.Index.
+func (t *Tree) Name() string {
+	if t.cfg.Loose {
+		return "loose-octree"
+	}
+	return "octree"
+}
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return t.size }
+
+// Counters implements index.Index.
+func (t *Tree) Counters() *instrument.Counters { return &t.counters }
+
+// looseRegion returns the (possibly enlarged) region used for placement and
+// pruning decisions of a node.
+func (t *Tree) looseRegion(n *node) geom.AABB {
+	if !t.cfg.Loose {
+		return n.region
+	}
+	half := n.region.HalfSize().Scale(t.cfg.Looseness - 1)
+	return geom.AABB{Min: n.region.Min.Sub(half), Max: n.region.Max.Add(half)}
+}
+
+// Insert implements index.Index.
+func (t *Tree) Insert(id int64, box geom.AABB) {
+	t.counters.AddUpdates(1)
+	t.insert(t.root, item{id: id, box: box})
+	t.size++
+}
+
+func (t *Tree) insert(n *node, it item) {
+	if n.children == nil {
+		n.items = append(n.items, it)
+		if len(n.items) > t.cfg.LeafCapacity && n.depth < t.cfg.MaxDepth {
+			t.split(n)
+		}
+		return
+	}
+	t.placeInChildren(n, it)
+}
+
+// placeInChildren routes an item into the children of an inner node according
+// to the placement policy; items that fit no child stay in the inner node.
+func (t *Tree) placeInChildren(n *node, it item) {
+	if t.cfg.Loose {
+		for _, c := range n.children {
+			if t.looseRegion(c).Contains(it.box) {
+				t.insert(c, it)
+				return
+			}
+		}
+		// Does not fit any loose child: keep it at this node.
+		n.items = append(n.items, it)
+		return
+	}
+	// Replicating policy: insert into every overlapping child. Boxes that
+	// overlap no child (elements pushed outside the universe by movement)
+	// stay at this node so they are never lost.
+	placed := false
+	for _, c := range n.children {
+		if c.region.Intersects(it.box) {
+			t.insert(c, it)
+			placed = true
+		}
+	}
+	if !placed {
+		n.items = append(n.items, it)
+	}
+}
+
+func (t *Tree) split(n *node) {
+	var children [8]*node
+	for i := 0; i < 8; i++ {
+		children[i] = &node{region: n.region.Octant(i), depth: n.depth + 1}
+	}
+	n.children = &children
+	items := n.items
+	n.items = nil
+	for _, it := range items {
+		t.placeInChildren(n, it)
+	}
+}
+
+// Delete implements index.Index.
+func (t *Tree) Delete(id int64, box geom.AABB) bool {
+	if t.remove(t.root, id, box) {
+		t.counters.AddUpdates(1)
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (t *Tree) remove(n *node, id int64, box geom.AABB) bool {
+	removed := false
+	for i := 0; i < len(n.items); i++ {
+		if n.items[i].id == id {
+			n.items[i] = n.items[len(n.items)-1]
+			n.items = n.items[:len(n.items)-1]
+			removed = true
+			break
+		}
+	}
+	if n.children != nil {
+		// The replicating policy may have stored copies in several children;
+		// descend into every child whose (loose) region can hold the box.
+		for _, c := range n.children {
+			if t.looseRegion(c).Intersects(box) {
+				if t.remove(c, id, box) {
+					removed = true
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// Update implements index.Index: delete + insert.
+func (t *Tree) Update(id int64, oldBox, newBox geom.AABB) {
+	t.Delete(id, oldBox)
+	t.Insert(id, newBox)
+}
+
+// BulkLoad implements index.BulkLoader.
+func (t *Tree) BulkLoad(items []index.Item) {
+	t.root = &node{region: t.cfg.Universe}
+	t.size = 0
+	for _, it := range items {
+		t.Insert(it.ID, it.Box)
+	}
+}
+
+// Search implements index.Index. Results are deduplicated (the replicating
+// policy can store an element in several leaves).
+func (t *Tree) Search(query geom.AABB, fn func(index.Item) bool) {
+	seen := make(map[int64]struct{})
+	t.search(t.root, query, seen, fn)
+}
+
+func (t *Tree) search(n *node, query geom.AABB, seen map[int64]struct{}, fn func(index.Item) bool) bool {
+	t.counters.AddNodeVisits(1)
+	t.counters.AddElemIntersectTests(int64(len(n.items)))
+	t.counters.AddElementsTouched(int64(len(n.items)))
+	for _, it := range n.items {
+		if _, dup := seen[it.id]; dup {
+			continue
+		}
+		if query.Intersects(it.box) {
+			seen[it.id] = struct{}{}
+			t.counters.AddResults(1)
+			if !fn(index.Item{ID: it.id, Box: it.box}) {
+				return false
+			}
+		}
+	}
+	if n.children == nil {
+		return true
+	}
+	t.counters.AddTreeIntersectTests(8)
+	for _, c := range n.children {
+		if t.looseRegion(c).Intersects(query) {
+			if !t.search(c, query, seen, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// KNN implements index.Index. It uses an expanding-radius strategy built on
+// range queries: the search cube around p doubles until the k-th candidate's
+// distance is covered by the cube's half-extent, which guarantees no closer
+// element can lie outside the searched region.
+func (t *Tree) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	radius := t.initialKNNRadius()
+	var cands []index.Item
+	for {
+		cands = cands[:0]
+		box := geom.AABBFromCenter(p, geom.V(radius, radius, radius))
+		t.Search(box, func(it index.Item) bool {
+			cands = append(cands, it)
+			return true
+		})
+		sort.Slice(cands, func(i, j int) bool {
+			return cands[i].Box.Distance2ToPoint(p) < cands[j].Box.Distance2ToPoint(p)
+		})
+		if box.Contains(t.cfg.Universe) || len(cands) == t.size {
+			break
+		}
+		if len(cands) >= k && cands[k-1].Box.DistanceToPoint(p) <= radius {
+			break
+		}
+		radius *= 2
+	}
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+func (t *Tree) initialKNNRadius() float64 {
+	s := t.cfg.Universe.Size()
+	vol := s.X * s.Y * s.Z
+	if t.size == 0 || vol == 0 {
+		return 1
+	}
+	// Radius of a cube expected to contain a handful of elements.
+	perElem := vol / float64(t.size)
+	r := 1.5 * math.Cbrt(perElem)
+	if r <= 0 {
+		r = 1
+	}
+	return r
+}
+
+// Depth returns the maximum depth of the tree (0 for a single-leaf tree).
+func (t *Tree) Depth() int { return maxDepth(t.root) }
+
+func maxDepth(n *node) int {
+	if n.children == nil {
+		return n.depth
+	}
+	d := n.depth
+	for _, c := range n.children {
+		if cd := maxDepth(c); cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// String describes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("%s{items=%d depth=%d}", t.Name(), t.size, t.Depth())
+}
+
+var _ index.Index = (*Tree)(nil)
+var _ index.BulkLoader = (*Tree)(nil)

@@ -1,0 +1,203 @@
+package octree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func universe() geom.AABB { return geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)) }
+
+func randomItems(n int, seed int64) []index.Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		half := geom.V(r.Float64(), r.Float64(), r.Float64())
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	return items
+}
+
+func bruteRange(items []index.Item, q geom.AABB) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, it := range items {
+		if q.Intersects(it.Box) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func checkQuery(t *testing.T, ix index.Index, items []index.Item, q geom.AABB, context string) {
+	t.Helper()
+	got := index.SearchIDs(ix, q)
+	want := bruteRange(items, q)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", context, len(got), len(want))
+	}
+	seen := make(map[int64]bool)
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("%s: unexpected id %d", context, id)
+		}
+		if seen[id] {
+			t.Fatalf("%s: duplicate id %d", context, id)
+		}
+		seen[id] = true
+	}
+}
+
+func testVariant(t *testing.T, loose bool) {
+	items := randomItems(3000, 1)
+	tr := New(Config{Universe: universe(), LeafCapacity: 12, MaxDepth: 8, Loose: loose})
+	for _, it := range items {
+		tr.Insert(it.ID, it.Box)
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Depth() == 0 {
+		t.Fatal("tree never split")
+	}
+	r := rand.New(rand.NewSource(2))
+	for q := 0; q < 40; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		checkQuery(t, tr, items, geom.AABBFromCenter(c, geom.V(5, 5, 5)), tr.Name()+" range")
+	}
+	checkQuery(t, tr, items, universe().Expand(2), tr.Name()+" full")
+
+	// Deletes.
+	for i := 0; i < 500; i++ {
+		if !tr.Delete(items[i].ID, items[i].Box) {
+			t.Fatalf("Delete(%d) failed", items[i].ID)
+		}
+	}
+	if tr.Delete(9999999, geom.AABB{}) {
+		t.Fatal("Delete of missing id succeeded")
+	}
+	live := append([]index.Item(nil), items[500:]...)
+	if tr.Len() != len(live) {
+		t.Fatalf("Len after delete = %d, want %d", tr.Len(), len(live))
+	}
+	checkQuery(t, tr, live, universe().Expand(2), tr.Name()+" after delete")
+
+	// Updates (plasticity-style small moves).
+	for i := range live {
+		newBox := live[i].Box.Translate(geom.V(0.05, -0.05, 0.02))
+		tr.Update(live[i].ID, live[i].Box, newBox)
+		live[i].Box = newBox
+	}
+	checkQuery(t, tr, live, universe().Expand(2), tr.Name()+" after update")
+	for q := 0; q < 20; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		checkQuery(t, tr, live, geom.AABBFromCenter(c, geom.V(5, 5, 5)), tr.Name()+" range after update")
+	}
+
+	// KNN exactness against brute force over box distance.
+	for q := 0; q < 15; q++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		k := 1 + r.Intn(10)
+		got := tr.KNN(p, k)
+		if len(got) != k {
+			t.Fatalf("KNN returned %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(live))
+		for i, it := range live {
+			dists[i] = it.Box.Distance2ToPoint(p)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			if d := it.Box.Distance2ToPoint(p); d > dists[k-1]+1e-9 {
+				t.Fatalf("KNN result %d distance %v beyond k-th %v", i, d, dists[k-1])
+			}
+		}
+	}
+	if tr.Counters().NodeVisits() == 0 {
+		t.Error("counters not populated")
+	}
+	if tr.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestReplicatingOctree(t *testing.T) { testVariant(t, false) }
+func TestLooseOctree(t *testing.T)       { testVariant(t, true) }
+
+func TestOctreeBulkLoadAndEdgeCases(t *testing.T) {
+	tr := New(Config{Universe: universe()})
+	if tr.KNN(geom.V(0, 0, 0), 5) != nil {
+		t.Error("empty KNN should return nil")
+	}
+	if tr.KNN(geom.V(0, 0, 0), 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	items := randomItems(1000, 3)
+	tr.BulkLoad(items)
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	checkQuery(t, tr, items, universe().Expand(1), "bulk loaded")
+	tr.BulkLoad(nil)
+	if tr.Len() != 0 {
+		t.Fatal("BulkLoad(nil) should empty the tree")
+	}
+	// KNN with k > n.
+	tr.BulkLoad(items[:7])
+	if got := tr.KNN(geom.V(50, 50, 50), 100); len(got) != 7 {
+		t.Fatalf("k>n KNN returned %d", len(got))
+	}
+	// Defaults.
+	d := New(Config{})
+	if d.cfg.LeafCapacity != 16 || d.cfg.MaxDepth != 10 || d.cfg.Looseness != 2.0 {
+		t.Errorf("defaults not applied: %+v", d.cfg)
+	}
+	if d.Name() != "octree" {
+		t.Errorf("Name = %s", d.Name())
+	}
+	l := New(Config{Loose: true})
+	if l.Name() != "loose-octree" {
+		t.Errorf("Name = %s", l.Name())
+	}
+}
+
+func TestOctreeLargeElementsReplicationVsLoose(t *testing.T) {
+	// Large elements overlapping many octants: the replicating tree stores
+	// many copies, the loose tree keeps them near the root. Both must still
+	// answer queries correctly and exactly once.
+	r := rand.New(rand.NewSource(4))
+	items := make([]index.Item, 300)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		half := geom.V(5+r.Float64()*10, 5+r.Float64()*10, 5+r.Float64()*10)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	rep := New(Config{Universe: universe(), LeafCapacity: 8, Loose: false})
+	loose := New(Config{Universe: universe(), LeafCapacity: 8, Loose: true})
+	for _, it := range items {
+		rep.Insert(it.ID, it.Box)
+		loose.Insert(it.ID, it.Box)
+	}
+	for q := 0; q < 20; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		query := geom.AABBFromCenter(c, geom.V(8, 8, 8))
+		checkQuery(t, rep, items, query, "replicating large")
+		checkQuery(t, loose, items, query, "loose large")
+	}
+}
+
+func TestOctreeSearchEarlyTermination(t *testing.T) {
+	tr := New(Config{Universe: universe(), LeafCapacity: 8})
+	tr.BulkLoad(randomItems(400, 5))
+	count := 0
+	tr.Search(universe().Expand(1), func(index.Item) bool {
+		count++
+		return count < 6
+	})
+	if count != 6 {
+		t.Fatalf("early termination visited %d", count)
+	}
+}

@@ -1,0 +1,4 @@
+package rtree
+
+// CheckInvariants exposes the internal structural checker to tests.
+func (t *Tree) CheckInvariants() error { return t.checkInvariants() }

@@ -1,0 +1,69 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+// KNN implements index.Index using the classic best-first (Hjaltason/Samet)
+// traversal: a priority queue ordered by minimum distance holds both nodes
+// and data entries; data entries popped from the queue are guaranteed to be
+// the next nearest.
+func (t *Tree) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := &knnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, knnEntry{node: t.root, dist: t.root.bounds().Distance2ToPoint(p)})
+	out := make([]index.Item, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(pq).(knnEntry)
+		if e.node == nil {
+			out = append(out, e.item)
+			continue
+		}
+		t.counters.AddNodeVisits(1)
+		n := e.node
+		if n.leaf {
+			t.counters.AddElemIntersectTests(int64(len(n.entries)))
+			for i := range n.entries {
+				heap.Push(pq, knnEntry{
+					item: index.Item{ID: n.entries[i].id, Box: n.entries[i].box},
+					dist: n.entries[i].box.Distance2ToPoint(p),
+				})
+			}
+		} else {
+			t.counters.AddTreeIntersectTests(int64(len(n.entries)))
+			for i := range n.entries {
+				heap.Push(pq, knnEntry{
+					node: n.entries[i].child,
+					dist: n.entries[i].box.Distance2ToPoint(p),
+				})
+			}
+		}
+	}
+	return out
+}
+
+type knnEntry struct {
+	node *node // nil for data entries
+	item index.Item
+	dist float64
+}
+
+type knnQueue []knnEntry
+
+func (q knnQueue) Len() int            { return len(q) }
+func (q knnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q knnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x interface{}) { *q = append(*q, x.(knnEntry)) }
+func (q *knnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,408 @@
+// Package rtree implements an in-memory R-Tree (Guttman 1984) with quadratic
+// node splitting, deletion with tree condensation, bulk loading via Sort-Tile-
+// Recursive (STR), best-first k-nearest-neighbor search and full traversal
+// instrumentation.
+//
+// The R-Tree is the disk-era baseline the paper measures in Figures 2 and 3:
+// instrumentation separates the MBR intersection tests performed against
+// inner nodes ("intersection tests tree") from the tests performed against
+// data entries ("intersection tests elements") so the experiment harness can
+// regenerate the paper's breakdowns.
+package rtree
+
+import (
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+)
+
+// DefaultMaxEntries is the default node fan-out. The paper's disk R-Tree uses
+// 4 KB pages (hundreds of entries per node); in memory far smaller nodes are
+// preferable (Section 3.3 of the paper), so the default is modest.
+const DefaultMaxEntries = 16
+
+// Config configures a Tree.
+type Config struct {
+	// MaxEntries is the maximum number of entries per node (fan-out).
+	MaxEntries int
+	// MinEntries is the minimum number of entries per node (defaults to
+	// MaxEntries*2/5, the R*-Tree recommendation).
+	MinEntries int
+}
+
+type entry struct {
+	box   geom.AABB
+	child *node // nil for leaf entries
+	id    int64 // valid for leaf entries
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) bounds() geom.AABB {
+	b := geom.EmptyAABB()
+	for i := range n.entries {
+		b = b.Union(n.entries[i].box)
+	}
+	return b
+}
+
+// Tree is an in-memory R-Tree. It is not safe for concurrent mutation;
+// concurrent read-only searches are safe.
+type Tree struct {
+	root       *node
+	size       int
+	height     int
+	maxEntries int
+	minEntries int
+	counters   instrument.Counters
+}
+
+// New returns an empty R-Tree with the given configuration.
+func New(cfg Config) *Tree {
+	if cfg.MaxEntries <= 3 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.MinEntries <= 0 || cfg.MinEntries > cfg.MaxEntries/2 {
+		cfg.MinEntries = cfg.MaxEntries * 2 / 5
+		if cfg.MinEntries < 2 {
+			cfg.MinEntries = 2
+		}
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		height:     1,
+		maxEntries: cfg.MaxEntries,
+		minEntries: cfg.MinEntries,
+	}
+}
+
+// NewDefault returns an empty R-Tree with the default configuration.
+func NewDefault() *Tree { return New(Config{}) }
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return "rtree" }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree (1 for a tree whose root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Counters implements index.Index.
+func (t *Tree) Counters() *instrument.Counters { return &t.counters }
+
+// Bounds returns the bounding box of the whole tree.
+func (t *Tree) Bounds() geom.AABB { return t.root.bounds() }
+
+// Insert implements index.Index.
+func (t *Tree) Insert(id int64, box geom.AABB) {
+	t.counters.AddUpdates(1)
+	t.insertAtLevel(entry{box: box, id: id}, 1)
+	t.size++
+}
+
+// insertAtLevel inserts e so that it ends up at the given level (1 = leaf
+// level, t.height = root level). Subtree re-insertions during deletion pass
+// higher levels.
+func (t *Tree) insertAtLevel(e entry, level int) {
+	split := t.insertRec(t.root, e, t.height, level)
+	if split != nil {
+		newRoot := &node{leaf: false}
+		newRoot.entries = append(newRoot.entries,
+			entry{box: t.root.bounds(), child: t.root},
+			entry{box: split.bounds(), child: split},
+		)
+		t.root = newRoot
+		t.height++
+	}
+}
+
+// insertRec inserts e into the subtree rooted at n (which is at nodeLevel).
+// It returns a new sibling node if n was split, and nil otherwise. The caller
+// is responsible for refreshing its entry box for n.
+func (t *Tree) insertRec(n *node, e entry, nodeLevel, targetLevel int) *node {
+	if nodeLevel == targetLevel {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	// Choose the child needing the least enlargement (ties: smallest volume).
+	best := -1
+	var bestEnl, bestVol float64
+	for i := range n.entries {
+		enl := n.entries[i].box.Enlargement(e.box)
+		vol := n.entries[i].box.Volume()
+		if best == -1 || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	child := n.entries[best].child
+	split := t.insertRec(child, e, nodeLevel-1, targetLevel)
+	n.entries[best].box = child.bounds()
+	if split != nil {
+		n.entries = append(n.entries, entry{box: split.bounds(), child: split})
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// splitNode splits an overflowing node in place using Guttman's quadratic
+// split and returns the newly created sibling.
+func (t *Tree) splitNode(n *node) *node {
+	entries := n.entries
+	// PickSeeds: the pair wasting the most volume if grouped together.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			u := entries[i].box.Union(entries[j].box)
+			waste := u.Volume() - entries[i].box.Volume() - entries[j].box.Volume()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	groupA := make([]entry, 0, len(entries)/2+1)
+	groupB := make([]entry, 0, len(entries)/2+1)
+	groupA = append(groupA, entries[seedA])
+	groupB = append(groupB, entries[seedB])
+	boxA := entries[seedA].box
+	boxB := entries[seedB].box
+	remaining := make([]entry, 0, len(entries)-2)
+	for i := range entries {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, entries[i])
+		}
+	}
+	for len(remaining) > 0 {
+		// If one group needs every remaining entry to reach minEntries,
+		// assign them all.
+		if len(groupA)+len(remaining) <= t.minEntries {
+			for i := range remaining {
+				boxA = boxA.Union(remaining[i].box)
+			}
+			groupA = append(groupA, remaining...)
+			break
+		}
+		if len(groupB)+len(remaining) <= t.minEntries {
+			for i := range remaining {
+				boxB = boxB.Union(remaining[i].box)
+			}
+			groupB = append(groupB, remaining...)
+			break
+		}
+		// PickNext: entry with the largest preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		for i := range remaining {
+			dA := boxA.Enlargement(remaining[i].box)
+			dB := boxB.Enlargement(remaining[i].box)
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+			}
+		}
+		e := remaining[bestIdx]
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		dA := boxA.Enlargement(e.box)
+		dB := boxB.Enlargement(e.box)
+		if dA < dB || (dA == dB && len(groupA) <= len(groupB)) {
+			groupA = append(groupA, e)
+			boxA = boxA.Union(e.box)
+		} else {
+			groupB = append(groupB, e)
+			boxB = boxB.Union(e.box)
+		}
+	}
+	n.entries = groupA
+	return &node{leaf: n.leaf, entries: groupB}
+}
+
+// Delete implements index.Index. It removes the entry with the given id whose
+// stored box intersects box, condensing the tree afterwards.
+func (t *Tree) Delete(id int64, box geom.AABB) bool {
+	t.counters.AddUpdates(1)
+	var path []*node
+	leaf, idx, path := t.findLeaf(t.root, id, box, path)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf, path)
+	// Shrink the root while it is a non-leaf with a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	return true
+}
+
+// findLeaf locates the leaf holding (id, box). path receives the ancestors of
+// the returned leaf, root first (the leaf itself is not included).
+func (t *Tree) findLeaf(n *node, id int64, box geom.AABB, path []*node) (*node, int, []*node) {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].id == id && n.entries[i].box.Intersects(box) {
+				return n, i, path
+			}
+		}
+		return nil, 0, nil
+	}
+	for i := range n.entries {
+		if n.entries[i].box.Intersects(box) {
+			if leaf, idx, p := t.findLeaf(n.entries[i].child, id, box, append(path, n)); leaf != nil {
+				return leaf, idx, p
+			}
+		}
+	}
+	return nil, 0, nil
+}
+
+// condense removes underfull nodes along the root-to-leaf path and re-inserts
+// their entries (Guttman's CondenseTree).
+func (t *Tree) condense(n *node, path []*node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+	level := 1 // level of n's entries' destination (leaf entries live at level 1)
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i]
+		if len(n.entries) < t.minEntries && t.size > 0 {
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: level})
+			}
+		} else {
+			refreshChildBox(parent, n)
+		}
+		n = parent
+		level++
+	}
+	for _, o := range orphans {
+		if o.e.child == nil {
+			// Leaf (data) entry: re-insert at the leaf level without touching
+			// the size counter (the element never logically left the tree).
+			t.insertAtLevel(o.e, 1)
+		} else {
+			t.insertAtLevel(o.e, o.level)
+		}
+	}
+}
+
+func refreshChildBox(parent, child *node) {
+	for j := range parent.entries {
+		if parent.entries[j].child == child {
+			parent.entries[j].box = child.bounds()
+			return
+		}
+	}
+}
+
+// Update implements index.Index: delete followed by insert. The paper's
+// Section 4.1 measures exactly this operation under massive minimal movement.
+func (t *Tree) Update(id int64, oldBox, newBox geom.AABB) {
+	t.Delete(id, oldBox)
+	t.Insert(id, newBox)
+}
+
+// Search implements index.Index. Every MBR test against an inner-node entry
+// is charged to the tree-test counter and every test against a leaf (data)
+// entry to the element-test counter, matching the paper's Figure 3 cost
+// categories.
+func (t *Tree) Search(query geom.AABB, fn func(index.Item) bool) {
+	t.searchRec(t.root, query, fn)
+}
+
+func (t *Tree) searchRec(n *node, query geom.AABB, fn func(index.Item) bool) bool {
+	t.counters.AddNodeVisits(1)
+	if n.leaf {
+		t.counters.AddElemIntersectTests(int64(len(n.entries)))
+		t.counters.AddElementsTouched(int64(len(n.entries)))
+		for i := range n.entries {
+			if query.Intersects(n.entries[i].box) {
+				t.counters.AddResults(1)
+				if !fn(index.Item{ID: n.entries[i].id, Box: n.entries[i].box}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	t.counters.AddTreeIntersectTests(int64(len(n.entries)))
+	for i := range n.entries {
+		if query.Intersects(n.entries[i].box) {
+			if !t.searchRec(n.entries[i].child, query, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkInvariants walks the whole tree verifying structural invariants. It is
+// exported to the package tests via export_test.go.
+func (t *Tree) checkInvariants() error {
+	return t.checkNode(t.root, t.height, true)
+}
+
+func (t *Tree) checkNode(n *node, level int, isRoot bool) error {
+	if !isRoot {
+		if len(n.entries) < t.minEntries || len(n.entries) > t.maxEntries {
+			return errEntryCount(len(n.entries), t.minEntries, t.maxEntries)
+		}
+	} else if len(n.entries) > t.maxEntries {
+		return errEntryCount(len(n.entries), 0, t.maxEntries)
+	}
+	if n.leaf {
+		if level != 1 {
+			return errLeafLevel(level)
+		}
+		return nil
+	}
+	for i := range n.entries {
+		child := n.entries[i].child
+		if child == nil {
+			return errNilChild()
+		}
+		cb := child.bounds()
+		if !n.entries[i].box.Expand(1e-9).Contains(cb) {
+			return errBoxMismatch()
+		}
+		if err := t.checkNode(child, level-1, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type treeError string
+
+func (e treeError) Error() string { return string(e) }
+
+func errEntryCount(n, lo, hi int) error {
+	return treeError("node entry count out of bounds")
+}
+func errLeafLevel(l int) error { return treeError("leaf at wrong level") }
+func errNilChild() error       { return treeError("inner node with nil child") }
+func errBoxMismatch() error    { return treeError("entry box does not cover child bounds") }
+
+var _ index.Index = (*Tree)(nil)
+var _ index.BulkLoader = (*Tree)(nil)

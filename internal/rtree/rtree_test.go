@@ -1,0 +1,370 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func universe() geom.AABB { return geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)) }
+
+func randomItems(n int, seed int64) []index.Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		half := geom.V(r.Float64()*0.5, r.Float64()*0.5, r.Float64()*0.5)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	return items
+}
+
+// bruteRange is the ground truth for range queries.
+func bruteRange(items []index.Item, q geom.AABB) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, it := range items {
+		if q.Intersects(it.Box) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func sameIDs(t *testing.T, got []int64, want map[int64]bool, context string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", context, len(got), len(want))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("%s: unexpected id %d in results", context, id)
+		}
+	}
+}
+
+func TestInsertAndSearchMatchesBruteForce(t *testing.T) {
+	items := randomItems(2000, 1)
+	tr := NewDefault()
+	for _, it := range items {
+		tr.Insert(it.ID, it.Box)
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(items))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for q := 0; q < 50; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		query := geom.AABBFromCenter(c, geom.V(5, 5, 5))
+		got := index.SearchIDs(tr, query)
+		sameIDs(t, got, bruteRange(items, query), "insert+search")
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	items := randomItems(3000, 3)
+	tr := NewDefault()
+	tr.BulkLoad(items)
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for q := 0; q < 50; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		query := geom.AABBFromCenter(c, geom.V(3, 3, 3))
+		got := index.SearchIDs(tr, query)
+		sameIDs(t, got, bruteRange(items, query), "bulkload+search")
+	}
+}
+
+func TestBulkLoadEmptyAndSmall(t *testing.T) {
+	tr := NewDefault()
+	tr.BulkLoad(nil)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatal("empty bulk load should produce empty tree")
+	}
+	if got := index.SearchIDs(tr, universe()); len(got) != 0 {
+		t.Fatal("empty tree returned results")
+	}
+	// Fewer items than one node.
+	items := randomItems(5, 9)
+	tr.BulkLoad(items)
+	if tr.Len() != 5 || tr.Height() != 1 {
+		t.Fatalf("small bulk load: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	got := index.SearchIDs(tr, universe())
+	if len(got) != 5 {
+		t.Fatalf("small search = %d results", len(got))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	items := randomItems(1000, 5)
+	tr := NewDefault()
+	for _, it := range items {
+		tr.Insert(it.ID, it.Box)
+	}
+	// Delete every third element.
+	deleted := make(map[int64]bool)
+	for i := 0; i < len(items); i += 3 {
+		if !tr.Delete(items[i].ID, items[i].Box) {
+			t.Fatalf("Delete(%d) returned false", items[i].ID)
+		}
+		deleted[items[i].ID] = true
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after delete: %v", err)
+	}
+	if tr.Len() != len(items)-len(deleted) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(items)-len(deleted))
+	}
+	// Deleted elements must not appear in results; remaining must.
+	got := index.SearchIDs(tr, universe())
+	if len(got) != len(items)-len(deleted) {
+		t.Fatalf("full search = %d, want %d", len(got), len(items)-len(deleted))
+	}
+	for _, id := range got {
+		if deleted[id] {
+			t.Fatalf("deleted id %d still present", id)
+		}
+	}
+	// Deleting a non-existent id returns false.
+	if tr.Delete(99999, universe()) {
+		t.Fatal("Delete of missing id returned true")
+	}
+	// Delete everything.
+	for i, it := range items {
+		if i%3 == 0 {
+			continue
+		}
+		if !tr.Delete(it.ID, it.Box) {
+			t.Fatalf("Delete(%d) failed", it.ID)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after deleting all = %d", tr.Len())
+	}
+	if got := index.SearchIDs(tr, universe()); len(got) != 0 {
+		t.Fatal("empty tree still returns results")
+	}
+}
+
+func TestUpdateMovesElements(t *testing.T) {
+	items := randomItems(500, 6)
+	tr := NewDefault()
+	for _, it := range items {
+		tr.Insert(it.ID, it.Box)
+	}
+	// Move every element by a small offset, like a plasticity step.
+	r := rand.New(rand.NewSource(7))
+	for i := range items {
+		delta := geom.V(r.Float64()*0.1-0.05, r.Float64()*0.1-0.05, r.Float64()*0.1-0.05)
+		newBox := items[i].Box.Translate(delta)
+		tr.Update(items[i].ID, items[i].Box, newBox)
+		items[i].Box = newBox
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len after updates = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after updates: %v", err)
+	}
+	for q := 0; q < 30; q++ {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		query := geom.AABBFromCenter(c, geom.V(4, 4, 4))
+		sameIDs(t, index.SearchIDs(tr, query), bruteRange(items, query), "after update")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	items := randomItems(1500, 8)
+	tr := NewDefault()
+	tr.BulkLoad(items)
+	r := rand.New(rand.NewSource(9))
+	for q := 0; q < 30; q++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		k := 1 + r.Intn(20)
+		got := tr.KNN(p, k)
+		if len(got) != k {
+			t.Fatalf("KNN returned %d items, want %d", len(got), k)
+		}
+		// Brute-force distances.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Box.Distance2ToPoint(p)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			d := it.Box.Distance2ToPoint(p)
+			if d > dists[k-1]+1e-9 {
+				t.Fatalf("KNN result %d at distance %v exceeds k-th smallest %v", i, d, dists[k-1])
+			}
+			if i > 0 {
+				prev := got[i-1].Box.Distance2ToPoint(p)
+				if prev > d+1e-12 {
+					t.Fatalf("KNN results not ordered by distance")
+				}
+			}
+		}
+	}
+	// Edge cases.
+	if tr.KNN(geom.V(0, 0, 0), 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := tr.KNN(geom.V(0, 0, 0), len(items)+10); len(got) != len(items) {
+		t.Errorf("k>n returned %d items", len(got))
+	}
+	empty := NewDefault()
+	if empty.KNN(geom.V(0, 0, 0), 3) != nil {
+		t.Error("empty tree KNN should return nil")
+	}
+}
+
+func TestSearchEarlyTermination(t *testing.T) {
+	items := randomItems(500, 10)
+	tr := NewDefault()
+	tr.BulkLoad(items)
+	count := 0
+	tr.Search(universe(), func(index.Item) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early termination visited %d items", count)
+	}
+}
+
+func TestCountersTrackTraversalWork(t *testing.T) {
+	d := datagen.GenerateNeurons(datagen.DefaultNeuronConfig(20, 200, 11))
+	items := make([]index.Item, d.Len())
+	for i := range d.Elements {
+		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+	}
+	tr := NewDefault()
+	tr.BulkLoad(items)
+	tr.Counters().Reset()
+	queries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{
+		N: 50, Selectivity: 1e-4, Universe: d.Universe, Seed: 12,
+	})
+	for _, q := range queries {
+		index.SearchIDs(tr, q)
+	}
+	c := tr.Counters().Snapshot()
+	if c.NodeVisits == 0 || c.TreeIntersectTests == 0 || c.ElemIntersectTests == 0 {
+		t.Fatalf("counters not populated: %+v", c)
+	}
+	// An R-Tree query on clustered data must test far fewer elements than a
+	// full scan would.
+	if c.ElemIntersectTests >= int64(len(items)*len(queries)) {
+		t.Fatalf("element tests %d not better than scanning", c.ElemIntersectTests)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr := New(Config{MaxEntries: 2}) // too small, falls back to default
+	if tr.maxEntries != DefaultMaxEntries {
+		t.Errorf("maxEntries = %d", tr.maxEntries)
+	}
+	tr2 := New(Config{MaxEntries: 8, MinEntries: 100}) // min > max/2, recomputed
+	if tr2.minEntries > 4 {
+		t.Errorf("minEntries = %d", tr2.minEntries)
+	}
+	tr3 := New(Config{MaxEntries: 64, MinEntries: 16})
+	if tr3.maxEntries != 64 || tr3.minEntries != 16 {
+		t.Errorf("explicit config not honored: %d/%d", tr3.maxEntries, tr3.minEntries)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	items := randomItems(5000, 13)
+	tr := New(Config{MaxEntries: 16})
+	for _, it := range items {
+		tr.Insert(it.ID, it.Box)
+	}
+	if tr.Height() < 3 || tr.Height() > 8 {
+		t.Errorf("unexpected height %d for 5000 items with fan-out 16", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestInsertDeleteRandomizedInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	tr := New(Config{MaxEntries: 8})
+	live := make(map[int64]geom.AABB)
+	var nextID int64
+	for step := 0; step < 3000; step++ {
+		if r.Float64() < 0.6 || len(live) == 0 {
+			c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+			box := geom.AABBFromCenter(c, geom.V(0.5, 0.5, 0.5))
+			tr.Insert(nextID, box)
+			live[nextID] = box
+			nextID++
+		} else {
+			// Delete a random live element.
+			var id int64
+			for id = range live {
+				break
+			}
+			if !tr.Delete(id, live[id]) {
+				t.Fatalf("step %d: Delete(%d) failed", step, id)
+			}
+			delete(live, id)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: Len %d != live %d", step, tr.Len(), len(live))
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after random workload: %v", err)
+	}
+	// Final correctness check.
+	got := index.SearchIDs(tr, universe())
+	if len(got) != len(live) {
+		t.Fatalf("final search %d != live %d", len(got), len(live))
+	}
+	for _, id := range got {
+		if _, ok := live[id]; !ok {
+			t.Fatalf("ghost id %d", id)
+		}
+	}
+}
+
+func TestBoundsCoverAllItems(t *testing.T) {
+	items := randomItems(800, 15)
+	tr := NewDefault()
+	tr.BulkLoad(items)
+	b := tr.Bounds()
+	for _, it := range items {
+		if !b.Contains(it.Box) {
+			t.Fatalf("tree bounds %v do not contain item %v", b, it.Box)
+		}
+	}
+	empty := NewDefault()
+	if !empty.Bounds().IsEmpty() {
+		t.Error("empty tree bounds should be empty")
+	}
+}
+
+func TestItemsFromBoxes(t *testing.T) {
+	ids := []int64{1, 2, 3}
+	boxes := []geom.AABB{
+		geom.PointAABB(geom.V(1, 1, 1)),
+		geom.PointAABB(geom.V(2, 2, 2)),
+		geom.PointAABB(geom.V(3, 3, 3)),
+	}
+	items := ItemsFromBoxes(ids, boxes)
+	if len(items) != 3 || items[1].ID != 2 || items[2].Box != boxes[2] {
+		t.Fatalf("ItemsFromBoxes = %+v", items)
+	}
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("Mean wrong")
+	}
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Error("Sum wrong")
+	}
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Error("Min/Max wrong")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be infinities")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("extreme percentiles wrong")
+	}
+	if Percentile(xs, -10) != 1 || Percentile(xs, 200) != 5 {
+		t.Error("out-of-range percentiles should clamp")
+	}
+	if Median(xs) != 3 {
+		t.Error("median wrong")
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v, want 2", got)
+	}
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("interpolated median = %v, want 1.5", got)
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{5, 1, 3}
+	Percentile(ys, 50)
+	if ys[0] != 5 || ys[1] != 1 || ys[2] != 3 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	xs := []float64{0.01, 0.02, 0.05, 0.2, 0.5}
+	if got := FractionAbove(xs, 0.1); got != 0.4 {
+		t.Errorf("FractionAbove = %v, want 0.4", got)
+	}
+	if FractionAbove(nil, 1) != 0 {
+		t.Error("empty FractionAbove should be 0")
+	}
+	if FractionAbove(xs, 0.5) != 0 {
+		t.Error("strictly-greater comparison expected")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		o.Add(xs[i])
+	}
+	if o.N() != 1000 {
+		t.Errorf("N = %d", o.N())
+	}
+	if math.Abs(o.Mean()-Mean(xs)) > 1e-9 {
+		t.Errorf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if math.Abs(o.Variance()-Variance(xs)) > 1e-6 {
+		t.Errorf("online variance %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	if o.Min() != Min(xs) || o.Max() != Max(xs) {
+		t.Error("online min/max mismatch")
+	}
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.Min() != 0 || o.Max() != 0 || o.N() != 0 {
+		t.Error("zero-value Online should report zeros")
+	}
+	o.Add(5)
+	if o.Variance() != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+	if o.Min() != 5 || o.Max() != 5 {
+		t.Error("single-sample min/max should equal the sample")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 100)
+	}
+	if h.Total() != 100 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	for i, b := range h.Buckets {
+		if b != 10 {
+			t.Errorf("bucket %d = %d, want 10", i, b)
+		}
+	}
+	// Clamping.
+	h2 := NewHistogram(0, 1, 4)
+	h2.Add(-5)
+	h2.Add(99)
+	if h2.Buckets[0] != 1 || h2.Buckets[3] != 1 {
+		t.Error("out-of-range samples should clamp to edge buckets")
+	}
+	lo, hi := h2.BucketBounds(1)
+	if lo != 0.25 || hi != 0.5 {
+		t.Errorf("BucketBounds = %v, %v", lo, hi)
+	}
+	if h2.String() == "" {
+		t.Error("String should not be empty")
+	}
+	// Degenerate constructors.
+	h3 := NewHistogram(5, 5, 0)
+	h3.Add(5)
+	if h3.Total() != 1 {
+		t.Error("degenerate histogram should still accept samples")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Mod(math.Abs(p1), 100)
+		b := math.Mod(math.Abs(p2), 100)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		return pa <= pb+1e-9 && pa >= Min(xs)-1e-9 && pb <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BufferPoolStats reports hit/miss counts of a buffer pool.
+type BufferPoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns the fraction of lookups served from the pool.
+func (s BufferPoolStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// BufferPool caches disk pages with an LRU replacement policy. The paper's
+// experiments run with a cold cache that is cleared between queries; Clear
+// provides exactly that.
+type BufferPool struct {
+	disk     *Disk
+	capacity int
+
+	mu    sync.Mutex
+	lru   *list.List // of PageID, front = most recently used
+	index map[PageID]*list.Element
+	data  map[PageID][]byte
+	stats BufferPoolStats
+}
+
+// NewBufferPool returns a pool caching up to capacity pages of the disk.
+// A capacity of 0 disables caching entirely (every Get goes to disk).
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[PageID]*list.Element),
+		data:     make(map[PageID][]byte),
+	}
+}
+
+// Capacity returns the configured capacity in pages.
+func (p *BufferPool) Capacity() int { return p.capacity }
+
+// Get returns the contents of the page, reading it from disk on a miss. The
+// returned slice is owned by the pool and must not be modified.
+func (p *BufferPool) Get(id PageID) ([]byte, error) {
+	p.mu.Lock()
+	if el, ok := p.index[id]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.Hits++
+		data := p.data[id]
+		p.mu.Unlock()
+		return data, nil
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	data, err := p.disk.Read(id)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity > 0 {
+		if _, ok := p.index[id]; !ok {
+			p.index[id] = p.lru.PushFront(id)
+			p.data[id] = data
+			for p.lru.Len() > p.capacity {
+				back := p.lru.Back()
+				victim := back.Value.(PageID)
+				p.lru.Remove(back)
+				delete(p.index, victim)
+				delete(p.data, victim)
+				p.stats.Evictions++
+			}
+		}
+	}
+	return data, nil
+}
+
+// Clear drops every cached page, emulating the paper's cold-cache protocol
+// ("the cache is cleaned between any two queries").
+func (p *BufferPool) Clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lru.Init()
+	p.index = make(map[PageID]*list.Element)
+	p.data = make(map[PageID][]byte)
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (p *BufferPool) Stats() BufferPoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the hit/miss counters without dropping cached pages.
+func (p *BufferPool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = BufferPoolStats{}
+}

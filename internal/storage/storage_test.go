@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDiskAllocateWriteRead(t *testing.T) {
+	d := NewDisk(DiskConfig{PageSize: 128})
+	if d.PageSize() != 128 {
+		t.Fatalf("PageSize = %d", d.PageSize())
+	}
+	id := d.Allocate()
+	if d.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", d.NumPages())
+	}
+	payload := []byte("hello simulated disk")
+	if err := d.Write(id, payload); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := d.Read(id)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 128 {
+		t.Fatalf("Read returned %d bytes", len(got))
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("Read data mismatch")
+	}
+	// Remainder must be zeroed.
+	for _, b := range got[len(payload):] {
+		if b != 0 {
+			t.Fatal("page remainder not zeroed")
+		}
+	}
+	// Overwrite with shorter data zeroes the tail.
+	if err := d.Write(id, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = d.Read(id)
+	if got[0] != 'x' || got[1] != 0 {
+		t.Fatal("overwrite did not zero remainder")
+	}
+}
+
+func TestDiskErrors(t *testing.T) {
+	d := NewDisk(DiskConfig{PageSize: 64})
+	if err := d.Write(0, []byte("x")); !errors.Is(err, ErrPageOutOfRange) {
+		t.Errorf("Write to unallocated page: %v", err)
+	}
+	if _, err := d.Read(5); !errors.Is(err, ErrPageOutOfRange) {
+		t.Errorf("Read of unallocated page: %v", err)
+	}
+	if _, err := d.Read(-1); !errors.Is(err, ErrPageOutOfRange) {
+		t.Errorf("Read of negative page: %v", err)
+	}
+	id := d.Allocate()
+	if err := d.Write(id, make([]byte, 65)); !errors.Is(err, ErrPageTooLarge) {
+		t.Errorf("oversized Write: %v", err)
+	}
+}
+
+func TestDiskStatsAndLatencyModel(t *testing.T) {
+	cfg := DiskConfig{PageSize: 4096, SeekLatency: 5 * time.Millisecond, TransferRate: 4096 * 1000}
+	d := NewDisk(cfg)
+	id := d.Allocate()
+	for i := 0; i < 10; i++ {
+		if _, err := d.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.PageReads != 10 || st.BytesRead != 10*4096 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Each read costs 5ms seek + 1ms transfer (4096 bytes at 4096*1000 B/s).
+	want := 10 * (5*time.Millisecond + time.Millisecond)
+	if st.SimulatedReadTime != want {
+		t.Fatalf("SimulatedReadTime = %v, want %v", st.SimulatedReadTime, want)
+	}
+	d.ResetStats()
+	st = d.Stats()
+	if st.PageReads != 0 || st.PagesAllocated != 1 {
+		t.Fatalf("after reset: %+v", st)
+	}
+}
+
+func TestDiskDefaults(t *testing.T) {
+	d := NewDisk(DiskConfig{})
+	if d.PageSize() != 4096 {
+		t.Errorf("default page size = %d", d.PageSize())
+	}
+	cost := d.Config().PageReadCost()
+	if cost < 5*time.Millisecond || cost > 6*time.Millisecond {
+		t.Errorf("default page read cost = %v", cost)
+	}
+	def := DefaultDiskConfig()
+	if def.PageSize != 4096 || def.SeekLatency != 5*time.Millisecond {
+		t.Errorf("DefaultDiskConfig = %+v", def)
+	}
+}
+
+func TestDiskConcurrentAccess(t *testing.T) {
+	d := NewDisk(DiskConfig{PageSize: 64})
+	ids := make([]PageID, 16)
+	for i := range ids {
+		ids[i] = d.Allocate()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				id := ids[(i+j)%len(ids)]
+				_ = d.Write(id, []byte{byte(i)})
+				if _, err := d.Read(id); err != nil {
+					t.Errorf("Read: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d.Stats().PageReads != 800 {
+		t.Fatalf("PageReads = %d", d.Stats().PageReads)
+	}
+}
+
+func TestBufferPoolHitsAndMisses(t *testing.T) {
+	d := NewDisk(DiskConfig{PageSize: 64})
+	ids := make([]PageID, 4)
+	for i := range ids {
+		ids[i] = d.Allocate()
+		if err := d.Write(ids[i], []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewBufferPool(d, 8)
+	// First access: miss; second: hit.
+	if data, err := p.Get(ids[0]); err != nil || data[0] != 1 {
+		t.Fatalf("Get: %v %v", data, err)
+	}
+	if data, err := p.Get(ids[0]); err != nil || data[0] != 1 {
+		t.Fatalf("Get: %v %v", data, err)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v", st.HitRate())
+	}
+	// Hits do not touch the disk.
+	if d.Stats().PageReads != 1 {
+		t.Fatalf("disk reads = %d", d.Stats().PageReads)
+	}
+	// Clear forces a re-read (cold cache).
+	p.Clear()
+	if _, err := p.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().PageReads != 2 {
+		t.Fatalf("disk reads after Clear = %d", d.Stats().PageReads)
+	}
+	p.ResetStats()
+	if p.Stats().Hits != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+	if p.Capacity() != 8 {
+		t.Fatalf("Capacity = %d", p.Capacity())
+	}
+}
+
+func TestBufferPoolEviction(t *testing.T) {
+	d := NewDisk(DiskConfig{PageSize: 64})
+	ids := make([]PageID, 5)
+	for i := range ids {
+		ids[i] = d.Allocate()
+	}
+	p := NewBufferPool(d, 2)
+	for _, id := range ids {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Misses != 5 || st.Evictions != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The two most recently used pages are cached.
+	before := d.Stats().PageReads
+	if _, err := p.Get(ids[4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().PageReads != before {
+		t.Fatal("recently used pages should be cache hits")
+	}
+	// The least recently used page was evicted.
+	if _, err := p.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().PageReads != before+1 {
+		t.Fatal("evicted page should be a miss")
+	}
+}
+
+func TestBufferPoolZeroCapacity(t *testing.T) {
+	d := NewDisk(DiskConfig{PageSize: 64})
+	id := d.Allocate()
+	p := NewBufferPool(d, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Stats().PageReads != 3 {
+		t.Fatalf("zero-capacity pool should not cache; reads = %d", d.Stats().PageReads)
+	}
+	if p.Stats().Hits != 0 {
+		t.Fatal("zero-capacity pool reported hits")
+	}
+}
+
+func TestBufferPoolErrorPropagation(t *testing.T) {
+	d := NewDisk(DiskConfig{PageSize: 64})
+	p := NewBufferPool(d, 2)
+	if _, err := p.Get(42); err == nil {
+		t.Fatal("expected error for unallocated page")
+	}
+}

@@ -1,0 +1,12 @@
+package storage
+
+// GetTracked behaves like Get but additionally reports whether the page was
+// served from the pool (hit = true) or had to be read from disk.
+func (p *BufferPool) GetTracked(id PageID) (data []byte, hit bool, err error) {
+	before := p.Stats().Misses
+	data, err = p.Get(id)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, p.Stats().Misses == before, nil
+}
