@@ -13,6 +13,7 @@ import (
 	"spatialsim/internal/core"
 	"spatialsim/internal/crtree"
 	"spatialsim/internal/datagen"
+	"spatialsim/internal/exec"
 	"spatialsim/internal/experiments"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/grid"
@@ -405,5 +406,137 @@ func BenchmarkMicro_SimIndexKNN(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.KNN(points[i%len(points)], 8)
+	}
+}
+
+// --- E10: parallel execution engine -------------------------------------------
+
+// batchBenchState caches the 100k-element index and 1k-query batch the
+// BenchmarkBatchSearch pair runs over, so the sequential and parallel sides
+// measure identical work.
+var batchBenchState struct {
+	tree    *rtree.Tree
+	queries []geom.AABB
+	items   []index.Item
+	u       geom.AABB
+}
+
+func batchBenchSetup(b *testing.B) (*rtree.Tree, []geom.AABB) {
+	b.Helper()
+	if batchBenchState.tree == nil {
+		items, u := benchItems(100000)
+		t := rtree.NewDefault()
+		t.BulkLoad(items)
+		batchBenchState.tree = t
+		batchBenchState.items = items
+		batchBenchState.u = u
+		batchBenchState.queries = datagen.GenerateRangeQueries(datagen.RangeQueryConfig{
+			N: 1000, Selectivity: 5e-5, Universe: u, Seed: 21,
+		})
+	}
+	return batchBenchState.tree, batchBenchState.queries
+}
+
+func BenchmarkBatchSearch_Sequential(b *testing.B) {
+	ix, queries := batchBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			ix.Search(q, func(index.Item) bool { return true })
+		}
+	}
+}
+
+func BenchmarkBatchSearch_Workers8(b *testing.B) {
+	ix, queries := batchBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.BatchSearch(ix, queries, exec.Options{Workers: 8})
+	}
+}
+
+func BenchmarkBatchSearch_WorkersMax(b *testing.B) {
+	ix, queries := batchBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.BatchSearch(ix, queries, exec.Options{})
+	}
+}
+
+func BenchmarkBatchKNN_Sequential(b *testing.B) {
+	ix, _ := batchBenchSetup(b)
+	points := datagen.GenerateKNNQueries(500, batchBenchState.u, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range points {
+			ix.KNN(p, 8)
+		}
+	}
+}
+
+func BenchmarkBatchKNN_Workers8(b *testing.B) {
+	ix, _ := batchBenchSetup(b)
+	points := datagen.GenerateKNNQueries(500, batchBenchState.u, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.BatchKNN(ix, points, 8, exec.Options{Workers: 8})
+	}
+}
+
+func BenchmarkParallelBulkLoad_RTree_Sequential(b *testing.B) {
+	batchBenchSetup(b)
+	items := batchBenchState.items
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := rtree.NewDefault()
+		t.BulkLoad(items)
+	}
+}
+
+func BenchmarkParallelBulkLoad_RTree_Workers8(b *testing.B) {
+	batchBenchSetup(b)
+	items := batchBenchState.items
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := rtree.NewDefault()
+		t.ParallelBulkLoad(items, 8)
+	}
+}
+
+func BenchmarkParallelBulkLoad_Grid_Sequential(b *testing.B) {
+	batchBenchSetup(b)
+	items, u := batchBenchState.items, batchBenchState.u
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := grid.New(grid.Config{Universe: u, CellsPerDim: 40})
+		g.BulkLoad(items)
+	}
+}
+
+func BenchmarkParallelBulkLoad_Grid_Workers8(b *testing.B) {
+	batchBenchSetup(b)
+	items, u := batchBenchState.items, batchBenchState.u
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := grid.New(grid.Config{Universe: u, CellsPerDim: 40})
+		g.ParallelBulkLoad(items, 8)
+	}
+}
+
+func BenchmarkConcurrentIndex_StripedInserts(b *testing.B) {
+	batchBenchSetup(b)
+	items := batchBenchState.items
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := exec.NewConcurrent(0, func() index.Index { return rtree.NewDefault() })
+		exec.ParallelBulkLoad(c, items, exec.Options{Workers: 8})
+	}
+}
+
+func BenchmarkParallelSpeedup_Experiment(b *testing.B) {
+	s := benchScale()
+	s.Workers = 8
+	for i := 0; i < b.N; i++ {
+		experiments.ParallelSpeedup(s)
 	}
 }

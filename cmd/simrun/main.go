@@ -7,6 +7,7 @@
 //
 //	simrun -index simindex -elements 50000 -steps 10
 //	simrun -index rtree -queries 500
+//	simrun -index grid -workers 8
 //
 // Indexes: simindex, grid, rtree, rtree-throwaway, octree, scan.
 package main
@@ -36,6 +37,7 @@ func main() {
 		knn       = flag.Int("knn", 20, "kNN queries per step")
 		joinEvery = flag.Int("join-every", 0, "run a synapse-detection self-join every N steps (0 = never)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 1, "worker goroutines for the per-step monitoring queries (>1 uses the parallel engine)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,7 @@ func main() {
 		JoinEvery:        *joinEvery,
 		JoinEps:          dataset.Universe.Size().X / 2000,
 		Seed:             *seed + 2,
+		Workers:          *workers,
 	})
 	fmt.Printf("%-6s %-14s %-14s %-14s %-10s %s\n", "step", "update", "query", "join", "results", "moved")
 	var run sim.RunStats

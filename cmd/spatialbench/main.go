@@ -10,7 +10,11 @@
 //	spatialbench -exp updates
 //
 // Experiments: fig2, fig3, fig4, updates, indexes, lsh, join, moving,
-// simstep, mesh, ablation-resolution, ablation-advisor, all.
+// simstep, mesh, ablation-resolution, ablation-advisor, parallel, all.
+//
+// The -workers flag sets the goroutine budget of the parallel execution
+// engine (internal/exec) for the experiments that use it (currently
+// "parallel"); 0 uses GOMAXPROCS.
 package main
 
 import (
@@ -24,12 +28,13 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|all)")
+		exp         = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|all)")
 		elements    = flag.Int("elements", 100000, "number of spatial elements")
 		queries     = flag.Int("queries", 200, "number of range queries")
 		selectivity = flag.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
 		steps       = flag.Int("steps", 3, "simulation steps for step-based experiments")
 		seed        = flag.Int64("seed", 1, "random seed")
+		workers     = flag.Int("workers", 0, "worker goroutines for the parallel engine (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -38,6 +43,7 @@ func main() {
 		Queries:     *queries,
 		Selectivity: *selectivity,
 		Seed:        *seed,
+		Workers:     *workers,
 	}
 	if err := run(strings.ToLower(*exp), scale, *steps); err != nil {
 		fmt.Fprintln(os.Stderr, "spatialbench:", err)
@@ -72,6 +78,8 @@ func run(exp string, scale experiments.Scale, steps int) error {
 			fmt.Println(experiments.AblationGridResolution(scale, nil))
 		case "ablation-advisor":
 			fmt.Println(experiments.AblationAdvisor(scale, 2*steps, 100))
+		case "parallel":
+			fmt.Println(experiments.ParallelSpeedup(scale))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -81,6 +89,7 @@ func run(exp string, scale experiments.Scale, steps int) error {
 		for _, name := range []string{
 			"fig2", "fig3", "fig4", "updates", "indexes", "lsh", "join",
 			"moving", "simstep", "mesh", "ablation-resolution", "ablation-advisor",
+			"parallel",
 		} {
 			if err := runOne(name); err != nil {
 				return err

@@ -22,6 +22,10 @@
 //     connectivity-driven range queries;
 //   - internal/core — SimIndex, the grid-based index with a maintenance cost
 //     advisor that the paper's conclusions call for;
+//   - internal/exec — the parallel batch execution engine: worker-pool
+//     BatchSearch/BatchKNN over any index family, ParallelBulkLoad (STR
+//     sort-tile slabs, grid cell bands, octants built concurrently) and the
+//     striped-lock ConcurrentIndex wrapper;
 //   - internal/sim — the time-stepped simulation harness of the paper's
 //     Figure 1;
 //   - internal/experiments — drivers regenerating every figure and in-text

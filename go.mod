@@ -1,0 +1,3 @@
+module spatialsim
+
+go 1.22

@@ -46,6 +46,9 @@ type SimIndex struct {
 	gridStale bool
 	mode      Strategy
 	counters  instrument.Counters
+	// rebuildWorkers is the goroutine budget grid rebuilds may use (set by
+	// ParallelBulkLoad; advisor-triggered rebuilds reuse the last value).
+	rebuildWorkers int
 
 	lastStrategy Strategy
 	steps        int
@@ -128,10 +131,18 @@ func (s *SimIndex) Update(id int64, oldBox, newBox geom.AABB) {
 // BulkLoad implements index.BulkLoader. The resolution model picks the grid
 // resolution for the loaded data when the configuration did not fix one.
 func (s *SimIndex) BulkLoad(items []index.Item) {
+	s.ParallelBulkLoad(items, 1)
+}
+
+// ParallelBulkLoad implements index.ParallelBulkLoader: the authoritative
+// table is filled sequentially (it is a single map) and the grid rebuild —
+// the bulk of the work — is delegated to the grid's banded parallel loader.
+func (s *SimIndex) ParallelBulkLoad(items []index.Item, workers int) {
 	s.items = make(map[int64]geom.AABB, len(items))
 	for _, it := range items {
 		s.items[it.ID] = it.Box
 	}
+	s.rebuildWorkers = workers
 	s.rebuildGrid()
 	s.mode = StrategyUpdate
 }
@@ -153,7 +164,11 @@ func (s *SimIndex) rebuildGrid() {
 	if cells != s.grid.CellsPerDim() {
 		s.grid = grid.New(grid.Config{Universe: s.cfg.Universe, CellsPerDim: cells})
 	}
-	s.grid.BulkLoad(items)
+	if s.rebuildWorkers > 1 {
+		s.grid.ParallelBulkLoad(items, s.rebuildWorkers)
+	} else {
+		s.grid.BulkLoad(items)
+	}
 	s.gridStale = false
 }
 
@@ -276,5 +291,5 @@ func (s *SimIndex) String() string {
 }
 
 var _ index.Index = (*SimIndex)(nil)
-var _ index.BulkLoader = (*SimIndex)(nil)
+var _ index.ParallelBulkLoader = (*SimIndex)(nil)
 var _ index.BatchUpdater = (*SimIndex)(nil)

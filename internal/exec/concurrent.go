@@ -1,0 +1,228 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+)
+
+// ConcurrentIndex makes any index family safe for concurrent use by sharding
+// the id space across independently-locked stripes, the striped-lock
+// decomposition the SQLite R-Tree module applies at node level. Writers lock
+// only the one stripe that owns the element's id, so inserts into different
+// stripes proceed in parallel; readers take per-stripe read locks, so queries
+// run concurrently with each other and block only on the stripe a writer is
+// touching. This is the fallback that gives chunked concurrent bulk loads to
+// families without a native parallel loader.
+type ConcurrentIndex struct {
+	name      string
+	stripes   []*stripe
+	newStripe func() index.Index
+	counters  instrument.Counters
+}
+
+type stripe struct {
+	mu sync.RWMutex
+	ix index.Index
+}
+
+// NewConcurrent returns a striped wrapper with the given number of stripes
+// (<= 0 picks 4x GOMAXPROCS); newStripe must return a fresh empty sub-index
+// per call.
+func NewConcurrent(stripes int, newStripe func() index.Index) *ConcurrentIndex {
+	if stripes <= 0 {
+		stripes = 4 * runtime.GOMAXPROCS(0)
+	}
+	c := &ConcurrentIndex{stripes: make([]*stripe, stripes), newStripe: newStripe}
+	for i := range c.stripes {
+		c.stripes[i] = &stripe{ix: newStripe()}
+	}
+	c.name = "concurrent-" + c.stripes[0].ix.Name()
+	return c
+}
+
+// Stripes returns the number of stripes.
+func (c *ConcurrentIndex) Stripes() int { return len(c.stripes) }
+
+func (c *ConcurrentIndex) stripeFor(id int64) *stripe {
+	return c.stripes[int(uint64(id)%uint64(len(c.stripes)))]
+}
+
+// Name implements index.Index.
+func (c *ConcurrentIndex) Name() string { return c.name }
+
+// Len implements index.Index.
+func (c *ConcurrentIndex) Len() int {
+	total := 0
+	for _, s := range c.stripes {
+		s.mu.RLock()
+		total += s.ix.Len()
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Counters implements index.Index; it returns the wrapper's own counters
+// (updates routed through the wrapper). AggregateCounters adds the stripes'.
+func (c *ConcurrentIndex) Counters() *instrument.Counters { return &c.counters }
+
+// AggregateCounters returns the wrapper's counters plus every stripe's.
+func (c *ConcurrentIndex) AggregateCounters() instrument.CounterSnapshot {
+	total := c.counters.Snapshot()
+	for _, s := range c.stripes {
+		s.mu.RLock()
+		if sc := s.ix.Counters(); sc != nil {
+			total = total.Add(sc.Snapshot())
+		}
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Insert implements index.Index.
+func (c *ConcurrentIndex) Insert(id int64, box geom.AABB) {
+	c.counters.AddUpdates(1)
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	s.ix.Insert(id, box)
+	s.mu.Unlock()
+}
+
+// Delete implements index.Index.
+func (c *ConcurrentIndex) Delete(id int64, box geom.AABB) bool {
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	ok := s.ix.Delete(id, box)
+	s.mu.Unlock()
+	if ok {
+		c.counters.AddUpdates(1)
+	}
+	return ok
+}
+
+// Update implements index.Index. The stripe is chosen by id, so an update
+// stays within one lock no matter how far the element moved.
+func (c *ConcurrentIndex) Update(id int64, oldBox, newBox geom.AABB) {
+	c.counters.AddUpdates(1)
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	s.ix.Update(id, oldBox, newBox)
+	s.mu.Unlock()
+}
+
+// Search implements index.Index by visiting every stripe under its read lock.
+func (c *ConcurrentIndex) Search(query geom.AABB, fn func(index.Item) bool) {
+	for _, s := range c.stripes {
+		s.mu.RLock()
+		stopped := false
+		s.ix.Search(query, func(it index.Item) bool {
+			if !fn(it) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		s.mu.RUnlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// KNN implements index.Index: each stripe contributes its k nearest and the
+// union is re-ranked (an element lives in exactly one stripe, so the true k
+// nearest are always among the candidates).
+func (c *ConcurrentIndex) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 {
+		return nil
+	}
+	var cands []index.Item
+	for _, s := range c.stripes {
+		s.mu.RLock()
+		cands = append(cands, s.ix.KNN(p, k)...)
+		s.mu.RUnlock()
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].Box.Distance2ToPoint(p) < cands[j].Box.Distance2ToPoint(p)
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// BulkLoad implements index.BulkLoader sequentially (stripe by stripe).
+func (c *ConcurrentIndex) BulkLoad(items []index.Item) {
+	c.loadPartitions(c.partition(items, 1), 1)
+}
+
+// ParallelBulkLoad implements index.ParallelBulkLoader: items are partitioned
+// into per-stripe lists by concurrent workers (each with private buckets, so
+// no locks), then every stripe bulk loads its partition concurrently.
+func (c *ConcurrentIndex) ParallelBulkLoad(items []index.Item, workers int) {
+	c.loadPartitions(c.partition(items, workers), workers)
+}
+
+// partition splits items into one list per stripe.
+func (c *ConcurrentIndex) partition(items []index.Item, workers int) [][]index.Item {
+	ns := len(c.stripes)
+	if workers <= 1 {
+		parts := make([][]index.Item, ns)
+		for _, it := range items {
+			si := int(uint64(it.ID) % uint64(ns))
+			parts[si] = append(parts[si], it)
+		}
+		return parts
+	}
+	buckets := make([][][]index.Item, workers)
+	ForChunks(len(items), workers, func(worker, lo, hi int) {
+		local := make([][]index.Item, ns)
+		for i := lo; i < hi; i++ {
+			si := int(uint64(items[i].ID) % uint64(ns))
+			local[si] = append(local[si], items[i])
+		}
+		buckets[worker] = local
+	})
+	parts := make([][]index.Item, ns)
+	for _, local := range buckets {
+		if local == nil {
+			continue
+		}
+		for si := range local {
+			parts[si] = append(parts[si], local[si]...)
+		}
+	}
+	return parts
+}
+
+// loadPartitions loads parts[i] into stripe i, one stripe per task. Bulk
+// loads replace the index contents, so stripes without a native BulkLoad are
+// recreated from the factory before the insert loop.
+func (c *ConcurrentIndex) loadPartitions(parts [][]index.Item, workers int) {
+	ForTasks(len(c.stripes), workers, func(_, si int) {
+		s := c.stripes[si]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if loader, ok := s.ix.(index.BulkLoader); ok {
+			loader.BulkLoad(parts[si])
+			return
+		}
+		s.ix = c.newStripe()
+		for _, it := range parts[si] {
+			s.ix.Insert(it.ID, it.Box)
+		}
+	})
+}
+
+// String describes the wrapper.
+func (c *ConcurrentIndex) String() string {
+	return fmt.Sprintf("concurrent{%d stripes of %s, %d items}", len(c.stripes), c.stripes[0].ix.Name(), c.Len())
+}
+
+var _ index.Index = (*ConcurrentIndex)(nil)
+var _ index.ParallelBulkLoader = (*ConcurrentIndex)(nil)

@@ -285,3 +285,27 @@ func TestScaleDefaults(t *testing.T) {
 		t.Fatalf("DefaultScale = %+v", d)
 	}
 }
+
+func TestParallelSpeedupRunsAllFamilies(t *testing.T) {
+	s := tinyScale()
+	s.Workers = 4
+	r := ParallelSpeedup(s)
+	if r.Workers != 4 {
+		t.Fatalf("Workers = %d", r.Workers)
+	}
+	if len(r.Rows) < 6 {
+		t.Fatalf("only %d families measured", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.SeqRange <= 0 || row.ParRange <= 0 {
+			t.Fatalf("%s: range timings not recorded: %+v", row.Name, row)
+		}
+		if row.RangeSpeedup <= 0 || row.BuildSpeedup <= 0 || row.KNNSpeedup <= 0 {
+			t.Fatalf("%s: speedups not computed: %+v", row.Name, row)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "E10") || !strings.Contains(out, "concurrent-rtree") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+}

@@ -38,6 +38,9 @@ type Scale struct {
 	Selectivity float64
 	// Seed makes runs deterministic.
 	Seed int64
+	// Workers is the goroutine budget for experiments that exercise the
+	// parallel execution engine (<= 0 uses GOMAXPROCS).
+	Workers int
 }
 
 // DefaultScale is a laptop-sized stand-in for the paper's 200M-element / 200

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"spatialsim/internal/core"
+	"spatialsim/internal/crtree"
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/exec"
+	"spatialsim/internal/grid"
+	"spatialsim/internal/index"
+	"spatialsim/internal/octree"
+	"spatialsim/internal/rtree"
+)
+
+// ParallelRow is one index family's sequential-versus-parallel measurement.
+type ParallelRow struct {
+	Name         string
+	SeqBuild     time.Duration
+	ParBuild     time.Duration
+	SeqRange     time.Duration
+	ParRange     time.Duration
+	SeqKNN       time.Duration
+	ParKNN       time.Duration
+	BuildSpeedup float64
+	RangeSpeedup float64
+	KNNSpeedup   float64
+}
+
+// ParallelSpeedupResult compares sequential execution against the worker-pool
+// engine (internal/exec) for bulk loads, range-query batches and kNN batches
+// across the index families. It quantifies the headroom the paper says serial
+// index execution leaves on the table ("as fast as the hardware allows").
+type ParallelSpeedupResult struct {
+	Workers  int
+	Elements int
+	Queries  int
+	KNN      int
+	Rows     []ParallelRow
+}
+
+// String renders the comparison as a table.
+func (r ParallelSpeedupResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E10: parallel engine speedup, %d workers (%d elements, %d range queries, %d kNN)\n",
+		r.Workers, r.Elements, r.Queries, r.KNN)
+	fmt.Fprintf(&b, "  %-20s %-22s %-22s %s\n", "index", "build seq->par", "range seq->par", "kNN seq->par")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-20s %-10v %-7v %3.1fx  %-10v %-7v %3.1fx  %-10v %-7v %3.1fx\n",
+			row.Name,
+			row.SeqBuild.Round(time.Microsecond), row.ParBuild.Round(time.Microsecond), row.BuildSpeedup,
+			row.SeqRange.Round(time.Microsecond), row.ParRange.Round(time.Microsecond), row.RangeSpeedup,
+			row.SeqKNN.Round(time.Microsecond), row.ParKNN.Round(time.Microsecond), row.KNNSpeedup)
+	}
+	return b.String()
+}
+
+// ParallelSpeedup measures, per index family, the sequential bulk load /
+// range batch / kNN batch against the parallel engine at the configured
+// worker count. Every family is loaded twice with identical data so the
+// sequential and parallel sides query identical indexes.
+func ParallelSpeedup(s Scale) ParallelSpeedupResult {
+	s = s.withDefaults()
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	d, items := neuronItems(s)
+	queries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{
+		N: s.Queries, Selectivity: s.Selectivity * 10, Universe: d.Universe, Seed: s.Seed + 30,
+	})
+	knnPoints := datagen.GenerateKNNQueries(s.Queries/2, d.Universe, s.Seed+31)
+	const k = 8
+
+	factories := []func() index.Index{
+		func() index.Index { return rtree.NewDefault() },
+		func() index.Index { return crtree.New(crtree.Config{}) },
+		func() index.Index { return grid.New(grid.Config{Universe: d.Universe, CellsPerDim: 32}) },
+		func() index.Index {
+			return octree.New(octree.Config{Universe: d.Universe, LeafCapacity: 32, MaxDepth: 9})
+		},
+		func() index.Index { return core.New(core.Config{Universe: d.Universe}) },
+	}
+	// The striped wrapper demonstrates the fallback path for families without
+	// a native parallel loader.
+	concurrentFactory := func() index.Index {
+		return exec.NewConcurrent(4*workers, func() index.Index { return rtree.NewDefault() })
+	}
+	factories = append(factories, concurrentFactory)
+
+	result := ParallelSpeedupResult{Workers: workers, Elements: len(items), Queries: len(queries), KNN: len(knnPoints)}
+	for _, newIndex := range factories {
+		seqIx, parIx := newIndex(), newIndex()
+
+		start := time.Now()
+		exec.ParallelBulkLoad(seqIx, items, exec.Options{Workers: 1})
+		seqBuild := time.Since(start)
+		start = time.Now()
+		exec.ParallelBulkLoad(parIx, items, exec.Options{Workers: workers})
+		parBuild := time.Since(start)
+
+		start = time.Now()
+		for _, q := range queries {
+			seqIx.Search(q, func(index.Item) bool { return true })
+		}
+		seqRange := time.Since(start)
+		start = time.Now()
+		exec.BatchSearch(parIx, queries, exec.Options{Workers: workers})
+		parRange := time.Since(start)
+
+		start = time.Now()
+		for _, p := range knnPoints {
+			seqIx.KNN(p, k)
+		}
+		seqKNN := time.Since(start)
+		start = time.Now()
+		exec.BatchKNN(parIx, knnPoints, k, exec.Options{Workers: workers})
+		parKNN := time.Since(start)
+
+		result.Rows = append(result.Rows, ParallelRow{
+			Name:     parIx.Name(),
+			SeqBuild: seqBuild, ParBuild: parBuild,
+			SeqRange: seqRange, ParRange: parRange,
+			SeqKNN: seqKNN, ParKNN: parKNN,
+			BuildSpeedup: speedup(seqBuild, parBuild),
+			RangeSpeedup: speedup(seqRange, parRange),
+			KNNSpeedup:   speedup(seqKNN, parKNN),
+		})
+	}
+	return result
+}
+
+func speedup(seq, par time.Duration) float64 {
+	if par <= 0 {
+		return 0
+	}
+	return float64(seq) / float64(par)
+}

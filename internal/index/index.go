@@ -50,6 +50,27 @@ type BulkLoader interface {
 	BulkLoad(items []Item)
 }
 
+// ParallelBulkLoader is implemented by indexes whose bulk construction can be
+// decomposed into concurrently-built spatial partitions (STR-style sort-tile
+// slabs for the R-Tree family, cell stripes for grids, octants for octrees).
+// ParallelBulkLoad with workers <= 1 must be semantically identical to
+// BulkLoad; with more workers it must produce an index answering every query
+// exactly like its sequential counterpart.
+type ParallelBulkLoader interface {
+	BulkLoader
+	// ParallelBulkLoad replaces the index contents with the given items using
+	// up to the given number of goroutines.
+	ParallelBulkLoad(items []Item, workers int)
+}
+
+// Preparer is implemented by indexes that defer maintenance work (lazy
+// rebuilds, buffered updates) until the next read. PrepareForRead forces the
+// pending maintenance so that subsequent Search/KNN calls are read-only and
+// therefore safe to issue from multiple goroutines at once.
+type Preparer interface {
+	PrepareForRead()
+}
+
 // SearchAll collects all results of a range query into a slice (helper for
 // tests and experiments; production code should prefer the callback form).
 func SearchAll(ix Index, query geom.AABB) []Item {

@@ -152,6 +152,25 @@ type CounterSnapshot struct {
 	Comparisons        int64
 }
 
+// Add returns the component-wise sum s + o. It is the aggregation primitive
+// used to fold per-worker counter snapshots into one batch-level accounting
+// (the parallel execution engine keeps one Counters per worker so the paper's
+// cost categories survive parallel execution without atomic contention).
+func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		NodeVisits:         s.NodeVisits + o.NodeVisits,
+		TreeIntersectTests: s.TreeIntersectTests + o.TreeIntersectTests,
+		ElemIntersectTests: s.ElemIntersectTests + o.ElemIntersectTests,
+		ElementsTouched:    s.ElementsTouched + o.ElementsTouched,
+		Results:            s.Results + o.Results,
+		PagesRead:          s.PagesRead + o.PagesRead,
+		BytesRead:          s.BytesRead + o.BytesRead,
+		Updates:            s.Updates + o.Updates,
+		CellMoves:          s.CellMoves + o.CellMoves,
+		Comparisons:        s.Comparisons + o.Comparisons,
+	}
+}
+
 // Sub returns the component-wise difference s - o.
 func (s CounterSnapshot) Sub(o CounterSnapshot) CounterSnapshot {
 	return CounterSnapshot{

@@ -87,6 +87,15 @@ func (t *Throwaway) Rebuild() {
 	t.dirty = false
 }
 
+// PrepareForRead implements index.Preparer: it forces the pending rebuild so
+// that subsequent Search/KNN calls are read-only and safe to run from several
+// goroutines at once.
+func (t *Throwaway) PrepareForRead() {
+	if t.dirty {
+		t.Rebuild()
+	}
+}
+
 // Search implements index.Index; it rebuilds first if updates are pending.
 func (t *Throwaway) Search(query geom.AABB, fn func(index.Item) bool) {
 	if t.dirty {
@@ -347,6 +356,10 @@ func (b *Buffered) Flush() {
 	}
 	b.buffer = make(map[int64]geom.AABB)
 }
+
+// PrepareForRead implements index.Preparer: it flushes the side buffer so a
+// following read-only query batch does not pay the buffer scan per query.
+func (b *Buffered) PrepareForRead() { b.Flush() }
 
 // Search implements index.Index: both the wrapped index and the buffer are
 // consulted.

@@ -49,30 +49,53 @@ func (t *Tree) strPack(entries []entry, leaf bool) []*node {
 	if n <= m {
 		return []*node{{leaf: leaf, entries: append([]entry(nil), entries...)}}
 	}
-	pages := (n + m - 1) / m
-	s := int(math.Ceil(math.Cbrt(float64(pages))))
-	if s < 1 {
-		s = 1
-	}
-	slabSize := s * s * m
-	runSize := s * m
+	slabSize, runSize := t.strTiling(n)
 
 	sortByCenter(entries, 0)
 	var nodes []*node
 	for i := 0; i < n; i += slabSize {
 		slab := entries[i:minInt(i+slabSize, n)]
-		sortByCenter(slab, 1)
-		for j := 0; j < len(slab); j += runSize {
-			run := slab[j:minInt(j+runSize, len(slab))]
-			sortByCenter(run, 2)
-			for k := 0; k < len(run); k += m {
-				chunk := run[k:minInt(k+m, len(run))]
-				nodes = append(nodes, &node{leaf: leaf, entries: append([]entry(nil), chunk...)})
-			}
+		nodes = append(nodes, packTiles(slab, leaf, runSize, m)...)
+	}
+	t.rebalanceLastNode(nodes)
+	return nodes
+}
+
+// strTiling returns the STR slab and run sizes for n entries: slabs of
+// s*s*m entries cut by X, runs of s*m entries cut by Y, nodes of m entries
+// cut by Z, with s the cube root of the page count.
+func (t *Tree) strTiling(n int) (slabSize, runSize int) {
+	m := t.maxEntries
+	pages := (n + m - 1) / m
+	s := int(math.Ceil(math.Cbrt(float64(pages))))
+	if s < 1 {
+		s = 1
+	}
+	return s * s * m, s * m
+}
+
+// packTiles packs one X-slab into nodes: sort the slab by Y center, cut it
+// into runs, sort each run by Z center and emit nodes of at most m entries.
+// It touches only the given slab, so distinct slabs can be packed by
+// concurrent goroutines.
+func packTiles(slab []entry, leaf bool, runSize, m int) []*node {
+	var nodes []*node
+	sortByCenter(slab, 1)
+	for j := 0; j < len(slab); j += runSize {
+		run := slab[j:minInt(j+runSize, len(slab))]
+		sortByCenter(run, 2)
+		for k := 0; k < len(run); k += m {
+			chunk := run[k:minInt(k+m, len(run))]
+			nodes = append(nodes, &node{leaf: leaf, entries: append([]entry(nil), chunk...)})
 		}
 	}
-	// Only the globally last node can be underfull; rebalance it with its
-	// predecessor so every non-root node respects the minimum occupancy.
+	return nodes
+}
+
+// rebalanceLastNode fixes the one node a full STR pass can leave underfull:
+// only the globally last node can come out below the minimum occupancy, and
+// it is rebalanced with its predecessor.
+func (t *Tree) rebalanceLastNode(nodes []*node) {
 	if len(nodes) > 1 {
 		last := nodes[len(nodes)-1]
 		if len(last.entries) < t.minEntries {
@@ -83,7 +106,6 @@ func (t *Tree) strPack(entries []entry, leaf bool) []*node {
 			last.entries = append([]entry(nil), merged[half:]...)
 		}
 	}
-	return nodes
 }
 
 func sortByCenter(entries []entry, axis int) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spatialsim/internal/datagen"
+	"spatialsim/internal/exec"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
 	"spatialsim/internal/join"
@@ -34,6 +35,10 @@ type Config struct {
 	JoinEps float64
 	// Seed seeds the query generators.
 	Seed int64
+	// Workers > 1 runs the monitoring queries of every step through the
+	// parallel batch engine (internal/exec) with that many goroutines;
+	// 0 or 1 keeps the sequential path.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -154,17 +159,27 @@ func (s *Simulation) Step() StepStats {
 	seed := s.cfg.Seed + int64(s.step)
 	if s.cfg.QueriesPerStep > 0 {
 		queries := datagen.GenerateDataCenteredQueries(s.Dataset, s.cfg.QueriesPerStep, s.cfg.QuerySelectivity, seed)
-		for _, q := range queries {
-			s.Index.Search(q, func(index.Item) bool {
-				stats.RangeResults++
-				return true
-			})
+		if s.cfg.Workers > 1 {
+			count, _ := exec.BatchSearchCount(s.Index, queries, exec.Options{Workers: s.cfg.Workers})
+			stats.RangeResults += int(count)
+		} else {
+			for _, q := range queries {
+				s.Index.Search(q, func(index.Item) bool {
+					stats.RangeResults++
+					return true
+				})
+			}
 		}
 	}
 	if s.cfg.KNNPerStep > 0 {
 		points := datagen.GenerateKNNQueries(s.cfg.KNNPerStep, s.Dataset.Universe, seed+7919)
-		for _, p := range points {
-			stats.KNNResults += len(s.Index.KNN(p, s.cfg.K))
+		if s.cfg.Workers > 1 {
+			_, batch := exec.BatchKNN(s.Index, points, s.cfg.K, exec.Options{Workers: s.cfg.Workers})
+			stats.KNNResults += int(batch.Results)
+		} else {
+			for _, p := range points {
+				stats.KNNResults += len(s.Index.KNN(p, s.cfg.K))
+			}
 		}
 	}
 	stats.QueryTime = time.Since(start)

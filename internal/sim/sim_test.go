@@ -121,3 +121,23 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("defaults = %+v", c)
 	}
 }
+
+// TestParallelWorkersMatchSequential runs the same deterministic simulation
+// once sequentially and once through the parallel query engine; per-step
+// monitoring results must be identical.
+func TestParallelWorkersMatchSequential(t *testing.T) {
+	cfgSeq := Config{QueriesPerStep: 20, QuerySelectivity: 1e-3, KNNPerStep: 5, K: 4, Seed: 3}
+	cfgPar := cfgSeq
+	cfgPar.Workers = 4
+	seq := New(smallNeuronDataset(1), datagen.NewPlasticityModel(2), rtree.NewDefault(), cfgSeq)
+	par := New(smallNeuronDataset(1), datagen.NewPlasticityModel(2), rtree.NewDefault(), cfgPar)
+	for step := 0; step < 3; step++ {
+		ss, ps := seq.Step(), par.Step()
+		if ss.RangeResults != ps.RangeResults {
+			t.Fatalf("step %d: range results %d (seq) vs %d (parallel)", step, ss.RangeResults, ps.RangeResults)
+		}
+		if ss.KNNResults != ps.KNNResults {
+			t.Fatalf("step %d: kNN results %d (seq) vs %d (parallel)", step, ss.KNNResults, ps.KNNResults)
+		}
+	}
+}
