@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench bench-json fmt vet vet-strict ci
 
 all: build
 
@@ -16,6 +16,14 @@ race:
 bench:
 	$(GO) test -run 'xxx' -bench . -benchtime 1x ./...
 
+# bench-json runs the paired pointer-vs-compact layout benchmarks and records
+# ns/op, allocs/op and speedups in BENCH_PR2.json — the repo's perf
+# trajectory file. BENCHTIME trades precision for runtime (CI uses a short
+# one; local runs should keep the default 1s).
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -benchtime $(BENCHTIME)
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -25,4 +33,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet race bench
+# vet-strict is the gate for the flat-memory query subsystem: the packages
+# that carry the zero-allocation contract are vetted individually (so a
+# failure names the package) and their tests must build under both build-tag
+# variants (-race flips the raceEnabled guards).
+vet-strict:
+	$(GO) vet ./internal/index/... ./internal/rtree/... ./internal/grid/... \
+		./internal/octree/... ./internal/kdtree/... ./internal/exec/... \
+		./internal/core/... ./internal/join/... ./cmd/benchjson/...
+	$(GO) test -run xxx -race ./internal/index/ ./internal/rtree/ ./internal/grid/ > /dev/null
+
+ci: build fmt vet vet-strict race bench

@@ -21,6 +21,7 @@ import (
 	"spatialsim/internal/join"
 	"spatialsim/internal/mesh"
 	"spatialsim/internal/moving"
+	"spatialsim/internal/octree"
 	"spatialsim/internal/rtree"
 )
 
@@ -538,5 +539,113 @@ func BenchmarkParallelSpeedup_Experiment(b *testing.B) {
 	s.Workers = 8
 	for i := 0; i < b.N; i++ {
 		experiments.ParallelSpeedup(s)
+	}
+}
+
+// --- E11: flat-memory layouts, pointer vs compact ------------------------------
+
+func BenchmarkCacheLayout_Experiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CacheLayout(benchScale())
+	}
+}
+
+// benchUniformItems builds the uniform dataset the cache-layout acceptance
+// workload uses (spatially homogeneous, so layout effects are not masked by
+// clustering).
+func benchUniformItems(n int) ([]index.Item, geom.AABB) {
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	d := datagen.GenerateUniform(datagen.UniformConfig{N: n, Universe: u, Seed: 31})
+	items := make([]index.Item, d.Len())
+	for i := range d.Elements {
+		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+	}
+	return items, u
+}
+
+func benchVisitorRangeQueries(b *testing.B, rv index.RangeVisitor, u geom.AABB) {
+	b.Helper()
+	queries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{N: 100, Selectivity: 5e-5, Universe: u, Seed: 11})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		rv.RangeVisit(q, func(index.Item) bool { return true })
+	}
+}
+
+func BenchmarkMicro_RTreeRangeQueryPointer(b *testing.B) {
+	items, u := benchUniformItems(50000)
+	t := rtree.NewDefault()
+	t.BulkLoad(items)
+	benchVisitorRangeQueries(b, t, u)
+}
+
+func BenchmarkMicro_RTreeRangeQueryCompact(b *testing.B) {
+	items, u := benchUniformItems(50000)
+	benchVisitorRangeQueries(b, rtree.FreezeItems(items, rtree.Config{}), u)
+}
+
+func BenchmarkMicro_GridRangeQueryPointer(b *testing.B) {
+	items, u := benchUniformItems(50000)
+	g := grid.New(grid.Config{Universe: u, CellsPerDim: 40})
+	g.BulkLoad(items)
+	benchVisitorRangeQueries(b, g, u)
+}
+
+func BenchmarkMicro_GridRangeQueryCompact(b *testing.B) {
+	items, u := benchUniformItems(50000)
+	benchVisitorRangeQueries(b, grid.FreezeItems(items, grid.Config{Universe: u, CellsPerDim: 40}), u)
+}
+
+func BenchmarkMicro_OctreeRangeQueryPointer(b *testing.B) {
+	items, u := benchUniformItems(50000)
+	t := octree.New(octree.Config{Universe: u})
+	t.BulkLoad(items)
+	queries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{N: 100, Selectivity: 5e-5, Universe: u, Seed: 11})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Search(queries[i%len(queries)], func(index.Item) bool { return true })
+	}
+}
+
+func BenchmarkMicro_OctreeRangeQueryCompact(b *testing.B) {
+	items, u := benchUniformItems(50000)
+	benchVisitorRangeQueries(b, octree.FreezeItems(items, octree.Config{Universe: u}), u)
+}
+
+func BenchmarkMicro_RTreeKNNPointer(b *testing.B) {
+	items, u := benchUniformItems(50000)
+	t := rtree.NewDefault()
+	t.BulkLoad(items)
+	points := datagen.GenerateKNNQueries(100, u, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.KNN(points[i%len(points)], 8)
+	}
+}
+
+func BenchmarkMicro_RTreeKNNCompact(b *testing.B) {
+	items, u := benchUniformItems(50000)
+	c := rtree.FreezeItems(items, rtree.Config{})
+	points := datagen.GenerateKNNQueries(100, u, 12)
+	buf := make([]index.Item, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.KNNInto(points[i%len(points)], 8, buf[:0])
+	}
+}
+
+func BenchmarkBatchRangeVisit_CompactWorkers8(b *testing.B) {
+	ix, queries := batchBenchSetup(b)
+	frozen := ix.Freeze()
+	arena := &exec.Arena{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.BatchRangeVisitArena(frozen, queries, exec.Options{Workers: 8}, arena)
 	}
 }

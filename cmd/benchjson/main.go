@@ -1,0 +1,256 @@
+// Command benchjson records the flat-memory performance trajectory of
+// spatialsim as machine-readable JSON. It runs the paired pointer-layout /
+// compact-layout benchmarks programmatically (via testing.Benchmark, so no
+// benchmark-output parsing is involved) over the uniform dataset the paper's
+// homogeneous workloads model, and writes per-pair ns/op, allocs/op and the
+// compact-over-pointer speedup.
+//
+// Usage:
+//
+//	benchjson -out BENCH_PR2.json
+//	benchjson -out BENCH_PR2.json -elements 200000 -benchtime 2s
+//
+// The JSON file is the perf baseline CI uploads as an artifact; successive
+// PRs append files (BENCH_PR2.json, BENCH_PR3.json, ...) so the trajectory
+// stays reviewable in-repo.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/exec"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/grid"
+	"spatialsim/internal/index"
+	"spatialsim/internal/kdtree"
+	"spatialsim/internal/octree"
+	"spatialsim/internal/rtree"
+)
+
+// Side is one measured side of a pair.
+type Side struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Pair is one pointer-versus-compact comparison.
+type Pair struct {
+	Name     string `json:"name"`
+	Family   string `json:"family"`
+	Workload string `json:"workload"`
+	Pointer  Side   `json:"pointer"`
+	Compact  Side   `json:"compact"`
+	// Speedup is pointer ns/op divided by compact ns/op (>1 means the
+	// compact layout is faster).
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the file layout of BENCH_*.json.
+type Report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	Elements    int    `json:"elements"`
+	Pairs       []Pair `json:"pairs"`
+}
+
+func side(r testing.BenchmarkResult) Side {
+	return Side{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func pair(name, family, workload string, pointer, compact func(b *testing.B)) Pair {
+	fmt.Fprintf(os.Stderr, "benchjson: running %s (pointer)...\n", name)
+	p := side(testing.Benchmark(pointer))
+	fmt.Fprintf(os.Stderr, "benchjson: running %s (compact)...\n", name)
+	c := side(testing.Benchmark(compact))
+	out := Pair{Name: name, Family: family, Workload: workload, Pointer: p, Compact: c}
+	if c.NsPerOp > 0 {
+		out.Speedup = p.NsPerOp / c.NsPerOp
+	}
+	return out
+}
+
+func main() {
+	// Register the testing package's flags (test.benchtime in particular)
+	// before parsing, so testing.Benchmark honors the requested run time.
+	testing.Init()
+	var (
+		out       = flag.String("out", "BENCH_PR2.json", "output JSON file")
+		elements  = flag.Int("elements", 50000, "dataset size")
+		benchtime = flag.Duration("benchtime", time.Second, "target run time per benchmark side")
+	)
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	d := datagen.GenerateUniform(datagen.UniformConfig{N: *elements, Universe: u, Seed: 31})
+	items := make([]index.Item, d.Len())
+	points := make([]kdtree.Point, d.Len())
+	for i := range d.Elements {
+		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+		points[i] = kdtree.Point{ID: d.Elements[i].ID, Pos: d.Elements[i].Position}
+	}
+	queries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{N: 100, Selectivity: 5e-5, Universe: u, Seed: 11})
+	knnPoints := datagen.GenerateKNNQueries(100, u, 12)
+
+	rt := rtree.NewDefault()
+	rt.BulkLoad(items)
+	rtc := rt.Freeze()
+
+	g := grid.New(grid.Config{Universe: u, CellsPerDim: 40})
+	g.BulkLoad(items)
+	gc := g.Freeze()
+
+	oc := octree.New(octree.Config{Universe: u})
+	oc.BulkLoad(items)
+	occ := oc.Freeze()
+
+	kt := kdtree.Build(points)
+	ktc := kt.Freeze()
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Elements:    *elements,
+	}
+
+	report.Pairs = append(report.Pairs, pair("rtree-range", "rtree", "uniform-range",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt.Search(queries[i%len(queries)], func(index.Item) bool { return true })
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rtc.RangeVisit(queries[i%len(queries)], func(index.Item) bool { return true })
+			}
+		}))
+
+	report.Pairs = append(report.Pairs, pair("rtree-knn", "rtree", "uniform-knn-k8",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt.KNN(knnPoints[i%len(knnPoints)], 8)
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]index.Item, 0, 8)
+			for i := 0; i < b.N; i++ {
+				buf = rtc.KNNInto(knnPoints[i%len(knnPoints)], 8, buf[:0])
+			}
+		}))
+
+	batchQueries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{N: 1000, Selectivity: 5e-5, Universe: u, Seed: 21})
+	arena := &exec.Arena{}
+	report.Pairs = append(report.Pairs, pair("rtree-batch-range-w8", "rtree", "uniform-range-batch1000-workers8",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exec.BatchSearch(rt, batchQueries, exec.Options{Workers: 8})
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exec.BatchRangeVisitArena(rtc, batchQueries, exec.Options{Workers: 8}, arena)
+			}
+		}))
+
+	report.Pairs = append(report.Pairs, pair("grid-range", "grid", "uniform-range",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Search(queries[i%len(queries)], func(index.Item) bool { return true })
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gc.RangeVisit(queries[i%len(queries)], func(index.Item) bool { return true })
+			}
+		}))
+
+	report.Pairs = append(report.Pairs, pair("grid-knn", "grid", "uniform-knn-k8",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.KNN(knnPoints[i%len(knnPoints)], 8)
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]index.Item, 0, 8)
+			for i := 0; i < b.N; i++ {
+				buf = gc.KNNInto(knnPoints[i%len(knnPoints)], 8, buf[:0])
+			}
+		}))
+
+	report.Pairs = append(report.Pairs, pair("octree-range", "octree", "uniform-range",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				oc.Search(queries[i%len(queries)], func(index.Item) bool { return true })
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				occ.RangeVisit(queries[i%len(queries)], func(index.Item) bool { return true })
+			}
+		}))
+
+	report.Pairs = append(report.Pairs, pair("kdtree-range", "kdtree", "uniform-point-range",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kt.Range(queries[i%len(queries)], func(kdtree.Point) bool { return true })
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ktc.RangeVisit(queries[i%len(queries)], func(kdtree.Point) bool { return true })
+			}
+		}))
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, p := range report.Pairs {
+		fmt.Printf("%-24s pointer %10.0f ns/op (%4d allocs)   compact %10.0f ns/op (%4d allocs)   speedup %.2fx\n",
+			p.Name, p.Pointer.NsPerOp, p.Pointer.AllocsPerOp, p.Compact.NsPerOp, p.Compact.AllocsPerOp, p.Speedup)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -10,7 +10,8 @@
 //	spatialbench -exp updates
 //
 // Experiments: fig2, fig3, fig4, updates, indexes, lsh, join, moving,
-// simstep, mesh, ablation-resolution, ablation-advisor, parallel, all.
+// simstep, mesh, ablation-resolution, ablation-advisor, parallel,
+// cache-layout, all.
 //
 // The -workers flag sets the goroutine budget of the parallel execution
 // engine (internal/exec) for the experiments that use it (currently
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|all)")
+		exp         = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|all)")
 		elements    = flag.Int("elements", 100000, "number of spatial elements")
 		queries     = flag.Int("queries", 200, "number of range queries")
 		selectivity = flag.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
@@ -80,6 +81,8 @@ func run(exp string, scale experiments.Scale, steps int) error {
 			fmt.Println(experiments.AblationAdvisor(scale, 2*steps, 100))
 		case "parallel":
 			fmt.Println(experiments.ParallelSpeedup(scale))
+		case "cache-layout":
+			fmt.Println(experiments.CacheLayout(scale))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -89,7 +92,7 @@ func run(exp string, scale experiments.Scale, steps int) error {
 		for _, name := range []string{
 			"fig2", "fig3", "fig4", "updates", "indexes", "lsh", "join",
 			"moving", "simstep", "mesh", "ablation-resolution", "ablation-advisor",
-			"parallel",
+			"parallel", "cache-layout",
 		} {
 			if err := runOne(name); err != nil {
 				return err

@@ -13,7 +13,9 @@
 //     the disk-resident R-Tree baseline of the paper's Figure 2;
 //   - internal/rtree, internal/crtree, internal/kdtree, internal/octree,
 //     internal/grid, internal/lsh — the in-memory index families the paper
-//     surveys;
+//     surveys; each tree/grid family also offers a packed read-optimised
+//     Compact snapshot (node slab + structure-of-arrays leaves, built by
+//     Freeze) serving the zero-allocation visitor query paths;
 //   - internal/join — nested-loop, plane-sweep, PBSM-style grid, synchronized
 //     R-Tree and TOUCH-style spatial joins;
 //   - internal/moving — throwaway, lazy (grace window) and buffered
@@ -23,15 +25,18 @@
 //   - internal/core — SimIndex, the grid-based index with a maintenance cost
 //     advisor that the paper's conclusions call for;
 //   - internal/exec — the parallel batch execution engine: worker-pool
-//     BatchSearch/BatchKNN over any index family, ParallelBulkLoad (STR
-//     sort-tile slabs, grid cell bands, octants built concurrently) and the
-//     striped-lock ConcurrentIndex wrapper;
+//     BatchSearch/BatchKNN over any index family, the zero-allocation
+//     BatchRangeVisit/BatchKNNInto visitor paths with reusable Arena
+//     buffers, ParallelBulkLoad (STR sort-tile slabs, grid cell bands,
+//     octants built concurrently) and the striped-lock ConcurrentIndex
+//     wrapper;
 //   - internal/sim — the time-stepped simulation harness of the paper's
 //     Figure 1;
 //   - internal/experiments — drivers regenerating every figure and in-text
 //     experiment of the paper (see DESIGN.md and EXPERIMENTS.md).
 //
-// Executables: cmd/spatialbench (run any experiment) and cmd/simrun (run a
-// full simulation with a chosen index). Runnable examples are under
-// examples/.
+// Executables: cmd/spatialbench (run any experiment), cmd/simrun (run a
+// full simulation with a chosen index) and cmd/benchjson (record the paired
+// pointer-vs-compact layout benchmarks in BENCH_*.json). Runnable examples
+// are under examples/.
 package spatialsim

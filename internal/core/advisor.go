@@ -58,6 +58,15 @@ type Advisor struct {
 	// bulk-load-insert units (default 50; queries touch a small fraction of
 	// the data).
 	IndexedQueryCost float64
+	// FreezeCostFactor is the per-element cost of packing the grid into its
+	// compact read-optimised snapshot, relative to one bulk-load insert
+	// (default 0.3: freezing is a single linear copy into SoA arrays, far
+	// cheaper than a rebuild which re-hashes every element into cells).
+	FreezeCostFactor float64
+	// FrozenQuerySaving is the fraction of IndexedQueryCost a query saves
+	// when it runs against the compact snapshot instead of the mutable grid
+	// (default 0.3, the cache-locality and map-free-dedup gain).
+	FrozenQuerySaving float64
 }
 
 // DefaultAdvisor returns an advisor with the paper-calibrated defaults.
@@ -75,7 +84,24 @@ func (a Advisor) withDefaults() Advisor {
 	if a.IndexedQueryCost <= 0 {
 		a.IndexedQueryCost = 50
 	}
+	if a.FreezeCostFactor <= 0 {
+		a.FreezeCostFactor = 0.3
+	}
+	if a.FrozenQuerySaving <= 0 {
+		a.FrozenQuerySaving = 0.3
+	}
 	return a
+}
+
+// ShouldFreeze reports whether packing the grid into its compact snapshot
+// pays off for a step: the one-off linear freeze pass must be recovered by
+// the per-query saving over the expected number of queries before the next
+// movement step invalidates the snapshot.
+func (a Advisor) ShouldFreeze(queries, total int) bool {
+	a = a.withDefaults()
+	freezeCost := a.FreezeCostFactor * float64(total)
+	saving := a.FrozenQuerySaving * a.IndexedQueryCost * float64(queries)
+	return saving > freezeCost
 }
 
 // CrossoverFraction returns the fraction of changed elements above which a

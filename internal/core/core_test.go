@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"spatialsim/internal/datagen"
@@ -305,4 +306,35 @@ func TestSimIndexCountersAndGridCounters(t *testing.T) {
 	if s.Counters() == nil {
 		t.Fatal("nil counters")
 	}
+}
+
+// Regression test: KNNInto must not lazily build the frozen snapshot — with
+// the advisor declining to freeze (large table, default expected queries),
+// concurrent KNNInto callers would otherwise race on the cache write. Run
+// under -race in CI.
+func TestKNNIntoConcurrentWithoutFrozenSnapshot(t *testing.T) {
+	s := New(Config{Universe: geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))})
+	items := make([]index.Item, 6000)
+	for i := range items {
+		f := float64(i%100) + 0.5
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(geom.V(f, f/2, f/3), geom.V(0.4, 0.4, 0.4))}
+	}
+	s.BulkLoad(items)
+	s.PrepareForRead() // advisor declines: snapshot stays nil
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]index.Item, 0, 8)
+			for i := 0; i < 50; i++ {
+				buf = s.KNNInto(geom.V(float64((w*13+i)%100), 25, 10), 8, buf[:0])
+				if len(buf) != 8 {
+					t.Errorf("worker %d: got %d neighbors, want 8", w, len(buf))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -46,6 +46,9 @@ type SimIndex struct {
 	gridStale bool
 	mode      Strategy
 	counters  instrument.Counters
+	// frozen caches the grid's compact read-optimised snapshot for the
+	// zero-allocation visitor query paths; any mutation invalidates it.
+	frozen *grid.Compact
 	// rebuildWorkers is the goroutine budget grid rebuilds may use (set by
 	// ParallelBulkLoad; advisor-triggered rebuilds reuse the last value).
 	rebuildWorkers int
@@ -100,6 +103,7 @@ func (s *SimIndex) Stats() (steps, rebuilds, scanSteps int) {
 // Insert implements index.Index.
 func (s *SimIndex) Insert(id int64, box geom.AABB) {
 	s.counters.AddUpdates(1)
+	s.frozen = nil
 	s.items[id] = box
 	if !s.gridStale {
 		s.grid.Insert(id, box)
@@ -112,6 +116,7 @@ func (s *SimIndex) Delete(id int64, box geom.AABB) bool {
 		return false
 	}
 	s.counters.AddUpdates(1)
+	s.frozen = nil
 	delete(s.items, id)
 	if !s.gridStale {
 		s.grid.Delete(id, box)
@@ -122,6 +127,7 @@ func (s *SimIndex) Delete(id int64, box geom.AABB) bool {
 // Update implements index.Index.
 func (s *SimIndex) Update(id int64, oldBox, newBox geom.AABB) {
 	s.counters.AddUpdates(1)
+	s.frozen = nil
 	s.items[id] = newBox
 	if !s.gridStale {
 		s.grid.Update(id, oldBox, newBox)
@@ -170,6 +176,7 @@ func (s *SimIndex) rebuildGrid() {
 		s.grid.BulkLoad(items)
 	}
 	s.gridStale = false
+	s.frozen = nil
 }
 
 // ApplyMoves implements index.BatchUpdater: it applies one simulation step's
@@ -177,6 +184,7 @@ func (s *SimIndex) rebuildGrid() {
 func (s *SimIndex) ApplyMoves(moves []index.Move) {
 	s.steps++
 	s.counters.AddUpdates(int64(len(moves)))
+	s.frozen = nil
 	// Estimate how many moves actually require grid maintenance: only moves
 	// whose displacement is comparable to the cell size can change the cell
 	// assignment (the movement-aware insight of Section 4.3).
@@ -269,6 +277,68 @@ func (s *SimIndex) KNN(p geom.Vec3, k int) []index.Item {
 	return s.grid.KNN(p, k)
 }
 
+// Freeze implements index.Freezer: it returns the packed, read-optimised
+// snapshot of the current grid contents (rebuilding the grid first if scan
+// steps left it stale) and caches it until the next mutation. The snapshot
+// serves the zero-allocation visitor query paths.
+func (s *SimIndex) Freeze() index.ReadIndex {
+	if s.gridStale {
+		s.rebuildGrid()
+		s.mode = StrategyUpdate
+	}
+	if s.frozen == nil {
+		s.frozen = s.grid.Freeze()
+	}
+	return s.frozen
+}
+
+// PrepareForRead implements index.Preparer: it materializes the compact
+// snapshot ahead of a read-only query phase when the advisor expects the
+// freeze pass to pay for itself over the step's queries. Batch engines call
+// it before fanning queries out, so the visitor paths below never build
+// state concurrently.
+func (s *SimIndex) PrepareForRead() {
+	if s.mode == StrategyScan {
+		return
+	}
+	if s.cfg.Advisor.ShouldFreeze(s.cfg.ExpectedQueriesPerStep, len(s.items)) {
+		s.Freeze()
+	}
+}
+
+// RangeVisit implements index.RangeVisitor. With a fresh frozen snapshot
+// (see PrepareForRead) it runs on the compact layout with zero allocations;
+// otherwise it falls back to the mutable grid's Search (also allocation-free)
+// or, in scan mode, the flat table scan.
+func (s *SimIndex) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
+	if s.mode == StrategyScan {
+		s.Search(query, visit)
+		return
+	}
+	if s.frozen != nil {
+		s.frozen.RangeVisit(query, visit)
+		return
+	}
+	s.grid.Search(query, visit)
+}
+
+// KNNInto implements index.KNNer, delegating to the compact snapshot's
+// pooled-heap search when PrepareForRead (or Freeze) has materialized one.
+// Without a snapshot it falls back to the mutable KNN — it must not build
+// the snapshot itself, both because concurrent readers may be inside this
+// method (only Prepare-time freezing keeps the visitor paths read-only) and
+// because a nil snapshot after PrepareForRead means the advisor judged the
+// freeze pass not worth it for this step.
+func (s *SimIndex) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
+	if k <= 0 || len(s.items) == 0 {
+		return buf
+	}
+	if s.mode != StrategyScan && s.frozen != nil {
+		return s.frozen.KNNInto(p, k, buf)
+	}
+	return append(buf, s.KNN(p, k)...)
+}
+
 // SelfJoin reports every pair of indexed elements whose boxes are within eps
 // of each other (the synapse-detection / collision-detection primitive). It
 // uses the grid-partitioned join the paper recommends for massively changing
@@ -293,3 +363,7 @@ func (s *SimIndex) String() string {
 var _ index.Index = (*SimIndex)(nil)
 var _ index.ParallelBulkLoader = (*SimIndex)(nil)
 var _ index.BatchUpdater = (*SimIndex)(nil)
+var _ index.Freezer = (*SimIndex)(nil)
+var _ index.RangeVisitor = (*SimIndex)(nil)
+var _ index.KNNer = (*SimIndex)(nil)
+var _ index.Preparer = (*SimIndex)(nil)

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/grid"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+	"spatialsim/internal/octree"
+	"spatialsim/internal/rtree"
+)
+
+// E11 — cache-layout experiment. The paper's Section 3.3 argues that once
+// the working set is in memory, query time is dominated by intersection
+// tests and by how the structure lays those tests out in cache, not by
+// "reading data". This experiment makes the claim measurable in spatialsim:
+// the same uniform dataset and the same range workload run against each
+// index family twice — once on the pointer-per-node mutable layout and once
+// on the packed (frozen) layout — and both runs report wall time plus the
+// paper-style intersection-test breakdown. The operation counts barely move
+// between layouts (the algorithms are identical); the time per operation is
+// what the flat layout compresses.
+
+// CacheLayoutRow is the pointer-versus-compact comparison of one family.
+type CacheLayoutRow struct {
+	Family       string
+	PointerTime  time.Duration
+	CompactTime  time.Duration
+	Speedup      float64 // PointerTime / CompactTime
+	PointerTests instrument.CounterSnapshot
+	CompactTests instrument.CounterSnapshot
+	// TreeTestsPct/ElemTestsPct break the compact run down into the paper's
+	// intersection-test categories (Figure 3 shape).
+	TreeTestsPct float64
+	ElemTestsPct float64
+}
+
+// CacheLayoutResult is the E11 result across index families.
+type CacheLayoutResult struct {
+	Elements int
+	Queries  int
+	Rows     []CacheLayoutRow
+}
+
+// String renders the comparison table.
+func (r CacheLayoutResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E11: flat-memory layout, pointer vs compact (%d elements, %d uniform range queries)\n", r.Elements, r.Queries)
+	fmt.Fprintf(&b, "  %-14s %-12s %-12s %-8s %-22s %s\n", "family", "pointer", "compact", "speedup", "tree/elem tests (cmp)", "breakdown tree/elem")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-14s %-12v %-12v %-8.2f %-22s %.1f%% / %.1f%%\n",
+			row.Family,
+			row.PointerTime.Round(time.Microsecond),
+			row.CompactTime.Round(time.Microsecond),
+			row.Speedup,
+			fmt.Sprintf("%d / %d", row.CompactTests.TreeIntersectTests, row.CompactTests.ElemIntersectTests),
+			row.TreeTestsPct, row.ElemTestsPct)
+	}
+	fmt.Fprintf(&b, "  (same operation counts, cheaper operations: the layout, not the algorithm, is what changes)\n")
+	return b.String()
+}
+
+// cacheLayoutTarget pairs a mutable index with its frozen snapshot.
+type cacheLayoutTarget struct {
+	family  string
+	pointer interface {
+		Search(geom.AABB, func(index.Item) bool)
+		Counters() *instrument.Counters
+	}
+	compact interface {
+		RangeVisit(geom.AABB, func(index.Item) bool)
+		Counters() *instrument.Counters
+	}
+}
+
+// CacheLayout runs E11 at the given scale.
+func CacheLayout(s Scale) CacheLayoutResult {
+	s = s.withDefaults()
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	d := datagen.GenerateUniform(datagen.UniformConfig{N: s.Elements, Universe: u, Seed: s.Seed})
+	items := make([]index.Item, d.Len())
+	for i := range d.Elements {
+		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+	}
+	// The paper's uniform range workload; selectivity widened so each query
+	// returns a handful of elements at laptop scale.
+	queries := datagen.GenerateRangeQueries(datagen.RangeQueryConfig{
+		N: s.Queries, Selectivity: s.Selectivity * 10, Universe: u, Seed: s.Seed + 1,
+	})
+
+	rt := rtree.NewDefault()
+	rt.BulkLoad(items)
+	g := grid.New(grid.Config{Universe: u, CellsPerDim: 40})
+	g.BulkLoad(items)
+	oc := octree.New(octree.Config{Universe: u})
+	oc.BulkLoad(items)
+
+	targets := []cacheLayoutTarget{
+		{family: "rtree", pointer: rt, compact: rt.Freeze()},
+		{family: "grid", pointer: g, compact: g.Freeze()},
+		{family: "octree", pointer: oc, compact: oc.Freeze()},
+	}
+
+	result := CacheLayoutResult{Elements: len(items), Queries: len(queries)}
+	for _, tg := range targets {
+		var row CacheLayoutRow
+		row.Family = tg.family
+
+		tg.pointer.Counters().Reset()
+		start := time.Now()
+		for _, q := range queries {
+			tg.pointer.Search(q, func(index.Item) bool { return true })
+		}
+		row.PointerTime = time.Since(start)
+		row.PointerTests = tg.pointer.Counters().Snapshot()
+
+		tg.compact.Counters().Reset()
+		start = time.Now()
+		for _, q := range queries {
+			tg.compact.RangeVisit(q, func(index.Item) bool { return true })
+		}
+		row.CompactTime = time.Since(start)
+		row.CompactTests = tg.compact.Counters().Snapshot()
+
+		if row.CompactTime > 0 {
+			row.Speedup = float64(row.PointerTime) / float64(row.CompactTime)
+		}
+		tree := float64(row.CompactTests.TreeIntersectTests)
+		elem := float64(row.CompactTests.ElemIntersectTests)
+		if tree+elem > 0 {
+			row.TreeTestsPct = 100 * tree / (tree + elem)
+			row.ElemTestsPct = 100 * elem / (tree + elem)
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	return result
+}

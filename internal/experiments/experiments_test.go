@@ -309,3 +309,31 @@ func TestParallelSpeedupRunsAllFamilies(t *testing.T) {
 		t.Fatalf("unexpected rendering:\n%s", out)
 	}
 }
+
+func TestCacheLayoutComparesAllFamilies(t *testing.T) {
+	r := CacheLayout(tinyScale())
+	if len(r.Rows) != 3 {
+		t.Fatalf("expected 3 families, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.PointerTime <= 0 || row.CompactTime <= 0 {
+			t.Fatalf("%s: timings not recorded: %+v", row.Family, row)
+		}
+		if row.Speedup <= 0 {
+			t.Fatalf("%s: speedup not computed", row.Family)
+		}
+		if row.CompactTests.ElemIntersectTests == 0 {
+			t.Fatalf("%s: compact run recorded no element tests", row.Family)
+		}
+		// Same algorithm, different layout: the compact run must not do more
+		// element intersection tests than the pointer run.
+		if row.CompactTests.ElemIntersectTests > row.PointerTests.ElemIntersectTests {
+			t.Fatalf("%s: compact did more element tests (%d) than pointer (%d)",
+				row.Family, row.CompactTests.ElemIntersectTests, row.PointerTests.ElemIntersectTests)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "E11") || !strings.Contains(out, "rtree") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,372 @@
+package grid
+
+import (
+	"sync"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+)
+
+// Compact is a packed, read-optimised snapshot of a Grid. The per-cell item
+// slices of the mutable grid (one heap object per non-empty cell) are
+// flattened into CSR form — cellStart offsets plus dense structure-of-arrays
+// occurrence storage — so a range query streams through contiguous boxes
+// instead of chasing a slice header per cell, and the id→range map lookup of
+// the mutable dedup path becomes an array read. This is the dense layout the
+// paper's space-oriented partitioning argument assumes: cell lookup is
+// arithmetic, and the candidates inside a cell are one cache-line run.
+//
+// A Compact is immutable and safe for unboundedly concurrent readers.
+// RangeVisit performs zero heap allocations per call; KNNInto allocates only
+// until its pooled traversal state is warm.
+type Compact struct {
+	universe geom.AABB
+	n        [3]int
+	cellSize geom.Vec3
+
+	// cellStart has one entry per cell plus a terminator: cell ci's
+	// occurrences live at [cellStart[ci], cellStart[ci+1]) in the SoA arrays.
+	cellStart []int32
+	occBoxes  []geom.AABB
+	occIDs    []int64
+	// occRange is the owning element's full cell range, used for the same
+	// first-cell-in-scan-order deduplication the mutable grid performs via
+	// its ranges map.
+	occRange []cellRange
+	// occSlot is the owning element's dense slot in [0, size), used by the
+	// stamp-based KNN deduplication.
+	occSlot []int32
+
+	size     int
+	counters instrument.Counters
+	knnPool  sync.Pool // *gridKNNState
+}
+
+// Freeze returns a packed snapshot of the grid's current contents. The
+// snapshot is independent of the grid: later mutations do not affect it.
+func (g *Grid) Freeze() *Compact {
+	c := &Compact{
+		universe: g.universe,
+		n:        g.n,
+		cellSize: g.cellSize,
+		size:     g.size,
+	}
+	c.knnPool.New = func() interface{} {
+		return &gridKNNState{}
+	}
+	total := 0
+	for i := range g.cells {
+		total += len(g.cells[i])
+	}
+	c.cellStart = make([]int32, len(g.cells)+1)
+	c.occBoxes = make([]geom.AABB, 0, total)
+	c.occIDs = make([]int64, 0, total)
+	c.occRange = make([]cellRange, 0, total)
+	c.occSlot = make([]int32, 0, total)
+	slots := make(map[int64]int32, g.size)
+	for ci := range g.cells {
+		c.cellStart[ci] = int32(len(c.occIDs))
+		for _, it := range g.cells[ci] {
+			slot, ok := slots[it.id]
+			if !ok {
+				slot = int32(len(slots))
+				slots[it.id] = slot
+			}
+			c.occBoxes = append(c.occBoxes, it.box)
+			c.occIDs = append(c.occIDs, it.id)
+			c.occRange = append(c.occRange, g.ranges[it.id])
+			c.occSlot = append(c.occSlot, slot)
+		}
+	}
+	c.cellStart[len(g.cells)] = int32(len(c.occIDs))
+	return c
+}
+
+// FreezeItems builds a grid over the items and returns the packed snapshot
+// directly.
+func FreezeItems(items []index.Item, cfg Config) *Compact {
+	g := New(cfg)
+	g.BulkLoad(items)
+	return g.Freeze()
+}
+
+// Name implements index.ReadIndex.
+func (c *Compact) Name() string { return "grid-compact" }
+
+// Len implements index.ReadIndex.
+func (c *Compact) Len() int { return c.size }
+
+// Counters returns the snapshot's traversal counters.
+func (c *Compact) Counters() *instrument.Counters { return &c.counters }
+
+// CellsPerDim returns the frozen grid resolution along each axis.
+func (c *Compact) CellsPerDim() int { return c.n[0] }
+
+func (c *Compact) cellIndex(x, y, z int) int {
+	return (z*c.n[1]+y)*c.n[0] + x
+}
+
+func (c *Compact) coord(p geom.Vec3) [3]int {
+	var out [3]int
+	for i := 0; i < 3; i++ {
+		v := (p.Axis(i) - c.universe.Min.Axis(i)) / c.cellSize.Axis(i)
+		out[i] = clampI(int(v), 0, c.n[i]-1)
+	}
+	return out
+}
+
+func (c *Compact) rangeFor(box geom.AABB) cellRange {
+	return cellRange{lo: c.coord(box.Min), hi: c.coord(box.Max)}
+}
+
+func (c *Compact) cellBox(cc [3]int) geom.AABB {
+	min := geom.V(
+		c.universe.Min.X+float64(cc[0])*c.cellSize.X,
+		c.universe.Min.Y+float64(cc[1])*c.cellSize.Y,
+		c.universe.Min.Z+float64(cc[2])*c.cellSize.Z,
+	)
+	return geom.AABB{Min: min, Max: min.Add(c.cellSize)}
+}
+
+// RangeVisit implements index.RangeVisitor with zero heap allocations per
+// call: the cell walk is pure arithmetic over the CSR offsets and the
+// deduplication check reads the occurrence's stored cell range instead of a
+// map. Cost accounting matches the mutable grid's Search but is accumulated
+// in locals and flushed once per call instead of atomically per cell.
+func (c *Compact) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
+	if c.size == 0 {
+		return
+	}
+	var treeTests, elemTouched, elemTests, results int64
+	defer func() {
+		c.counters.AddTreeIntersectTests(treeTests)
+		c.counters.AddElementsTouched(elemTouched)
+		c.counters.AddElemIntersectTests(elemTests)
+		c.counters.AddResults(results)
+	}()
+	qr := c.rangeFor(query)
+	for z := qr.lo[2]; z <= qr.hi[2]; z++ {
+		for y := qr.lo[1]; y <= qr.hi[1]; y++ {
+			for x := qr.lo[0]; x <= qr.hi[0]; x++ {
+				ci := c.cellIndex(x, y, z)
+				treeTests++
+				start, end := c.cellStart[ci], c.cellStart[ci+1]
+				elemTouched += int64(end - start)
+				for i := start; i < end; i++ {
+					inter, ok := c.occRange[i].intersect(qr)
+					if !ok || inter.lo != [3]int{x, y, z} {
+						continue
+					}
+					elemTests++
+					if query.Intersects(c.occBoxes[i]) {
+						results++
+						if !visit(index.Item{ID: c.occIDs[i], Box: c.occBoxes[i]}) {
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Search mirrors index.Index's Search signature so a Compact can stand in
+// for the mutable grid in read-only experiment code.
+func (c *Compact) Search(query geom.AABB, fn func(index.Item) bool) {
+	c.RangeVisit(query, fn)
+}
+
+// gridKNNState is the pooled per-query traversal state: a bounded max-heap
+// of the current best candidates and an epoch-stamped visited array replacing
+// the per-query map[int64]struct{} of the mutable grid's KNN.
+type gridKNNState struct {
+	heap   []gridKNNCand
+	stamps []uint32
+	epoch  uint32
+}
+
+type gridKNNCand struct {
+	d2  float64
+	occ int32 // occurrence index into the SoA arrays
+}
+
+// KNNInto implements index.KNNer with the same expanding-shell strategy as
+// the mutable grid's KNN. The candidate heap and the visited stamps come from
+// a pool, so a warm call performs zero heap allocations.
+func (c *Compact) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
+	if k <= 0 || c.size == 0 {
+		return buf
+	}
+	st := c.knnPool.Get().(*gridKNNState)
+	if len(st.stamps) < c.size {
+		st.stamps = make([]uint32, c.size)
+		st.epoch = 0
+	}
+	st.epoch++
+	if st.epoch == 0 { // epoch wrapped: reset stamps once
+		for i := range st.stamps {
+			st.stamps[i] = 0
+		}
+		st.epoch = 1
+	}
+	h := st.heap[:0]
+
+	// Accumulated locally and flushed once per call, like RangeVisit:
+	// per-cell atomic adds would be contended cache-line traffic on
+	// parallel KNN batches.
+	var treeTests, elemTouched, elemTests int64
+	center := c.coord(p)
+	maxRadius := maxI(c.n[0], maxI(c.n[1], c.n[2]))
+	for radius := 0; radius <= maxRadius; radius++ {
+		if len(h) == k && radius > 0 {
+			if c.shellMinDistance2(p, center, radius) > h[0].d2 {
+				break
+			}
+		}
+		c.visitShell(center, radius, func(cc [3]int) {
+			treeTests++
+			ci := c.cellIndex(cc[0], cc[1], cc[2])
+			start, end := c.cellStart[ci], c.cellStart[ci+1]
+			elemTouched += int64(end - start)
+			for i := start; i < end; i++ {
+				slot := c.occSlot[i]
+				if st.stamps[slot] == st.epoch {
+					continue
+				}
+				st.stamps[slot] = st.epoch
+				elemTests++
+				d2 := c.occBoxes[i].Distance2ToPoint(p)
+				if len(h) < k {
+					h = pushKNNCand(h, gridKNNCand{d2: d2, occ: i})
+				} else if d2 < h[0].d2 {
+					h[0] = gridKNNCand{d2: d2, occ: i}
+					siftDownKNNCand(h, 0)
+				}
+			}
+		})
+	}
+	c.counters.AddTreeIntersectTests(treeTests)
+	c.counters.AddElementsTouched(elemTouched)
+	c.counters.AddElemIntersectTests(elemTests)
+
+	// Extract ascending: pop worst-first into buf, then reverse the segment.
+	base := len(buf)
+	for len(h) > 0 {
+		worst := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		if len(h) > 0 {
+			siftDownKNNCand(h, 0)
+		}
+		buf = append(buf, index.Item{ID: c.occIDs[worst.occ], Box: c.occBoxes[worst.occ]})
+	}
+	for i, j := base, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+
+	st.heap = h[:0]
+	c.knnPool.Put(st)
+	return buf
+}
+
+// KNN mirrors index.Index's KNN signature (allocating a fresh result slice).
+func (c *Compact) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || c.size == 0 {
+		return nil
+	}
+	return c.KNNInto(p, k, make([]index.Item, 0, k))
+}
+
+func pushKNNCand(h []gridKNNCand, cand gridKNNCand) []gridKNNCand {
+	h = append(h, cand)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].d2 >= h[i].d2 {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func siftDownKNNCand(h []gridKNNCand, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		max := i
+		if l < len(h) && h[l].d2 > h[max].d2 {
+			max = l
+		}
+		if r < len(h) && h[r].d2 > h[max].d2 {
+			max = r
+		}
+		if max == i {
+			return
+		}
+		h[i], h[max] = h[max], h[i]
+		i = max
+	}
+}
+
+// shellMinDistance2 mirrors Grid.shellMinDistance2 over the frozen geometry.
+func (c *Compact) shellMinDistance2(p geom.Vec3, center [3]int, radius int) float64 {
+	inner := cellRange{
+		lo: [3]int{
+			clampI(center[0]-(radius-1), 0, c.n[0]-1),
+			clampI(center[1]-(radius-1), 0, c.n[1]-1),
+			clampI(center[2]-(radius-1), 0, c.n[2]-1),
+		},
+		hi: [3]int{
+			clampI(center[0]+(radius-1), 0, c.n[0]-1),
+			clampI(center[1]+(radius-1), 0, c.n[1]-1),
+			clampI(center[2]+(radius-1), 0, c.n[2]-1),
+		},
+	}
+	innerBox := c.cellBox(inner.lo).Union(c.cellBox(inner.hi))
+	d := innerBox.Max.Sub(p).Min(p.Sub(innerBox.Min))
+	m := d.X
+	if d.Y < m {
+		m = d.Y
+	}
+	if d.Z < m {
+		m = d.Z
+	}
+	if m < 0 {
+		return 0
+	}
+	return m * m
+}
+
+// visitShell mirrors Grid.visitShell over the frozen geometry.
+func (c *Compact) visitShell(center [3]int, radius int, fn func(cc [3]int)) {
+	if radius == 0 {
+		fn(center)
+		return
+	}
+	lo := [3]int{center[0] - radius, center[1] - radius, center[2] - radius}
+	hi := [3]int{center[0] + radius, center[1] + radius, center[2] + radius}
+	for z := lo[2]; z <= hi[2]; z++ {
+		if z < 0 || z >= c.n[2] {
+			continue
+		}
+		for y := lo[1]; y <= hi[1]; y++ {
+			if y < 0 || y >= c.n[1] {
+				continue
+			}
+			for x := lo[0]; x <= hi[0]; x++ {
+				if x < 0 || x >= c.n[0] {
+					continue
+				}
+				if x != lo[0] && x != hi[0] && y != lo[1] && y != hi[1] && z != lo[2] && z != hi[2] {
+					continue
+				}
+				fn([3]int{x, y, z})
+			}
+		}
+	}
+}
+
+var _ index.ReadIndex = (*Compact)(nil)

@@ -1,0 +1,153 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func compactTestItems(n int, seed int64) ([]index.Item, geom.AABB) {
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		half := geom.V(r.Float64()*2, r.Float64()*2, r.Float64()*2)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	return items, u
+}
+
+func compactTestQueries(n int, seed int64) []geom.AABB {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]geom.AABB, n)
+	for i := range out {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		out[i] = geom.AABBFromCenter(c, geom.V(4, 4, 4))
+	}
+	return out
+}
+
+func sortedIDs(items []index.Item) []int64 {
+	ids := make([]int64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestCompactGridRangeMatchesMutable(t *testing.T) {
+	items, u := compactTestItems(4000, 21)
+	g := New(Config{Universe: u, CellsPerDim: 24})
+	g.BulkLoad(items)
+	c := g.Freeze()
+	if c.Len() != g.Len() {
+		t.Fatalf("compact Len = %d, want %d", c.Len(), g.Len())
+	}
+	for qi, q := range compactTestQueries(50, 22) {
+		want := sortedIDs(index.SearchAll(g, q))
+		got := sortedIDs(index.VisitAll(c, q))
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: result %d = id %d, want %d", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompactGridKNNMatchesMutable(t *testing.T) {
+	items, u := compactTestItems(3000, 23)
+	g := New(Config{Universe: u, CellsPerDim: 24})
+	g.BulkLoad(items)
+	c := g.Freeze()
+	r := rand.New(rand.NewSource(24))
+	for i := 0; i < 20; i++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		for _, k := range []int{1, 8, 25} {
+			want := g.KNN(p, k)
+			got := c.KNNInto(p, k, nil)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+			}
+			for j := range got {
+				gd := got[j].Box.Distance2ToPoint(p)
+				wd := want[j].Box.Distance2ToPoint(p)
+				if gd != wd {
+					t.Fatalf("k=%d rank %d: dist2 %g, want %g", k, j, gd, wd)
+				}
+			}
+		}
+	}
+}
+
+func TestCompactGridSnapshotIndependentOfLaterMutation(t *testing.T) {
+	items, u := compactTestItems(800, 25)
+	g := New(Config{Universe: u, CellsPerDim: 16})
+	g.BulkLoad(items)
+	c := g.Freeze()
+	before := len(index.VisitAll(c, u))
+	for _, it := range items[:400] {
+		g.Delete(it.ID, it.Box)
+	}
+	after := len(index.VisitAll(c, u))
+	if before != after || before != len(items) {
+		t.Fatalf("snapshot changed under mutation: before=%d after=%d want=%d", before, after, len(items))
+	}
+}
+
+func TestCompactGridEmpty(t *testing.T) {
+	g := New(Config{})
+	c := g.Freeze()
+	if got := index.VisitAll(c, geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))); len(got) != 0 {
+		t.Fatalf("empty compact returned %d results", len(got))
+	}
+	if got := c.KNNInto(geom.V(0, 0, 0), 3, nil); len(got) != 0 {
+		t.Fatalf("empty compact KNN returned %d results", len(got))
+	}
+}
+
+func TestCompactGridRangeVisitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	items, u := compactTestItems(20000, 26)
+	c := FreezeItems(items, Config{Universe: u, CellsPerDim: 32})
+	queries := compactTestQueries(16, 27)
+	var sink int64
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, q := range queries {
+			c.RangeVisit(q, func(it index.Item) bool {
+				sink += it.ID
+				return true
+			})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RangeVisit allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestCompactGridKNNIntoZeroAllocsWhenWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	items, u := compactTestItems(20000, 28)
+	c := FreezeItems(items, Config{Universe: u, CellsPerDim: 32})
+	buf := make([]index.Item, 0, 16)
+	p := geom.V(51, 49, 52)
+	buf = c.KNNInto(p, 16, buf[:0]) // warm the pooled state
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = c.KNNInto(p, 16, buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("warm KNNInto allocated %.1f times per run, want 0", allocs)
+	}
+}

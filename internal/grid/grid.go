@@ -256,6 +256,14 @@ func (g *Grid) Search(query geom.AABB, fn func(index.Item) bool) {
 	_ = stop
 }
 
+// RangeVisit implements index.RangeVisitor: the mutable grid's Search is
+// already allocation-free (cell walk plus map-based dedup), so it satisfies
+// the zero-allocation visitor contract directly (a frozen Compact is still
+// faster — CSR cell runs and array-based dedup).
+func (g *Grid) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
+	g.Search(query, visit)
+}
+
 func (g *Grid) forEachCell(r cellRange, fn func(ci int)) {
 	for z := r.lo[2]; z <= r.hi[2]; z++ {
 		for y := r.lo[1]; y <= r.hi[1]; y++ {

@@ -1,0 +1,145 @@
+package index
+
+import "spatialsim/internal/geom"
+
+// This file defines the flat-memory query contract of spatialsim. The paper's
+// Section 3.3 argues that once spatial data fits in memory, per-test cost and
+// cache-line locality dominate query time — so the hot read path must not pay
+// for pointer chasing or per-query allocation. Index families therefore offer
+// read-optimised "compact" snapshots (a single contiguous node slab with
+// int32 child offsets and structure-of-arrays leaf storage) built by a
+// Freeze() pass after bulk load, and the engine queries them through the
+// visitor contract below, which is required to run with zero allocations per
+// operation on the hot path.
+
+// RangeVisitor is the zero-allocation range-query contract. RangeVisit is
+// semantically identical to Index.Search — visit is invoked for every item
+// whose box intersects query, traversal order unspecified, returning false
+// stops the traversal — but implementations guarantee that a call performs no
+// per-query heap allocation. All compact (frozen) layouts implement it, as do
+// the mutable R-Tree and grid whose Search paths are already allocation-free.
+type RangeVisitor interface {
+	RangeVisit(query geom.AABB, visit func(Item) bool)
+}
+
+// KNNer is the zero-allocation k-nearest-neighbor contract. KNNInto appends
+// the (up to) k items nearest to p, closest first, to buf and returns the
+// extended slice. Callers that reuse buf (and implementations that pool their
+// traversal heaps) make repeated calls allocation-free once the buffers are
+// warm: KNNInto never retains buf and never allocates when cap(buf) suffices
+// and the implementation's pooled state is primed.
+type KNNer interface {
+	KNNInto(p geom.Vec3, k int, buf []Item) []Item
+}
+
+// ReadIndex is the read-only view a compact snapshot exposes: identification,
+// cardinality and the zero-allocation query paths. It is intentionally a
+// subset of Index — compact layouts are immutable, so the mutation half of
+// the contract does not apply.
+type ReadIndex interface {
+	Name() string
+	Len() int
+	RangeVisitor
+	KNNer
+}
+
+// Freezer is implemented by mutable indexes that can produce a packed,
+// read-optimised snapshot of their current contents. The snapshot is
+// independent of the source index: later mutations do not invalidate it, and
+// it is safe for unboundedly concurrent readers. Freeze is the in-memory
+// analogue of the paper's bulk-load-then-query phase split: simulation steps
+// mutate the index, analysis phases freeze it and fan queries out.
+type Freezer interface {
+	Freeze() ReadIndex
+}
+
+// VisitAll collects all results of a RangeVisit into a slice (test helper;
+// hot paths should pass a visitor and reuse buffers).
+func VisitAll(rv RangeVisitor, query geom.AABB) []Item {
+	var out []Item
+	rv.RangeVisit(query, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// RangeVisit implements RangeVisitor for the linear-scan baseline: the flat
+// item slice is the original "flat memory layout", and scanning it allocates
+// nothing.
+func (s *LinearScan) RangeVisit(query geom.AABB, visit func(Item) bool) {
+	s.Search(query, visit)
+}
+
+// KNNInto implements KNNer for the linear-scan baseline with an in-place
+// bounded selection over buf: buf accumulates the best k candidates as a
+// max-heap ordered by box distance, so no per-call state is needed.
+func (s *LinearScan) KNNInto(p geom.Vec3, k int, buf []Item) []Item {
+	if k <= 0 || len(s.items) == 0 {
+		return buf
+	}
+	s.counters.AddElementsTouched(int64(len(s.items)))
+	base := len(buf)
+	// Max-heap of up to k candidates in buf[base:], worst candidate at root.
+	worse := func(a, b Item) bool {
+		return a.Box.Distance2ToPoint(p) > b.Box.Distance2ToPoint(p)
+	}
+	heapLen := 0
+	for _, it := range s.items {
+		if heapLen < k {
+			buf = append(buf, it)
+			heapLen++
+			for c := heapLen - 1; c > 0; {
+				parent := (c - 1) / 2
+				if !worse(buf[base+c], buf[base+parent]) {
+					break
+				}
+				buf[base+c], buf[base+parent] = buf[base+parent], buf[base+c]
+				c = parent
+			}
+			continue
+		}
+		if !worse(buf[base], it) {
+			continue
+		}
+		buf[base] = it
+		for c := 0; ; {
+			l, r := 2*c+1, 2*c+2
+			next := c
+			if l < heapLen && worse(buf[base+l], buf[base+next]) {
+				next = l
+			}
+			if r < heapLen && worse(buf[base+r], buf[base+next]) {
+				next = r
+			}
+			if next == c {
+				break
+			}
+			buf[base+c], buf[base+next] = buf[base+next], buf[base+c]
+			c = next
+		}
+	}
+	// Heap-sort the k candidates into ascending distance order.
+	for end := heapLen - 1; end > 0; end-- {
+		buf[base], buf[base+end] = buf[base+end], buf[base]
+		for c := 0; ; {
+			l, r := 2*c+1, 2*c+2
+			next := c
+			if l < end && worse(buf[base+l], buf[base+next]) {
+				next = l
+			}
+			if r < end && worse(buf[base+r], buf[base+next]) {
+				next = r
+			}
+			if next == c {
+				break
+			}
+			buf[base+c], buf[base+next] = buf[base+next], buf[base+c]
+			c = next
+		}
+	}
+	return buf
+}
+
+var _ RangeVisitor = (*LinearScan)(nil)
+var _ KNNer = (*LinearScan)(nil)

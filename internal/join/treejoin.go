@@ -7,21 +7,51 @@ import (
 	"spatialsim/internal/index"
 )
 
-// joinNode is a node of the lightweight STR hierarchy the tree-based joins
-// build over one input. It is deliberately separate from package rtree: the
-// joins only need a static, bulk-built hierarchy, and keeping it local makes
-// the join algorithms self-contained.
+// The tree-based joins build a lightweight STR hierarchy over their inputs
+// and then run entirely on a flattened form of it: all nodes in one
+// contiguous slab addressed by int32 offsets (children of a node adjacent)
+// and leaf items in structure-of-arrays storage. The join phase — the
+// synchronized descent or the TOUCH subtree probes — is where virtually all
+// node visits happen, so it is the part that must not chase pointers; the
+// transient pointer form exists only during construction.
+
+// joinNode is a node of the transient build-time hierarchy.
 type joinNode struct {
 	box      geom.AABB
 	children []*joinNode
 	items    []index.Item // non-empty only for leaves
-	// assigned holds the probe-side items TOUCH assigns to this node.
-	assigned []index.Item
 }
 
 const joinFanout = 16
 
-// buildHierarchy STR-packs the items into a hierarchy and returns its root.
+// flatJoinNode is one slab node of the flattened hierarchy. For a leaf,
+// [first, first+count) indexes the item SoA arrays; for an inner node it
+// indexes the node slab itself.
+type flatJoinNode struct {
+	box   geom.AABB
+	first int32
+	count int32
+	leaf  bool
+}
+
+// flatHierarchy is the packed read-only hierarchy the join phases traverse.
+type flatHierarchy struct {
+	nodes     []flatJoinNode
+	itemBoxes []geom.AABB
+	itemIDs   []int64
+}
+
+func (h *flatHierarchy) item(i int32) index.Item {
+	return index.Item{ID: h.itemIDs[i], Box: h.itemBoxes[i]}
+}
+
+// buildFlatHierarchy STR-packs the items and returns the flattened
+// hierarchy (a single root leaf for empty input keeps traversals simple).
+func buildFlatHierarchy(items []index.Item) *flatHierarchy {
+	return flattenHierarchy(buildHierarchy(items))
+}
+
+// buildHierarchy STR-packs the items into a transient pointer hierarchy.
 func buildHierarchy(items []index.Item) *joinNode {
 	if len(items) == 0 {
 		return &joinNode{box: geom.EmptyAABB()}
@@ -32,6 +62,40 @@ func buildHierarchy(items []index.Item) *joinNode {
 		nodes = packNodes(nodes)
 	}
 	return nodes[0]
+}
+
+// flattenHierarchy lays the pointer hierarchy out in breadth-first slab
+// order, so children of a node are contiguous and the upper levels sit at
+// the front of the slab.
+func flattenHierarchy(root *joinNode) *flatHierarchy {
+	h := &flatHierarchy{}
+	type pending struct {
+		n   *joinNode
+		idx int32
+	}
+	h.nodes = append(h.nodes, flatJoinNode{})
+	queue := []pending{{n: root, idx: 0}}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if len(p.n.children) == 0 {
+			first := int32(len(h.itemIDs))
+			for _, it := range p.n.items {
+				h.itemBoxes = append(h.itemBoxes, it.Box)
+				h.itemIDs = append(h.itemIDs, it.ID)
+			}
+			h.nodes[p.idx] = flatJoinNode{box: p.n.box, first: first, count: int32(len(p.n.items)), leaf: true}
+			continue
+		}
+		first := int32(len(h.nodes))
+		for _, c := range p.n.children {
+			childIdx := int32(len(h.nodes))
+			h.nodes = append(h.nodes, flatJoinNode{})
+			queue = append(queue, pending{n: c, idx: childIdx})
+		}
+		h.nodes[p.idx] = flatJoinNode{box: p.n.box, first: first, count: int32(len(p.n.children))}
+	}
+	return h
 }
 
 func packItems(items []index.Item) []*joinNode {
@@ -75,51 +139,57 @@ func minInt(a, b int) int {
 	return b
 }
 
-// RTreeJoin performs a synchronized traversal join: hierarchies are built
-// over both inputs and node pairs whose boxes are within Eps are expanded
-// recursively; only leaf pairs generate element comparisons. This is the
-// classic index-based spatial join the paper's survey references.
+// RTreeJoin performs a synchronized traversal join over the flattened
+// hierarchies: node pairs whose boxes are within Eps are expanded
+// recursively and only leaf pairs generate element comparisons. This is the
+// classic index-based spatial join the paper's survey references, run on the
+// cache-conscious slab layout.
 func RTreeJoin(as, bs []index.Item, opts Options) []Pair {
 	if len(as) == 0 || len(bs) == 0 {
 		return nil
 	}
-	ra := buildHierarchy(as)
-	rb := buildHierarchy(bs)
+	ha := buildFlatHierarchy(as)
+	hb := buildFlatHierarchy(bs)
+	eps2 := opts.Eps * opts.Eps
 	var out []Pair
-	var recurse func(a, b *joinNode)
-	recurse = func(a, b *joinNode) {
+	var recurse func(ai, bi int32)
+	recurse = func(ai, bi int32) {
 		if opts.Counters != nil {
 			opts.Counters.AddTreeIntersectTests(1)
 		}
-		if a.box.Distance2(b.box) > opts.Eps*opts.Eps {
+		a := &ha.nodes[ai]
+		b := &hb.nodes[bi]
+		if a.box.Distance2(b.box) > eps2 {
 			return
 		}
 		switch {
-		case a.items != nil && b.items != nil:
-			for _, ia := range a.items {
-				for _, ib := range b.items {
+		case a.leaf && b.leaf:
+			for i := a.first; i < a.first+a.count; i++ {
+				ia := ha.item(i)
+				for j := b.first; j < b.first+b.count; j++ {
+					ib := hb.item(j)
 					if opts.match(ia, ib) {
 						out = append(out, Pair{A: ia.ID, B: ib.ID})
 					}
 				}
 			}
-		case a.items != nil:
-			for _, c := range b.children {
-				recurse(a, c)
+		case a.leaf:
+			for j := b.first; j < b.first+b.count; j++ {
+				recurse(ai, j)
 			}
-		case b.items != nil:
-			for _, c := range a.children {
-				recurse(c, b)
+		case b.leaf:
+			for i := a.first; i < a.first+a.count; i++ {
+				recurse(i, bi)
 			}
 		default:
-			for _, ca := range a.children {
-				for _, cb := range b.children {
-					recurse(ca, cb)
+			for i := a.first; i < a.first+a.count; i++ {
+				for j := b.first; j < b.first+b.count; j++ {
+					recurse(i, j)
 				}
 			}
 		}
 	}
-	recurse(ra, rb)
+	recurse(0, 0)
 	return out
 }
 
@@ -143,44 +213,45 @@ func SelfRTreeJoin(items []index.Item, opts Options) []Pair {
 // (expanded by Eps) contains it; finally each node's assigned probe elements
 // are compared only against the build elements stored in that node's subtree,
 // pruned by child boxes. Probe elements that fit no node are compared at the
-// root.
+// root. Assignment and probing both run on the flattened slab.
 func TOUCHJoin(as, bs []index.Item, opts Options) []Pair {
 	if len(as) == 0 || len(bs) == 0 {
 		return nil
 	}
-	root := buildHierarchy(as)
-	// Assignment phase.
+	h := buildFlatHierarchy(as)
+	// Assignment phase: assigned[n] holds the probe items parked at slab
+	// node n (kept out of the node so the slab stays read-only and packed).
+	assigned := make([][]index.Item, len(h.nodes))
 	for _, b := range bs {
-		assignTouch(root, b, opts.Eps)
+		assignTouch(h, b, opts.Eps, assigned)
 	}
 	// Join phase.
 	var out []Pair
-	var walk func(n *joinNode)
-	walk = func(n *joinNode) {
-		for _, b := range n.assigned {
-			out = joinAgainstSubtree(n, b, opts, out)
-		}
-		for _, c := range n.children {
-			walk(c)
+	for ni := range h.nodes {
+		for _, b := range assigned[ni] {
+			out = joinAgainstSubtree(h, int32(ni), b, opts, out)
 		}
 	}
-	walk(root)
 	return out
 }
 
-// assignTouch pushes b down the hierarchy as long as exactly one child can
+// assignTouch pushes b down the slab as long as exactly one child can
 // contain join partners for it: the descent stops (and b is assigned) at the
 // first node where zero or more than one child box intersects b's
 // Eps-expanded box. This guarantees every potential partner lies in the
 // subtree b is assigned to.
-func assignTouch(n *joinNode, b index.Item, eps float64) {
+func assignTouch(h *flatHierarchy, b index.Item, eps float64, assigned [][]index.Item) {
 	expanded := b.Box.Expand(eps)
-	cur := n
+	cur := int32(0)
 	for {
-		var next *joinNode
+		n := &h.nodes[cur]
+		if n.leaf {
+			break
+		}
+		var next int32
 		matches := 0
-		for _, c := range cur.children {
-			if c.box.Intersects(expanded) {
+		for c := n.first; c < n.first+n.count; c++ {
+			if h.nodes[c].box.Intersects(expanded) {
 				matches++
 				next = c
 				if matches > 1 {
@@ -189,29 +260,34 @@ func assignTouch(n *joinNode, b index.Item, eps float64) {
 			}
 		}
 		if matches != 1 {
-			cur.assigned = append(cur.assigned, b)
-			return
+			break
 		}
 		cur = next
 	}
+	assigned[cur] = append(assigned[cur], b)
 }
 
-// joinAgainstSubtree compares b against every build element in n's subtree,
-// pruning subtrees whose box is farther than Eps.
-func joinAgainstSubtree(n *joinNode, b index.Item, opts Options, out []Pair) []Pair {
+// joinAgainstSubtree compares b against every build element in the subtree
+// rooted at slab node ni, pruning subtrees whose box is farther than Eps.
+func joinAgainstSubtree(h *flatHierarchy, ni int32, b index.Item, opts Options, out []Pair) []Pair {
 	if opts.Counters != nil {
 		opts.Counters.AddTreeIntersectTests(1)
 	}
+	n := &h.nodes[ni]
 	if n.box.Distance2(b.Box) > opts.Eps*opts.Eps {
 		return out
 	}
-	for _, a := range n.items {
-		if opts.match(a, b) {
-			out = append(out, Pair{A: a.ID, B: b.ID})
+	if n.leaf {
+		for i := n.first; i < n.first+n.count; i++ {
+			a := h.item(i)
+			if opts.match(a, b) {
+				out = append(out, Pair{A: a.ID, B: b.ID})
+			}
 		}
+		return out
 	}
-	for _, c := range n.children {
-		out = joinAgainstSubtree(c, b, opts, out)
+	for c := n.first; c < n.first+n.count; c++ {
+		out = joinAgainstSubtree(h, c, b, opts, out)
 	}
 	return out
 }

@@ -1,0 +1,246 @@
+package kdtree
+
+import (
+	"sort"
+	"sync"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/instrument"
+)
+
+// Compact is a packed, read-optimised snapshot of a KD-Tree: a balanced
+// median-split tree over the mutable tree's current points, flattened into
+// structure-of-arrays storage (positions, ids, split axes and int32 child
+// links in parallel slices). A range traversal streams positions without
+// chasing node pointers, and freezing re-balances trees degraded by
+// incremental Insert.
+//
+// A Compact is immutable and safe for unboundedly concurrent readers.
+// RangeVisit performs zero heap allocations per call; KNNInto allocates only
+// until its pooled candidate heap is warm.
+type Compact struct {
+	pos      []geom.Vec3
+	ids      []int64
+	axes     []uint8
+	left     []int32 // -1 = none
+	right    []int32
+	counters instrument.Counters
+	knnPool  sync.Pool // *compactKNNState
+}
+
+const compactStackCap = 128
+
+// Freeze returns a balanced packed snapshot of the tree's current points.
+// The snapshot is independent of the tree: later mutations do not affect it.
+func (t *Tree) Freeze() *Compact {
+	pts := make([]Point, 0, t.size)
+	var collect func(n *node)
+	collect = func(n *node) {
+		if n == nil {
+			return
+		}
+		pts = append(pts, n.point)
+		collect(n.left)
+		collect(n.right)
+	}
+	collect(t.root)
+	return FreezePoints(pts)
+}
+
+// FreezePoints returns a balanced packed snapshot over the given points.
+func FreezePoints(points []Point) *Compact {
+	c := &Compact{
+		pos:   make([]geom.Vec3, 0, len(points)),
+		ids:   make([]int64, 0, len(points)),
+		axes:  make([]uint8, 0, len(points)),
+		left:  make([]int32, 0, len(points)),
+		right: make([]int32, 0, len(points)),
+	}
+	c.knnPool.New = func() interface{} {
+		return &compactKNNState{heap: make([]compactCand, 0, 64)}
+	}
+	pts := append([]Point(nil), points...)
+	c.buildRec(pts, 0)
+	return c
+}
+
+// buildRec emits the median of pts as a node and recurses; it returns the
+// node's slab index (-1 for an empty subtree).
+func (c *Compact) buildRec(pts []Point, depth int) int32 {
+	if len(pts) == 0 {
+		return -1
+	}
+	axis := depth % 3
+	sort.Slice(pts, func(i, j int) bool {
+		return pts[i].Pos.Axis(axis) < pts[j].Pos.Axis(axis)
+	})
+	mid := len(pts) / 2
+	idx := int32(len(c.pos))
+	c.pos = append(c.pos, pts[mid].Pos)
+	c.ids = append(c.ids, pts[mid].ID)
+	c.axes = append(c.axes, uint8(axis))
+	c.left = append(c.left, -1)
+	c.right = append(c.right, -1)
+	c.left[idx] = c.buildRec(pts[:mid], depth+1)
+	c.right[idx] = c.buildRec(pts[mid+1:], depth+1)
+	return idx
+}
+
+// Name identifies the snapshot.
+func (c *Compact) Name() string { return "kdtree-compact" }
+
+// Len returns the number of points stored.
+func (c *Compact) Len() int { return len(c.pos) }
+
+// Counters returns the snapshot's traversal counters.
+func (c *Compact) Counters() *instrument.Counters { return &c.counters }
+
+// RangeVisit invokes visit for every point inside the box (boundary
+// inclusive) with an iterative fixed-stack traversal performing zero heap
+// allocations per call. It is the flat-layout counterpart of Tree.Range.
+func (c *Compact) RangeVisit(box geom.AABB, visit func(Point) bool) {
+	if len(c.pos) == 0 {
+		return
+	}
+	var stackArr [compactStackCap]int32
+	stack := stackArr[:0]
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c.counters.AddNodeVisits(1)
+		c.counters.AddElemIntersectTests(1)
+		p := c.pos[ni]
+		if box.ContainsPoint(p) {
+			c.counters.AddResults(1)
+			if !visit(Point{ID: c.ids[ni], Pos: p}) {
+				return
+			}
+		}
+		axis := int(c.axes[ni])
+		v := p.Axis(axis)
+		c.counters.AddTreeIntersectTests(1)
+		if l := c.left[ni]; l >= 0 && box.Min.Axis(axis) <= v {
+			stack = append(stack, l)
+		}
+		if r := c.right[ni]; r >= 0 && box.Max.Axis(axis) >= v {
+			stack = append(stack, r)
+		}
+	}
+}
+
+// Range mirrors Tree.Range so a Compact can stand in for the mutable tree in
+// read-only code.
+func (c *Compact) Range(box geom.AABB, fn func(Point) bool) {
+	c.RangeVisit(box, fn)
+}
+
+type compactCand struct {
+	d2  float64
+	idx int32
+}
+
+type compactKNNState struct {
+	heap []compactCand
+	// nodeVisits accumulates the per-call visit count, flushed to the atomic
+	// counters once per KNNInto call (not per node).
+	nodeVisits int64
+}
+
+// KNNInto appends the (up to) k points nearest to q, closest first, to buf
+// and returns the extended slice. The bounded candidate max-heap comes from a
+// pool, so a warm call performs zero heap allocations.
+func (c *Compact) KNNInto(q geom.Vec3, k int, buf []Point) []Point {
+	if k <= 0 || len(c.pos) == 0 {
+		return buf
+	}
+	st := c.knnPool.Get().(*compactKNNState)
+	st.heap = st.heap[:0]
+	st.nodeVisits = 0
+	c.knnRec(0, q, k, st)
+	c.counters.AddNodeVisits(st.nodeVisits)
+
+	// Extract ascending: pop worst-first, then reverse the appended segment.
+	base := len(buf)
+	h := st.heap
+	for len(h) > 0 {
+		worst := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		if len(h) > 0 {
+			siftDownCompactCand(h, 0)
+		}
+		buf = append(buf, Point{ID: c.ids[worst.idx], Pos: c.pos[worst.idx]})
+	}
+	for i, j := base, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	st.heap = h[:0]
+	c.knnPool.Put(st)
+	return buf
+}
+
+func (c *Compact) knnRec(ni int32, q geom.Vec3, k int, st *compactKNNState) {
+	if ni < 0 {
+		return
+	}
+	st.nodeVisits++
+	d2 := c.pos[ni].Dist2(q)
+	if len(st.heap) < k {
+		st.heap = pushCompactCand(st.heap, compactCand{d2: d2, idx: ni})
+	} else if d2 < st.heap[0].d2 {
+		st.heap[0] = compactCand{d2: d2, idx: ni}
+		siftDownCompactCand(st.heap, 0)
+	}
+	axis := int(c.axes[ni])
+	diff := q.Axis(axis) - c.pos[ni].Axis(axis)
+	near, far := c.left[ni], c.right[ni]
+	if diff >= 0 {
+		near, far = c.right[ni], c.left[ni]
+	}
+	c.knnRec(near, q, k, st)
+	if len(st.heap) < k || diff*diff < st.heap[0].d2 {
+		c.knnRec(far, q, k, st)
+	}
+}
+
+// KNN mirrors Tree.KNN (allocating a fresh result slice).
+func (c *Compact) KNN(q geom.Vec3, k int) []Point {
+	if k <= 0 || len(c.pos) == 0 {
+		return nil
+	}
+	return c.KNNInto(q, k, make([]Point, 0, k))
+}
+
+func pushCompactCand(h []compactCand, cand compactCand) []compactCand {
+	h = append(h, cand)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].d2 >= h[i].d2 {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func siftDownCompactCand(h []compactCand, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		max := i
+		if l < len(h) && h[l].d2 > h[max].d2 {
+			max = l
+		}
+		if r < len(h) && h[r].d2 > h[max].d2 {
+			max = r
+		}
+		if max == i {
+			return
+		}
+		h[i], h[max] = h[max], h[i]
+		i = max
+	}
+}

@@ -1,0 +1,151 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/geom"
+)
+
+func compactTestPoints(n int, seed int64) []Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{ID: int64(i), Pos: geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)}
+	}
+	return pts
+}
+
+func TestCompactRangeMatchesMutable(t *testing.T) {
+	pts := compactTestPoints(5000, 41)
+	tr := Build(pts)
+	c := tr.Freeze()
+	if c.Len() != tr.Len() {
+		t.Fatalf("compact Len = %d, want %d", c.Len(), tr.Len())
+	}
+	r := rand.New(rand.NewSource(42))
+	for qi := 0; qi < 50; qi++ {
+		qc := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		q := geom.AABBFromCenter(qc, geom.V(6, 6, 6))
+		want := tr.RangeIDs(q)
+		var got []int64
+		c.RangeVisit(q, func(p Point) bool {
+			got = append(got, p.ID)
+			return true
+		})
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: result %d = id %d, want %d", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompactKNNMatchesMutable(t *testing.T) {
+	pts := compactTestPoints(3000, 43)
+	tr := Build(pts)
+	c := tr.Freeze()
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 20; i++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		for _, k := range []int{1, 8, 25} {
+			want := tr.KNN(p, k)
+			got := c.KNNInto(p, k, nil)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+			}
+			for j := range got {
+				gd := got[j].Pos.Dist2(p)
+				wd := want[j].Pos.Dist2(p)
+				if gd != wd {
+					t.Fatalf("k=%d rank %d: dist2 %g, want %g", k, j, gd, wd)
+				}
+			}
+		}
+	}
+}
+
+func TestCompactRebalancesInsertedTree(t *testing.T) {
+	// Insert points in sorted order, the worst case for the unbalanced
+	// mutable tree; the frozen snapshot must still answer correctly.
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(int64(i), geom.V(float64(i), float64(i)*0.5, float64(i)*0.25))
+	}
+	c := tr.Freeze()
+	q := geom.NewAABB(geom.V(100, 50, 25), geom.V(200, 100, 50))
+	want := tr.RangeIDs(q)
+	var got []int64
+	c.RangeVisit(q, func(p Point) bool {
+		got = append(got, p.ID)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+}
+
+func TestCompactRangeVisitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	pts := compactTestPoints(20000, 45)
+	c := FreezePoints(pts)
+	r := rand.New(rand.NewSource(46))
+	queries := make([]geom.AABB, 16)
+	for i := range queries {
+		qc := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		queries[i] = geom.AABBFromCenter(qc, geom.V(4, 4, 4))
+	}
+	var sink int64
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, q := range queries {
+			c.RangeVisit(q, func(p Point) bool {
+				sink += p.ID
+				return true
+			})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RangeVisit allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestCompactKNNIntoZeroAllocsWhenWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	pts := compactTestPoints(20000, 47)
+	c := FreezePoints(pts)
+	buf := make([]Point, 0, 16)
+	p := geom.V(50, 50, 50)
+	buf = c.KNNInto(p, 16, buf[:0]) // warm the pooled heap
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = c.KNNInto(p, 16, buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("warm KNNInto allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	c := New().Freeze()
+	if c.Len() != 0 {
+		t.Fatalf("empty compact Len = %d", c.Len())
+	}
+	var n int
+	c.RangeVisit(geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1)), func(Point) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("empty compact returned %d results", n)
+	}
+	if got := c.KNNInto(geom.V(0, 0, 0), 3, nil); len(got) != 0 {
+		t.Fatalf("empty compact KNN returned %d results", len(got))
+	}
+}

@@ -1,0 +1,311 @@
+package octree
+
+import (
+	"sync"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+)
+
+// Compact is a packed, read-optimised snapshot of an Octree. The pointer
+// nodes are flattened into one contiguous slab with int32 child offsets
+// (kept children of a node are adjacent) and all element storage into CSR
+// structure-of-arrays. Two further transformations make the frozen tree
+// strictly cheaper to query than the mutable one:
+//
+//   - single placement: the replicating policy stores an element in every
+//     overlapping leaf, forcing every query to deduplicate through a
+//     per-query map. The snapshot keeps exactly one occurrence per element
+//     (the first one met in pre-order), so queries need no dedup state;
+//   - tight bounds: every slab node carries the union of the boxes actually
+//     stored in its subtree instead of its space-partition region, so
+//     pruning is by real content and empty subtrees vanish entirely (they
+//     are dropped at freeze time).
+//
+// A Compact is immutable and safe for unboundedly concurrent readers.
+// RangeVisit performs zero heap allocations per call; KNNInto allocates only
+// until its pooled traversal heap is warm.
+type Compact struct {
+	nodes    []compactNode
+	occBoxes []geom.AABB
+	occIDs   []int64
+	size     int
+	counters instrument.Counters
+	knnPool  sync.Pool // *compactKNNState
+}
+
+// compactNode is one slab node: a tight subtree bound, the node's own
+// elements as a CSR slice of the occurrence arrays, and a contiguous block of
+// kept children.
+type compactNode struct {
+	bound      geom.AABB
+	itemFirst  int32
+	itemCount  int32
+	childFirst int32
+	childCount int32
+}
+
+const compactStackCap = 256
+
+// Freeze returns a packed snapshot of the tree's current contents. The
+// snapshot is independent of the tree: later mutations do not affect it.
+func (t *Tree) Freeze() *Compact {
+	c := &Compact{size: t.size}
+	c.knnPool.New = func() interface{} {
+		return &compactKNNState{heap: make([]compactHeapEnt, 0, 64)}
+	}
+	if t.size == 0 {
+		return c
+	}
+	seen := make(map[int64]struct{}, t.size)
+	c.nodes = append(c.nodes, compactNode{})
+	c.freezeNode(t.root, 0, seen)
+	// Children come after their parent in the slab, so a reverse sweep folds
+	// child bounds into parents in one pass.
+	for i := len(c.nodes) - 1; i >= 0; i-- {
+		n := &c.nodes[i]
+		bound := geom.EmptyAABB()
+		for j := n.itemFirst; j < n.itemFirst+n.itemCount; j++ {
+			bound = bound.Union(c.occBoxes[j])
+		}
+		for j := n.childFirst; j < n.childFirst+n.childCount; j++ {
+			bound = bound.Union(c.nodes[j].bound)
+		}
+		n.bound = bound
+	}
+	return c
+}
+
+// freezeNode emits n's deduplicated items, reserves a contiguous child block
+// for the children that hold any new content, and recurses into them.
+func (c *Compact) freezeNode(n *node, idx int32, seen map[int64]struct{}) {
+	itemFirst := int32(len(c.occIDs))
+	for _, it := range n.items {
+		if _, dup := seen[it.id]; dup {
+			continue
+		}
+		seen[it.id] = struct{}{}
+		c.occBoxes = append(c.occBoxes, it.box)
+		c.occIDs = append(c.occIDs, it.id)
+	}
+	c.nodes[idx].itemFirst = itemFirst
+	c.nodes[idx].itemCount = int32(len(c.occIDs)) - itemFirst
+	if n.children == nil {
+		return
+	}
+	// Keep only children whose subtree holds at least one element; with the
+	// replicating policy a child may hold only duplicates, which subtreeHasNew
+	// detects against the seen set without emitting anything.
+	var kept [8]*node
+	keptCount := 0
+	for _, ch := range n.children {
+		if subtreeHasNew(ch, seen) {
+			kept[keptCount] = ch
+			keptCount++
+		}
+	}
+	childFirst := int32(len(c.nodes))
+	c.nodes[idx].childFirst = childFirst
+	c.nodes[idx].childCount = int32(keptCount)
+	for i := 0; i < keptCount; i++ {
+		c.nodes = append(c.nodes, compactNode{})
+	}
+	for i := 0; i < keptCount; i++ {
+		c.freezeNode(kept[i], childFirst+int32(i), seen)
+	}
+}
+
+// subtreeHasNew reports whether the subtree stores any element not yet in
+// seen (i.e. whether freezing it would emit at least one occurrence).
+func subtreeHasNew(n *node, seen map[int64]struct{}) bool {
+	for _, it := range n.items {
+		if _, dup := seen[it.id]; !dup {
+			return true
+		}
+	}
+	if n.children == nil {
+		return false
+	}
+	for _, ch := range n.children {
+		if subtreeHasNew(ch, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// FreezeItems builds an octree over the items and returns the packed
+// snapshot directly.
+func FreezeItems(items []index.Item, cfg Config) *Compact {
+	t := New(cfg)
+	t.BulkLoad(items)
+	return t.Freeze()
+}
+
+// Name implements index.ReadIndex.
+func (c *Compact) Name() string { return "octree-compact" }
+
+// Len implements index.ReadIndex.
+func (c *Compact) Len() int { return c.size }
+
+// Counters returns the snapshot's traversal counters.
+func (c *Compact) Counters() *instrument.Counters { return &c.counters }
+
+// Bounds returns the tight bounding box of all indexed elements.
+func (c *Compact) Bounds() geom.AABB {
+	if len(c.nodes) == 0 {
+		return geom.EmptyAABB()
+	}
+	return c.nodes[0].bound
+}
+
+// RangeVisit implements index.RangeVisitor: an iterative slab traversal with
+// a fixed-size stack and no deduplication state (single placement guarantees
+// unique results), performing zero heap allocations per call.
+func (c *Compact) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
+	if c.size == 0 {
+		return
+	}
+	var nodeVisits, treeTests, elemTests, results int64
+	defer func() {
+		c.counters.AddNodeVisits(nodeVisits)
+		c.counters.AddTreeIntersectTests(treeTests)
+		c.counters.AddElemIntersectTests(elemTests)
+		c.counters.AddElementsTouched(elemTests)
+		c.counters.AddResults(results)
+	}()
+	var stackArr [compactStackCap]int32
+	stack := stackArr[:0]
+	treeTests++
+	if !query.Intersects(c.nodes[0].bound) {
+		return
+	}
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &c.nodes[ni]
+		nodeVisits++
+		elemTests += int64(n.itemCount)
+		for i := n.itemFirst; i < n.itemFirst+n.itemCount; i++ {
+			if query.Intersects(c.occBoxes[i]) {
+				results++
+				if !visit(index.Item{ID: c.occIDs[i], Box: c.occBoxes[i]}) {
+					return
+				}
+			}
+		}
+		treeTests += int64(n.childCount)
+		for i := n.childFirst; i < n.childFirst+n.childCount; i++ {
+			if query.Intersects(c.nodes[i].bound) {
+				stack = append(stack, i)
+			}
+		}
+	}
+}
+
+// Search mirrors index.Index's Search signature so a Compact can stand in
+// for the mutable octree in read-only experiment code.
+func (c *Compact) Search(query geom.AABB, fn func(index.Item) bool) {
+	c.RangeVisit(query, fn)
+}
+
+// compactHeapEnt is one entry of the best-first KNN queue: ref >= 0 is a slab
+// node, ref < 0 is occurrence ^ref.
+type compactHeapEnt struct {
+	dist float64
+	ref  int32
+}
+
+type compactKNNState struct {
+	heap []compactHeapEnt
+}
+
+// KNNInto implements index.KNNer with a best-first traversal over the tight
+// bounds — replacing the mutable tree's expanding-radius rescans — using a
+// pooled manual heap, so a warm call performs zero heap allocations.
+func (c *Compact) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
+	if k <= 0 || c.size == 0 {
+		return buf
+	}
+	st := c.knnPool.Get().(*compactKNNState)
+	h := st.heap[:0]
+	h = pushCompactEnt(h, compactHeapEnt{dist: c.nodes[0].bound.Distance2ToPoint(p), ref: 0})
+	var nodeVisits, treeTests, elemTests int64
+	found := 0
+	for len(h) > 0 && found < k {
+		e := h[0]
+		h = popCompactEnt(h)
+		if e.ref < 0 {
+			i := ^e.ref
+			buf = append(buf, index.Item{ID: c.occIDs[i], Box: c.occBoxes[i]})
+			found++
+			continue
+		}
+		n := &c.nodes[e.ref]
+		nodeVisits++
+		elemTests += int64(n.itemCount)
+		for i := n.itemFirst; i < n.itemFirst+n.itemCount; i++ {
+			h = pushCompactEnt(h, compactHeapEnt{dist: c.occBoxes[i].Distance2ToPoint(p), ref: ^i})
+		}
+		treeTests += int64(n.childCount)
+		for i := n.childFirst; i < n.childFirst+n.childCount; i++ {
+			h = pushCompactEnt(h, compactHeapEnt{dist: c.nodes[i].bound.Distance2ToPoint(p), ref: i})
+		}
+	}
+	st.heap = h
+	c.knnPool.Put(st)
+	// Flushed once per call, like RangeVisit: per-node atomic adds would be
+	// contended cache-line traffic on parallel KNN batches.
+	c.counters.AddNodeVisits(nodeVisits)
+	c.counters.AddTreeIntersectTests(treeTests)
+	c.counters.AddElemIntersectTests(elemTests)
+	return buf
+}
+
+// KNN mirrors index.Index's KNN signature (allocating a fresh result slice).
+func (c *Compact) KNN(p geom.Vec3, k int) []index.Item {
+	if k <= 0 || c.size == 0 {
+		return nil
+	}
+	return c.KNNInto(p, k, make([]index.Item, 0, k))
+}
+
+func pushCompactEnt(h []compactHeapEnt, e compactHeapEnt) []compactHeapEnt {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].dist <= h[i].dist {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func popCompactEnt(h []compactHeapEnt) []compactHeapEnt {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l].dist < h[min].dist {
+			min = l
+		}
+		if r < len(h) && h[r].dist < h[min].dist {
+			min = r
+		}
+		if min == i {
+			return h
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+var _ index.ReadIndex = (*Compact)(nil)

@@ -1,0 +1,127 @@
+package octree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func compactTestItems(n int, seed int64) ([]index.Item, geom.AABB) {
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	r := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		half := geom.V(r.Float64()*3, r.Float64()*3, r.Float64()*3)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	return items, u
+}
+
+func sortedResultIDs(items []index.Item) []int64 {
+	ids := make([]int64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func testCompactOctreeConformance(t *testing.T, loose bool) {
+	t.Helper()
+	items, u := compactTestItems(4000, 31)
+	tr := New(Config{Universe: u, Loose: loose})
+	tr.BulkLoad(items)
+	c := tr.Freeze()
+	if c.Len() != tr.Len() {
+		t.Fatalf("compact Len = %d, want %d", c.Len(), tr.Len())
+	}
+	r := rand.New(rand.NewSource(32))
+	for qi := 0; qi < 50; qi++ {
+		qc := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		q := geom.AABBFromCenter(qc, geom.V(5, 5, 5))
+		want := sortedResultIDs(index.SearchAll(tr, q))
+		got := sortedResultIDs(index.VisitAll(c, q))
+		if len(got) != len(want) {
+			t.Fatalf("loose=%v query %d: got %d results, want %d", loose, qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("loose=%v query %d: result %d = id %d, want %d", loose, qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompactOctreeRangeMatchesMutable(t *testing.T) {
+	testCompactOctreeConformance(t, false)
+}
+
+func TestCompactLooseOctreeRangeMatchesMutable(t *testing.T) {
+	testCompactOctreeConformance(t, true)
+}
+
+func TestCompactOctreeKNNMatchesMutable(t *testing.T) {
+	items, u := compactTestItems(2000, 33)
+	tr := New(Config{Universe: u})
+	tr.BulkLoad(items)
+	c := tr.Freeze()
+	r := rand.New(rand.NewSource(34))
+	for i := 0; i < 15; i++ {
+		p := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		for _, k := range []int{1, 8, 20} {
+			want := tr.KNN(p, k)
+			got := c.KNNInto(p, k, nil)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+			}
+			for j := range got {
+				gd := got[j].Box.Distance2ToPoint(p)
+				wd := want[j].Box.Distance2ToPoint(p)
+				if gd != wd {
+					t.Fatalf("k=%d rank %d: dist2 %g, want %g", k, j, gd, wd)
+				}
+			}
+		}
+	}
+}
+
+func TestCompactOctreeRangeVisitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	items, u := compactTestItems(20000, 35)
+	c := FreezeItems(items, Config{Universe: u})
+	r := rand.New(rand.NewSource(36))
+	queries := make([]geom.AABB, 16)
+	for i := range queries {
+		qc := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		queries[i] = geom.AABBFromCenter(qc, geom.V(4, 4, 4))
+	}
+	var sink int64
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, q := range queries {
+			c.RangeVisit(q, func(it index.Item) bool {
+				sink += it.ID
+				return true
+			})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RangeVisit allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestCompactOctreeEmpty(t *testing.T) {
+	c := New(Config{}).Freeze()
+	if got := index.VisitAll(c, geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))); len(got) != 0 {
+		t.Fatalf("empty compact returned %d results", len(got))
+	}
+	if got := c.KNNInto(geom.V(0, 0, 0), 3, nil); len(got) != 0 {
+		t.Fatalf("empty compact KNN returned %d results", len(got))
+	}
+}

@@ -143,12 +143,19 @@ func (t *Tree) insertRec(n *node, e entry, nodeLevel, targetLevel int) *node {
 	}
 	child := n.entries[best].child
 	split := t.insertRec(child, e, nodeLevel-1, targetLevel)
+	if split == nil {
+		// Hot path: the child gained e (possibly deep below), so its cached
+		// MBR only ever grows by e's box. Extending the cached box avoids the
+		// full child-entry rescan bounds() would perform on every insert.
+		n.entries[best].box = n.entries[best].box.Union(e.box)
+		return nil
+	}
+	// The child was split: its entry set changed arbitrarily, so both halves
+	// need a fresh bound (rare — amortized over maxEntries inserts).
 	n.entries[best].box = child.bounds()
-	if split != nil {
-		n.entries = append(n.entries, entry{box: split.bounds(), child: split})
-		if len(n.entries) > t.maxEntries {
-			return t.splitNode(n)
-		}
+	n.entries = append(n.entries, entry{box: split.bounds(), child: split})
+	if len(n.entries) > t.maxEntries {
+		return t.splitNode(n)
 	}
 	return nil
 }
@@ -329,6 +336,14 @@ func (t *Tree) Update(id int64, oldBox, newBox geom.AABB) {
 // categories.
 func (t *Tree) Search(query geom.AABB, fn func(index.Item) bool) {
 	t.searchRec(t.root, query, fn)
+}
+
+// RangeVisit implements index.RangeVisitor: the mutable tree's recursive
+// Search already performs no per-query allocation, so it satisfies the
+// zero-allocation visitor contract directly (a frozen Compact is still
+// faster — it avoids the pointer chase per node).
+func (t *Tree) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
+	t.searchRec(t.root, query, visit)
 }
 
 func (t *Tree) searchRec(n *node, query geom.AABB, fn func(index.Item) bool) bool {
