@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet vet-strict ci
+.PHONY: all build test race bench bench-json serve loadgen fmt vet vet-strict ci
 
 all: build
 
@@ -24,6 +24,21 @@ BENCHTIME ?= 1s
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -benchtime $(BENCHTIME)
 
+# serve starts the HTTP spatial server (internal/serve behind
+# cmd/spatialserver): range/knn/update/stats endpoints over a sharded,
+# epoch-versioned store.
+SERVE_ADDR ?= :8080
+SERVE_ELEMENTS ?= 100000
+serve:
+	$(GO) run ./cmd/spatialserver -addr $(SERVE_ADDR) -elements $(SERVE_ELEMENTS)
+
+# loadgen drives the serving store with mixed query+update traffic (E12) and
+# records throughput + latency percentiles in BENCH_PR3.json. LOADGEN_ARGS
+# shrinks the run in CI.
+LOADGEN_ARGS ?= -elements 50000 -duration 2s
+loadgen:
+	$(GO) run ./cmd/spatialbench -exp serve $(LOADGEN_ARGS) -out BENCH_PR3.json
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -40,7 +55,8 @@ vet:
 vet-strict:
 	$(GO) vet ./internal/index/... ./internal/rtree/... ./internal/grid/... \
 		./internal/octree/... ./internal/kdtree/... ./internal/exec/... \
-		./internal/core/... ./internal/join/... ./cmd/benchjson/...
+		./internal/core/... ./internal/join/... ./internal/serve/... \
+		./cmd/benchjson/... ./cmd/spatialserver/...
 	$(GO) test -run xxx -race ./internal/index/ ./internal/rtree/ ./internal/grid/ > /dev/null
 
 ci: build fmt vet vet-strict race bench

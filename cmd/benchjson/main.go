@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -87,18 +88,32 @@ func pair(name, family, workload string, pointer, compact func(b *testing.B)) Pa
 }
 
 func main() {
-	// Register the testing package's flags (test.benchtime in particular)
-	// before parsing, so testing.Benchmark honors the requested run time.
-	testing.Init()
-	var (
-		out       = flag.String("out", "BENCH_PR2.json", "output JSON file")
-		elements  = flag.Int("elements", 50000, "dataset size")
-		benchtime = flag.Duration("benchtime", time.Second, "target run time per benchmark side")
-	)
-	flag.Parse()
-	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	// Register the testing package's flags (test.benchtime in particular)
+	// before setting them, so testing.Benchmark honors the requested run
+	// time. Inside a test binary the flags already exist; registering twice
+	// would panic, hence the Lookup guard.
+	if flag.Lookup("test.benchtime") == nil {
+		testing.Init()
+	}
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		out       = fs.String("out", "BENCH_PR2.json", "output JSON file")
+		elements  = fs.Int("elements", 50000, "dataset size")
+		benchtime = fs.Duration("benchtime", time.Second, "target run time per benchmark side")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		return err
 	}
 
 	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
@@ -240,17 +255,16 @@ func main() {
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	for _, p := range report.Pairs {
-		fmt.Printf("%-24s pointer %10.0f ns/op (%4d allocs)   compact %10.0f ns/op (%4d allocs)   speedup %.2fx\n",
+		fmt.Fprintf(stdout, "%-24s pointer %10.0f ns/op (%4d allocs)   compact %10.0f ns/op (%4d allocs)   speedup %.2fx\n",
 			p.Name, p.Pointer.NsPerOp, p.Pointer.AllocsPerOp, p.Compact.NsPerOp, p.Compact.AllocsPerOp, p.Speedup)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
 }

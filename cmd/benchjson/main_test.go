@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesReport drives the whole benchjson main path — dataset
+// generation, all pointer/compact benchmark pairs at a 1ms benchtime, JSON
+// report writing — on a tiny dataset.
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	err := run([]string{"-out", path, "-elements", "500", "-benchtime", "1ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "speedup") {
+		t.Fatalf("summary table missing:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Elements != 500 || len(rep.Pairs) == 0 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	for _, p := range rep.Pairs {
+		if p.Pointer.NsPerOp <= 0 || p.Compact.NsPerOp <= 0 {
+			t.Fatalf("pair %s has empty sides: %+v", p.Name, p)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}

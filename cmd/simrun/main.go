@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -29,17 +30,28 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simrun", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		indexName = flag.String("index", "simindex", "index to use (simindex|grid|rtree|rtree-throwaway|octree|scan)")
-		elements  = flag.Int("elements", 50000, "number of elements (neuron segments)")
-		steps     = flag.Int("steps", 5, "number of simulation steps")
-		queries   = flag.Int("queries", 200, "monitoring range queries per step")
-		knn       = flag.Int("knn", 20, "kNN queries per step")
-		joinEvery = flag.Int("join-every", 0, "run a synapse-detection self-join every N steps (0 = never)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 1, "worker goroutines for the per-step monitoring queries (>1 uses the parallel engine)")
+		indexName = fs.String("index", "simindex", "index to use (simindex|grid|rtree|rtree-throwaway|octree|scan)")
+		elements  = fs.Int("elements", 50000, "number of elements (neuron segments)")
+		steps     = fs.Int("steps", 5, "number of simulation steps")
+		queries   = fs.Int("queries", 200, "monitoring range queries per step")
+		knn       = fs.Int("knn", 20, "kNN queries per step")
+		joinEvery = fs.Int("join-every", 0, "run a synapse-detection self-join every N steps (0 = never)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 1, "worker goroutines for the per-step monitoring queries (>1 uses the parallel engine)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	segPerNeuron := 400
 	neurons := *elements / segPerNeuron
@@ -50,11 +62,10 @@ func main() {
 	dataset := datagen.GenerateNeurons(datagen.DefaultNeuronConfig(neurons, segPerNeuron, *seed))
 	ix, err := makeIndex(*indexName, dataset, *queries)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simrun:", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("simrun: %d elements, index=%s, %d steps, %d queries/step\n",
+	fmt.Fprintf(stdout, "simrun: %d elements, index=%s, %d steps, %d queries/step\n",
 		dataset.Len(), ix.Name(), *steps, *queries)
 	simulation := sim.New(dataset, datagen.NewPlasticityModel(*seed+1), ix, sim.Config{
 		QueriesPerStep:   *queries,
@@ -66,19 +77,20 @@ func main() {
 		Seed:             *seed + 2,
 		Workers:          *workers,
 	})
-	fmt.Printf("%-6s %-14s %-14s %-14s %-10s %s\n", "step", "update", "query", "join", "results", "moved")
-	var run sim.RunStats
+	fmt.Fprintf(stdout, "%-6s %-14s %-14s %-14s %-10s %s\n", "step", "update", "query", "join", "results", "moved")
+	var runStats sim.RunStats
 	for i := 0; i < *steps; i++ {
 		st := simulation.Step()
-		run.Steps = append(run.Steps, st)
-		run.TotalUpdate += st.UpdateTime
-		run.TotalQuery += st.QueryTime
-		run.TotalJoin += st.JoinTime
-		fmt.Printf("%-6d %-14v %-14v %-14v %-10d %d\n", st.Step,
+		runStats.Steps = append(runStats.Steps, st)
+		runStats.TotalUpdate += st.UpdateTime
+		runStats.TotalQuery += st.QueryTime
+		runStats.TotalJoin += st.JoinTime
+		fmt.Fprintf(stdout, "%-6d %-14v %-14v %-14v %-10d %d\n", st.Step,
 			st.UpdateTime.Round(time.Microsecond), st.QueryTime.Round(time.Microsecond),
 			st.JoinTime.Round(time.Microsecond), st.RangeResults, st.Movement.Moved)
 	}
-	fmt.Println("total:", run.String())
+	fmt.Fprintln(stdout, "total:", runStats.String())
+	return nil
 }
 
 func makeIndex(name string, d *datagen.Dataset, queriesPerStep int) (index.Index, error) {

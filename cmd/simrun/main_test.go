@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke exercises the full main path — dataset generation, index
+// construction, a simulation step loop — on a tiny input.
+func TestRunSmoke(t *testing.T) {
+	for _, name := range []string{"simindex", "rtree-throwaway", "scan"} {
+		var out strings.Builder
+		err := run([]string{
+			"-index", name, "-elements", "400", "-steps", "2",
+			"-queries", "5", "-knn", "2", "-join-every", "2",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "simrun: 400 elements") {
+			t.Fatalf("%s: missing header:\n%s", name, got)
+		}
+		if !strings.Contains(got, "total:") {
+			t.Fatalf("%s: missing totals line:\n%s", name, got)
+		}
+	}
+}
+
+func TestRunRejectsUnknownIndex(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-index", "nope"}, &out); err == nil {
+		t.Fatal("unknown index should fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}

@@ -7,37 +7,56 @@
 //
 //	spatialbench -exp all
 //	spatialbench -exp fig2 -elements 500000 -queries 200
-//	spatialbench -exp updates
+//	spatialbench -exp serve -duration 2s -out BENCH_PR3.json
 //
 // Experiments: fig2, fig3, fig4, updates, indexes, lsh, join, moving,
 // simstep, mesh, ablation-resolution, ablation-advisor, parallel,
-// cache-layout, all.
+// cache-layout, serve, all.
 //
 // The -workers flag sets the goroutine budget of the parallel execution
-// engine (internal/exec) for the experiments that use it (currently
-// "parallel"); 0 uses GOMAXPROCS.
+// engine (internal/exec); "serve" is the load-generator mode that drives the
+// sharded epoch-versioned serving store (internal/serve) with mixed
+// query+update traffic and, with -out, records throughput and latency
+// percentiles as JSON (BENCH_PR3.json).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"spatialsim/internal/experiments"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spatialbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("spatialbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		exp         = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|all)")
-		elements    = flag.Int("elements", 100000, "number of spatial elements")
-		queries     = flag.Int("queries", 200, "number of range queries")
-		selectivity = flag.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
-		steps       = flag.Int("steps", 3, "simulation steps for step-based experiments")
-		seed        = flag.Int64("seed", 1, "random seed")
-		workers     = flag.Int("workers", 0, "worker goroutines for the parallel engine (0 = GOMAXPROCS)")
+		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|all)")
+		elements    = fs.Int("elements", 100000, "number of spatial elements")
+		queries     = fs.Int("queries", 200, "number of range queries")
+		selectivity = fs.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
+		steps       = fs.Int("steps", 3, "simulation steps for step-based experiments")
+		seed        = fs.Int64("seed", 1, "random seed")
+		workers     = fs.Int("workers", 0, "worker goroutines for the parallel engine (0 = GOMAXPROCS)")
+		duration    = fs.Duration("duration", 2*time.Second, "measured run length of the serve load generator")
+		shards      = fs.Int("shards", 0, "serve: STR shards per epoch (0 = GOMAXPROCS)")
+		readers     = fs.Int("readers", 0, "serve: concurrent query clients (0 = 2x GOMAXPROCS)")
+		out         = fs.String("out", "", "serve: write the run as JSON to this file (e.g. BENCH_PR3.json)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scale := experiments.Scale{
 		Elements:    *elements,
@@ -46,43 +65,54 @@ func main() {
 		Seed:        *seed,
 		Workers:     *workers,
 	}
-	if err := run(strings.ToLower(*exp), scale, *steps); err != nil {
-		fmt.Fprintln(os.Stderr, "spatialbench:", err)
-		os.Exit(1)
+	serveCfg := experiments.ServeConfig{
+		Shards:   *shards,
+		Readers:  *readers,
+		Duration: *duration,
 	}
+	return runExp(strings.ToLower(*exp), scale, *steps, serveCfg, *out, stdout)
 }
 
-func run(exp string, scale experiments.Scale, steps int) error {
+func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments.ServeConfig, out string, stdout io.Writer) error {
 	runOne := func(name string) error {
 		switch name {
 		case "fig2":
-			fmt.Println(experiments.Figure2(scale))
+			fmt.Fprintln(stdout, experiments.Figure2(scale))
 		case "fig3":
-			fmt.Println(experiments.Figure3(scale))
+			fmt.Fprintln(stdout, experiments.Figure3(scale))
 		case "fig4":
-			fmt.Println(experiments.Figure4(scale))
+			fmt.Fprintln(stdout, experiments.Figure4(scale))
 		case "updates":
-			fmt.Println(experiments.UpdateVsRebuild(scale, nil))
+			fmt.Fprintln(stdout, experiments.UpdateVsRebuild(scale, nil))
 		case "indexes":
-			fmt.Println(experiments.IndexComparison(scale))
+			fmt.Fprintln(stdout, experiments.IndexComparison(scale))
 		case "lsh":
-			fmt.Println(experiments.MeasureLSHRecall(scale))
+			fmt.Fprintln(stdout, experiments.MeasureLSHRecall(scale))
 		case "join":
-			fmt.Println(experiments.JoinComparison(scale))
+			fmt.Fprintln(stdout, experiments.JoinComparison(scale))
 		case "moving":
-			fmt.Println(experiments.MovingComparison(scale, steps, 50))
+			fmt.Fprintln(stdout, experiments.MovingComparison(scale, steps, 50))
 		case "simstep":
-			fmt.Println(experiments.SimStep(scale, steps, 100))
+			fmt.Fprintln(stdout, experiments.SimStep(scale, steps, 100))
 		case "mesh":
-			fmt.Println(experiments.Mesh(scale, steps, 50))
+			fmt.Fprintln(stdout, experiments.Mesh(scale, steps, 50))
 		case "ablation-resolution":
-			fmt.Println(experiments.AblationGridResolution(scale, nil))
+			fmt.Fprintln(stdout, experiments.AblationGridResolution(scale, nil))
 		case "ablation-advisor":
-			fmt.Println(experiments.AblationAdvisor(scale, 2*steps, 100))
+			fmt.Fprintln(stdout, experiments.AblationAdvisor(scale, 2*steps, 100))
 		case "parallel":
-			fmt.Println(experiments.ParallelSpeedup(scale))
+			fmt.Fprintln(stdout, experiments.ParallelSpeedup(scale))
 		case "cache-layout":
-			fmt.Println(experiments.CacheLayout(scale))
+			fmt.Fprintln(stdout, experiments.CacheLayout(scale))
+		case "serve":
+			res := experiments.ServeBench(scale, serveCfg)
+			fmt.Fprintln(stdout, res)
+			if out != "" {
+				if err := experiments.WriteServeReport(out, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", out)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -92,7 +122,7 @@ func run(exp string, scale experiments.Scale, steps int) error {
 		for _, name := range []string{
 			"fig2", "fig3", "fig4", "updates", "indexes", "lsh", "join",
 			"moving", "simstep", "mesh", "ablation-resolution", "ablation-advisor",
-			"parallel", "cache-layout",
+			"parallel", "cache-layout", "serve",
 		} {
 			if err := runOne(name); err != nil {
 				return err

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunIndexesSmoke drives the main path end to end on a tiny scale: flag
+// parsing, experiment dispatch, and table rendering.
+func TestRunIndexesSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "indexes", "-elements", "2000", "-queries", "10", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "rtree") {
+		t.Fatalf("indexes table missing rtree row:\n%s", out.String())
+	}
+}
+
+// TestRunServeWritesReport drives the serve load generator briefly and
+// checks the BENCH_PR3-shaped JSON report it writes.
+func TestRunServeWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench_serve.json")
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "serve", "-elements", "3000", "-duration", "150ms",
+		"-shards", "3", "-readers", "3", "-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "E12") {
+		t.Fatalf("serve output missing E12 header:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep map[string]interface{}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	for _, key := range []string{"throughput_ops_per_sec", "p50_us", "p99_us", "epoch_swaps", "ops"} {
+		if _, ok := rep[key]; !ok {
+			t.Fatalf("report missing %q:\n%s", key, data)
+		}
+	}
+	if rep["ops"].(float64) <= 0 {
+		t.Fatal("serve run recorded no operations")
+	}
+}
+
+// TestRunRejectsUnknownExperiment checks the error path.
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}

@@ -1,0 +1,100 @@
+// Command spatialserver fronts the sharded, epoch-versioned serving store
+// (internal/serve) with HTTP/JSON endpoints. It bootstraps a synthetic
+// dataset, publishes the first epoch, and then serves range/kNN queries while
+// accepting update batches that swap in new epochs without ever blocking
+// readers — the paper's freeze-then-query phase split, turned into a server.
+//
+// Usage:
+//
+//	spatialserver -addr :8080 -elements 100000 -shards 8
+//	spatialserver -index grid -max-inflight 256
+//
+// Endpoints: GET /range, GET /knn, POST /update, GET /stats, GET /healthz
+// (see newHandler for parameter shapes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spatialserver:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the store from flags and serves until the listener fails. The
+// ready callback seam (none in production) keeps it testable; tests exercise
+// newHandler directly instead of binding a port.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("spatialserver", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		elements    = fs.Int("elements", 100000, "bootstrap dataset size (0 starts empty)")
+		shards      = fs.Int("shards", 0, "STR shards per epoch (0 = GOMAXPROCS)")
+		workers     = fs.Int("workers", 0, "epoch build goroutines (0 = GOMAXPROCS)")
+		maxInflight = fs.Int("max-inflight", 0, "admission-control bound on in-flight queries (0 = 4x GOMAXPROCS)")
+		indexName   = fs.String("index", "rtree", "shard family (rtree|grid|octree)")
+		seed        = fs.Int64("seed", 1, "bootstrap dataset seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	build, err := shardBuilder(*indexName)
+	if err != nil {
+		return err
+	}
+	store := serve.New(serve.Config{
+		Shards:      *shards,
+		Workers:     *workers,
+		MaxInFlight: *maxInflight,
+		Build:       build,
+	})
+	defer store.Close()
+
+	if *elements > 0 {
+		u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+		d := datagen.GenerateUniform(datagen.UniformConfig{N: *elements, Universe: u, Seed: *seed})
+		items := make([]index.Item, d.Len())
+		for i := range d.Elements {
+			items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+		}
+		epoch := store.Bootstrap(items)
+		fmt.Fprintf(stdout, "spatialserver: bootstrapped %d elements into epoch %d\n", len(items), epoch)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "spatialserver: serving %s index on http://%s (range, knn, update, stats)\n",
+		*indexName, ln.Addr())
+	return http.Serve(ln, newHandler(store))
+}
+
+func shardBuilder(name string) (serve.ShardBuilder, error) {
+	switch name {
+	case "rtree":
+		return serve.RTreeBuilder(rtree.Config{}), nil
+	case "grid":
+		return serve.GridBuilder(24), nil
+	case "octree":
+		return serve.OctreeBuilder(32), nil
+	default:
+		return nil, fmt.Errorf("unknown shard family %q (rtree|grid|octree)", name)
+	}
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/serve"
+)
+
+// itemJSON is the wire shape of one spatial item: id plus box corners as
+// [x, y, z] triples.
+type itemJSON struct {
+	ID  int64      `json:"id"`
+	Min [3]float64 `json:"min"`
+	Max [3]float64 `json:"max"`
+}
+
+func toItemJSON(it index.Item) itemJSON {
+	return itemJSON{
+		ID:  it.ID,
+		Min: [3]float64{it.Box.Min.X, it.Box.Min.Y, it.Box.Min.Z},
+		Max: [3]float64{it.Box.Max.X, it.Box.Max.Y, it.Box.Max.Z},
+	}
+}
+
+func (ij itemJSON) box() geom.AABB {
+	return geom.NewAABB(geom.V(ij.Min[0], ij.Min[1], ij.Min[2]), geom.V(ij.Max[0], ij.Max[1], ij.Max[2]))
+}
+
+// queryResponse is the wire shape of /range and /knn answers: the epoch the
+// query was served from, the result count, and the items.
+type queryResponse struct {
+	Epoch uint64     `json:"epoch"`
+	Count int        `json:"count"`
+	Items []itemJSON `json:"items"`
+}
+
+// updateRequest is the wire shape of a /update batch.
+type updateRequest struct {
+	Upserts []itemJSON `json:"upserts"`
+	Deletes []int64    `json:"deletes"`
+}
+
+// updateResponse reports the epoch the batch was published as.
+type updateResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+}
+
+// newHandler wires the store's serving surface into HTTP/JSON endpoints:
+//
+//	GET  /range?minx=&miny=&minz=&maxx=&maxy=&maxz=[&limit=]   range query
+//	GET  /knn?x=&y=&z=&k=                                      k nearest
+//	POST /update   {"upserts":[{"id":..,"min":[..],"max":[..]}],"deletes":[..]}
+//	GET  /stats                                                serving stats
+//	GET  /healthz                                              liveness
+func newHandler(store *serve.Store) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/range", func(w http.ResponseWriter, r *http.Request) {
+		lo, err1 := parseVec(r, "minx", "miny", "minz")
+		hi, err2 := parseVec(r, "maxx", "maxy", "maxz")
+		if err1 != nil || err2 != nil {
+			httpError(w, http.StatusBadRequest, "range needs float params minx..maxz")
+			return
+		}
+		limit := parseIntDefault(r, "limit", 0)
+		items, epoch := store.RangeAll(geom.NewAABB(lo, hi), nil)
+		if limit > 0 && len(items) > limit {
+			items = items[:limit]
+		}
+		writeQueryResponse(w, epoch, items)
+	})
+
+	mux.HandleFunc("/knn", func(w http.ResponseWriter, r *http.Request) {
+		p, err := parseVec(r, "x", "y", "z")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "knn needs float params x, y, z")
+			return
+		}
+		// The cap bounds per-request work: every overlapping shard gathers up
+		// to k candidates before the global merge.
+		k := parseIntDefault(r, "k", 10)
+		if k <= 0 || k > 1024 {
+			httpError(w, http.StatusBadRequest, "k out of range (1..1024)")
+			return
+		}
+		items, epoch := store.KNN(p, k, nil)
+		writeQueryResponse(w, epoch, items)
+	})
+
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "update requires POST")
+			return
+		}
+		var req updateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad update body: "+err.Error())
+			return
+		}
+		batch := make([]serve.Update, 0, len(req.Upserts)+len(req.Deletes))
+		for _, up := range req.Upserts {
+			batch = append(batch, serve.Update{ID: up.ID, Box: up.box()})
+		}
+		for _, id := range req.Deletes {
+			batch = append(batch, serve.Update{ID: id, Delete: true})
+		}
+		epoch := store.Apply(batch)
+		writeJSON(w, updateResponse{Epoch: epoch, Applied: len(batch)})
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, store.Stats())
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	return mux
+}
+
+func writeQueryResponse(w http.ResponseWriter, epoch uint64, items []index.Item) {
+	resp := queryResponse{Epoch: epoch, Count: len(items), Items: make([]itemJSON, len(items))}
+	for i, it := range items {
+		resp.Items[i] = toItemJSON(it)
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func parseVec(r *http.Request, xk, yk, zk string) (geom.Vec3, error) {
+	x, err := strconv.ParseFloat(r.URL.Query().Get(xk), 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	y, err := strconv.ParseFloat(r.URL.Query().Get(yk), 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	z, err := strconv.ParseFloat(r.URL.Query().Get(zk), 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	return geom.V(x, y, z), nil
+}
+
+func parseIntDefault(r *http.Request, key string, def int) int {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}

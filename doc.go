@@ -32,11 +32,19 @@
 //     wrapper;
 //   - internal/sim — the time-stepped simulation harness of the paper's
 //     Figure 1;
+//   - internal/serve — the sharded, epoch-versioned serving subsystem: STR
+//     space partitions of frozen Compact snapshots behind an atomic epoch
+//     pointer with per-epoch refcounts, a background builder that stages
+//     update batches and swaps generations without blocking readers,
+//     scatter/gather range and global-merge kNN queries, and admission
+//     control bounding in-flight queries;
 //   - internal/experiments — drivers regenerating every figure and in-text
 //     experiment of the paper (see DESIGN.md and EXPERIMENTS.md).
 //
-// Executables: cmd/spatialbench (run any experiment), cmd/simrun (run a
-// full simulation with a chosen index) and cmd/benchjson (record the paired
-// pointer-vs-compact layout benchmarks in BENCH_*.json). Runnable examples
-// are under examples/.
+// Executables: cmd/spatialbench (run any experiment, including the E12
+// serving load generator writing BENCH_PR3.json), cmd/simrun (run a full
+// simulation with a chosen index), cmd/benchjson (record the paired
+// pointer-vs-compact layout benchmarks in BENCH_*.json) and
+// cmd/spatialserver (HTTP/JSON range, knn, update-batch and stats endpoints
+// over internal/serve). Runnable examples are under examples/.
 package spatialsim

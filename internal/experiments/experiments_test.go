@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // tinyScale keeps the experiment drivers fast enough for unit tests while
@@ -334,6 +335,31 @@ func TestCacheLayoutComparesAllFamilies(t *testing.T) {
 	}
 	out := r.String()
 	if !strings.Contains(out, "E11") || !strings.Contains(out, "rtree") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+}
+
+func TestServeBenchMixedLoad(t *testing.T) {
+	r := ServeBench(Scale{Elements: 3000, Seed: 5}, ServeConfig{
+		Shards: 3, Readers: 3, Duration: 150 * time.Millisecond,
+		UpdateEvery: 25 * time.Millisecond,
+	})
+	if r.Ops == 0 || r.RangeOps == 0 || r.KNNOps == 0 {
+		t.Fatalf("mixed load did not run both query kinds: %+v", r)
+	}
+	if r.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if r.P50 <= 0 || r.P99 < r.P50 || r.Max < r.P99 {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v max=%v", r.P50, r.P99, r.Max)
+	}
+	// The writer must have turned epochs over under the readers: bootstrap is
+	// swap 1, so mixed load needs at least one more.
+	if r.EpochSwaps < 2 || r.UpdatesApplied == 0 {
+		t.Fatalf("no ingestion happened during the run: %+v", r)
+	}
+	out := r.String()
+	if !strings.Contains(out, "E12") || !strings.Contains(out, "epoch swaps") {
 		t.Fatalf("unexpected rendering:\n%s", out)
 	}
 }

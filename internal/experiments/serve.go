@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/serve"
+	"spatialsim/internal/stats"
+)
+
+// E12 — serving experiment. The ROADMAP's north star is a serving system,
+// not a batch harness: frozen snapshots are only useful if they can be
+// queried *while* the next timestep's updates are being ingested. This
+// experiment drives the sharded, epoch-versioned store (internal/serve) with
+// mixed traffic — concurrent readers issuing range and kNN queries, a writer
+// applying update batches that trigger full ingest/freeze/swap cycles — and
+// reports throughput and latency percentiles. Because epoch swaps never
+// block readers, latency should stay flat while generations turn over
+// underneath the query stream.
+
+// ServeConfig shapes the E12 load run.
+type ServeConfig struct {
+	// Shards is the number of STR space partitions per epoch (0 = GOMAXPROCS).
+	Shards int
+	// Readers is the number of concurrent query clients (0 = 2x GOMAXPROCS).
+	Readers int
+	// Duration is the measured wall-clock run length (0 = 2s).
+	Duration time.Duration
+	// UpdateEvery is the writer's batch cadence (0 = Duration/20).
+	UpdateEvery time.Duration
+	// BatchFraction is the fraction of elements each update batch moves
+	// (0 = 0.2).
+	BatchFraction float64
+	// K is the kNN fan-in (0 = 8).
+	K int
+	// RangeFraction is the share of reader operations that are range queries,
+	// the rest being kNN (0 = 0.8).
+	RangeFraction float64
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Readers <= 0 {
+		c.Readers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.UpdateEvery <= 0 {
+		c.UpdateEvery = c.Duration / 20
+	}
+	if c.BatchFraction <= 0 {
+		c.BatchFraction = 0.2
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.RangeFraction <= 0 {
+		c.RangeFraction = 0.8
+	}
+	return c
+}
+
+// ServeResult is the outcome of one E12 run.
+type ServeResult struct {
+	Elements int
+	Shards   int
+	Readers  int
+	Duration time.Duration
+
+	RangeOps int64
+	KNNOps   int64
+	Ops      int64
+	// Throughput is queries per second across all readers.
+	Throughput float64
+	// P50/P90/P99/Max are query latency percentiles across both query kinds.
+	P50, P90, P99, Max time.Duration
+
+	// EpochSwaps counts ingest/freeze/swap cycles completed during the run;
+	// UpdatesApplied counts staged element updates.
+	EpochSwaps     int64
+	UpdatesApplied int64
+	// FinalEpoch is the epoch sequence serving when the run ended.
+	FinalEpoch uint64
+}
+
+// String renders the run like the other experiment tables.
+func (r ServeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E12: serving under mixed load (%d elements, %d shards, %d readers, %v)\n",
+		r.Elements, r.Shards, r.Readers, r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-12s %-12s %-12s %-12s %-12s %s\n", "throughput", "p50", "p90", "p99", "max", "ops (range/knn)")
+	fmt.Fprintf(&b, "  %-12s %-12v %-12v %-12v %-12v %d (%d/%d)\n",
+		fmt.Sprintf("%.0f q/s", r.Throughput),
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
+		r.Ops, r.RangeOps, r.KNNOps)
+	fmt.Fprintf(&b, "  %d epoch swaps (%d updates ingested) completed behind the query stream; final epoch %d\n",
+		r.EpochSwaps, r.UpdatesApplied, r.FinalEpoch)
+	return b.String()
+}
+
+// ServeBench runs E12 at the given scale.
+func ServeBench(s Scale, cfg ServeConfig) ServeResult {
+	s = s.withDefaults()
+	cfg = cfg.withDefaults()
+
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	d := datagen.GenerateUniform(datagen.UniformConfig{N: s.Elements, Universe: u, Seed: s.Seed})
+	items := make([]index.Item, d.Len())
+	for i := range d.Elements {
+		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+	}
+
+	store := serve.New(serve.Config{Shards: cfg.Shards, Workers: s.Workers})
+	defer store.Close()
+	store.Bootstrap(items)
+
+	// Pre-generated workload: data-centered ranges (so queries hit data at
+	// every selectivity) and uniform kNN points.
+	queries := datagen.GenerateDataCenteredQueries(d, 512, s.Selectivity*10, s.Seed+1)
+	points := datagen.GenerateKNNQueries(512, u, s.Seed+2)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	latencies := make([][]float64, cfg.Readers) // per-reader, nanoseconds
+	var rangeOps, knnOps atomic.Int64
+
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(s.Seed + 100 + int64(id)))
+			buf := make([]index.Item, 0, 256)
+			lat := make([]float64, 0, 4096)
+			for !stop.Load() {
+				start := time.Now()
+				if rng.Float64() < cfg.RangeFraction {
+					buf, _ = store.RangeAll(queries[rng.Intn(len(queries))], buf[:0])
+					rangeOps.Add(1)
+				} else {
+					buf, _ = store.KNN(points[rng.Intn(len(points))], cfg.K, buf[:0])
+					knnOps.Add(1)
+				}
+				lat = append(lat, float64(time.Since(start)))
+			}
+			latencies[id] = lat
+		}(r)
+	}
+
+	// Writer: every tick, move a random fraction of the elements (bounded
+	// random displacement, the paper's "massive but minimal" update pattern)
+	// and publish the batch, turning an epoch over under the readers.
+	wg.Add(1)
+	var updatesApplied atomic.Int64
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(s.Seed + 7))
+		batchSize := int(float64(len(items)) * cfg.BatchFraction)
+		if batchSize < 1 {
+			batchSize = 1
+		}
+		ticker := time.NewTicker(cfg.UpdateEvery)
+		defer ticker.Stop()
+		for !stop.Load() {
+			<-ticker.C
+			if stop.Load() {
+				return
+			}
+			batch := make([]serve.Update, batchSize)
+			for i := range batch {
+				it := &items[rng.Intn(len(items))]
+				delta := geom.V(rng.Float64()-0.5, rng.Float64()-0.5, rng.Float64()-0.5)
+				it.Box = it.Box.Translate(delta)
+				batch[i] = serve.Update{ID: it.ID, Box: it.Box}
+			}
+			store.Apply(batch)
+			updatesApplied.Add(int64(batchSize))
+		}
+	}()
+
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	var all []float64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	st := store.Stats()
+	res := ServeResult{
+		Elements: len(items),
+		// The store factors the shard bound into near-cubical cuts; report
+		// the layout that actually served, not the configured bound.
+		Shards:         len(st.Shards),
+		Readers:        cfg.Readers,
+		Duration:       cfg.Duration,
+		RangeOps:       rangeOps.Load(),
+		KNNOps:         knnOps.Load(),
+		EpochSwaps:     st.EpochSwaps,
+		UpdatesApplied: updatesApplied.Load(),
+		FinalEpoch:     st.Epoch,
+	}
+	res.Ops = res.RangeOps + res.KNNOps
+	res.Throughput = float64(res.Ops) / cfg.Duration.Seconds()
+	if len(all) > 0 {
+		res.P50 = time.Duration(stats.Percentile(all, 50))
+		res.P90 = time.Duration(stats.Percentile(all, 90))
+		res.P99 = time.Duration(stats.Percentile(all, 99))
+		res.Max = time.Duration(stats.Max(all))
+	}
+	return res
+}
+
+// serveReport is the BENCH_PR3.json file layout: machine and workload
+// identification plus the run's throughput/latency/ingestion numbers.
+type serveReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+
+	Elements   int     `json:"elements"`
+	Shards     int     `json:"shards"`
+	Readers    int     `json:"readers"`
+	DurationMS float64 `json:"duration_ms"`
+
+	Ops                 int64   `json:"ops"`
+	RangeOps            int64   `json:"range_ops"`
+	KNNOps              int64   `json:"knn_ops"`
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+	P50Micros           float64 `json:"p50_us"`
+	P90Micros           float64 `json:"p90_us"`
+	P99Micros           float64 `json:"p99_us"`
+	MaxMicros           float64 `json:"max_us"`
+
+	EpochSwaps     int64  `json:"epoch_swaps"`
+	UpdatesApplied int64  `json:"updates_applied"`
+	FinalEpoch     uint64 `json:"final_epoch"`
+}
+
+// WriteServeReport records an E12 result as machine-readable JSON
+// (BENCH_PR3.json — the serving-layer entry of the repo's perf trajectory,
+// alongside PR 2's layout pairs in BENCH_PR2.json).
+func WriteServeReport(path string, r ServeResult) error {
+	rep := serveReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+
+		Elements:   r.Elements,
+		Shards:     r.Shards,
+		Readers:    r.Readers,
+		DurationMS: float64(r.Duration) / float64(time.Millisecond),
+
+		Ops:                 r.Ops,
+		RangeOps:            r.RangeOps,
+		KNNOps:              r.KNNOps,
+		ThroughputOpsPerSec: r.Throughput,
+		P50Micros:           float64(r.P50) / float64(time.Microsecond),
+		P90Micros:           float64(r.P90) / float64(time.Microsecond),
+		P99Micros:           float64(r.P99) / float64(time.Microsecond),
+		MaxMicros:           float64(r.Max) / float64(time.Microsecond),
+
+		EpochSwaps:     r.EpochSwaps,
+		UpdatesApplied: r.UpdatesApplied,
+		FinalEpoch:     r.FinalEpoch,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -138,18 +138,19 @@ func (c *Counters) Snapshot() CounterSnapshot {
 	}
 }
 
-// CounterSnapshot is an immutable copy of a Counters value.
+// CounterSnapshot is an immutable copy of a Counters value. The JSON tags
+// are the wire shape of the serving layer's stats endpoint.
 type CounterSnapshot struct {
-	NodeVisits         int64
-	TreeIntersectTests int64
-	ElemIntersectTests int64
-	ElementsTouched    int64
-	Results            int64
-	PagesRead          int64
-	BytesRead          int64
-	Updates            int64
-	CellMoves          int64
-	Comparisons        int64
+	NodeVisits         int64 `json:"node_visits"`
+	TreeIntersectTests int64 `json:"tree_intersect_tests"`
+	ElemIntersectTests int64 `json:"elem_intersect_tests"`
+	ElementsTouched    int64 `json:"elements_touched"`
+	Results            int64 `json:"results"`
+	PagesRead          int64 `json:"pages_read"`
+	BytesRead          int64 `json:"bytes_read"`
+	Updates            int64 `json:"updates"`
+	CellMoves          int64 `json:"cell_moves"`
+	Comparisons        int64 `json:"comparisons"`
 }
 
 // Add returns the component-wise sum s + o. It is the aggregation primitive

@@ -76,6 +76,23 @@ func (t *Throwaway) Update(id int64, _, newBox geom.AABB) {
 	t.dirty = true
 }
 
+// Items appends the staged (id, box) state to dst and returns the extended
+// slice, in unspecified order. It is the export half of the throwaway
+// strategy: callers that partition or bulk-load the state themselves (the
+// serving layer's per-shard epoch builds, for example) read the staging table
+// directly instead of rebuilding the wrapped index.
+func (t *Throwaway) Items(dst []index.Item) []index.Item {
+	if cap(dst)-len(dst) < len(t.current) {
+		grown := make([]index.Item, len(dst), len(dst)+len(t.current))
+		copy(grown, dst)
+		dst = grown
+	}
+	for id, box := range t.current {
+		dst = append(dst, index.Item{ID: id, Box: box})
+	}
+	return dst
+}
+
 // Rebuild bulk-loads the wrapped index from the staged state. Call it once
 // per simulation step, after the update phase and before the query phase.
 func (t *Throwaway) Rebuild() {

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+)
+
+// Shard is one space partition of an epoch: a frozen, read-optimised snapshot
+// of the items whose box centers fall inside the shard's STR tile, plus the
+// tight MBR of those items used to prune query fan-out.
+type Shard struct {
+	bounds geom.AABB
+	snap   index.ReadIndex
+}
+
+// Bounds returns the shard's minimum bounding rectangle.
+func (sh *Shard) Bounds() geom.AABB { return sh.bounds }
+
+// Len returns the number of items the shard holds.
+func (sh *Shard) Len() int { return sh.snap.Len() }
+
+// Counters returns the shard snapshot's instrumentation counters, or nil if
+// the snapshot is not instrumented (index.ReadIndex does not require it).
+func (sh *Shard) Counters() *instrument.Counters {
+	if c, ok := sh.snap.(interface{ Counters() *instrument.Counters }); ok {
+		return c.Counters()
+	}
+	return nil
+}
+
+// Epoch is one immutable generation of the serving store: a set of frozen
+// shards built from a consistent snapshot of the staged state. Readers pin an
+// epoch (atomic refcount) for the duration of a query, so an epoch swap never
+// blocks readers and never frees state out from under them; queries observe
+// exactly one generation end to end, which is the torn-read guarantee the
+// epoch tests drive. Epoch implements index.ReadIndex, so the exec batch
+// visitors drive a whole epoch like any other frozen index.
+type Epoch struct {
+	seq    uint64
+	items  int
+	shards []Shard
+	pins   atomic.Int64
+	// superseded is set when a newer epoch replaces this one; retireOnce
+	// makes the drained-epoch accounting fire exactly once, whichever of the
+	// swapper or the last unpinning reader observes pins reach zero.
+	superseded atomic.Bool
+	retireOnce atomic.Bool
+
+	// wrapPool recycles the early-stop wrappers RangeVisit threads through
+	// shards and knnPool the scratch KNNInto merges shard candidates in, so
+	// warm epoch queries stay off the allocator like the underlying compact
+	// snapshots do.
+	wrapPool sync.Pool // *stopWrap
+	knnPool  sync.Pool // *knnScratch
+}
+
+func newEpoch(seq uint64, shards []Shard, items int) *Epoch {
+	e := &Epoch{seq: seq, items: items, shards: shards}
+	e.wrapPool.New = func() interface{} {
+		w := &stopWrap{}
+		w.fn = w.call
+		return w
+	}
+	nShards := len(shards)
+	e.knnPool.New = func() interface{} {
+		return &knnScratch{
+			order: make([]int32, 0, nShards),
+			dist2: make([]float64, nShards),
+		}
+	}
+	return e
+}
+
+// Seq returns the epoch's generation number (monotonically increasing across
+// swaps).
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// Name implements index.ReadIndex.
+func (e *Epoch) Name() string { return "serve-epoch" }
+
+// Len implements index.ReadIndex.
+func (e *Epoch) Len() int { return e.items }
+
+// Shards returns the epoch's shards (read-only views).
+func (e *Epoch) Shards() []Shard { return e.shards }
+
+// Pins returns the number of readers currently pinning the epoch.
+func (e *Epoch) Pins() int64 { return e.pins.Load() }
+
+// stopWrap threads early-stop through the per-shard traversals without
+// allocating: the bound method value is created once per pooled instance.
+type stopWrap struct {
+	visit   func(index.Item) bool
+	stopped bool
+	fn      func(index.Item) bool
+}
+
+func (w *stopWrap) call(it index.Item) bool {
+	if !w.visit(it) {
+		w.stopped = true
+		return false
+	}
+	return true
+}
+
+// RangeVisit implements index.RangeVisitor by scattering the query to every
+// shard whose MBR intersects it. Items live in exactly one shard, so the
+// concatenation of shard results is duplicate-free and complete.
+func (e *Epoch) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
+	w := e.wrapPool.Get().(*stopWrap)
+	w.visit, w.stopped = visit, false
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if sh.snap.Len() == 0 || !query.Intersects(sh.bounds) {
+			continue
+		}
+		sh.snap.RangeVisit(query, w.fn)
+		if w.stopped {
+			break
+		}
+	}
+	w.visit = nil
+	e.wrapPool.Put(w)
+}
+
+// knnScratch is the pooled per-query state of the cross-shard kNN merge:
+// shard visit order plus the cached distance keys and merge buffers that keep
+// the merge linear — every item's box distance is computed exactly once.
+type knnScratch struct {
+	order []int32
+	dist2 []float64
+
+	curD    []float64    // distances of the running top-k, aligned with buf
+	newD    []float64    // distances of the latest shard's candidates
+	merged  []index.Item // merge output (swapped back into buf)
+	mergedD []float64
+}
+
+// KNNInto implements index.KNNer with a global merge over shard-local
+// results: shards are visited in ascending MBR-distance order, each
+// contributes its k nearest (already sorted), and the two sorted runs are
+// linearly merged on cached distance keys. A shard whose MBR is farther than
+// the current kth-best distance cannot contribute (its every item is at
+// least that far), so the scan stops early — the branch-and-bound the shard
+// MBRs exist for.
+func (e *Epoch) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
+	if k <= 0 || len(e.shards) == 0 {
+		return buf
+	}
+	st := e.knnPool.Get().(*knnScratch)
+	st.order = st.order[:0]
+	for i := range e.shards {
+		if e.shards[i].snap.Len() == 0 {
+			continue
+		}
+		st.dist2[i] = e.shards[i].bounds.Distance2ToPoint(p)
+		st.order = append(st.order, int32(i))
+	}
+	// Insertion sort: shard counts are small (tens, not thousands).
+	for i := 1; i < len(st.order); i++ {
+		for j := i; j > 0 && st.dist2[st.order[j]] < st.dist2[st.order[j-1]]; j-- {
+			st.order[j], st.order[j-1] = st.order[j-1], st.order[j]
+		}
+	}
+
+	base := len(buf)
+	st.curD = st.curD[:0]
+	for _, si := range st.order {
+		cur := len(buf) - base
+		if cur >= k && st.dist2[si] > st.curD[cur-1] {
+			break
+		}
+		buf = e.shards[si].snap.KNNInto(p, k, buf)
+		st.newD = st.newD[:0]
+		for _, it := range buf[base+cur:] {
+			st.newD = append(st.newD, it.Box.Distance2ToPoint(p))
+		}
+		buf, st.curD = st.mergeTopK(buf, base, cur, k, p)
+	}
+	e.knnPool.Put(st)
+	return buf
+}
+
+// mergeTopK merges the sorted runs buf[base:base+cur] (distances st.curD) and
+// buf[base+cur:] (distances st.newD) into the k closest, writing the result
+// back into buf[base:] and returning the truncated buf plus the new distance
+// keys. Both inputs are sorted ascending, so the merge is a single linear
+// pass with no distance recomputation.
+func (st *knnScratch) mergeTopK(buf []index.Item, base, cur, k int, p geom.Vec3) ([]index.Item, []float64) {
+	st.merged = st.merged[:0]
+	st.mergedD = st.mergedD[:0]
+	i, j := 0, 0
+	for len(st.merged) < k && (i < cur || j < len(st.newD)) {
+		if j >= len(st.newD) || (i < cur && st.curD[i] <= st.newD[j]) {
+			st.merged = append(st.merged, buf[base+i])
+			st.mergedD = append(st.mergedD, st.curD[i])
+			i++
+		} else {
+			st.merged = append(st.merged, buf[base+cur+j])
+			st.mergedD = append(st.mergedD, st.newD[j])
+			j++
+		}
+	}
+	buf = append(buf[:base], st.merged...)
+	st.curD, st.mergedD = st.mergedD, st.curD
+	return buf, st.curD
+}
+
+var _ index.ReadIndex = (*Epoch)(nil)

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+// partitionSTR splits items into at most k spatially coherent, equally sized
+// parts using the sort-tile-recursive discipline the R-Tree bulk loader
+// applies at node level, lifted to shard granularity: items are sorted by
+// box-center x and cut into vertical slabs, each slab is sorted by y and cut
+// into tiles, each tile is sorted by z and cut into the final parts. Every
+// item lands in exactly one part, so shard query fan-out never produces
+// duplicates; parts are contiguous in space, so range queries overlap few
+// shards. The slice is sorted in place; ties break on ID to keep the
+// partitioning deterministic.
+func partitionSTR(items []index.Item, k int) [][]index.Item {
+	if len(items) == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(items) {
+		k = len(items)
+	}
+	if k == 1 {
+		return [][]index.Item{items}
+	}
+
+	// Factor k into nx*ny*nz cuts as close to cubical as the value allows
+	// without overshooting (k=8 -> 2x2x2, k=12 -> 2x2x3, k=5 -> 1x2x2); the
+	// part count is a bound, so rounding down is the safe direction.
+	nx := int(math.Cbrt(float64(k)) + 1e-9)
+	if nx < 1 {
+		nx = 1
+	}
+	ny := int(math.Sqrt(float64(k/nx)) + 1e-9)
+	if ny < 1 {
+		ny = 1
+	}
+	nz := k / (nx * ny)
+	if nz < 1 {
+		nz = 1
+	}
+
+	parts := make([][]index.Item, 0, nx*ny*nz)
+	sortByCenter(items, 0)
+	for _, slab := range cutRuns(items, nx) {
+		sortByCenter(slab, 1)
+		for _, tile := range cutRuns(slab, ny) {
+			sortByCenter(tile, 2)
+			for _, part := range cutRuns(tile, nz) {
+				parts = append(parts, part)
+			}
+		}
+	}
+	return parts
+}
+
+// sortByCenter orders items by box center along the given axis, breaking ties
+// by ID.
+func sortByCenter(items []index.Item, axis int) {
+	sort.Slice(items, func(i, j int) bool {
+		a := items[i].Box.Center().Axis(axis)
+		b := items[j].Box.Center().Axis(axis)
+		if a != b {
+			return a < b
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+// cutRuns splits items into up to n contiguous runs of near-equal length,
+// dropping empty runs.
+func cutRuns(items []index.Item, n int) [][]index.Item {
+	if n > len(items) {
+		n = len(items)
+	}
+	runs := make([][]index.Item, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(items) / n
+		hi := (i + 1) * len(items) / n
+		if lo < hi {
+			runs = append(runs, items[lo:hi])
+		}
+	}
+	return runs
+}
+
+// boundsOf returns the union of all item boxes (the shard MBR).
+func boundsOf(items []index.Item) geom.AABB {
+	b := geom.EmptyAABB()
+	for i := range items {
+		b = b.Union(items[i].Box)
+	}
+	return b
+}

@@ -1,0 +1,478 @@
+// Package serve is the concurrent spatial serving subsystem of spatialsim:
+// the layer that takes the library from "runs experiments" to "serves
+// traffic". The paper observes that simulation-science workloads are
+// query-dominated between update waves — indexes are rebuilt, frozen, and
+// then hammered with range/kNN traffic until the next timestep — so the
+// serving layer splits exactly along that seam:
+//
+//   - the read side is a space-partitioned shard set (STR tiles of the
+//     domain), each shard a frozen Compact snapshot from the flat-memory
+//     query engine, grouped into an immutable Epoch;
+//   - the write side is a staging table (the moving-object "throwaway"
+//     strategy) that a builder drains: it partitions the staged state,
+//     rebuilds every shard in parallel (exec.ParallelBulkLoad), freezes the
+//     next generation and atomically swaps the epoch pointer.
+//
+// Readers pin the current epoch with an atomic pointer + per-epoch refcount,
+// so a swap never blocks a reader and a reader never observes half of two
+// generations; admission control bounds in-flight queries so overload
+// degrades into queueing instead of collapse. cmd/spatialserver fronts a
+// Store with HTTP endpoints and spatialbench's "serve" experiment drives it
+// with mixed query/update traffic.
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spatialsim/internal/exec"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/grid"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+	"spatialsim/internal/moving"
+	"spatialsim/internal/octree"
+	"spatialsim/internal/rtree"
+)
+
+// ShardBuilder builds the frozen snapshot of one shard from the items whose
+// STR tile it owns. bounds is the tight MBR of the items (grid- and
+// octree-backed builders size their cell structure from it); workers is the
+// goroutine budget for the build.
+type ShardBuilder func(bounds geom.AABB, items []index.Item, workers int) index.ReadIndex
+
+// RTreeBuilder returns a ShardBuilder backed by an STR-bulk-loaded R-Tree
+// frozen into its compact layout. It is the default shard family.
+func RTreeBuilder(cfg rtree.Config) ShardBuilder {
+	return func(_ geom.AABB, items []index.Item, workers int) index.ReadIndex {
+		t := rtree.New(cfg)
+		exec.ParallelBulkLoad(t, items, exec.Options{Workers: workers})
+		return t.Freeze()
+	}
+}
+
+// GridBuilder returns a ShardBuilder backed by a uniform grid sized to the
+// shard's bounds and frozen into the CSR compact layout.
+func GridBuilder(cellsPerDim int) ShardBuilder {
+	return func(bounds geom.AABB, items []index.Item, workers int) index.ReadIndex {
+		g := grid.New(grid.Config{Universe: bounds.Expand(1e-9), CellsPerDim: cellsPerDim})
+		exec.ParallelBulkLoad(g, items, exec.Options{Workers: workers})
+		return g.Freeze()
+	}
+}
+
+// OctreeBuilder returns a ShardBuilder backed by an octree over the shard's
+// bounds, frozen into its compact layout.
+func OctreeBuilder(leafCapacity int) ShardBuilder {
+	return func(bounds geom.AABB, items []index.Item, workers int) index.ReadIndex {
+		oc := octree.New(octree.Config{Universe: bounds.Expand(1e-9), LeafCapacity: leafCapacity})
+		exec.ParallelBulkLoad(oc, items, exec.Options{Workers: workers})
+		return oc.Freeze()
+	}
+}
+
+// Config configures a Store.
+type Config struct {
+	// Shards bounds the STR space partitions per epoch (<= 0 picks
+	// GOMAXPROCS). The partitioner factors the bound into near-cubical x/y/z
+	// cuts, so the epoch may hold slightly fewer shards than the bound (and
+	// never more than the item count); Stats reports the actual layout.
+	Shards int
+	// Workers is the goroutine budget of an epoch build (<= 0 uses
+	// GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds concurrently executing queries; callers beyond the
+	// bound wait (admission control; <= 0 picks 4x GOMAXPROCS).
+	MaxInFlight int
+	// Build constructs one shard snapshot (nil uses RTreeBuilder with the
+	// default R-Tree configuration).
+	Build ShardBuilder
+	// IngestQueue is the capacity of the asynchronous update-batch queue
+	// consumed by the background builder (<= 0 picks 16).
+	IngestQueue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.Build == nil {
+		c.Build = RTreeBuilder(rtree.Config{})
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 16
+	}
+	return c
+}
+
+// Update is one element mutation of an ingest batch: an upsert of (ID, Box),
+// or a removal when Delete is set.
+type Update struct {
+	ID     int64
+	Box    geom.AABB
+	Delete bool
+}
+
+// Store is the sharded, epoch-versioned serving store. All query methods are
+// safe for unbounded concurrent use and never block on ingestion; Apply and
+// Enqueue are safe to call concurrently with queries and with each other.
+type Store struct {
+	cfg Config
+
+	epoch atomic.Pointer[Epoch]
+
+	// buildMu serializes freeze/swap cycles (one builder at a time);
+	// stagingMu guards the staging table for the short apply window only, so
+	// staging new batches overlaps an in-progress shard build.
+	buildMu   sync.Mutex
+	stagingMu sync.Mutex
+	staging   *moving.Throwaway
+	scratch   []index.Item // reused items snapshot (safe: shard builds copy)
+
+	sem      chan struct{}
+	inFlight atomic.Int64
+	peak     atomic.Int64
+
+	queries atomic.Int64
+	results atomic.Int64
+	swaps   atomic.Int64
+	retired atomic.Int64
+
+	updates chan []Update
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// New returns an empty store serving epoch 0 (no shards) and starts its
+// background builder. Close releases the builder when the store is done.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:     cfg,
+		staging: moving.NewThrowaway(index.NewLinearScan()),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		updates: make(chan []Update, cfg.IngestQueue),
+	}
+	s.epoch.Store(newEpoch(0, nil, 0))
+	s.wg.Add(1)
+	go s.builderLoop()
+	return s
+}
+
+// Close stops the background builder after draining queued batches. Queries
+// remain answerable (the last epoch stays current); further Enqueue calls
+// panic, Apply keeps working.
+func (s *Store) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.updates)
+	}
+	s.wg.Wait()
+}
+
+// builderLoop drains the async ingest queue, coalescing every batch already
+// queued into a single stage+freeze+swap cycle so a burst of small batches
+// costs one epoch build, not one per batch.
+func (s *Store) builderLoop() {
+	defer s.wg.Done()
+	for batch := range s.updates {
+		for {
+			select {
+			case more, ok := <-s.updates:
+				if !ok {
+					s.Apply(batch)
+					return
+				}
+				batch = append(batch, more...)
+				continue
+			default:
+			}
+			break
+		}
+		s.Apply(batch)
+	}
+}
+
+// Enqueue hands an update batch to the background builder and returns
+// immediately; the batch becomes visible at some later epoch. The caller must
+// not reuse the slice. Blocks only when the ingest queue is full.
+func (s *Store) Enqueue(batch []Update) {
+	s.updates <- batch
+}
+
+// Bootstrap stages the initial dataset and publishes the first epoch.
+func (s *Store) Bootstrap(items []index.Item) uint64 {
+	s.stagingMu.Lock()
+	for _, it := range items {
+		s.staging.Update(it.ID, geom.AABB{}, it.Box)
+	}
+	s.stagingMu.Unlock()
+	return s.freezeAndSwap()
+}
+
+// Apply stages one update batch and synchronously freezes + swaps an epoch
+// that includes it, returning that epoch's sequence number. Staging happens
+// before the build lock is taken, so new batches land in the staging table
+// while an earlier epoch build is still running; readers are never blocked
+// either way — they keep answering from the previous epoch until the atomic
+// pointer swap, and pinned readers finish on the epoch they pinned.
+func (s *Store) Apply(batch []Update) uint64 {
+	s.stagingMu.Lock()
+	for _, u := range batch {
+		if u.Delete {
+			s.staging.Delete(u.ID, geom.AABB{})
+		} else {
+			s.staging.Update(u.ID, geom.AABB{}, u.Box)
+		}
+	}
+	s.stagingMu.Unlock()
+	return s.freezeAndSwap()
+}
+
+// freezeAndSwap snapshots the staging table and publishes it as the next
+// epoch. The snapshot is taken under buildMu *after* the lock is acquired,
+// so an Apply that waited behind another build picks up every batch staged
+// in the meantime (coalescing, and the returned epoch always contains the
+// caller's own batch).
+func (s *Store) freezeAndSwap() uint64 {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	s.stagingMu.Lock()
+	snapshot := s.snapshotStagingLocked()
+	s.stagingMu.Unlock()
+	return s.publishLocked(snapshot)
+}
+
+// snapshotStagingLocked copies the staged state into the reusable scratch
+// slice. Caller holds stagingMu.
+func (s *Store) snapshotStagingLocked() []index.Item {
+	s.scratch = s.staging.Items(s.scratch[:0])
+	return s.scratch
+}
+
+// publishLocked partitions the items into STR shards, builds and freezes
+// every shard in parallel, and atomically swaps the epoch pointer. Caller
+// holds buildMu. The scratch slice is free for reuse on return: every shard
+// family copies items into its own storage during bulk load.
+func (s *Store) publishLocked(items []index.Item) uint64 {
+	parts := partitionSTR(items, s.cfg.Shards)
+	shards := make([]Shard, len(parts))
+	inner := s.cfg.Workers/maxInt(len(parts), 1) + 1
+	exec.ForTasks(len(parts), s.cfg.Workers, func(_, i int) {
+		bounds := boundsOf(parts[i])
+		shards[i] = Shard{bounds: bounds, snap: s.cfg.Build(bounds, parts[i], inner)}
+	})
+
+	prev := s.epoch.Load()
+	next := newEpoch(prev.seq+1, shards, len(items))
+	s.epoch.Store(next)
+	s.swaps.Add(1)
+	// Retirement: the superseded epoch is counted retired by whoever observes
+	// its pin count at zero first — the swapper (no readers were on it) or
+	// the last unpinning reader. No watcher goroutine, no polling.
+	prev.superseded.Store(true)
+	s.maybeRetire(prev)
+	return next.seq
+}
+
+// maybeRetire counts e as retired exactly once, once it is superseded and
+// unpinned — the observable end of the epoch's lifecycle (and the hook a
+// pooled-resource epoch would reclaim on).
+func (s *Store) maybeRetire(e *Epoch) {
+	if e.pins.Load() == 0 && e.superseded.Load() && e.retireOnce.CompareAndSwap(false, true) {
+		s.retired.Add(1)
+	}
+}
+
+// Current returns the epoch readers would pin right now (for inspection; the
+// epoch may be superseded by the time the caller uses it).
+func (s *Store) Current() *Epoch { return s.epoch.Load() }
+
+// acquire pins the current epoch against retirement accounting. The
+// increment-then-recheck loop closes the race with a concurrent swap: if the
+// pointer moved between load and pin, the pin is undone (through release, so
+// a transient pin on a superseded epoch still triggers its retirement) and
+// the acquire retries.
+func (s *Store) acquire() *Epoch {
+	for {
+		e := s.epoch.Load()
+		e.pins.Add(1)
+		if s.epoch.Load() == e {
+			return e
+		}
+		s.release(e)
+	}
+}
+
+// release drops a pin; the last pin off a superseded epoch retires it.
+func (s *Store) release(e *Epoch) {
+	if e.pins.Add(-1) == 0 {
+		s.maybeRetire(e)
+	}
+}
+
+// admit blocks until an in-flight slot is free (admission control) and
+// returns the release func.
+func (s *Store) admit() func() {
+	s.sem <- struct{}{}
+	n := s.inFlight.Add(1)
+	for {
+		p := s.peak.Load()
+		if n <= p || s.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	return func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}
+}
+
+// Range executes one range query against the current epoch, invoking visit
+// for every item whose box intersects query, and returns the epoch sequence
+// the query ran against.
+func (s *Store) Range(query geom.AABB, visit func(index.Item) bool) uint64 {
+	done := s.admit()
+	defer done()
+	e := s.acquire()
+	defer s.release(e)
+	var n int64
+	e.RangeVisit(query, func(it index.Item) bool {
+		n++
+		return visit(it)
+	})
+	s.queries.Add(1)
+	s.results.Add(n)
+	return e.seq
+}
+
+// RangeAll executes one range query and appends all matches to buf, returning
+// the extended slice and the epoch sequence served.
+func (s *Store) RangeAll(query geom.AABB, buf []index.Item) ([]index.Item, uint64) {
+	done := s.admit()
+	defer done()
+	e := s.acquire()
+	defer s.release(e)
+	start := len(buf)
+	e.RangeVisit(query, func(it index.Item) bool {
+		buf = append(buf, it)
+		return true
+	})
+	s.queries.Add(1)
+	s.results.Add(int64(len(buf) - start))
+	return buf, e.seq
+}
+
+// KNN appends the (up to) k items nearest to p, closest first, to buf and
+// returns the extended slice and the epoch sequence served.
+func (s *Store) KNN(p geom.Vec3, k int, buf []index.Item) ([]index.Item, uint64) {
+	done := s.admit()
+	defer done()
+	e := s.acquire()
+	defer s.release(e)
+	start := len(buf)
+	buf = e.KNNInto(p, k, buf)
+	s.queries.Add(1)
+	s.results.Add(int64(len(buf) - start))
+	return buf, e.seq
+}
+
+// BatchRange scatters a query batch over the worker pool against one pinned
+// epoch (every query in the batch sees the same generation) with per-worker
+// arena buffers; out[i] holds the matches of queries[i]. The batch occupies
+// one admission slot.
+func (s *Store) BatchRange(queries []geom.AABB, opts exec.Options, arena *exec.Arena) ([][]index.Item, uint64) {
+	done := s.admit()
+	defer done()
+	e := s.acquire()
+	defer s.release(e)
+	out, stats := exec.BatchRangeVisitArena(e, queries, opts, arena)
+	s.queries.Add(int64(len(queries)))
+	s.results.Add(stats.Results)
+	return out, e.seq
+}
+
+// BatchKNN scatters a kNN batch over the worker pool against one pinned
+// epoch; out[i] holds the (up to) k nearest items of points[i], closest
+// first. The batch occupies one admission slot.
+func (s *Store) BatchKNN(points []geom.Vec3, k int, opts exec.Options, arena *exec.Arena) ([][]index.Item, uint64) {
+	done := s.admit()
+	defer done()
+	e := s.acquire()
+	defer s.release(e)
+	out, stats := exec.BatchKNNInto(e, points, k, opts, arena)
+	s.queries.Add(int64(len(points)))
+	s.results.Add(stats.Results)
+	return out, e.seq
+}
+
+// ShardStats is the per-shard slice of a Stats snapshot.
+type ShardStats struct {
+	Items    int                        `json:"items"`
+	Bounds   geom.AABB                  `json:"bounds"`
+	Counters instrument.CounterSnapshot `json:"counters"`
+}
+
+// Stats is a point-in-time view of the store's serving state.
+type Stats struct {
+	Epoch         uint64       `json:"epoch"`
+	Items         int          `json:"items"`
+	Shards        []ShardStats `json:"shards"`
+	EpochSwaps    int64        `json:"epoch_swaps"`
+	EpochsRetired int64        `json:"epochs_retired"`
+	EpochPins     int64        `json:"epoch_pins"`
+	Queries       int64        `json:"queries"`
+	Results       int64        `json:"results"`
+	UpdatesStaged int64        `json:"updates_staged"`
+	InFlight      int64        `json:"in_flight"`
+	PeakInFlight  int64        `json:"peak_in_flight"`
+	MaxInFlight   int          `json:"max_in_flight"`
+}
+
+// Stats returns a snapshot of the store's counters and the current epoch's
+// per-shard layout and instrumentation.
+func (s *Store) Stats() Stats {
+	e := s.acquire()
+	defer s.release(e)
+	st := Stats{
+		Epoch:         e.seq,
+		Items:         e.items,
+		EpochSwaps:    s.swaps.Load(),
+		EpochsRetired: s.retired.Load(),
+		// Exclude this Stats call's own pin, so an idle store reports 0.
+		EpochPins:    e.pins.Load() - 1,
+		Queries:      s.queries.Load(),
+		Results:      s.results.Load(),
+		InFlight:     s.inFlight.Load(),
+		PeakInFlight: s.peak.Load(),
+		MaxInFlight:  s.cfg.MaxInFlight,
+	}
+	s.stagingMu.Lock()
+	if c := s.staging.Counters(); c != nil {
+		st.UpdatesStaged = c.Updates()
+	}
+	s.stagingMu.Unlock()
+	st.Shards = make([]ShardStats, len(e.shards))
+	for i := range e.shards {
+		sh := &e.shards[i]
+		ss := ShardStats{Items: sh.Len(), Bounds: sh.bounds}
+		if c := sh.Counters(); c != nil {
+			ss.Counters = c.Snapshot()
+		}
+		st.Shards[i] = ss
+	}
+	return st
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

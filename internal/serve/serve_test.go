@@ -1,0 +1,434 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spatialsim/internal/exec"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+// genBox returns the box of item id at generation gen: a unit cube on a grid
+// in x/y whose z coordinate encodes the generation. A consistent epoch
+// therefore answers a whole-universe range query with boxes that all carry
+// the same z — any mix of z values is a torn epoch.
+func genBox(id int64, gen int) geom.AABB {
+	x := float64(id % 32)
+	y := float64(id / 32)
+	z := 4 * float64(gen)
+	return geom.NewAABB(geom.V(x, y, z), geom.V(x+1, y+1, z+1))
+}
+
+func genItems(n, gen int) []index.Item {
+	items := make([]index.Item, n)
+	for i := range items {
+		items[i] = index.Item{ID: int64(i), Box: genBox(int64(i), gen)}
+	}
+	return items
+}
+
+func genUpdates(n, gen int) []Update {
+	ups := make([]Update, n)
+	for i := range ups {
+		ups[i] = Update{ID: int64(i), Box: genBox(int64(i), gen)}
+	}
+	return ups
+}
+
+// TestEpochSwapConsistencyUnderConcurrentReaders is the subsystem's core
+// guarantee: concurrent readers running through many ingest/freeze/swap
+// cycles always observe exactly one consistent epoch — the full item count,
+// all from a single generation, never a blend of two.
+func TestEpochSwapConsistencyUnderConcurrentReaders(t *testing.T) {
+	const (
+		n       = 600
+		cycles  = 12
+		readers = 6
+	)
+	s := New(Config{Shards: 5, Workers: 4, MaxInFlight: 64})
+	defer s.Close()
+	s.Bootstrap(genItems(n, 0))
+
+	universe := geom.NewAABB(geom.V(-1, -1, -1), geom.V(40, 40, 4*float64(cycles)+8))
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	var rangeQueries, knnQueries atomic.Int64
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]index.Item, 0, n)
+			var lastSeq uint64
+			for !stop.Load() {
+				if rng.Intn(4) > 0 {
+					var got []index.Item
+					got, seq := s.RangeAll(universe, buf[:0])
+					if seq < lastSeq {
+						errs <- "epoch sequence went backwards"
+						return
+					}
+					lastSeq = seq
+					if len(got) != n {
+						errs <- "lost results: wrong item count in whole-universe query"
+						return
+					}
+					z := got[0].Box.Min.Z
+					for _, it := range got {
+						if it.Box.Min.Z != z {
+							errs <- "torn epoch: one query observed two generations"
+							return
+						}
+						if it.Box != genBox(it.ID, int(z/4)) {
+							errs <- "box does not match any generation"
+							return
+						}
+					}
+					rangeQueries.Add(1)
+				} else {
+					p := geom.V(rng.Float64()*32, rng.Float64()*20, rng.Float64()*40)
+					got, _ := s.KNN(p, 5, buf[:0])
+					if len(got) != 5 {
+						errs <- "kNN returned wrong count"
+						return
+					}
+					z := got[0].Box.Min.Z
+					for _, it := range got {
+						if it.Box.Min.Z != z {
+							errs <- "torn epoch: kNN observed two generations"
+							return
+						}
+					}
+					knnQueries.Add(1)
+				}
+			}
+		}(int64(r + 1))
+	}
+
+	for gen := 1; gen <= cycles; gen++ {
+		seq := s.Apply(genUpdates(n, gen))
+		if seq != uint64(gen+1) {
+			t.Fatalf("epoch seq after cycle %d = %d, want %d", gen, seq, gen+1)
+		}
+	}
+	// Let readers run against the final epoch before stopping.
+	time.Sleep(20 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if rangeQueries.Load() == 0 || knnQueries.Load() == 0 {
+		t.Fatalf("readers made no progress during swaps: %d range, %d knn",
+			rangeQueries.Load(), knnQueries.Load())
+	}
+
+	st := s.Stats()
+	if st.Epoch != uint64(cycles+1) {
+		t.Fatalf("final epoch = %d, want %d", st.Epoch, cycles+1)
+	}
+	if st.EpochSwaps != int64(cycles+1) {
+		t.Fatalf("swaps = %d, want %d", st.EpochSwaps, cycles+1)
+	}
+	// Every superseded epoch eventually drains its pins and retires.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.retired.Load() < int64(cycles) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.retired.Load(); got < int64(cycles) {
+		t.Fatalf("retired epochs = %d, want >= %d", got, cycles)
+	}
+}
+
+// TestRangeMatchesReference checks the scatter/gather range path against a
+// linear scan over every shard family.
+func TestRangeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]index.Item, 4000)
+	for i := range items {
+		c := geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+		half := geom.V(0.1+rng.Float64(), 0.1+rng.Float64(), 0.1+rng.Float64())
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, half)}
+	}
+	ref := index.NewLinearScan()
+	ref.BulkLoad(items)
+
+	for name, build := range map[string]ShardBuilder{
+		"rtree":  nil, // nil exercises the default RTreeBuilder
+		"grid":   GridBuilder(12),
+		"octree": OctreeBuilder(16),
+	} {
+		s := New(Config{Shards: 7, Workers: 4, Build: build})
+		s.Bootstrap(items)
+		for q := 0; q < 40; q++ {
+			c := geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+			query := geom.AABBFromCenter(c, geom.V(3, 3, 3))
+			want := idSet(index.SearchAll(ref, query))
+			got, _ := s.RangeAll(query, nil)
+			if len(got) != len(want) {
+				t.Fatalf("%s: query %d returned %d items, want %d", name, q, len(got), len(want))
+			}
+			for _, it := range got {
+				if !want[it.ID] {
+					t.Fatalf("%s: query %d returned unexpected id %d", name, q, it.ID)
+				}
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestKNNMatchesReference checks the cross-shard kNN merge (shard-local heaps
+// merged with MBR pruning) against the linear-scan reference by distance.
+func TestKNNMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := make([]index.Item, 3000)
+	for i := range items {
+		c := geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.4, 0.4, 0.4))}
+	}
+	ref := index.NewLinearScan()
+	ref.BulkLoad(items)
+	s := New(Config{Shards: 9, Workers: 4})
+	defer s.Close()
+	s.Bootstrap(items)
+
+	for q := 0; q < 50; q++ {
+		p := geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+		k := 1 + rng.Intn(12)
+		want := ref.KNN(p, k)
+		got, _ := s.KNN(p, k, nil)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			gd := got[i].Box.Distance2ToPoint(p)
+			wd := want[i].Box.Distance2ToPoint(p)
+			if gd != wd {
+				t.Fatalf("query %d rank %d: distance2 %v, want %v", q, i, gd, wd)
+			}
+		}
+	}
+}
+
+// TestBatchPathsMatchSingleQueries drives the arena-backed batch scatter
+// paths and compares them result-for-result with the one-at-a-time paths.
+func TestBatchPathsMatchSingleQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	items := make([]index.Item, 2500)
+	for i := range items {
+		c := geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.5, 0.5, 0.5))}
+	}
+	s := New(Config{Shards: 6, Workers: 4})
+	defer s.Close()
+	s.Bootstrap(items)
+
+	queries := make([]geom.AABB, 30)
+	points := make([]geom.Vec3, 30)
+	for i := range queries {
+		c := geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+		queries[i] = geom.AABBFromCenter(c, geom.V(4, 4, 4))
+		points[i] = geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+	}
+
+	arena := &exec.Arena{}
+	batched, _ := s.BatchRange(queries, exec.Options{Workers: 4}, arena)
+	for i, q := range queries {
+		want := idSet(batched[i])
+		got, _ := s.RangeAll(q, nil)
+		if len(got) != len(want) {
+			t.Fatalf("range query %d: batch %d items, single %d", i, len(want), len(got))
+		}
+		for _, it := range got {
+			if !want[it.ID] {
+				t.Fatalf("range query %d: id %d missing from batch result", i, it.ID)
+			}
+		}
+	}
+
+	knnArena := &exec.Arena{}
+	batchedKNN, _ := s.BatchKNN(points, 6, exec.Options{Workers: 4}, knnArena)
+	for i, p := range points {
+		single, _ := s.KNN(p, 6, nil)
+		if len(single) != len(batchedKNN[i]) {
+			t.Fatalf("knn query %d: batch %d items, single %d", i, len(batchedKNN[i]), len(single))
+		}
+		for j := range single {
+			bd := batchedKNN[i][j].Box.Distance2ToPoint(p)
+			sd := single[j].Box.Distance2ToPoint(p)
+			if bd != sd {
+				t.Fatalf("knn query %d rank %d: batch distance %v, single %v", i, j, bd, sd)
+			}
+		}
+	}
+}
+
+// TestAdmissionControlBoundsInFlight holds queries open with a slow visitor
+// and checks the in-flight watermark never exceeds the configured bound.
+func TestAdmissionControlBoundsInFlight(t *testing.T) {
+	s := New(Config{Shards: 2, Workers: 2, MaxInFlight: 3})
+	defer s.Close()
+	s.Bootstrap(genItems(200, 0))
+
+	universe := geom.NewAABB(geom.V(-1, -1, -1), geom.V(40, 40, 8))
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Range(universe, func(index.Item) bool {
+				time.Sleep(200 * time.Microsecond)
+				return true
+			})
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.PeakInFlight > 3 {
+		t.Fatalf("peak in-flight %d exceeded MaxInFlight 3", st.PeakInFlight)
+	}
+	if st.PeakInFlight == 0 {
+		t.Fatal("peak in-flight never recorded")
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight %d after all queries returned", st.InFlight)
+	}
+}
+
+// TestBackgroundBuilderIngest checks the async path: enqueued batches become
+// visible in a later epoch without any synchronous Apply call.
+func TestBackgroundBuilderIngest(t *testing.T) {
+	s := New(Config{Shards: 3, Workers: 2})
+	s.Bootstrap(genItems(100, 0))
+
+	for gen := 1; gen <= 3; gen++ {
+		s.Enqueue(genUpdates(100, gen))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	universe := geom.NewAABB(geom.V(-1, -1, -1), geom.V(40, 40, 40))
+	for {
+		got, _ := s.RangeAll(universe, nil)
+		if len(got) == 100 && got[0].Box.Min.Z == 4*3 {
+			allFinal := true
+			for _, it := range got {
+				if it.Box.Min.Z != 4*3 {
+					allFinal = false
+				}
+			}
+			if allFinal {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("enqueued batches never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+}
+
+// TestDeletesAndStats exercises the delete path and the stats snapshot shape.
+func TestDeletesAndStats(t *testing.T) {
+	s := New(Config{Shards: 4, Workers: 2})
+	defer s.Close()
+	s.Bootstrap(genItems(300, 0))
+
+	dels := make([]Update, 150)
+	for i := range dels {
+		dels[i] = Update{ID: int64(i * 2), Delete: true}
+	}
+	s.Apply(dels)
+
+	universe := geom.NewAABB(geom.V(-1, -1, -1), geom.V(40, 40, 8))
+	got, _ := s.RangeAll(universe, nil)
+	if len(got) != 150 {
+		t.Fatalf("after deleting 150 of 300, range returned %d", len(got))
+	}
+	for _, it := range got {
+		if it.ID%2 == 0 {
+			t.Fatalf("deleted id %d still served", it.ID)
+		}
+	}
+
+	st := s.Stats()
+	if st.Items != 150 {
+		t.Fatalf("stats items = %d, want 150", st.Items)
+	}
+	if len(st.Shards) == 0 {
+		t.Fatal("stats missing shards")
+	}
+	total := 0
+	for _, sh := range st.Shards {
+		total += sh.Items
+		if sh.Items > 0 && !sh.Bounds.IsValid() {
+			t.Fatal("non-empty shard with invalid bounds")
+		}
+	}
+	if total != 150 {
+		t.Fatalf("shard items sum to %d, want 150", total)
+	}
+	if st.Queries == 0 || st.Results == 0 {
+		t.Fatal("query accounting empty")
+	}
+	if st.UpdatesStaged == 0 {
+		t.Fatal("staging accounting empty")
+	}
+}
+
+// TestPartitionSTRCoversAllItemsOnce checks the shard partitioner assigns
+// every item to exactly one part and respects the part-count bound.
+func TestPartitionSTRCoversAllItemsOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 7, 100, 1303} {
+		for _, k := range []int{1, 2, 5, 8, 16} {
+			items := make([]index.Item, n)
+			for i := range items {
+				c := geom.V(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10)
+				items[i] = index.Item{ID: int64(i), Box: geom.PointAABB(c)}
+			}
+			parts := partitionSTR(items, k)
+			if n == 0 {
+				if parts != nil {
+					t.Fatalf("n=0 k=%d: expected nil parts", k)
+				}
+				continue
+			}
+			if len(parts) > k {
+				t.Fatalf("n=%d k=%d: %d parts exceeds bound %d", n, k, len(parts), k)
+			}
+			seen := make(map[int64]int)
+			for _, part := range parts {
+				if len(part) == 0 {
+					t.Fatalf("n=%d k=%d: empty part", n, k)
+				}
+				for _, it := range part {
+					seen[it.ID]++
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d k=%d: %d distinct ids, want %d", n, k, len(seen), n)
+			}
+			for id, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d k=%d: id %d appears %d times", n, k, id, c)
+				}
+			}
+		}
+	}
+}
+
+func idSet(items []index.Item) map[int64]bool {
+	m := make(map[int64]bool, len(items))
+	for _, it := range items {
+		m[it.ID] = true
+	}
+	return m
+}

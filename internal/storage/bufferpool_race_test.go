@@ -1,0 +1,76 @@
+package storage
+
+// Concurrent coverage for the BufferPool: readers pinning pages (Get),
+// evictions forced by a capacity smaller than the working set, Clear wiping
+// the pool mid-flight, and stats snapshots — all at once, so `go test -race`
+// patrols the lock discipline that the single-threaded tests never stress.
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBufferPoolConcurrentGetEvictClear(t *testing.T) {
+	const (
+		pages    = 64
+		capacity = 8 // far below the working set, so evictions are constant
+		workers  = 8
+		rounds   = 300
+	)
+	disk := NewDisk(DiskConfig{PageSize: 128})
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id := disk.Allocate()
+		buf := make([]byte, 128)
+		buf[0] = byte(i)
+		if err := disk.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	pool := NewBufferPool(disk, capacity)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id := ids[(w*31+r)%pages]
+				data, err := pool.Get(id)
+				if err != nil {
+					t.Errorf("Get(%v): %v", id, err)
+					return
+				}
+				if data[0] != byte((w*31+r)%pages) {
+					t.Errorf("Get(%v): wrong page contents %d", id, data[0])
+					return
+				}
+				switch r % 50 {
+				case 17:
+					pool.Clear()
+				case 33:
+					_ = pool.Stats()
+				case 41:
+					pool.ResetStats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := pool.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	// The pool must have stayed within capacity through the churn.
+	pool.mu.Lock()
+	cached := len(pool.data)
+	listLen := pool.lru.Len()
+	indexLen := len(pool.index)
+	pool.mu.Unlock()
+	if cached > capacity || listLen != cached || indexLen != cached {
+		t.Fatalf("pool invariants broken: %d cached, %d in lru, %d indexed (capacity %d)",
+			cached, listLen, indexLen, capacity)
+	}
+}
