@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json serve loadgen fmt vet vet-strict ci
+.PHONY: all build test race bench bench-json serve loadgen join-bench fmt vet vet-strict ci
 
 all: build
 
@@ -38,6 +38,14 @@ serve:
 LOADGEN_ARGS ?= -elements 50000 -duration 2s
 loadgen:
 	$(GO) run ./cmd/spatialbench -exp serve $(LOADGEN_ARGS) -out BENCH_PR3.json
+
+# join-bench runs the E13 join-scaling experiment (planner-driven parallel
+# join engine: algorithm x workers x dataset density) and records
+# sequential-vs-parallel speedups in BENCH_PR4.json. JOINBENCH_ARGS shrinks
+# the run in CI.
+JOINBENCH_ARGS ?= -elements 80000
+join-bench:
+	$(GO) run ./cmd/spatialbench -exp join-scale $(JOINBENCH_ARGS) -out BENCH_PR4.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -8,16 +8,20 @@
 //	spatialbench -exp all
 //	spatialbench -exp fig2 -elements 500000 -queries 200
 //	spatialbench -exp serve -duration 2s -out BENCH_PR3.json
+//	spatialbench -exp join-scale -elements 80000 -out BENCH_PR4.json
 //
 // Experiments: fig2, fig3, fig4, updates, indexes, lsh, join, moving,
 // simstep, mesh, ablation-resolution, ablation-advisor, parallel,
-// cache-layout, serve, all.
+// cache-layout, serve, join-scale, all.
 //
 // The -workers flag sets the goroutine budget of the parallel execution
 // engine (internal/exec); "serve" is the load-generator mode that drives the
 // sharded epoch-versioned serving store (internal/serve) with mixed
 // query+update traffic and, with -out, records throughput and latency
-// percentiles as JSON (BENCH_PR3.json).
+// percentiles as JSON (BENCH_PR3.json); "join-scale" measures the
+// planner-driven parallel join engine across algorithms, worker counts and
+// dataset densities and, with -out, records the speedups as JSON
+// (BENCH_PR4.json).
 package main
 
 import (
@@ -42,7 +46,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("spatialbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|all)")
+		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|join-scale|all)")
 		elements    = fs.Int("elements", 100000, "number of spatial elements")
 		queries     = fs.Int("queries", 200, "number of range queries")
 		selectivity = fs.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
@@ -52,7 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		duration    = fs.Duration("duration", 2*time.Second, "measured run length of the serve load generator")
 		shards      = fs.Int("shards", 0, "serve: STR shards per epoch (0 = GOMAXPROCS)")
 		readers     = fs.Int("readers", 0, "serve: concurrent query clients (0 = 2x GOMAXPROCS)")
-		out         = fs.String("out", "", "serve: write the run as JSON to this file (e.g. BENCH_PR3.json)")
+		out         = fs.String("out", "", "serve/join-scale: write the run as JSON to this file (e.g. BENCH_PR3.json, BENCH_PR4.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +78,7 @@ func run(args []string, stdout io.Writer) error {
 }
 
 func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments.ServeConfig, out string, stdout io.Writer) error {
-	runOne := func(name string) error {
+	runOne := func(name, out string) error {
 		switch name {
 		case "fig2":
 			fmt.Fprintln(stdout, experiments.Figure2(scale))
@@ -113,22 +117,36 @@ func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments
 				}
 				fmt.Fprintf(stdout, "wrote %s\n", out)
 			}
+		case "join-scale":
+			res := experiments.JoinScaling(scale)
+			fmt.Fprintln(stdout, res)
+			if out != "" {
+				if err := experiments.WriteJoinScaleReport(out, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", out)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 		return nil
 	}
 	if exp == "all" {
+		if out != "" {
+			// serve and join-scale write differently shaped reports; under
+			// "all" the second would silently overwrite the first.
+			return fmt.Errorf("-out requires a single experiment (serve or join-scale), not all")
+		}
 		for _, name := range []string{
 			"fig2", "fig3", "fig4", "updates", "indexes", "lsh", "join",
 			"moving", "simstep", "mesh", "ablation-resolution", "ablation-advisor",
-			"parallel", "cache-layout", "serve",
+			"parallel", "cache-layout", "serve", "join-scale",
 		} {
-			if err := runOne(name); err != nil {
+			if err := runOne(name, ""); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return runOne(exp)
+	return runOne(exp, out)
 }

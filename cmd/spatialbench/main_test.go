@@ -67,3 +67,36 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 		t.Fatal("unknown flag should fail")
 	}
 }
+
+// TestRunJoinScaleWritesReport drives the E13 join-scaling experiment and
+// checks the BENCH_PR4-shaped JSON report it writes.
+func TestRunJoinScaleWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench_join.json")
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "join-scale", "-elements", "4000", "-workers", "2", "-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "E13") {
+		t.Fatalf("join-scale output missing E13 header:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep map[string]interface{}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	for _, key := range []string{"planner_picks", "rows", "elements", "eps"} {
+		if _, ok := rep[key]; !ok {
+			t.Fatalf("report missing %q:\n%s", key, data)
+		}
+	}
+	if len(rep["rows"].([]interface{})) == 0 {
+		t.Fatal("join-scale run recorded no rows")
+	}
+}

@@ -171,3 +171,60 @@ func TestRunRejectsUnknownIndex(t *testing.T) {
 		t.Fatal("run with bad flag should fail")
 	}
 }
+
+func TestJoinEndpoint(t *testing.T) {
+	store, ts := testServer(t, 100)
+	var resp joinResponse
+	getJSON(t, ts.URL+"/join?eps=0", &resp)
+	if resp.Count == 0 || len(resp.Pairs) == 0 {
+		t.Fatalf("join over touching unit cubes found no pairs: %+v", resp)
+	}
+	if resp.Epoch == 0 || resp.Algorithm == "" || resp.Items != 100 {
+		t.Fatalf("join response metadata incomplete: %+v", resp)
+	}
+	// Pairs arrive in canonical order with A < B.
+	for _, p := range resp.Pairs {
+		if p[0] >= p[1] {
+			t.Fatalf("pair %v not ordered", p)
+		}
+	}
+
+	// Forcing an algorithm is echoed back and yields the same pair count.
+	var grid joinResponse
+	getJSON(t, ts.URL+"/join?eps=0&algo=grid&workers=2", &grid)
+	if grid.Algorithm != "grid" || grid.Count != resp.Count {
+		t.Fatalf("forced grid join: %+v, want algorithm=grid count=%d", grid, resp.Count)
+	}
+
+	// The limit truncates the body, not the count.
+	var lim joinResponse
+	getJSON(t, ts.URL+"/join?eps=0&limit=3", &lim)
+	if len(lim.Pairs) != 3 || !lim.Truncated || lim.Count != resp.Count {
+		t.Fatalf("limited join: %+v, want 3 pairs, truncated, count=%d", lim, resp.Count)
+	}
+
+	// Join traffic shows up in the stats.
+	if st := store.Stats(); st.Joins != 3 {
+		t.Fatalf("stats joins=%d, want 3", st.Joins)
+	}
+}
+
+func TestJoinEndpointBadRequests(t *testing.T) {
+	_, ts := testServer(t, 10)
+	for _, path := range []string{
+		"/join",                  // missing eps
+		"/join?eps=-1",           // negative eps
+		"/join?eps=abc",          // non-numeric eps
+		"/join?eps=0&algo=bogus", // unknown algorithm
+		"/join?eps=0&limit=0",    // limit out of range
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
+	"spatialsim/internal/join"
 	"spatialsim/internal/serve"
 )
 
@@ -39,6 +40,19 @@ type queryResponse struct {
 	Items []itemJSON `json:"items"`
 }
 
+// joinResponse is the wire shape of a /join answer: the epoch and algorithm
+// the join ran with, the total pair count, and (up to limit) result pairs as
+// [a, b] id tuples.
+type joinResponse struct {
+	Epoch     uint64     `json:"epoch"`
+	Algorithm string     `json:"algorithm"`
+	Eps       float64    `json:"eps"`
+	Items     int        `json:"items"`
+	Count     int        `json:"count"`
+	Truncated bool       `json:"truncated"`
+	Pairs     [][2]int64 `json:"pairs"`
+}
+
 // updateRequest is the wire shape of a /update batch.
 type updateRequest struct {
 	Upserts []itemJSON `json:"upserts"`
@@ -55,6 +69,8 @@ type updateResponse struct {
 //
 //	GET  /range?minx=&miny=&minz=&maxx=&maxy=&maxz=[&limit=]   range query
 //	GET  /knn?x=&y=&z=&k=                                      k nearest
+//	GET  /join?eps=[&algo=auto|grid|touch|...][&workers=][&limit=]
+//	     epoch-pinned epsilon self-join over the published shards
 //	POST /update   {"upserts":[{"id":..,"min":[..],"max":[..]}],"deletes":[..]}
 //	GET  /stats                                                serving stats
 //	GET  /healthz                                              liveness
@@ -91,6 +107,48 @@ func newHandler(store *serve.Store) http.Handler {
 		}
 		items, epoch := store.KNN(p, k, nil)
 		writeQueryResponse(w, epoch, items)
+	})
+
+	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) {
+		eps, err := strconv.ParseFloat(r.URL.Query().Get("eps"), 64)
+		if err != nil || eps < 0 {
+			httpError(w, http.StatusBadRequest, "join needs a non-negative float param eps")
+			return
+		}
+		req := serve.JoinRequest{Eps: eps, Workers: parseIntDefault(r, "workers", 0)}
+		if name := r.URL.Query().Get("algo"); name != "" && name != "auto" {
+			algo, err := join.ParseAlgorithm(name)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			req.Algo, req.Force = algo, true
+		}
+		// The cap bounds the response body, not the join: the full pair set is
+		// computed (and counted) either way.
+		limit := parseIntDefault(r, "limit", 1000)
+		if limit <= 0 || limit > 100000 {
+			httpError(w, http.StatusBadRequest, "limit out of range (1..100000)")
+			return
+		}
+		rep := store.SelfJoin(req)
+		resp := joinResponse{
+			Epoch:     rep.Epoch,
+			Algorithm: rep.Algo.String(),
+			Eps:       eps,
+			Items:     rep.Items,
+			Count:     len(rep.Pairs),
+			Truncated: len(rep.Pairs) > limit,
+		}
+		n := len(rep.Pairs)
+		if n > limit {
+			n = limit
+		}
+		resp.Pairs = make([][2]int64, n)
+		for i := 0; i < n; i++ {
+			resp.Pairs[i] = [2]int64{rep.Pairs[i].A, rep.Pairs[i].B}
+		}
+		writeJSON(w, resp)
 	})
 
 	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {

@@ -17,7 +17,13 @@
 //     Compact snapshot (node slab + structure-of-arrays leaves, built by
 //     Freeze) serving the zero-allocation visitor query paths;
 //   - internal/join — nested-loop, plane-sweep, PBSM-style grid, synchronized
-//     R-Tree and TOUCH-style spatial joins;
+//     R-Tree and TOUCH-style spatial joins behind a planner-driven Plan/Exec
+//     split: a Planner picks the algorithm from input statistics
+//     (cardinality, density, MBR overlap — the paper's criteria) and every
+//     algorithm decomposes into independent tasks over shared partitioning
+//     machinery (pooled CSR grid cell lists, flat STR hierarchies), with the
+//     reference-point technique and emission-site filters guaranteeing no
+//     pair is ever produced twice;
 //   - internal/moving — throwaway, lazy (grace window) and buffered
 //     moving-object update strategies;
 //   - internal/mesh — mesh connectivity, DLS, OCTOPUS-style and FLAT-style
@@ -28,23 +34,26 @@
 //     BatchSearch/BatchKNN over any index family, the zero-allocation
 //     BatchRangeVisit/BatchKNNInto visitor paths with reusable Arena
 //     buffers, ParallelBulkLoad (STR sort-tile slabs, grid cell bands,
-//     octants built concurrently) and the striped-lock ConcurrentIndex
-//     wrapper;
+//     octants built concurrently), ParallelJoin (join.Plan tasks tiled over
+//     the pool with reusable JoinArena pair buffers and a sort-merge gather)
+//     and the striped-lock ConcurrentIndex wrapper;
 //   - internal/sim — the time-stepped simulation harness of the paper's
 //     Figure 1;
 //   - internal/serve — the sharded, epoch-versioned serving subsystem: STR
 //     space partitions of frozen Compact snapshots behind an atomic epoch
 //     pointer with per-epoch refcounts, a background builder that stages
 //     update batches and swaps generations without blocking readers,
-//     scatter/gather range and global-merge kNN queries, and admission
-//     control bounding in-flight queries;
+//     scatter/gather range and global-merge kNN queries, epoch-pinned
+//     parallel self-joins (Store.SelfJoin), and admission control bounding
+//     in-flight queries;
 //   - internal/experiments — drivers regenerating every figure and in-text
 //     experiment of the paper (see DESIGN.md and EXPERIMENTS.md).
 //
 // Executables: cmd/spatialbench (run any experiment, including the E12
-// serving load generator writing BENCH_PR3.json), cmd/simrun (run a full
-// simulation with a chosen index), cmd/benchjson (record the paired
-// pointer-vs-compact layout benchmarks in BENCH_*.json) and
-// cmd/spatialserver (HTTP/JSON range, knn, update-batch and stats endpoints
-// over internal/serve). Runnable examples are under examples/.
+// serving load generator writing BENCH_PR3.json and the E13 join-scaling
+// experiment writing BENCH_PR4.json), cmd/simrun (run a full simulation with
+// a chosen index), cmd/benchjson (record the paired pointer-vs-compact
+// layout benchmarks in BENCH_*.json) and cmd/spatialserver (HTTP/JSON range,
+// knn, join, update-batch and stats endpoints over internal/serve). Runnable
+// examples are under examples/.
 package spatialsim

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -361,5 +364,63 @@ func TestServeBenchMixedLoad(t *testing.T) {
 	out := r.String()
 	if !strings.Contains(out, "E12") || !strings.Contains(out, "epoch swaps") {
 		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+}
+
+func TestJoinScalingRunsAndReports(t *testing.T) {
+	s := tinyScale()
+	s.Workers = 2
+	r := JoinScaling(s)
+	if len(r.Rows) == 0 {
+		t.Fatal("E13 produced no rows")
+	}
+	wantRows := 3 * 2 * len(r.Workers) // algorithms x datasets x worker ladder
+	if len(r.Rows) != wantRows {
+		t.Fatalf("E13 produced %d rows, want %d", len(r.Rows), wantRows)
+	}
+	for _, ds := range []string{"uniform", "clustered"} {
+		if r.PlannerPicks[ds] == "" {
+			t.Fatalf("no planner pick recorded for %s", ds)
+		}
+	}
+	// Every (algo, dataset) must agree on the pair count across worker counts.
+	counts := make(map[string]int)
+	for _, row := range r.Rows {
+		key := row.Algo + "/" + row.Dataset
+		if prev, ok := counts[key]; ok && prev != row.Pairs {
+			t.Fatalf("%s: pair count varies across workers (%d vs %d)", key, prev, row.Pairs)
+		}
+		counts[key] = row.Pairs
+		if row.Pairs == 0 {
+			t.Fatalf("%s: no pairs found; eps too small for the test scale", key)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "E13") || !strings.Contains(out, "planner picks") {
+		t.Fatalf("unexpected E13 rendering:\n%s", out)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_PR4.json")
+	if err := WriteJoinScaleReport(path, r); err != nil {
+		t.Fatalf("WriteJoinScaleReport: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Elements     int               `json:"elements"`
+		PlannerPicks map[string]string `json:"planner_picks"`
+		Rows         []struct {
+			Algo    string  `json:"algo"`
+			Workers int     `json:"workers"`
+			Speedup float64 `json:"speedup"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_PR4.json does not parse: %v", err)
+	}
+	if rep.Elements != s.Elements || len(rep.Rows) != wantRows || len(rep.PlannerPicks) != 2 {
+		t.Fatalf("report shape wrong: %+v", rep)
 	}
 }

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/exec"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/join"
+)
+
+// E13 — join scaling experiment. The paper's centerpiece is the comparison
+// of in-memory spatial join algorithms; PR 4's planner-driven join engine
+// tiles their partition/task decompositions over the exec worker pool. This
+// experiment measures, per algorithm and per dataset density (uniform versus
+// clustered), the sequential plan execution against the parallel engine at a
+// ladder of worker counts — the join-side counterpart of E10's query-batch
+// speedups — and records what the planner itself would pick for each input.
+
+// JoinScaleRow is one (algorithm, dataset, workers) measurement.
+type JoinScaleRow struct {
+	Algo    string
+	Dataset string
+	Workers int
+	// SeqTime is the sequential execution of the same prepared plan;
+	// ParTime the worker-pool execution; both exclude plan preparation,
+	// which is shared.
+	SeqTime time.Duration
+	ParTime time.Duration
+	Speedup float64
+	Pairs   int
+}
+
+// JoinScaleResult is the outcome of one E13 run.
+type JoinScaleResult struct {
+	Elements int
+	Eps      float64
+	Workers  []int
+	// PlannerPicks records the algorithm the planner chooses per dataset.
+	PlannerPicks map[string]string
+	Rows         []JoinScaleRow
+}
+
+// String renders the run as a table.
+func (r JoinScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E13: parallel join scaling (%d elements per dataset, eps=%g)\n", r.Elements, r.Eps)
+	picks := make([]string, 0, len(r.PlannerPicks))
+	for ds, algo := range r.PlannerPicks {
+		picks = append(picks, fmt.Sprintf("%s->%s", ds, algo))
+	}
+	sort.Strings(picks)
+	fmt.Fprintf(&b, "  planner picks: %s\n", strings.Join(picks, ", "))
+	fmt.Fprintf(&b, "  %-12s %-11s %-8s %-12s %-12s %-8s %s\n",
+		"algorithm", "dataset", "workers", "sequential", "parallel", "speedup", "pairs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %-11s %-8d %-12v %-12v %-8s %d\n",
+			row.Algo, row.Dataset, row.Workers,
+			row.SeqTime.Round(time.Microsecond), row.ParTime.Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", row.Speedup), row.Pairs)
+	}
+	return b.String()
+}
+
+// joinScaleDatasets builds the density-contrasted self-join inputs.
+func joinScaleDatasets(s Scale) (map[string][]index.Item, float64) {
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	eps := u.Size().X / 2000
+	sets := make(map[string][]index.Item, 2)
+	uniform := datagen.GenerateUniform(datagen.UniformConfig{N: s.Elements, Universe: u, Seed: s.Seed})
+	clustered := datagen.GenerateClustered(datagen.ClusteredConfig{
+		N: s.Elements, Clusters: 16, Universe: u, Seed: s.Seed + 1,
+	})
+	for name, d := range map[string]*datagen.Dataset{"uniform": uniform, "clustered": clustered} {
+		items := make([]index.Item, d.Len())
+		for i := range d.Elements {
+			items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+		}
+		sets[name] = items
+	}
+	return sets, eps
+}
+
+// joinWorkerLadder returns the worker counts measured: 1, 2, 4 and (when
+// larger) the configured budget.
+func joinWorkerLadder(s Scale) []int {
+	max := s.Workers
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	ladder := []int{1, 2, 4}
+	if max > 4 {
+		ladder = append(ladder, max)
+	}
+	return ladder
+}
+
+// JoinScaling runs E13 at the given scale: the partition-parallel join
+// algorithms across worker counts and dataset densities.
+func JoinScaling(s Scale) JoinScaleResult {
+	s = s.withDefaults()
+	sets, eps := joinScaleDatasets(s)
+	ladder := joinWorkerLadder(s)
+	result := JoinScaleResult{
+		Elements:     s.Elements,
+		Eps:          eps,
+		Workers:      ladder,
+		PlannerPicks: make(map[string]string, len(sets)),
+	}
+
+	algos := []join.Algorithm{join.AlgoGrid, join.AlgoTOUCH, join.AlgoRTree}
+	for _, dsName := range []string{"uniform", "clustered"} {
+		items := sets[dsName]
+		result.PlannerPicks[dsName] = join.Planner{}.Pick(join.ComputeSelfStats(items)).String()
+		for _, algo := range algos {
+			p := join.Planner{}.PlanSelfWith(algo, items, join.Options{Eps: eps})
+			start := time.Now()
+			seqPairs := p.Run()
+			seq := time.Since(start)
+			arena := &exec.JoinArena{}
+			for _, w := range ladder {
+				start = time.Now()
+				out, _ := exec.ParallelJoinArena(p, exec.Options{Workers: w}, arena)
+				par := time.Since(start)
+				if len(out) != len(seqPairs) {
+					// Conformance is enforced by tests; a mismatch here means the
+					// measurement itself is wrong, so surface it in the table.
+					panic(fmt.Sprintf("E13: %v/%s parallel pairs %d != sequential %d",
+						algo, dsName, len(out), len(seqPairs)))
+				}
+				result.Rows = append(result.Rows, JoinScaleRow{
+					Algo:    algo.String(),
+					Dataset: dsName,
+					Workers: w,
+					SeqTime: seq,
+					ParTime: par,
+					Speedup: speedup(seq, par),
+					Pairs:   len(out),
+				})
+			}
+			p.Close()
+		}
+	}
+	return result
+}
+
+// joinScaleReport is the BENCH_PR4.json file layout.
+type joinScaleReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+
+	Elements     int               `json:"elements"`
+	Eps          float64           `json:"eps"`
+	PlannerPicks map[string]string `json:"planner_picks"`
+
+	Rows []joinScaleReportRow `json:"rows"`
+}
+
+type joinScaleReportRow struct {
+	Algo    string  `json:"algo"`
+	Dataset string  `json:"dataset"`
+	Workers int     `json:"workers"`
+	SeqMS   float64 `json:"seq_ms"`
+	ParMS   float64 `json:"par_ms"`
+	Speedup float64 `json:"speedup"`
+	Pairs   int     `json:"pairs"`
+}
+
+// WriteJoinScaleReport records an E13 result as machine-readable JSON
+// (BENCH_PR4.json — the join-engine entry of the repo's perf trajectory,
+// alongside BENCH_PR2.json's layout pairs and BENCH_PR3.json's serving run).
+func WriteJoinScaleReport(path string, r JoinScaleResult) error {
+	rep := joinScaleReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Elements:     r.Elements,
+		Eps:          r.Eps,
+		PlannerPicks: r.PlannerPicks,
+	}
+	for _, row := range r.Rows {
+		rep.Rows = append(rep.Rows, joinScaleReportRow{
+			Algo:    row.Algo,
+			Dataset: row.Dataset,
+			Workers: row.Workers,
+			SeqMS:   float64(row.SeqTime) / float64(time.Millisecond),
+			ParMS:   float64(row.ParTime) / float64(time.Millisecond),
+			Speedup: row.Speedup,
+			Pairs:   row.Pairs,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

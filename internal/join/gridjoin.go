@@ -2,6 +2,8 @@ package join
 
 import (
 	"math"
+	"sort"
+	"sync"
 
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
@@ -17,35 +19,15 @@ type GridJoinConfig struct {
 // GridJoin is the partition-based spatial-merge join (Patel & DeWitt's PBSM
 // adapted to memory, as the paper suggests): both inputs are partitioned into
 // a uniform grid (with replication at cell borders, enlarged by Eps) and only
-// elements sharing a cell are compared. Pairs found in several cells are
-// deduplicated before returning.
+// elements sharing a cell are compared. The reference-point technique makes
+// every pair's emission cell unique, so no deduplication pass is needed.
 func GridJoin(as, bs []index.Item, opts Options, cfg GridJoinConfig) []Pair {
 	if len(as) == 0 || len(bs) == 0 {
 		return nil
 	}
-	u := universeOf(as, bs).Expand(opts.Eps + 1e-9)
-	cells := cfg.CellsPerDim
-	if cells <= 0 {
-		cells = defaultJoinCells(len(as) + len(bs))
-	}
-	part := newPartitioner(u, cells)
-	aCells := part.assign(as, opts.Eps)
-	bCells := part.assign(bs, opts.Eps)
-	var pairs []Pair
-	for cell, aList := range aCells {
-		bList, ok := bCells[cell]
-		if !ok {
-			continue
-		}
-		for _, ai := range aList {
-			for _, bi := range bList {
-				if opts.match(as[ai], bs[bi]) {
-					pairs = append(pairs, Pair{A: as[ai].ID, B: bs[bi].ID})
-				}
-			}
-		}
-	}
-	return DedupPairs(pairs)
+	p := (Planner{Grid: cfg}).PlanWith(AlgoGrid, as, bs, opts)
+	defer p.Close()
+	return p.Run()
 }
 
 // SelfGridJoin is the grid join of a set with itself (e.g. synapse
@@ -54,28 +36,9 @@ func SelfGridJoin(items []index.Item, opts Options, cfg GridJoinConfig) []Pair {
 	if len(items) == 0 {
 		return nil
 	}
-	u := universeOf(items, nil).Expand(opts.Eps + 1e-9)
-	cells := cfg.CellsPerDim
-	if cells <= 0 {
-		cells = defaultJoinCells(len(items))
-	}
-	part := newPartitioner(u, cells)
-	assigned := part.assign(items, opts.Eps)
-	var pairs []Pair
-	for _, list := range assigned {
-		for x := 0; x < len(list); x++ {
-			for y := x + 1; y < len(list); y++ {
-				i, j := list[x], list[y]
-				if items[i].ID == items[j].ID {
-					continue
-				}
-				if opts.match(items[i], items[j]) {
-					pairs = append(pairs, orderPair(items[i].ID, items[j].ID))
-				}
-			}
-		}
-	}
-	return DedupPairs(pairs)
+	p := (Planner{Grid: cfg}).PlanSelfWith(AlgoGrid, items, opts)
+	defer p.Close()
+	return p.Run()
 }
 
 func defaultJoinCells(n int) int {
@@ -89,47 +52,165 @@ func defaultJoinCells(n int) int {
 	return c
 }
 
+// cellAssignment is the reusable cell-list storage of one input side: every
+// (cell, element) replication entry, sorted by cell so each occupied cell is
+// one contiguous run. It replaces the per-call map[cell][]int of the old
+// partitioner — reuse keeps assignment allocation-free once the buffers are
+// warm.
+type cellAssignment struct {
+	keys     []int64 // linear cell id per entry, sorted
+	idxs     []int32 // element index per entry, aligned with keys
+	runCell  []int64 // distinct occupied cells
+	runStart []int32 // start offset of each run in keys/idxs, plus final len
+}
+
+func (a *cellAssignment) Len() int { return len(a.keys) }
+func (a *cellAssignment) Less(i, j int) bool {
+	if a.keys[i] != a.keys[j] {
+		return a.keys[i] < a.keys[j]
+	}
+	return a.idxs[i] < a.idxs[j]
+}
+func (a *cellAssignment) Swap(i, j int) {
+	a.keys[i], a.keys[j] = a.keys[j], a.keys[i]
+	a.idxs[i], a.idxs[j] = a.idxs[j], a.idxs[i]
+}
+
+// buildRuns derives the per-cell runs from the sorted entry list.
+func (a *cellAssignment) buildRuns() {
+	a.runCell = a.runCell[:0]
+	a.runStart = a.runStart[:0]
+	for i := 0; i < len(a.keys); i++ {
+		if i == 0 || a.keys[i] != a.keys[i-1] {
+			a.runCell = append(a.runCell, a.keys[i])
+			a.runStart = append(a.runStart, int32(i))
+		}
+	}
+	a.runStart = append(a.runStart, int32(len(a.keys)))
+}
+
+// gridTask is one cell's worth of join work: the entry ranges of the two
+// sides (aLo..aHi only, for self-joins).
+type gridTask struct {
+	cell     int64
+	aLo, aHi int32
+	bLo, bHi int32
+}
+
+// partitioner assigns elements to uniform grid cells. Its assignment and task
+// buffers are reused across joins through a pool (getPartitioner /
+// putPartitioner), so steady-state grid joins rebuild no per-call cell maps.
 type partitioner struct {
 	universe geom.AABB
 	n        int
 	cell     geom.Vec3
+	h        float64 // assignment half-expansion: Eps/2 plus guard
+	a, b     cellAssignment
+	tasks    []gridTask
 }
 
-func newPartitioner(u geom.AABB, cells int) *partitioner {
+var partPool = sync.Pool{New: func() interface{} { return &partitioner{} }}
+
+func getPartitioner(u geom.AABB, cells int, eps float64) *partitioner {
+	p := partPool.Get().(*partitioner)
 	s := u.Size()
-	return &partitioner{
-		universe: u,
-		n:        cells,
-		cell:     geom.V(s.X/float64(cells), s.Y/float64(cells), s.Z/float64(cells)),
-	}
+	p.universe = u
+	p.n = cells
+	p.cell = geom.V(s.X/float64(cells), s.Y/float64(cells), s.Z/float64(cells))
+	p.h = eps/2 + 1e-12
+	return p
 }
 
-func (p *partitioner) coord(v geom.Vec3) [3]int {
-	var c [3]int
-	for i := 0; i < 3; i++ {
-		x := (v.Axis(i) - p.universe.Min.Axis(i)) / p.cell.Axis(i)
-		c[i] = clampInt(int(x), 0, p.n-1)
-	}
-	return c
+func putPartitioner(p *partitioner) { partPool.Put(p) }
+
+// coordAxis maps a coordinate to its (clamped) cell index along one axis.
+func (p *partitioner) coordAxis(v float64, axis int) int {
+	x := (v - p.universe.Min.Axis(axis)) / p.cell.Axis(axis)
+	return clampInt(int(x), 0, p.n-1)
 }
 
-// assign maps each item index to every cell its Eps-expanded box overlaps.
-func (p *partitioner) assign(items []index.Item, eps float64) map[[3]int][]int {
-	out := make(map[[3]int][]int)
+// linear maps cell coordinates to the linear cell id.
+func (p *partitioner) linear(x, y, z int) int64 {
+	n := int64(p.n)
+	return (int64(z)*n+int64(y))*n + int64(x)
+}
+
+// refCell returns the cell holding the reference point of the candidate pair
+// (a, b): the componentwise max of the two box minima, shifted by the same
+// half-expansion the assignment applies. Whenever the pair can be within Eps,
+// this point lies inside both expanded boxes — so it falls in a cell both
+// elements were assigned to, and in exactly one cell overall. Comparing a
+// pair only in its reference cell eliminates border-replication duplicates
+// without any dedup table.
+func (p *partitioner) refCell(a, b geom.AABB) int64 {
+	return p.linear(
+		p.coordAxis(math.Max(a.Min.X, b.Min.X)-p.h, 0),
+		p.coordAxis(math.Max(a.Min.Y, b.Min.Y)-p.h, 1),
+		p.coordAxis(math.Max(a.Min.Z, b.Min.Z)-p.h, 2),
+	)
+}
+
+// assign maps each item index to every cell its expanded box overlaps,
+// producing sorted per-cell runs in asn's reused buffers.
+func (p *partitioner) assign(items []index.Item, asn *cellAssignment) {
+	asn.keys = asn.keys[:0]
+	asn.idxs = asn.idxs[:0]
 	for idx := range items {
-		box := items[idx].Box.Expand(eps/2 + 1e-12)
-		lo := p.coord(box.Min)
-		hi := p.coord(box.Max)
-		for z := lo[2]; z <= hi[2]; z++ {
-			for y := lo[1]; y <= hi[1]; y++ {
-				for x := lo[0]; x <= hi[0]; x++ {
-					key := [3]int{x, y, z}
-					out[key] = append(out[key], idx)
+		box := items[idx].Box
+		lox := p.coordAxis(box.Min.X-p.h, 0)
+		loy := p.coordAxis(box.Min.Y-p.h, 1)
+		loz := p.coordAxis(box.Min.Z-p.h, 2)
+		hix := p.coordAxis(box.Max.X+p.h, 0)
+		hiy := p.coordAxis(box.Max.Y+p.h, 1)
+		hiz := p.coordAxis(box.Max.Z+p.h, 2)
+		for z := loz; z <= hiz; z++ {
+			for y := loy; y <= hiy; y++ {
+				for x := lox; x <= hix; x++ {
+					asn.keys = append(asn.keys, p.linear(x, y, z))
+					asn.idxs = append(asn.idxs, int32(idx))
 				}
 			}
 		}
 	}
-	return out
+	sort.Sort(asn)
+	asn.buildRuns()
+}
+
+// binaryTasks intersects the occupied-cell runs of both sides; only cells
+// occupied on both sides produce work.
+func (p *partitioner) binaryTasks() []gridTask {
+	p.tasks = p.tasks[:0]
+	i, j := 0, 0
+	for i < len(p.a.runCell) && j < len(p.b.runCell) {
+		switch {
+		case p.a.runCell[i] < p.b.runCell[j]:
+			i++
+		case p.b.runCell[j] < p.a.runCell[i]:
+			j++
+		default:
+			p.tasks = append(p.tasks, gridTask{
+				cell: p.a.runCell[i],
+				aLo:  p.a.runStart[i], aHi: p.a.runStart[i+1],
+				bLo: p.b.runStart[j], bHi: p.b.runStart[j+1],
+			})
+			i++
+			j++
+		}
+	}
+	return p.tasks
+}
+
+// selfTasks returns the cells holding at least two elements.
+func (p *partitioner) selfTasks() []gridTask {
+	p.tasks = p.tasks[:0]
+	for i := range p.a.runCell {
+		lo, hi := p.a.runStart[i], p.a.runStart[i+1]
+		if hi-lo < 2 {
+			continue
+		}
+		p.tasks = append(p.tasks, gridTask{cell: p.a.runCell[i], aLo: lo, aHi: hi})
+	}
+	return p.tasks
 }
 
 func clampInt(v, lo, hi int) int {

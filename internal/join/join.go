@@ -90,60 +90,22 @@ func SelfNestedLoop(items []index.Item, opts Options) []Pair {
 // only spatially close objects are compared — elements far apart in Y or Z
 // but overlapping in X still generate comparisons.
 func PlaneSweep(as, bs []index.Item, opts Options) []Pair {
-	a := append([]index.Item(nil), as...)
-	b := append([]index.Item(nil), bs...)
-	sortByMinX(a)
-	sortByMinX(b)
-	var out []Pair
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i].Box.Min.X <= b[j].Box.Min.X {
-			out = sweepOne(a[i], b, j, opts, false, out)
-			i++
-		} else {
-			out = sweepOne(b[j], a, i, opts, true, out)
-			j++
-		}
+	if len(as) == 0 || len(bs) == 0 {
+		return nil
 	}
-	return out
-}
-
-// sweepOne compares pivot against other[start:] while their X extents overlap.
-// If swapped is true, pivot came from the B set and the pair order is
-// reversed.
-func sweepOne(pivot index.Item, other []index.Item, start int, opts Options, swapped bool, out []Pair) []Pair {
-	maxX := pivot.Box.Max.X + opts.Eps
-	for k := start; k < len(other) && other[k].Box.Min.X <= maxX; k++ {
-		var p Pair
-		var ok bool
-		if swapped {
-			ok = opts.match(other[k], pivot)
-			p = Pair{A: other[k].ID, B: pivot.ID}
-		} else {
-			ok = opts.match(pivot, other[k])
-			p = Pair{A: pivot.ID, B: other[k].ID}
-		}
-		if ok {
-			out = append(out, p)
-		}
-	}
-	return out
+	p := Planner{}.PlanWith(AlgoPlaneSweep, as, bs, opts)
+	defer p.Close()
+	return p.Run()
 }
 
 // SelfPlaneSweep is the plane-sweep self-join.
 func SelfPlaneSweep(items []index.Item, opts Options) []Pair {
-	a := append([]index.Item(nil), items...)
-	sortByMinX(a)
-	var out []Pair
-	for i := range a {
-		maxX := a[i].Box.Max.X + opts.Eps
-		for j := i + 1; j < len(a) && a[j].Box.Min.X <= maxX; j++ {
-			if opts.match(a[i], a[j]) {
-				out = append(out, orderPair(a[i].ID, a[j].ID))
-			}
-		}
+	if len(items) < 2 {
+		return nil
 	}
-	return out
+	p := Planner{}.PlanSelfWith(AlgoPlaneSweep, items, opts)
+	defer p.Close()
+	return p.Run()
 }
 
 func sortByMinX(items []index.Item) {
@@ -159,18 +121,83 @@ func orderPair(a, b int64) Pair {
 	return Pair{A: a, B: b}
 }
 
-// DedupPairs sorts and deduplicates a pair list in place and returns it.
-// Partition-based joins can report the same pair from several partitions.
+// pairLess is the canonical (A, then B) pair order.
+func pairLess(a, b Pair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+// pairSlice sorts pairs by (A, B) without a per-call closure.
+type pairSlice []Pair
+
+func (s pairSlice) Len() int           { return len(s) }
+func (s pairSlice) Less(i, j int) bool { return pairLess(s[i], s[j]) }
+func (s pairSlice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// SortPairs sorts a pair list in place into canonical (A, then B) order.
+func SortPairs(pairs []Pair) { sort.Sort(pairSlice(pairs)) }
+
+// DedupPairs sorts and deduplicates a pair list in place and returns it —
+// entirely allocation-free (no hash table): canonical sort, then one
+// compaction pass.
 func DedupPairs(pairs []Pair) []Pair {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
-		}
-		return pairs[i].B < pairs[j].B
-	})
+	SortPairs(pairs)
 	out := pairs[:0]
 	for i, p := range pairs {
 		if i == 0 || p != pairs[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MergeSortedPairs merges several individually sorted pair runs into out
+// (appended and returned), dropping duplicates across runs — the gather step
+// of the parallel join: workers sort their private buffers, then a k-way
+// heap merge emits the union in one O(pairs·log runs) pass. The runs must
+// each be sorted in SortPairs order.
+func MergeSortedPairs(runs [][]Pair, out []Pair) []Pair {
+	// Min-heap of run indices, keyed by each run's head pair.
+	heads := make([]int, len(runs))
+	heap := make([]int, 0, len(runs))
+	for i := range runs {
+		if len(runs[i]) > 0 {
+			heap = append(heap, i)
+		}
+	}
+	lessRun := func(i, j int) bool { return pairLess(runs[i][heads[i]], runs[j][heads[j]]) }
+	siftDown := func(at int) {
+		for {
+			l, r := 2*at+1, 2*at+2
+			next := at
+			if l < len(heap) && lessRun(heap[l], heap[next]) {
+				next = l
+			}
+			if r < len(heap) && lessRun(heap[r], heap[next]) {
+				next = r
+			}
+			if next == at {
+				return
+			}
+			heap[at], heap[next] = heap[next], heap[at]
+			at = next
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(heap) > 0 {
+		run := heap[0]
+		p := runs[run][heads[run]]
+		heads[run]++
+		if heads[run] >= len(runs[run]) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+		if len(out) == 0 || out[len(out)-1] != p {
 			out = append(out, p)
 		}
 	}

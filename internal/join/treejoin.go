@@ -13,7 +13,9 @@ import (
 // and leaf items in structure-of-arrays storage. The join phase — the
 // synchronized descent or the TOUCH subtree probes — is where virtually all
 // node visits happen, so it is the part that must not chase pointers; the
-// transient pointer form exists only during construction.
+// transient pointer form exists only during construction. The execution of
+// both joins lives in plan.go (Plan.descend / Plan.probeSubtree); the
+// functions below are the one-shot entry points.
 
 // joinNode is a node of the transient build-time hierarchy.
 type joinNode struct {
@@ -148,161 +150,46 @@ func RTreeJoin(as, bs []index.Item, opts Options) []Pair {
 	if len(as) == 0 || len(bs) == 0 {
 		return nil
 	}
-	ha := buildFlatHierarchy(as)
-	hb := buildFlatHierarchy(bs)
-	eps2 := opts.Eps * opts.Eps
-	var out []Pair
-	var recurse func(ai, bi int32)
-	recurse = func(ai, bi int32) {
-		if opts.Counters != nil {
-			opts.Counters.AddTreeIntersectTests(1)
-		}
-		a := &ha.nodes[ai]
-		b := &hb.nodes[bi]
-		if a.box.Distance2(b.box) > eps2 {
-			return
-		}
-		switch {
-		case a.leaf && b.leaf:
-			for i := a.first; i < a.first+a.count; i++ {
-				ia := ha.item(i)
-				for j := b.first; j < b.first+b.count; j++ {
-					ib := hb.item(j)
-					if opts.match(ia, ib) {
-						out = append(out, Pair{A: ia.ID, B: ib.ID})
-					}
-				}
-			}
-		case a.leaf:
-			for j := b.first; j < b.first+b.count; j++ {
-				recurse(ai, j)
-			}
-		case b.leaf:
-			for i := a.first; i < a.first+a.count; i++ {
-				recurse(i, bi)
-			}
-		default:
-			for i := a.first; i < a.first+a.count; i++ {
-				for j := b.first; j < b.first+b.count; j++ {
-					recurse(i, j)
-				}
-			}
-		}
-	}
-	recurse(0, 0)
-	return out
+	p := Planner{}.PlanWith(AlgoRTree, as, bs, opts)
+	defer p.Close()
+	return p.Run()
 }
 
-// SelfRTreeJoin joins a set with itself by synchronized traversal.
+// SelfRTreeJoin joins a set with itself by synchronized traversal; each
+// unordered pair is reported once with A < B.
 func SelfRTreeJoin(items []index.Item, opts Options) []Pair {
-	pairs := RTreeJoin(items, items, opts)
-	out := pairs[:0]
-	for _, p := range pairs {
-		if p.A == p.B {
-			continue
-		}
-		out = append(out, orderPair(p.A, p.B))
+	if len(items) < 2 {
+		return nil
 	}
-	return DedupPairs(out)
+	p := Planner{}.PlanSelfWith(AlgoRTree, items, opts)
+	defer p.Close()
+	return p.Run()
 }
 
 // TOUCHJoin is an in-memory join in the spirit of TOUCH (Nobari et al.,
 // SIGMOD 2013), the hierarchical data-oriented partitioning join the paper's
 // authors designed: a hierarchy is built over the build side (as); every
-// probe element (bs) is assigned to the lowest hierarchy node whose box
-// (expanded by Eps) contains it; finally each node's assigned probe elements
-// are compared only against the build elements stored in that node's subtree,
-// pruned by child boxes. Probe elements that fit no node are compared at the
-// root. Assignment and probing both run on the flattened slab.
+// probe element (bs) descends to the lowest hierarchy node whose box
+// (expanded by Eps) could hold all its join partners and is compared only
+// against the build elements in that node's subtree, pruned by child boxes.
 func TOUCHJoin(as, bs []index.Item, opts Options) []Pair {
 	if len(as) == 0 || len(bs) == 0 {
 		return nil
 	}
-	h := buildFlatHierarchy(as)
-	// Assignment phase: assigned[n] holds the probe items parked at slab
-	// node n (kept out of the node so the slab stays read-only and packed).
-	assigned := make([][]index.Item, len(h.nodes))
-	for _, b := range bs {
-		assignTouch(h, b, opts.Eps, assigned)
-	}
-	// Join phase.
-	var out []Pair
-	for ni := range h.nodes {
-		for _, b := range assigned[ni] {
-			out = joinAgainstSubtree(h, int32(ni), b, opts, out)
-		}
-	}
-	return out
+	p := Planner{}.PlanWith(AlgoTOUCH, as, bs, opts)
+	defer p.Close()
+	return p.Run()
 }
 
-// assignTouch pushes b down the slab as long as exactly one child can
-// contain join partners for it: the descent stops (and b is assigned) at the
-// first node where zero or more than one child box intersects b's
-// Eps-expanded box. This guarantees every potential partner lies in the
-// subtree b is assigned to.
-func assignTouch(h *flatHierarchy, b index.Item, eps float64, assigned [][]index.Item) {
-	expanded := b.Box.Expand(eps)
-	cur := int32(0)
-	for {
-		n := &h.nodes[cur]
-		if n.leaf {
-			break
-		}
-		var next int32
-		matches := 0
-		for c := n.first; c < n.first+n.count; c++ {
-			if h.nodes[c].box.Intersects(expanded) {
-				matches++
-				next = c
-				if matches > 1 {
-					break
-				}
-			}
-		}
-		if matches != 1 {
-			break
-		}
-		cur = next
-	}
-	assigned[cur] = append(assigned[cur], b)
-}
-
-// joinAgainstSubtree compares b against every build element in the subtree
-// rooted at slab node ni, pruning subtrees whose box is farther than Eps.
-func joinAgainstSubtree(h *flatHierarchy, ni int32, b index.Item, opts Options, out []Pair) []Pair {
-	if opts.Counters != nil {
-		opts.Counters.AddTreeIntersectTests(1)
-	}
-	n := &h.nodes[ni]
-	if n.box.Distance2(b.Box) > opts.Eps*opts.Eps {
-		return out
-	}
-	if n.leaf {
-		for i := n.first; i < n.first+n.count; i++ {
-			a := h.item(i)
-			if opts.match(a, b) {
-				out = append(out, Pair{A: a.ID, B: b.ID})
-			}
-		}
-		return out
-	}
-	for c := n.first; c < n.first+n.count; c++ {
-		out = joinAgainstSubtree(h, c, b, opts, out)
-	}
-	return out
-}
-
-// SelfTOUCHJoin joins a set with itself using TOUCH.
+// SelfTOUCHJoin joins a set with itself using TOUCH; each unordered pair is
+// reported once with A < B.
 func SelfTOUCHJoin(items []index.Item, opts Options) []Pair {
-	pairs := TOUCHJoin(items, items, opts)
-	out := pairs[:0]
-	for _, p := range pairs {
-		if p.A == p.B {
-			continue
-		}
-		out = append(out, orderPair(p.A, p.B))
+	if len(items) < 2 {
+		return nil
 	}
-	return DedupPairs(out)
+	p := Planner{}.PlanSelfWith(AlgoTOUCH, items, opts)
+	defer p.Close()
+	return p.Run()
 }
 
 // ExpectedComparisonsNestedLoop returns n*m, the comparison count of the

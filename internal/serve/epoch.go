@@ -127,6 +127,35 @@ func (e *Epoch) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
 	e.wrapPool.Put(w)
 }
 
+// Bounds returns the union of the epoch's shard MBRs — the tight extent of
+// everything the epoch serves.
+func (e *Epoch) Bounds() geom.AABB {
+	u := geom.EmptyAABB()
+	for i := range e.shards {
+		if e.shards[i].snap.Len() > 0 {
+			u = u.Union(e.shards[i].bounds)
+		}
+	}
+	return u
+}
+
+// AllItems appends every item of the epoch to buf and returns the extended
+// slice. Shards partition the space, so the concatenation is duplicate-free;
+// it is the materialization step of the epoch-pinned self-join.
+func (e *Epoch) AllItems(buf []index.Item) []index.Item {
+	all := e.Bounds().Expand(1e-9)
+	for i := range e.shards {
+		if e.shards[i].snap.Len() == 0 {
+			continue
+		}
+		e.shards[i].snap.RangeVisit(all, func(it index.Item) bool {
+			buf = append(buf, it)
+			return true
+		})
+	}
+	return buf
+}
+
 // knnScratch is the pooled per-query state of the cross-shard kNN merge:
 // shard visit order plus the cached distance keys and merge buffers that keep
 // the merge linear — every item's box distance is computed exactly once.

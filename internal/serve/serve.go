@@ -31,6 +31,7 @@ import (
 	"spatialsim/internal/grid"
 	"spatialsim/internal/index"
 	"spatialsim/internal/instrument"
+	"spatialsim/internal/join"
 	"spatialsim/internal/moving"
 	"spatialsim/internal/octree"
 	"spatialsim/internal/rtree"
@@ -140,10 +141,12 @@ type Store struct {
 	inFlight atomic.Int64
 	peak     atomic.Int64
 
-	queries atomic.Int64
-	results atomic.Int64
-	swaps   atomic.Int64
-	retired atomic.Int64
+	queries   atomic.Int64
+	results   atomic.Int64
+	swaps     atomic.Int64
+	retired   atomic.Int64
+	joins     atomic.Int64
+	joinPairs atomic.Int64
 
 	updates chan []Update
 	wg      sync.WaitGroup
@@ -398,6 +401,62 @@ func (s *Store) BatchRange(queries []geom.AABB, opts exec.Options, arena *exec.A
 	return out, e.seq
 }
 
+// JoinRequest shapes one epoch-pinned self-join.
+type JoinRequest struct {
+	// Eps is the distance threshold between boxes; 0 means intersection join.
+	Eps float64
+	// Algo forces the algorithm when Force is set; otherwise the planner
+	// picks one from the epoch's input statistics.
+	Algo  join.Algorithm
+	Force bool
+	// Workers is the goroutine budget of the parallel join (<= 0 uses
+	// GOMAXPROCS, bounded by the task count).
+	Workers int
+}
+
+// JoinReply is the outcome of one epoch-pinned self-join.
+type JoinReply struct {
+	// Epoch is the generation the join ran against.
+	Epoch uint64
+	// Algo is the algorithm that executed (the planner's pick unless forced).
+	Algo join.Algorithm
+	// Items is the number of elements joined.
+	Items int
+	// Pairs holds the result in canonical (sorted) order.
+	Pairs []join.Pair
+	// Stats is the parallel execution accounting.
+	Stats exec.JoinStats
+}
+
+// SelfJoin runs the paper's headline workload — an epsilon self-join — over
+// one pinned epoch: the epoch's items are materialized from its frozen
+// shards, the join planner picks (or is forced to) an algorithm, and the
+// plan's tasks are tiled across the worker pool. The epoch stays pinned for
+// the duration, so concurrent ingestion keeps swapping generations without
+// ever tearing the join's input; the join occupies one admission slot like a
+// query batch.
+func (s *Store) SelfJoin(req JoinRequest) JoinReply {
+	done := s.admit()
+	defer done()
+	e := s.acquire()
+	defer s.release(e)
+
+	items := e.AllItems(make([]index.Item, 0, e.items))
+	var pl join.Planner
+	var plan *join.Plan
+	if req.Force {
+		plan = pl.PlanSelfWith(req.Algo, items, join.Options{Eps: req.Eps})
+	} else {
+		plan = pl.PlanSelf(items, join.Options{Eps: req.Eps})
+	}
+	defer plan.Close()
+	pairs, stats := exec.ParallelJoin(plan, exec.Options{Workers: req.Workers})
+
+	s.joins.Add(1)
+	s.joinPairs.Add(int64(len(pairs)))
+	return JoinReply{Epoch: e.seq, Algo: plan.Algo(), Items: len(items), Pairs: pairs, Stats: stats}
+}
+
 // BatchKNN scatters a kNN batch over the worker pool against one pinned
 // epoch; out[i] holds the (up to) k nearest items of points[i], closest
 // first. The batch occupies one admission slot.
@@ -429,6 +488,8 @@ type Stats struct {
 	EpochPins     int64        `json:"epoch_pins"`
 	Queries       int64        `json:"queries"`
 	Results       int64        `json:"results"`
+	Joins         int64        `json:"joins"`
+	JoinPairs     int64        `json:"join_pairs"`
 	UpdatesStaged int64        `json:"updates_staged"`
 	InFlight      int64        `json:"in_flight"`
 	PeakInFlight  int64        `json:"peak_in_flight"`
@@ -449,6 +510,8 @@ func (s *Store) Stats() Stats {
 		EpochPins:    e.pins.Load() - 1,
 		Queries:      s.queries.Load(),
 		Results:      s.results.Load(),
+		Joins:        s.joins.Load(),
+		JoinPairs:    s.joinPairs.Load(),
 		InFlight:     s.inFlight.Load(),
 		PeakInFlight: s.peak.Load(),
 		MaxInFlight:  s.cfg.MaxInFlight,

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math/rand"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"spatialsim/internal/exec"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
+	"spatialsim/internal/join"
 )
 
 // genBox returns the box of item id at generation gen: a unit cube on a grid
@@ -431,4 +433,94 @@ func idSet(items []index.Item) map[int64]bool {
 		m[it.ID] = true
 	}
 	return m
+}
+
+// TestSelfJoinMatchesReference: the epoch-pinned self-join must return
+// exactly the pair set a nested-loop join over the same items produces,
+// whichever algorithm the planner (or the caller) picks.
+func TestSelfJoinMatchesReference(t *testing.T) {
+	const n = 500
+	s := New(Config{Shards: 4, Workers: 4})
+	defer s.Close()
+	items := genItems(n, 0)
+	s.Bootstrap(items)
+
+	want := join.SelfNestedLoop(items, join.Options{})
+	want = join.DedupPairs(want)
+	if len(want) == 0 {
+		t.Fatal("reference join empty; test data too sparse")
+	}
+
+	auto := s.SelfJoin(JoinRequest{Eps: 0})
+	if !reflect.DeepEqual(auto.Pairs, want) {
+		t.Fatalf("auto join (%v): %d pairs, want %d", auto.Algo, len(auto.Pairs), len(want))
+	}
+	if auto.Items != n || auto.Epoch == 0 {
+		t.Fatalf("join reply items=%d epoch=%d", auto.Items, auto.Epoch)
+	}
+	for _, algo := range []join.Algorithm{join.AlgoGrid, join.AlgoRTree, join.AlgoTOUCH} {
+		rep := s.SelfJoin(JoinRequest{Eps: 0, Algo: algo, Force: true, Workers: 4})
+		if rep.Algo != algo {
+			t.Fatalf("forced %v ran %v", algo, rep.Algo)
+		}
+		if !reflect.DeepEqual(rep.Pairs, want) {
+			t.Fatalf("%v: %d pairs, want %d", algo, len(rep.Pairs), len(want))
+		}
+	}
+	if st := s.Stats(); st.Joins != 4 || st.JoinPairs != int64(4*len(want)) {
+		t.Fatalf("stats joins=%d join_pairs=%d, want 4 / %d", st.Joins, st.JoinPairs, 4*len(want))
+	}
+}
+
+// TestSelfJoinPinnedUnderSwaps: joins run while the writer turns epochs over.
+// Every generation of the test data has the same adjacency structure (cubes
+// translated in z only), so every join must return the full reference pair
+// set — a torn input mixing two generations would lose the pairs between
+// elements that ended up in different z layers.
+func TestSelfJoinPinnedUnderSwaps(t *testing.T) {
+	const n = 400
+	s := New(Config{Shards: 4, Workers: 4, MaxInFlight: 32})
+	defer s.Close()
+	s.Bootstrap(genItems(n, 0))
+	want := join.DedupPairs(join.SelfNestedLoop(genItems(n, 0), join.Options{}))
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for gen := 1; !stop.Load(); gen++ {
+			s.Apply(genUpdates(n, gen))
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		rep := s.SelfJoin(JoinRequest{Eps: 0, Workers: 2})
+		if !reflect.DeepEqual(rep.Pairs, want) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("join %d (epoch %d, %v): %d pairs, want %d — torn epoch input?",
+				i, rep.Epoch, rep.Algo, len(rep.Pairs), len(want))
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestEpochAllItems: materialization gathers every item exactly once.
+func TestEpochAllItems(t *testing.T) {
+	const n = 300
+	s := New(Config{Shards: 5, Workers: 2})
+	defer s.Close()
+	s.Bootstrap(genItems(n, 0))
+	e := s.Current()
+	items := e.AllItems(nil)
+	if len(items) != n {
+		t.Fatalf("AllItems returned %d items, want %d", len(items), n)
+	}
+	if got := idSet(items); len(got) != n {
+		t.Fatalf("AllItems returned %d distinct ids, want %d", len(got), n)
+	}
+	if empty := (&Epoch{}); len(empty.AllItems(nil)) != 0 {
+		t.Fatal("empty epoch returned items")
+	}
 }
