@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json serve loadgen join-bench fmt vet vet-strict ci
+.PHONY: all build test race bench bench-json serve loadgen join-bench cover fuzz fmt vet vet-strict ci
 
 all: build
 
@@ -47,6 +47,27 @@ JOINBENCH_ARGS ?= -elements 80000
 join-bench:
 	$(GO) run ./cmd/spatialbench -exp join-scale $(JOINBENCH_ARGS) -out BENCH_PR4.json
 
+# cover runs the whole suite with coverage and fails if the total drops
+# below the ratcheted baseline (raise the baseline when coverage improves,
+# never lower it to make a red build green).
+COVERAGE_BASELINE ?= 84.0
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out -covermode=atomic ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (baseline $(COVERAGE_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVERAGE_BASELINE)" 'BEGIN { exit (t + 0 < b + 0) ? 1 : 0 }' \
+		|| { echo "FAIL: coverage $$total% is below the baseline $(COVERAGE_BASELINE)%"; exit 1; }
+
+# fuzz gives each native fuzz target a short randomized pass on top of the
+# committed seed corpora (testdata/fuzz/). Lengthen FUZZTIME for real
+# hunting; CI keeps it short.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeSegment -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run xxx -fuzz FuzzDecodeManifest -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run xxx -fuzz FuzzDecodeCompact -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run xxx -fuzz FuzzAABBIntersectContain -fuzztime $(FUZZTIME) ./internal/geom/
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -64,6 +85,7 @@ vet-strict:
 	$(GO) vet ./internal/index/... ./internal/rtree/... ./internal/grid/... \
 		./internal/octree/... ./internal/kdtree/... ./internal/exec/... \
 		./internal/core/... ./internal/join/... ./internal/serve/... \
+		./internal/persist/... ./internal/storage/... \
 		./cmd/benchjson/... ./cmd/spatialserver/...
 	$(GO) test -run xxx -race ./internal/index/ ./internal/rtree/ ./internal/grid/ > /dev/null
 

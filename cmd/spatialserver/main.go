@@ -4,13 +4,21 @@
 // accepting update batches that swap in new epochs without ever blocking
 // readers — the paper's freeze-then-query phase split, turned into a server.
 //
+// With -data-dir the store is durable: update batches are journaled to a
+// WAL, published epochs are snapshotted to page-aligned segment files in the
+// background, and a restart recovers the newest complete epoch (replaying
+// the WAL tail) before serving — answering with the same epoch numbers and
+// results it would have before the restart.
+//
 // Usage:
 //
 //	spatialserver -addr :8080 -elements 100000 -shards 8
 //	spatialserver -index grid -max-inflight 256
+//	spatialserver -data-dir /var/lib/spatialsim -elements 0
 //
-// Endpoints: GET /range, GET /knn, POST /update, GET /stats, GET /healthz
-// (see newHandler for parameter shapes).
+// Endpoints: GET /range, GET /knn, GET /join, POST /update, POST /snapshot,
+// GET /recovery, GET /stats, GET /healthz (see newHandler for parameter
+// shapes).
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"spatialsim/internal/datagen"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
+	"spatialsim/internal/persist"
 	"spatialsim/internal/rtree"
 	"spatialsim/internal/serve"
 )
@@ -49,6 +58,8 @@ func run(args []string, stdout io.Writer) error {
 		maxInflight = fs.Int("max-inflight", 0, "admission-control bound on in-flight queries (0 = 4x GOMAXPROCS)")
 		indexName   = fs.String("index", "rtree", "shard family (rtree|grid|octree)")
 		seed        = fs.Int64("seed", 1, "bootstrap dataset seed")
+		dataDir     = fs.String("data-dir", "", "durable epoch store directory (empty = in-memory only)")
+		snapEvery   = fs.Int("snapshot-every", 1, "persist every Nth published epoch (durable mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,15 +69,33 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	store := serve.New(serve.Config{
-		Shards:      *shards,
-		Workers:     *workers,
-		MaxInFlight: *maxInflight,
-		Build:       build,
-	})
+	cfg := serve.Config{
+		Shards:        *shards,
+		Workers:       *workers,
+		MaxInFlight:   *maxInflight,
+		Build:         build,
+		SnapshotEvery: *snapEvery,
+	}
+	if *dataDir != "" {
+		ps, err := persist.Open(*dataDir, persist.Options{})
+		if err != nil {
+			return err
+		}
+		defer ps.Close()
+		cfg.Persist = ps
+	}
+	store, err := serve.Open(cfg)
+	if err != nil {
+		return err
+	}
 	defer store.Close()
 
-	if *elements > 0 {
+	if rec := store.Recovery(); rec.Recovered {
+		fmt.Fprintf(stdout, "spatialserver: recovered epoch %d (%d items) from %s, replayed %d WAL batches\n",
+			rec.Epoch, rec.Items, *dataDir, rec.ReplayedBatches)
+	}
+
+	if *elements > 0 && store.Current().Len() == 0 {
 		u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
 		d := datagen.GenerateUniform(datagen.UniformConfig{N: *elements, Universe: u, Seed: *seed})
 		items := make([]index.Item, d.Len())

@@ -72,6 +72,8 @@ type updateResponse struct {
 //	GET  /join?eps=[&algo=auto|grid|touch|...][&workers=][&limit=]
 //	     epoch-pinned epsilon self-join over the published shards
 //	POST /update   {"upserts":[{"id":..,"min":[..],"max":[..]}],"deletes":[..]}
+//	POST /snapshot  force a durable snapshot of the current epoch
+//	GET  /recovery  what the store recovered on boot (durable mode)
 //	GET  /stats                                                serving stats
 //	GET  /healthz                                              liveness
 func newHandler(store *serve.Store) http.Handler {
@@ -170,6 +172,23 @@ func newHandler(store *serve.Store) http.Handler {
 		}
 		epoch := store.Apply(batch)
 		writeJSON(w, updateResponse{Epoch: epoch, Applied: len(batch)})
+	})
+
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "snapshot requires POST")
+			return
+		}
+		epoch, err := store.Snapshot()
+		if err != nil {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeJSON(w, map[string]uint64{"persisted_epoch": epoch})
+	})
+
+	mux.HandleFunc("/recovery", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, store.Recovery())
 	})
 
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {

@@ -9,8 +9,17 @@
 //   - internal/datagen — synthetic simulation datasets (branched neuron
 //     morphologies, clustered particles, uniform fields), movement models and
 //     workload generators;
-//   - internal/storage, internal/diskrtree — a simulated page/latency disk and
-//     the disk-resident R-Tree baseline of the paper's Figure 2;
+//   - internal/storage — the page-device layer behind one Pager contract:
+//     the simulated page/latency disk of the paper's Figure 2 and the
+//     real-file FileDisk the durability layer writes through, cached by a
+//     pin-aware LRU BufferPool;
+//   - internal/persist — the durability layer: page-aligned epoch segment
+//     files (natively serialized R-Tree Compact slabs, item-list fallback
+//     for other shard families), an append-only manifest/WAL with
+//     checksummed records and rotation, crash recovery that falls back one
+//     snapshot generation at a time, and PagedCompact — the disk-resident
+//     paged read path over the same serialized format (the Figure 2 disk
+//     baseline);
 //   - internal/rtree, internal/crtree, internal/kdtree, internal/octree,
 //     internal/grid, internal/lsh — the in-memory index families the paper
 //     surveys; each tree/grid family also offers a packed read-optimised
@@ -45,7 +54,11 @@
 //     update batches and swaps generations without blocking readers,
 //     scatter/gather range and global-merge kNN queries, epoch-pinned
 //     parallel self-joins (Store.SelfJoin), and admission control bounding
-//     in-flight queries;
+//     in-flight queries; with a persist store attached the subsystem is
+//     durable — batches are WAL-journaled as they are staged, a background
+//     snapshotter persists published epochs without blocking readers, and
+//     serve.Open recovers the newest complete epoch (replaying the WAL
+//     tail) on boot;
 //   - internal/experiments — drivers regenerating every figure and in-text
 //     experiment of the paper (see DESIGN.md and EXPERIMENTS.md).
 //

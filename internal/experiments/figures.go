@@ -18,11 +18,11 @@ import (
 	"time"
 
 	"spatialsim/internal/datagen"
-	"spatialsim/internal/diskrtree"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/grid"
 	"spatialsim/internal/index"
 	"spatialsim/internal/instrument"
+	"spatialsim/internal/persist"
 	"spatialsim/internal/rtree"
 	"spatialsim/internal/storage"
 )
@@ -114,10 +114,16 @@ func Figure2(s Scale) Figure2Result {
 		N: s.Queries, Selectivity: s.Selectivity, Universe: d.Universe, Seed: s.Seed + 1,
 	})
 
-	// Disk run: paged STR R-Tree over the simulated disk, cold cache per
-	// query, exactly the paper's protocol.
+	// Disk run: the serialized compact R-Tree — the exact format the durable
+	// epoch store writes — paged onto the simulated disk and queried through
+	// the buffer pool with a cold cache per query, the paper's protocol.
 	disk := storage.NewDisk(storage.DefaultDiskConfig())
-	dt, err := diskrtree.Build(disk, items, diskrtree.Config{PoolPages: 1 << 20})
+	frozen := rtree.FreezeItems(items, rtree.Config{})
+	start, _, err := persist.WriteCompactPages(disk, frozen)
+	if err != nil {
+		panic(err)
+	}
+	dt, err := persist.OpenPagedCompact(disk, start, 1<<20)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,74 @@
+package geom
+
+// Native fuzz coverage of the MBR predicates every index traversal and every
+// persisted-format validation leans on. The properties are the algebraic
+// laws the query engine assumes: symmetry of intersection, containment
+// implying intersection, union absorbing containment, and agreement between
+// the boolean predicates and their constructive counterparts
+// (Intersect/Distance2ToPoint).
+
+import (
+	"math"
+	"testing"
+)
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzAABBIntersectContain(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 2.0, 2.0, 2.0)
+	f.Add(0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0) // touching faces
+	f.Add(-5.0, -5.0, -5.0, 5.0, 5.0, 5.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0) // degenerate points
+	f.Fuzz(func(t *testing.T, ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz float64) {
+		if !finite(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz) {
+			t.Skip("non-finite corners")
+		}
+		a := NewAABB(V(ax, ay, az), V(bx, by, bz))
+		b := NewAABB(V(cx, cy, cz), V(dx, dy, dz))
+
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("Intersects not symmetric: %v vs %v", a, b)
+		}
+		if a.Contains(b) && !a.Intersects(b) {
+			t.Fatalf("Contains without Intersects: %v contains %v", a, b)
+		}
+		// The boolean predicate must agree with the constructive
+		// intersection (closed boxes: touching faces yield a degenerate but
+		// non-empty intersection box).
+		if got := !a.Intersect(b).IsEmpty(); got != a.Intersects(b) {
+			t.Fatalf("Intersect/Intersects disagree on %v, %v", a, b)
+		}
+
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			t.Fatalf("Union %v does not contain both %v and %v", u, a, b)
+		}
+		if a.Contains(b) && u != a {
+			t.Fatalf("Union not absorbed by containment: %v + %v = %v", a, b, u)
+		}
+
+		// Point-distance agreement: zero distance exactly for contained
+		// points (closed boxes again — boundary points are inside).
+		p := b.Center()
+		if finite(p.X, p.Y, p.Z) {
+			if (a.Distance2ToPoint(p) == 0) != a.ContainsPoint(p) {
+				t.Fatalf("Distance2ToPoint/ContainsPoint disagree: box %v point %v d2=%v",
+					a, p, a.Distance2ToPoint(p))
+			}
+		}
+
+		// Intersect is a lower bound of both inputs.
+		if x := a.Intersect(b); !x.IsEmpty() {
+			if !a.Contains(x) || !b.Contains(x) {
+				t.Fatalf("Intersect %v escapes its inputs %v, %v", x, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package persist
+
+// Little-endian primitives shared by the segment and manifest codecs, plus
+// the wire forms of the two value types that cross the durability boundary:
+// items (id + box) and updates (item + delete flag). Every decoder works
+// through byteReader, which saturates on the first out-of-bounds read instead
+// of panicking — a requirement for decoders that are fuzz targets.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+// castagnoli is the CRC-32C table used for every checksum in the on-disk
+// format (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc32Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+const (
+	boxWireSize    = 48 // 6 x f64
+	itemWireSize   = 8 + boxWireSize
+	updateWireSize = 1 + itemWireSize
+)
+
+func appendU32(buf []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(buf, v) }
+func appendU64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+
+func appendBox(buf []byte, b geom.AABB) []byte {
+	buf = appendU64(buf, math.Float64bits(b.Min.X))
+	buf = appendU64(buf, math.Float64bits(b.Min.Y))
+	buf = appendU64(buf, math.Float64bits(b.Min.Z))
+	buf = appendU64(buf, math.Float64bits(b.Max.X))
+	buf = appendU64(buf, math.Float64bits(b.Max.Y))
+	buf = appendU64(buf, math.Float64bits(b.Max.Z))
+	return buf
+}
+
+func appendItem(buf []byte, it index.Item) []byte {
+	buf = appendU64(buf, uint64(it.ID))
+	return appendBox(buf, it.Box)
+}
+
+func appendUpdate(buf []byte, u Update) []byte {
+	flag := byte(0)
+	if u.Delete {
+		flag = 1
+	}
+	buf = append(buf, flag)
+	return appendItem(buf, index.Item{ID: u.ID, Box: u.Box})
+}
+
+// byteReader is a bounds-checked sequential reader. After the first
+// out-of-range read it returns zero values and remembers the failure; callers
+// check ok() once at the end instead of after every field.
+type byteReader struct {
+	data []byte
+	off  int
+	bad  bool
+}
+
+func (r *byteReader) ok() bool       { return !r.bad }
+func (r *byteReader) remaining() int { return len(r.data) - r.off }
+func (r *byteReader) ensure(n int) bool {
+	if r.bad || n < 0 || r.remaining() < n {
+		r.bad = true
+		return false
+	}
+	return true
+}
+
+func (r *byteReader) u8() byte {
+	if !r.ensure(1) {
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *byteReader) u32() uint32 {
+	if !r.ensure(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if !r.ensure(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *byteReader) box() geom.AABB {
+	return geom.AABB{
+		Min: geom.Vec3{X: r.f64(), Y: r.f64(), Z: r.f64()},
+		Max: geom.Vec3{X: r.f64(), Y: r.f64(), Z: r.f64()},
+	}
+}
+
+func (r *byteReader) item() index.Item {
+	id := int64(r.u64())
+	return index.Item{ID: id, Box: r.box()}
+}
+
+func (r *byteReader) update() Update {
+	flag := r.u8()
+	it := r.item()
+	return Update{ID: it.ID, Box: it.Box, Delete: flag != 0}
+}
+
+// bytes returns the next n bytes without copying (valid until data is gone).
+func (r *byteReader) bytes(n int) []byte {
+	if !r.ensure(n) {
+		return nil
+	}
+	v := r.data[r.off : r.off+n]
+	r.off += n
+	return v
+}

@@ -1,0 +1,255 @@
+package persist
+
+// PagedCompact is the disk-resident read path over the serialized R-Tree
+// snapshot: the same bytes a segment stores, queried page by page through a
+// storage.BufferPool instead of materialized into memory. It subsumes the
+// old internal/diskrtree package — the paper's Figure 2 protocol (paged STR
+// R-Tree on the latency-modelled disk, cold cache per query) now runs over
+// the exact format the durable epoch store writes, so there is one on-disk
+// story for both measurement and recovery.
+//
+// The serialized form was designed for this: 64-byte node records mean a
+// node never straddles more than two pages and a node's children are
+// physically adjacent, and the SoA leaf regions scan sequentially within
+// pages. Reads are assembled through readAt, which pins the touched pages
+// for the duration of the copy.
+
+import (
+	"fmt"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/storage"
+)
+
+// WriteCompactPages serializes the snapshot onto the pager starting at a
+// freshly allocated page, padding to a whole number of pages, and returns
+// the first page id and the page count.
+func WriteCompactPages(pager storage.Pager, c *rtree.Compact) (storage.PageID, int, error) {
+	blob := c.AppendBinary(nil)
+	ps := pager.PageSize()
+	pages := (len(blob) + ps - 1) / ps
+	if pages == 0 {
+		pages = 1
+	}
+	start := storage.PageID(-1)
+	for i := 0; i < pages; i++ {
+		id := pager.Allocate()
+		if i == 0 {
+			start = id
+		}
+		lo := i * ps
+		hi := lo + ps
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		var chunk []byte
+		if lo < len(blob) {
+			chunk = blob[lo:hi]
+		}
+		if err := pager.Write(id, chunk); err != nil {
+			return start, 0, err
+		}
+	}
+	return start, pages, nil
+}
+
+// PagedCompact queries a serialized snapshot resident on a page device. It
+// is read-only and safe for sequential use; wrap per-goroutine instances
+// around the same pager for concurrency (the pool is the shared cache).
+type PagedCompact struct {
+	pool     *storage.BufferPool
+	pageSize int
+	base     int64 // byte offset of the blob: start page * page size
+	hdr      rtree.CompactHeader
+	counters instrument.Counters
+	scratch  [rtree.CompactNodeSize]byte
+	stack    []int32
+}
+
+// OpenPagedCompact opens the snapshot whose blob starts at page start of the
+// pager. poolPages is the buffer-pool capacity (0 = the paper's cold-cache
+// protocol of caching nothing between Clear calls — but note Get still
+// serves repeated reads of a pinned page).
+func OpenPagedCompact(pager storage.Pager, start storage.PageID, poolPages int) (*PagedCompact, error) {
+	pc := &PagedCompact{
+		pool:     storage.NewBufferPool(pager, poolPages),
+		pageSize: pager.PageSize(),
+		base:     int64(start) * int64(pager.PageSize()),
+	}
+	first, err := pc.pool.Get(start)
+	if err != nil {
+		return nil, err
+	}
+	avail := int64(pager.NumPages())*int64(pc.pageSize) - pc.base
+	hdr, err := rtree.DecodeCompactHeader(first, int(avail))
+	if err != nil {
+		return nil, err
+	}
+	pc.hdr = hdr
+	return pc, nil
+}
+
+// Len returns the number of indexed items.
+func (pc *PagedCompact) Len() int { return pc.hdr.Size }
+
+// Height returns the height of the tree.
+func (pc *PagedCompact) Height() int { return pc.hdr.Height }
+
+// Counters returns the traversal counters (node visits, intersection tests,
+// pages read — the Figure 2 accounting).
+func (pc *PagedCompact) Counters() *instrument.Counters { return &pc.counters }
+
+// Pool returns the buffer pool queries read through.
+func (pc *PagedCompact) Pool() *storage.BufferPool { return pc.pool }
+
+// ClearCache drops the buffer pool contents (the paper's cold-cache protocol
+// between queries).
+func (pc *PagedCompact) ClearCache() { pc.pool.Clear() }
+
+// String describes the paged snapshot.
+func (pc *PagedCompact) String() string {
+	return fmt.Sprintf("paged-rtree{items=%d height=%d nodes=%d pageSize=%d}",
+		pc.hdr.Size, pc.hdr.Height, pc.hdr.NodeCount, pc.pageSize)
+}
+
+// readAt assembles blob bytes [off, off+len(dst)) from the underlying pages
+// through the pool, pinning each touched page across its copy. Page-read
+// accounting: every pool miss is one page fetched from the device.
+func (pc *PagedCompact) readAt(dst []byte, off int64) error {
+	abs := pc.base + off
+	for len(dst) > 0 {
+		page := storage.PageID(abs / int64(pc.pageSize))
+		within := int(abs % int64(pc.pageSize))
+		pc.pool.Pin(page)
+		data, hit, err := pc.pool.GetTracked(page)
+		if err != nil {
+			pc.pool.Unpin(page)
+			return err
+		}
+		if !hit {
+			pc.counters.AddPagesRead(1)
+			pc.counters.AddBytesRead(int64(pc.pageSize))
+		}
+		n := copy(dst, data[within:])
+		pc.pool.Unpin(page)
+		dst = dst[n:]
+		abs += int64(n)
+	}
+	return nil
+}
+
+func (pc *PagedCompact) readNode(i int32) (box geom.AABB, first, count int32, leaf bool, err error) {
+	off := int64(pc.hdr.NodesOffset()) + int64(i)*rtree.CompactNodeSize
+	if err = pc.readAt(pc.scratch[:], off); err != nil {
+		return
+	}
+	box, first, count, leaf = rtree.DecodeCompactNode(pc.scratch[:])
+	err = rtree.ValidateCompactNode(pc.hdr, int(i), first, count, leaf)
+	return
+}
+
+func (pc *PagedCompact) readLeafBox(i int32) (geom.AABB, error) {
+	off := int64(pc.hdr.LeafBoxesOffset()) + int64(i)*rtree.CompactLeafBoxSize
+	if err := pc.readAt(pc.scratch[:rtree.CompactLeafBoxSize], off); err != nil {
+		return geom.AABB{}, err
+	}
+	return rtree.DecodeCompactLeafBox(pc.scratch[:]), nil
+}
+
+func (pc *PagedCompact) readLeafID(i int32) (int64, error) {
+	off := int64(pc.hdr.LeafIDsOffset()) + int64(i)*rtree.CompactLeafIDSize
+	if err := pc.readAt(pc.scratch[:rtree.CompactLeafIDSize], off); err != nil {
+		return 0, err
+	}
+	return rtree.DecodeCompactLeafID(pc.scratch[:]), nil
+}
+
+// Search invokes fn for every item whose box intersects query, fetching node
+// and leaf records through the buffer pool. Traversal statistics are charged
+// to the counters: pool misses to the page-read category, node-level MBR
+// tests and leaf-level tests to the two intersection-test categories —
+// mirroring the in-memory Compact's accounting so the Figure 2 comparison
+// stays apples to apples.
+func (pc *PagedCompact) Search(query geom.AABB, fn func(index.Item) bool) error {
+	if pc.hdr.Size == 0 {
+		return nil
+	}
+	var nodeVisits, treeTests, elemTests, results int64
+	defer func() {
+		pc.counters.AddNodeVisits(nodeVisits)
+		pc.counters.AddTreeIntersectTests(treeTests)
+		pc.counters.AddElemIntersectTests(elemTests)
+		pc.counters.AddElementsTouched(elemTests)
+		pc.counters.AddResults(results)
+	}()
+
+	pc.stack = pc.stack[:0]
+	pc.stack = append(pc.stack, 0)
+	rootChecked := false
+	for len(pc.stack) > 0 {
+		ni := pc.stack[len(pc.stack)-1]
+		pc.stack = pc.stack[:len(pc.stack)-1]
+		box, first, count, leaf, err := pc.readNode(ni)
+		if err != nil {
+			return err
+		}
+		if !rootChecked {
+			rootChecked = true
+			treeTests++
+			if !query.Intersects(box) {
+				return nil
+			}
+		}
+		nodeVisits++
+		if leaf {
+			for i := first; i < first+count; i++ {
+				lb, err := pc.readLeafBox(i)
+				if err != nil {
+					return err
+				}
+				if lb.Min.X > query.Max.X {
+					break // leaf runs are sorted by Min.X, like the in-memory slab
+				}
+				elemTests++
+				if query.Intersects(lb) {
+					id, err := pc.readLeafID(i)
+					if err != nil {
+						return err
+					}
+					results++
+					if !fn(index.Item{ID: id, Box: lb}) {
+						return nil
+					}
+				}
+			}
+			continue
+		}
+		// Child boxes live in the child records themselves (contiguous, so
+		// the scan is one or two pages); an intersecting child is pushed and
+		// its record re-served from the pool when popped.
+		treeTests += int64(count)
+		for i := first; i < first+count; i++ {
+			cb, _, _, _, err := pc.readNode(i)
+			if err != nil {
+				return err
+			}
+			if query.Intersects(cb) {
+				pc.stack = append(pc.stack, i)
+			}
+		}
+	}
+	return nil
+}
+
+// SearchIDs collects the ids of all items intersecting query.
+func (pc *PagedCompact) SearchIDs(query geom.AABB) ([]int64, error) {
+	var out []int64
+	err := pc.Search(query, func(it index.Item) bool {
+		out = append(out, it.ID)
+		return true
+	})
+	return out, err
+}

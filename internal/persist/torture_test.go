@@ -1,0 +1,328 @@
+package persist
+
+// Crash-recovery torture: every write the store issues — segment pages,
+// manifest appends, rotation temp files, syncs — goes through a byte budget
+// that runs out at a randomized offset, simulating a crash mid-write. After
+// each simulated crash a clean store recovers the directory and the test
+// asserts the only two legal outcomes: the previous complete epoch (with
+// exactly its contents), or the new epoch (with exactly its contents), or —
+// when nothing complete survives — a clean corruption error. Torn data must
+// never be served.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/storage"
+)
+
+// failingFile wraps a real file with a shared byte budget; once the budget
+// is spent, writes (and syncs) fail with errInjectedCrash. Partial writes at
+// the boundary model a torn page.
+type failingFile struct {
+	f      *os.File
+	budget *atomic.Int64
+}
+
+var errInjectedCrash = fmt.Errorf("injected crash: write budget exhausted")
+
+func (ff *failingFile) ReadAt(p []byte, off int64) (int, error) { return ff.f.ReadAt(p, off) }
+func (ff *failingFile) Close() error                            { return ff.f.Close() }
+
+func (ff *failingFile) WriteAt(p []byte, off int64) (int, error) {
+	left := ff.budget.Add(-int64(len(p))) + int64(len(p))
+	if left <= 0 {
+		return 0, errInjectedCrash
+	}
+	if left < int64(len(p)) {
+		n, _ := ff.f.WriteAt(p[:left], off) // torn write
+		return n, errInjectedCrash
+	}
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *failingFile) Sync() error {
+	if ff.budget.Load() <= 0 {
+		return errInjectedCrash
+	}
+	return ff.f.Sync()
+}
+
+// failingStore opens a persist.Store whose every file operation spends the
+// shared budget.
+func failingStore(t *testing.T, dir string, budget *atomic.Int64) *Store {
+	t.Helper()
+	s := &Store{
+		dir:  dir,
+		opts: Options{}.withDefaults(),
+		createFile: func(path string) (storage.BackingFile, error) {
+			f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			return &failingFile{f: f, budget: budget}, nil
+		},
+		openFile: func(path string) (storage.BackingFile, int64, error) {
+			f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+			if err != nil {
+				return nil, 0, err
+			}
+			st, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, 0, err
+			}
+			return &failingFile{f: f, budget: budget}, st.Size(), nil
+		},
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reopenManifest(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func tortureShards(items []index.Item) []ShardRecord {
+	return []ShardRecord{{Bounds: boundsOf(items), RTree: rtree.FreezeItems(items, rtree.Config{})}}
+}
+
+// itemSet materializes a recovered epoch's full content as an id->box map.
+func itemSet(t *testing.T, shards []ShardRecord) map[int64]geom.AABB {
+	t.Helper()
+	out := make(map[int64]geom.AABB)
+	for _, sr := range shards {
+		if sr.RTree != nil {
+			sr.RTree.RangeVisit(sr.RTree.Bounds().Expand(1), func(it index.Item) bool {
+				out[it.ID] = it.Box
+				return true
+			})
+			continue
+		}
+		for _, it := range sr.Items {
+			out[it.ID] = it.Box
+		}
+	}
+	return out
+}
+
+func wantSet(items []index.Item) map[int64]geom.AABB {
+	out := make(map[int64]geom.AABB, len(items))
+	for _, it := range items {
+		out[it.ID] = it.Box
+	}
+	return out
+}
+
+func sameSet(a, b map[int64]geom.AABB) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, box := range a {
+		if b[id] != box {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTortureRandomizedCrashOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	items1 := testItems(300, 1)
+	items2 := testItems(330, 2)
+
+	// Size the budget range off one failure-free run so crashes land in
+	// every phase: segment pages, manifest append, rotation.
+	probeDir := t.TempDir()
+	probeBudget := &atomic.Int64{}
+	probeBudget.Store(1 << 40)
+	probe := failingStore(t, probeDir, probeBudget)
+	if err := probe.SaveEpoch(1, 0, tortureShards(items1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.LogBatch([]Update{{ID: 999, Box: items2[0].Box}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.SaveEpoch(2, 1, tortureShards(items2)); err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	fullCost := (int64(1) << 40) - probeBudget.Load()
+
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	sawPrevious, sawNew := false, false
+	for trial := 0; trial < trials; trial++ {
+		dir := t.TempDir()
+
+		// Phase 1: epoch 1 lands cleanly (unlimited budget).
+		setup := &atomic.Int64{}
+		setup.Store(1 << 40)
+		s := failingStore(t, dir, setup)
+		if err := s.SaveEpoch(1, 0, tortureShards(items1)); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		phase1Cost := (int64(1) << 40) - setup.Load()
+
+		// Phase 2: batch + epoch 2 under a budget that dies at a random
+		// offset of the remaining write sequence.
+		budget := &atomic.Int64{}
+		budget.Store(1 + rng.Int63n(fullCost-phase1Cost+256))
+		s2 := failingStore(t, dir, budget)
+		batchSeq, batchErr := s2.LogBatch([]Update{{ID: 999, Box: items2[0].Box}})
+		saveErr := s2.SaveEpoch(2, batchSeq, tortureShards(items2))
+		s2.Close()
+
+		// Recovery with a clean store: previous epoch, new epoch, or a clean
+		// corruption report — never torn data, never a panic.
+		clean, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: reopen: %v", trial, err)
+		}
+		rec, err := clean.Recover(RecoverOptions{})
+		clean.Close()
+		if err != nil {
+			t.Fatalf("trial %d (batchErr=%v saveErr=%v): recovery failed with epoch 1 intact: %v",
+				trial, batchErr, saveErr, err)
+		}
+		switch rec.EpochSeq {
+		case 1:
+			sawPrevious = true
+			if !sameSet(itemSet(t, rec.Shards), wantSet(items1)) {
+				t.Fatalf("trial %d: epoch 1 content differs after crash", trial)
+			}
+			if saveErr == nil {
+				t.Fatalf("trial %d: SaveEpoch(2) claimed success but epoch 1 recovered", trial)
+			}
+			// The WAL tail is replayable iff its append fully succeeded.
+			if batchErr == nil && len(rec.Pending) != 1 {
+				t.Fatalf("trial %d: logged batch lost from WAL tail", trial)
+			}
+		case 2:
+			sawNew = true
+			if !sameSet(itemSet(t, rec.Shards), wantSet(items2)) {
+				t.Fatalf("trial %d: epoch 2 content differs after crash", trial)
+			}
+		default:
+			t.Fatalf("trial %d: recovered impossible epoch %d", trial, rec.EpochSeq)
+		}
+	}
+	if !sawPrevious || !sawNew {
+		t.Fatalf("budget range failed to exercise both outcomes: previous=%v new=%v", sawPrevious, sawNew)
+	}
+}
+
+// syncFailFile passes writes through but fails Sync while the flag is up —
+// the transient-fsync-failure shape (disk full, I/O error) rather than a
+// crash.
+type syncFailFile struct {
+	f    *os.File
+	fail *atomic.Bool
+}
+
+func (sf *syncFailFile) ReadAt(p []byte, off int64) (int, error)  { return sf.f.ReadAt(p, off) }
+func (sf *syncFailFile) WriteAt(p []byte, off int64) (int, error) { return sf.f.WriteAt(p, off) }
+func (sf *syncFailFile) Close() error                             { return sf.f.Close() }
+func (sf *syncFailFile) Sync() error {
+	if sf.fail.Load() {
+		return fmt.Errorf("injected fsync failure")
+	}
+	return sf.f.Sync()
+}
+
+// TestWALSyncFailureDoesNotShadowLaterBatch: a batch whose post-append fsync
+// fails must not leave its record in the manifest, where it would share a
+// sequence number with the next (acknowledged) batch and shadow it during
+// replay.
+func TestWALSyncFailureDoesNotShadowLaterBatch(t *testing.T) {
+	dir := t.TempDir()
+	var failSync atomic.Bool
+	s := &Store{
+		dir:        dir,
+		opts:       Options{}.withDefaults(),
+		createFile: osCreate,
+		openFile: func(path string) (storage.BackingFile, int64, error) {
+			f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+			if err != nil {
+				return nil, 0, err
+			}
+			st, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, 0, err
+			}
+			return &syncFailFile{f: f, fail: &failSync}, st.Size(), nil
+		},
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reopenManifest(); err != nil {
+		t.Fatal(err)
+	}
+
+	failSync.Store(true)
+	if _, err := s.LogBatch([]Update{{ID: 111}}); err == nil {
+		t.Fatal("LogBatch succeeded under failing fsync")
+	}
+	failSync.Store(false)
+	seq, err := s.LogBatch([]Update{{ID: 222}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	clean, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	rec, err := clean.Recover(RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 1 || rec.Pending[0].Seq != seq {
+		t.Fatalf("pending after fsync failure: %+v", rec.Pending)
+	}
+	if got := rec.Pending[0].Updates[0].ID; got != 222 {
+		t.Fatalf("replayed batch is the failed one (id %d), acknowledged batch shadowed", got)
+	}
+}
+
+// TestTortureAllSnapshotsCorrupt asserts the clean-corruption contract: when
+// no complete epoch survives, recovery reports it instead of serving
+// anything.
+func TestTortureAllSnapshotsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveEpoch(1, 0, tortureShards(testItems(100, 3))); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Truncate the only segment mid-page: size check and CRC both break.
+	seg := dir + "/" + segmentName(1)
+	if err := os.Truncate(seg, 1000); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Recover(RecoverOptions{}); err == nil {
+		t.Fatal("recovery served a torn-only directory")
+	}
+}

@@ -1,0 +1,91 @@
+package rtree
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func TestCompactCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 400, 3000} {
+		items := randomItems(n, int64(n)+7)
+		c := FreezeItems(items, Config{})
+		blob := c.AppendBinary(nil)
+		if got, want := len(blob), c.BinarySize(); got != want {
+			t.Fatalf("n=%d: BinarySize %d, appended %d", n, want, got)
+		}
+		// Decoding must consume exactly the blob and survive trailing bytes.
+		dec, consumed, err := DecodeCompact(append(blob, 0xAA, 0xBB))
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if consumed != len(blob) {
+			t.Fatalf("n=%d: consumed %d of %d", n, consumed, len(blob))
+		}
+		if dec.Len() != c.Len() || dec.Height() != c.Height() {
+			t.Fatalf("n=%d: len/height %d/%d, want %d/%d", n, dec.Len(), dec.Height(), c.Len(), c.Height())
+		}
+		// Re-encoding the decoded snapshot must be byte-identical: the codec
+		// is a transcription, not a rebuild.
+		if !bytes.Equal(blob, dec.AppendBinary(nil)) {
+			t.Fatalf("n=%d: re-encode differs", n)
+		}
+		// Queries must agree in results and visit order.
+		queries := []geom.AABB{
+			geom.NewAABB(geom.V(10, 10, 10), geom.V(40, 40, 40)),
+			geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)),
+			geom.NewAABB(geom.V(90, 90, 90), geom.V(91, 91, 91)),
+		}
+		for _, q := range queries {
+			a := index.VisitAll(c, q)
+			b := index.VisitAll(dec, q)
+			if len(a) != len(b) {
+				t.Fatalf("n=%d: range results %d vs %d", n, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d: range result %d: %v vs %v", n, i, a[i], b[i])
+				}
+			}
+		}
+		for _, p := range []geom.Vec3{geom.V(50, 50, 50), geom.V(-5, 0, 200)} {
+			a := c.KNN(p, 10)
+			b := dec.KNN(p, 10)
+			if len(a) != len(b) {
+				t.Fatalf("n=%d: knn results %d vs %d", n, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d: knn result %d: %v vs %v", n, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeCompactRejectsCorruption(t *testing.T) {
+	c := FreezeItems(randomItems(200, 3), Config{})
+	blob := c.AppendBinary(nil)
+
+	cases := map[string]func([]byte) []byte{
+		"empty":           func(b []byte) []byte { return nil },
+		"short header":    func(b []byte) []byte { return b[:16] },
+		"bad magic":       func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"truncated body":  func(b []byte) []byte { return b[:len(b)/2] },
+		"huge node count": func(b []byte) []byte { b[4], b[5], b[6], b[7] = 0xFF, 0xFF, 0xFF, 0x7F; return b },
+		"leaf run overflow": func(b []byte) []byte {
+			// First leaf node's count field.
+			off := 32 + int(c.leafStart)*CompactNodeSize + 52
+			b[off], b[off+1], b[off+2], b[off+3] = 0xFF, 0xFF, 0xFF, 0x7F
+			return b
+		},
+	}
+	for name, corrupt := range cases {
+		mutated := corrupt(append([]byte(nil), blob...))
+		if _, _, err := DecodeCompact(mutated); err == nil {
+			t.Errorf("%s: decode accepted corrupted snapshot", name)
+		}
+	}
+}

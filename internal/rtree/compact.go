@@ -33,8 +33,22 @@ type Compact struct {
 	leafStart int32
 	size      int
 	height    int
-	counters  instrument.Counters
-	knnPool   sync.Pool // *compactKNNState
+	// heapCap sizes the pooled KNN traversal heaps (4x the source tree's
+	// fan-out). It is part of the serialized form, so a decoded snapshot pools
+	// heaps exactly like the one that was frozen.
+	heapCap  int
+	counters instrument.Counters
+	knnPool  sync.Pool // *compactKNNState
+}
+
+// initPools installs the pool constructors (shared by Freeze and the binary
+// decoder). The closure captures the snapshot itself, which is fine — unlike
+// capturing the mutable source tree, it pins nothing beyond the snapshot's
+// own lifetime.
+func (c *Compact) initPools() {
+	c.knnPool.New = func() interface{} {
+		return &compactKNNState{heap: make([]compactHeapEnt, 0, c.heapCap)}
+	}
 }
 
 // compactNode is one slab node. For a leaf, [first, first+count) indexes the
@@ -59,13 +73,8 @@ const compactStackCap = 128
 // contiguous and places the upper levels — the entries every query tests —
 // at the front of the slab.
 func (t *Tree) Freeze() *Compact {
-	c := &Compact{size: t.size, height: t.height}
-	// Capture only the capacity, not t: the pool's New closure lives as long
-	// as the snapshot and must not pin the pointer tree in memory.
-	heapCap := 4 * t.maxEntries
-	c.knnPool.New = func() interface{} {
-		return &compactKNNState{heap: make([]compactHeapEnt, 0, heapCap)}
-	}
+	c := &Compact{size: t.size, height: t.height, heapCap: 4 * t.maxEntries}
+	c.initPools()
 	if t.size == 0 {
 		return c
 	}

@@ -1,0 +1,252 @@
+package serve
+
+// Durability wiring: construction (Open) with crash recovery, the background
+// snapshotter that persists published epochs without ever blocking readers,
+// and the stats surface. The division of labor with internal/persist is
+// strict — persist owns bytes (segments, manifest, checksums, recovery
+// source selection), serve owns meaning (what a shard is, how an epoch is
+// rebuilt from records, when snapshots happen).
+
+import (
+	"fmt"
+
+	"spatialsim/internal/exec"
+	"spatialsim/internal/index"
+	"spatialsim/internal/moving"
+	"spatialsim/internal/persist"
+	"spatialsim/internal/rtree"
+)
+
+// Open constructs a store and starts its background workers. With
+// Config.Persist set it first recovers: the newest verifiable epoch snapshot
+// is loaded (native R-Tree shards are served directly from their decoded
+// compact slabs; other shard families are rebuilt from their persisted items
+// through cfg.Build), the staging table is re-seeded from it, and the WAL
+// tail beyond the snapshot is replayed batch by batch — reproducing both the
+// pre-crash content and the pre-crash epoch sequence numbers. Open fails
+// (rather than serving torn data) only when snapshots exist but none
+// verifies.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:     cfg,
+		staging: moving.NewThrowaway(index.NewLinearScan()),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		updates: make(chan []Update, cfg.IngestQueue),
+	}
+	s.epoch.Store(newEpoch(0, nil, 0))
+
+	if cfg.Persist != nil {
+		if err := s.recoverFromPersist(); err != nil {
+			return nil, err
+		}
+		s.snapCh = make(chan struct{}, 1)
+		s.snapDone = make(chan struct{})
+		s.snapWg.Add(1)
+		go s.snapshotLoop()
+	}
+
+	s.wg.Add(1)
+	go s.builderLoop()
+	return s, nil
+}
+
+// recoverFromPersist loads the persisted state into the (not yet started)
+// store.
+func (s *Store) recoverFromPersist() error {
+	rec, err := s.cfg.Persist.Recover(persist.RecoverOptions{Workers: s.cfg.Workers})
+	if err != nil {
+		return fmt.Errorf("serve: recovery: %w", err)
+	}
+	s.recovery = RecoveryInfo{
+		Recovered:       true,
+		Epoch:           rec.EpochSeq,
+		Segment:         rec.Segment,
+		Items:           rec.Items(),
+		ReplayedBatches: len(rec.Pending),
+		SkippedCorrupt:  rec.SkippedCorrupt,
+	}
+
+	if len(rec.Shards) > 0 || rec.EpochSeq > 0 {
+		shards := make([]Shard, len(rec.Shards))
+		inner := s.cfg.Workers/maxInt(len(rec.Shards), 1) + 1
+		exec.ForTasks(len(rec.Shards), s.cfg.Workers, func(_, i int) {
+			sr := rec.Shards[i]
+			if sr.RTree != nil {
+				shards[i] = Shard{bounds: sr.Bounds, snap: sr.RTree}
+				return
+			}
+			shards[i] = Shard{bounds: sr.Bounds, snap: s.cfg.Build(sr.Bounds, sr.Items, inner)}
+		})
+		e := newEpoch(rec.EpochSeq, shards, rec.Items())
+		e.covered = rec.BatchSeq
+		s.epoch.Store(e)
+
+		// Re-seed staging so the next epoch build starts from the recovered
+		// content, and so replayed deletes find their targets.
+		items := e.AllItems(nil)
+		s.stagingMu.Lock()
+		for _, it := range items {
+			s.staging.Update(it.ID, it.Box, it.Box)
+		}
+		s.stagedSeq = rec.BatchSeq
+		s.stagingMu.Unlock()
+	} else {
+		s.stagingMu.Lock()
+		s.stagedSeq = rec.BatchSeq
+		s.stagingMu.Unlock()
+	}
+	s.lastPersisted.Store(rec.EpochSeq)
+
+	// Replay the WAL tail batch by batch: each pre-crash Apply produced one
+	// epoch, so replay reproduces the same epoch sequence numbers — a
+	// restarted server answers with the same epoch labels it crashed with.
+	for _, br := range rec.Pending {
+		s.stagingMu.Lock()
+		s.stagedSeq = br.Seq
+		s.stagingMu.Unlock()
+		s.applyBatch(br.Updates, false)
+	}
+	return nil
+}
+
+// Recovery returns what Open recovered (zero value for in-memory stores).
+func (s *Store) Recovery() RecoveryInfo { return s.recovery }
+
+// notifySnapshotter wakes the snapshotter without blocking; a pending wakeup
+// already covers the newly published epoch (the snapshotter always reads the
+// current pointer).
+func (s *Store) notifySnapshotter() {
+	if s.snapCh == nil {
+		return
+	}
+	select {
+	case s.snapCh <- struct{}{}:
+	default:
+	}
+}
+
+// snapshotLoop persists published epochs in the background. Readers are
+// never blocked: the loop works on the immutable shard snapshots of a live
+// epoch reference, off the query path. On shutdown it takes a final
+// snapshot, so a clean Close never needs WAL replay.
+func (s *Store) snapshotLoop() {
+	defer s.snapWg.Done()
+	for {
+		select {
+		case <-s.snapCh:
+			if err := s.snapshotIfNeeded(false); err != nil {
+				s.snapErrs.Add(1)
+				s.setLastSnapErr(err)
+			}
+		case <-s.snapDone:
+			if err := s.snapshotIfNeeded(true); err != nil {
+				s.snapErrs.Add(1)
+				s.setLastSnapErr(err)
+			}
+			return
+		}
+	}
+}
+
+// snapshotIfNeeded persists the current epoch unless it is already persisted
+// or (when not forced) younger than the SnapshotEvery cadence allows.
+func (s *Store) snapshotIfNeeded(force bool) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	e := s.epoch.Load()
+	last := s.lastPersisted.Load()
+	if e.seq <= last {
+		return nil
+	}
+	if !force && e.seq-last < uint64(s.cfg.SnapshotEvery) {
+		return nil
+	}
+	recs := shardRecords(e)
+	if err := s.cfg.Persist.SaveEpoch(e.seq, e.covered, recs); err != nil {
+		return err
+	}
+	s.lastPersisted.Store(e.seq)
+	s.snapshots.Add(1)
+	return nil
+}
+
+// Snapshot forces a synchronous snapshot of the current epoch (the /snapshot
+// endpoint) and returns the persisted epoch sequence. On a store without
+// persistence it returns an error.
+func (s *Store) Snapshot() (uint64, error) {
+	if s.cfg.Persist == nil {
+		return 0, fmt.Errorf("serve: store has no persistence configured")
+	}
+	if err := s.snapshotIfNeeded(true); err != nil {
+		s.snapErrs.Add(1)
+		s.setLastSnapErr(err)
+		return 0, err
+	}
+	return s.lastPersisted.Load(), nil
+}
+
+// shardRecords converts an epoch's shards into their durable form: R-Tree
+// compact snapshots are transcribed natively, every other family falls back
+// to its item list (rebuilt through the shard builder at recovery).
+func shardRecords(e *Epoch) []persist.ShardRecord {
+	recs := make([]persist.ShardRecord, len(e.shards))
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if c, ok := sh.snap.(*rtree.Compact); ok {
+			recs[i] = persist.ShardRecord{Bounds: sh.bounds, RTree: c}
+			continue
+		}
+		var items []index.Item
+		if sh.snap.Len() > 0 {
+			items = make([]index.Item, 0, sh.snap.Len())
+			sh.snap.RangeVisit(sh.bounds, func(it index.Item) bool {
+				items = append(items, it)
+				return true
+			})
+		}
+		recs[i] = persist.ShardRecord{Bounds: sh.bounds, Items: items}
+	}
+	return recs
+}
+
+func (s *Store) setLastSnapErr(err error) {
+	msg := err.Error()
+	s.lastSnapErr.Store(&msg)
+}
+
+// DurabilityStats is the Stats slice describing persistence state.
+type DurabilityStats struct {
+	LastPersistedEpoch uint64       `json:"last_persisted_epoch"`
+	Snapshots          int64        `json:"snapshots"`
+	SnapshotErrors     int64        `json:"snapshot_errors"`
+	WALErrors          int64        `json:"wal_errors"`
+	LastError          string       `json:"last_error,omitempty"`
+	BatchesLogged      int64        `json:"batches_logged"`
+	SnapshotBytes      int64        `json:"snapshot_bytes"`
+	Rotations          int64        `json:"rotations"`
+	Recovery           RecoveryInfo `json:"recovery"`
+}
+
+// durabilityStats assembles the durability slice of a Stats snapshot (nil
+// for in-memory stores).
+func (s *Store) durabilityStats() *DurabilityStats {
+	if s.cfg.Persist == nil {
+		return nil
+	}
+	ps := s.cfg.Persist.Stats()
+	d := &DurabilityStats{
+		LastPersistedEpoch: s.lastPersisted.Load(),
+		Snapshots:          s.snapshots.Load(),
+		SnapshotErrors:     s.snapErrs.Load(),
+		WALErrors:          s.walErrs.Load(),
+		BatchesLogged:      ps.BatchesLogged,
+		SnapshotBytes:      ps.SnapshotBytes,
+		Rotations:          ps.Rotations,
+		Recovery:           s.recovery,
+	}
+	if msg := s.lastSnapErr.Load(); msg != nil {
+		d.LastError = *msg
+	}
+	return d
+}

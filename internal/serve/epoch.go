@@ -43,7 +43,11 @@ type Epoch struct {
 	seq    uint64
 	items  int
 	shards []Shard
-	pins   atomic.Int64
+	// covered is the WAL batch sequence this epoch's content includes; the
+	// snapshotter stamps it into the segment so recovery knows which WAL
+	// tail to replay on top.
+	covered uint64
+	pins    atomic.Int64
 	// superseded is set when a newer epoch replaces this one; retireOnce
 	// makes the drained-epoch accounting fire exactly once, whichever of the
 	// swapper or the last unpinning reader observes pins reach zero.

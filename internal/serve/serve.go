@@ -19,6 +19,14 @@
 // degrades into queueing instead of collapse. cmd/spatialserver fronts a
 // Store with HTTP endpoints and spatialbench's "serve" experiment drives it
 // with mixed query/update traffic.
+//
+// With a persistence store attached (Config.Persist, see internal/persist
+// and Open), the subsystem is durable: ingest batches are WAL-journaled as
+// they are staged, a background snapshotter writes each published epoch's
+// frozen shards into page-aligned segment files off the query path, and
+// Open recovers the newest complete epoch — replaying the WAL tail, which
+// reproduces both the pre-crash contents and the pre-crash epoch sequence
+// numbers — before serving.
 package serve
 
 import (
@@ -34,6 +42,7 @@ import (
 	"spatialsim/internal/join"
 	"spatialsim/internal/moving"
 	"spatialsim/internal/octree"
+	"spatialsim/internal/persist"
 	"spatialsim/internal/rtree"
 )
 
@@ -92,6 +101,15 @@ type Config struct {
 	// IngestQueue is the capacity of the asynchronous update-batch queue
 	// consumed by the background builder (<= 0 picks 16).
 	IngestQueue int
+	// Persist enables durability: update batches are journaled to the
+	// store's WAL as they are staged, published epochs are snapshotted to
+	// page-aligned segment files by a background snapshotter, and Open
+	// recovers the newest complete epoch (replaying the WAL tail) on boot.
+	// Nil serves purely in memory, as before.
+	Persist *persist.Store
+	// SnapshotEvery persists only every Nth published epoch (<= 0 picks 1 —
+	// every epoch). Skipped epochs stay recoverable through the WAL.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,16 +128,16 @@ func (c Config) withDefaults() Config {
 	if c.IngestQueue <= 0 {
 		c.IngestQueue = 16
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 1
+	}
 	return c
 }
 
 // Update is one element mutation of an ingest batch: an upsert of (ID, Box),
-// or a removal when Delete is set.
-type Update struct {
-	ID     int64
-	Box    geom.AABB
-	Delete bool
-}
+// or a removal when Delete is set. It is the persistence layer's WAL record
+// element, aliased here so serving and durability speak one type.
+type Update = persist.Update
 
 // Store is the sharded, epoch-versioned serving store. All query methods are
 // safe for unbounded concurrent use and never block on ingestion; Apply and
@@ -136,6 +154,10 @@ type Store struct {
 	stagingMu sync.Mutex
 	staging   *moving.Throwaway
 	scratch   []index.Item // reused items snapshot (safe: shard builds copy)
+	// stagedSeq is the WAL sequence of the last batch staged (guarded by
+	// stagingMu); each epoch records the value it was built under, so a
+	// snapshot knows exactly which WAL records it covers.
+	stagedSeq uint64
 
 	sem      chan struct{}
 	inFlight atomic.Int64
@@ -151,32 +173,67 @@ type Store struct {
 	updates chan []Update
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+
+	// Durability (all nil/zero when cfg.Persist is nil).
+	snapCh        chan struct{}
+	snapDone      chan struct{}
+	snapClosed    atomic.Bool
+	snapWg        sync.WaitGroup
+	snapMu        sync.Mutex // serializes snapshot attempts (background + forced)
+	lastPersisted atomic.Uint64
+	snapshots     atomic.Int64
+	snapErrs      atomic.Int64
+	walErrs       atomic.Int64
+	lastSnapErr   atomic.Pointer[string]
+	recovery      RecoveryInfo
+}
+
+// RecoveryInfo describes what Open recovered from the persistence store.
+type RecoveryInfo struct {
+	// Recovered is true when a durable store was attached (even if it was
+	// empty — a fresh data dir recovers to epoch 0).
+	Recovered bool `json:"recovered"`
+	// Epoch is the snapshot epoch that was loaded (0 if none existed).
+	Epoch uint64 `json:"epoch"`
+	// Segment is the segment file the epoch came from ("" if none).
+	Segment string `json:"segment,omitempty"`
+	// Items is the number of items the loaded snapshot held.
+	Items int `json:"items"`
+	// ReplayedBatches is the number of WAL tail batches replayed on top.
+	ReplayedBatches int `json:"replayed_batches"`
+	// SkippedCorrupt counts snapshot generations recovery skipped because
+	// they failed verification.
+	SkippedCorrupt int `json:"skipped_corrupt"`
 }
 
 // New returns an empty store serving epoch 0 (no shards) and starts its
 // background builder. Close releases the builder when the store is done.
+// For a durable store (Config.Persist set) use Open, which can fail on
+// unrecoverable corruption; New panics in that case.
 func New(cfg Config) *Store {
-	cfg = cfg.withDefaults()
-	s := &Store{
-		cfg:     cfg,
-		staging: moving.NewThrowaway(index.NewLinearScan()),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		updates: make(chan []Update, cfg.IngestQueue),
+	s, err := Open(cfg)
+	if err != nil {
+		panic("serve.New: " + err.Error())
 	}
-	s.epoch.Store(newEpoch(0, nil, 0))
-	s.wg.Add(1)
-	go s.builderLoop()
 	return s
 }
 
-// Close stops the background builder after draining queued batches. Queries
-// remain answerable (the last epoch stays current); further Enqueue calls
-// panic, Apply keeps working.
+// Close stops the background builder after draining queued batches, then —
+// for a durable store — takes a final snapshot of the current epoch and
+// stops the snapshotter, so a clean shutdown is always fully recoverable
+// without WAL replay. Queries remain answerable (the last epoch stays
+// current); further Enqueue calls panic, Apply keeps working.
 func (s *Store) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		close(s.updates)
 	}
 	s.wg.Wait()
+	if s.cfg.Persist != nil {
+		if s.snapClosed.CompareAndSwap(false, true) {
+			close(s.snapDone)
+		}
+		s.snapWg.Wait()
+	}
 }
 
 // builderLoop drains the async ingest queue, coalescing every batch already
@@ -209,14 +266,15 @@ func (s *Store) Enqueue(batch []Update) {
 	s.updates <- batch
 }
 
-// Bootstrap stages the initial dataset and publishes the first epoch.
+// Bootstrap stages the initial dataset and publishes the first epoch. On a
+// durable store the dataset is journaled like any other upsert batch, so a
+// crash before the first snapshot still recovers it from the WAL.
 func (s *Store) Bootstrap(items []index.Item) uint64 {
-	s.stagingMu.Lock()
-	for _, it := range items {
-		s.staging.Update(it.ID, geom.AABB{}, it.Box)
+	batch := make([]Update, len(items))
+	for i, it := range items {
+		batch[i] = Update{ID: it.ID, Box: it.Box}
 	}
-	s.stagingMu.Unlock()
-	return s.freezeAndSwap()
+	return s.Apply(batch)
 }
 
 // Apply stages one update batch and synchronously freezes + swaps an epoch
@@ -226,12 +284,30 @@ func (s *Store) Bootstrap(items []index.Item) uint64 {
 // either way — they keep answering from the previous epoch until the atomic
 // pointer swap, and pinned readers finish on the epoch they pinned.
 func (s *Store) Apply(batch []Update) uint64 {
+	return s.applyBatch(batch, true)
+}
+
+// applyBatch is Apply with the WAL append made optional: recovery replays
+// batches that are already in the WAL and must not journal them again. The
+// append happens under stagingMu, which makes the WAL order identical to
+// the staging order — the property replay depends on.
+func (s *Store) applyBatch(batch []Update, journal bool) uint64 {
 	s.stagingMu.Lock()
 	for _, u := range batch {
 		if u.Delete {
 			s.staging.Delete(u.ID, geom.AABB{})
 		} else {
 			s.staging.Update(u.ID, geom.AABB{}, u.Box)
+		}
+	}
+	if journal && s.cfg.Persist != nil {
+		if seq, err := s.cfg.Persist.LogBatch(batch); err != nil {
+			// Serving keeps going on WAL failure: the batch is live in
+			// memory and will be covered by the next snapshot that succeeds.
+			s.walErrs.Add(1)
+			s.setLastSnapErr(err)
+		} else {
+			s.stagedSeq = seq
 		}
 	}
 	s.stagingMu.Unlock()
@@ -247,23 +323,24 @@ func (s *Store) freezeAndSwap() uint64 {
 	s.buildMu.Lock()
 	defer s.buildMu.Unlock()
 	s.stagingMu.Lock()
-	snapshot := s.snapshotStagingLocked()
+	snapshot, covered := s.snapshotStagingLocked()
 	s.stagingMu.Unlock()
-	return s.publishLocked(snapshot)
+	return s.publishLocked(snapshot, covered)
 }
 
 // snapshotStagingLocked copies the staged state into the reusable scratch
-// slice. Caller holds stagingMu.
-func (s *Store) snapshotStagingLocked() []index.Item {
+// slice and reports the WAL sequence the copy covers. Caller holds
+// stagingMu.
+func (s *Store) snapshotStagingLocked() ([]index.Item, uint64) {
 	s.scratch = s.staging.Items(s.scratch[:0])
-	return s.scratch
+	return s.scratch, s.stagedSeq
 }
 
 // publishLocked partitions the items into STR shards, builds and freezes
 // every shard in parallel, and atomically swaps the epoch pointer. Caller
 // holds buildMu. The scratch slice is free for reuse on return: every shard
 // family copies items into its own storage during bulk load.
-func (s *Store) publishLocked(items []index.Item) uint64 {
+func (s *Store) publishLocked(items []index.Item, covered uint64) uint64 {
 	parts := partitionSTR(items, s.cfg.Shards)
 	shards := make([]Shard, len(parts))
 	inner := s.cfg.Workers/maxInt(len(parts), 1) + 1
@@ -274,8 +351,10 @@ func (s *Store) publishLocked(items []index.Item) uint64 {
 
 	prev := s.epoch.Load()
 	next := newEpoch(prev.seq+1, shards, len(items))
+	next.covered = covered
 	s.epoch.Store(next)
 	s.swaps.Add(1)
+	s.notifySnapshotter()
 	// Retirement: the superseded epoch is counted retired by whoever observes
 	// its pin count at zero first — the swapper (no readers were on it) or
 	// the last unpinning reader. No watcher goroutine, no polling.
@@ -494,6 +573,8 @@ type Stats struct {
 	InFlight      int64        `json:"in_flight"`
 	PeakInFlight  int64        `json:"peak_in_flight"`
 	MaxInFlight   int          `json:"max_in_flight"`
+	// Durability reports persistence state (nil for in-memory stores).
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Stats returns a snapshot of the store's counters and the current epoch's
@@ -515,6 +596,7 @@ func (s *Store) Stats() Stats {
 		InFlight:     s.inFlight.Load(),
 		PeakInFlight: s.peak.Load(),
 		MaxInFlight:  s.cfg.MaxInFlight,
+		Durability:   s.durabilityStats(),
 	}
 	s.stagingMu.Lock()
 	if c := s.staging.Counters(); c != nil {

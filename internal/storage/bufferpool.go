@@ -21,37 +21,44 @@ func (s BufferPoolStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// BufferPool caches disk pages with an LRU replacement policy. The paper's
-// experiments run with a cold cache that is cleared between queries; Clear
-// provides exactly that.
+// BufferPool caches pages of a Pager with an LRU replacement policy. The
+// paper's experiments run with a cold cache that is cleared between queries;
+// Clear provides exactly that. Callers that hold a page across other pool
+// operations (the paged segment readers assembling a record that straddles
+// pages) pin it first: a pinned page is never evicted — not by capacity
+// pressure, not by Evict, not by Clear — until its last pin is dropped.
 type BufferPool struct {
-	disk     *Disk
+	pager    Pager
 	capacity int
 
 	mu    sync.Mutex
 	lru   *list.List // of PageID, front = most recently used
 	index map[PageID]*list.Element
 	data  map[PageID][]byte
+	pins  map[PageID]int
 	stats BufferPoolStats
 }
 
-// NewBufferPool returns a pool caching up to capacity pages of the disk.
-// A capacity of 0 disables caching entirely (every Get goes to disk).
-func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+// NewBufferPool returns a pool caching up to capacity pages of the pager.
+// A capacity of 0 disables caching entirely (every Get goes to the pager).
+func NewBufferPool(pager Pager, capacity int) *BufferPool {
 	return &BufferPool{
-		disk:     disk,
+		pager:    pager,
 		capacity: capacity,
 		lru:      list.New(),
 		index:    make(map[PageID]*list.Element),
 		data:     make(map[PageID][]byte),
+		pins:     make(map[PageID]int),
 	}
 }
 
 // Capacity returns the configured capacity in pages.
 func (p *BufferPool) Capacity() int { return p.capacity }
 
-// Get returns the contents of the page, reading it from disk on a miss. The
-// returned slice is owned by the pool and must not be modified.
+// Get returns the contents of the page, reading it from the pager on a miss.
+// The returned slice is owned by the pool and must not be modified; callers
+// that need it to stay coherent across further pool traffic must Pin the page
+// for the duration.
 func (p *BufferPool) Get(id PageID) ([]byte, error) {
 	p.mu.Lock()
 	if el, ok := p.index[id]; ok {
@@ -64,38 +71,125 @@ func (p *BufferPool) Get(id PageID) ([]byte, error) {
 	p.stats.Misses++
 	p.mu.Unlock()
 
-	data, err := p.disk.Read(id)
+	data, err := p.pager.Read(id)
 	if err != nil {
 		return nil, err
 	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.capacity > 0 {
+	if p.capacity > 0 || p.pins[id] > 0 {
+		// A pinned page is cached even by a zero-capacity (cold-cache) pool:
+		// the pin is a promise that the caller's slice stays the page, and
+		// that promise must survive a concurrent Get of the same id.
 		if _, ok := p.index[id]; !ok {
 			p.index[id] = p.lru.PushFront(id)
 			p.data[id] = data
-			for p.lru.Len() > p.capacity {
-				back := p.lru.Back()
-				victim := back.Value.(PageID)
-				p.lru.Remove(back)
-				delete(p.index, victim)
-				delete(p.data, victim)
-				p.stats.Evictions++
-			}
+			p.evictOverCapacityLocked()
+		} else {
+			// Raced with another miss of the same id: keep the resident copy
+			// so every caller that pinned it observes one stable slice.
+			data = p.data[id]
 		}
 	}
 	return data, nil
 }
 
-// Clear drops every cached page, emulating the paper's cold-cache protocol
-// ("the cache is cleaned between any two queries").
+// Pin marks the page as unevictable until a matching Unpin. Pinning a page
+// that is not (yet) resident is allowed — the pin takes effect the moment a
+// Get brings it in, which is exactly the interleaving a concurrent
+// Get/Evict of the same id produces.
+func (p *BufferPool) Pin(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pins[id]++
+}
+
+// Unpin drops one pin. It panics on a page that was not pinned: an unbalanced
+// Unpin is a lifecycle bug that would otherwise surface as an impossible
+// eviction much later. Dropping the last pin re-runs the capacity scan, so a
+// page that was admitted only because it was pinned (capacity-0 cold-cache
+// pools) or kept the pool in overflow leaves immediately rather than
+// lingering as a phantom cache hit.
+func (p *BufferPool) Unpin(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.pins[id]
+	if !ok {
+		panic("storage: Unpin of unpinned page")
+	}
+	if n > 1 {
+		p.pins[id] = n - 1
+		return
+	}
+	delete(p.pins, id)
+	if p.lru.Len() > p.capacity {
+		p.evictOverCapacityLocked()
+	}
+}
+
+// Evict drops the page from the cache and reports whether it is gone. A
+// pinned page is not evicted (returns false); an absent page is trivially
+// gone (returns true).
+func (p *BufferPool) Evict(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pins[id] > 0 {
+		return false
+	}
+	el, ok := p.index[id]
+	if !ok {
+		return true
+	}
+	p.removeLocked(el, id)
+	return true
+}
+
+// evictOverCapacityLocked brings the cache back under capacity, scanning from
+// the LRU end and skipping pinned pages. If every resident page is pinned the
+// pool runs over capacity rather than evicting a page someone holds — the
+// overflow drains as pins drop and later insertions re-run the scan.
+func (p *BufferPool) evictOverCapacityLocked() {
+	over := p.lru.Len() - p.capacity
+	if p.capacity <= 0 {
+		// capacity 0 admits pages only for their pin's lifetime; everything
+		// unpinned is surplus.
+		over = p.lru.Len()
+	}
+	for el := p.lru.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		id := el.Value.(PageID)
+		if p.pins[id] == 0 {
+			p.removeLocked(el, id)
+			p.stats.Evictions++
+			over--
+		}
+		el = prev
+	}
+}
+
+// removeLocked drops one resident page. Caller holds p.mu.
+func (p *BufferPool) removeLocked(el *list.Element, id PageID) {
+	p.lru.Remove(el)
+	delete(p.index, id)
+	delete(p.data, id)
+}
+
+// Clear drops every unpinned cached page, emulating the paper's cold-cache
+// protocol ("the cache is cleaned between any two queries"). Pinned pages
+// stay resident: a cold-cache sweep must not invalidate a page a reader is
+// holding mid-record.
 func (p *BufferPool) Clear() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.lru.Init()
-	p.index = make(map[PageID]*list.Element)
-	p.data = make(map[PageID][]byte)
+	for el := p.lru.Back(); el != nil; {
+		prev := el.Prev()
+		id := el.Value.(PageID)
+		if p.pins[id] == 0 {
+			p.removeLocked(el, id)
+		}
+		el = prev
+	}
 }
 
 // Stats returns a snapshot of the hit/miss counters.
@@ -110,4 +204,12 @@ func (p *BufferPool) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats = BufferPoolStats{}
+}
+
+// resident reports whether the page is currently cached (test hook).
+func (p *BufferPool) resident(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.index[id]
+	return ok
 }

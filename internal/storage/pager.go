@@ -1,0 +1,29 @@
+package storage
+
+// Pager is the page-device contract shared by every on-disk layer in
+// spatialsim: the latency-modelling simulated Disk that the Figure 2
+// experiment measures, and the real-file FileDisk that the durable epoch
+// store (internal/persist) writes its page-aligned segment files through.
+// Code written against Pager — most importantly the BufferPool — serves both
+// worlds unchanged, which is what lets the persisted epoch format be both
+// measured under the paper's cold-cache I/O model and actually recovered
+// from a real file after a crash.
+//
+// Page ids are dense: Allocate hands out 0, 1, 2, ... in order, and Read or
+// Write of an id that was never allocated is an error.
+type Pager interface {
+	// PageSize returns the size of one page in bytes.
+	PageSize() int
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// Allocate reserves a new zeroed page and returns its id.
+	Allocate() PageID
+	// Read returns the contents of the page (always PageSize bytes).
+	Read(id PageID) ([]byte, error)
+	// Write stores data into the page; data shorter than a page leaves the
+	// remainder zeroed.
+	Write(id PageID, data []byte) error
+}
+
+var _ Pager = (*Disk)(nil)
+var _ Pager = (*FileDisk)(nil)
