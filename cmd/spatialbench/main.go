@@ -9,10 +9,11 @@
 //	spatialbench -exp fig2 -elements 500000 -queries 200
 //	spatialbench -exp serve -duration 2s -out BENCH_PR3.json
 //	spatialbench -exp join-scale -elements 80000 -out BENCH_PR4.json
+//	spatialbench -exp plan -elements 60000 -out BENCH_PR6.json
 //
 // Experiments: fig2, fig3, fig4, updates, indexes, lsh, join, moving,
 // simstep, mesh, ablation-resolution, ablation-advisor, parallel,
-// cache-layout, serve, join-scale, all.
+// cache-layout, serve, join-scale, plan, all.
 //
 // The -workers flag sets the goroutine budget of the parallel execution
 // engine (internal/exec); "serve" is the load-generator mode that drives the
@@ -21,7 +22,10 @@
 // percentiles as JSON (BENCH_PR3.json); "join-scale" measures the
 // planner-driven parallel join engine across algorithms, worker counts and
 // dataset densities and, with -out, records the speedups as JSON
-// (BENCH_PR4.json).
+// (BENCH_PR4.json); "plan" races the statistics-driven query planner (with
+// the epoch result cache) against every forced static index family on one
+// mixed range/kNN/join workload and, with -out, records the walls and the
+// planner-beats-worst verdict as JSON (BENCH_PR6.json).
 package main
 
 import (
@@ -46,7 +50,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("spatialbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|join-scale|all)")
+		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|join-scale|plan|all)")
 		elements    = fs.Int("elements", 100000, "number of spatial elements")
 		queries     = fs.Int("queries", 200, "number of range queries")
 		selectivity = fs.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
@@ -56,7 +60,8 @@ func run(args []string, stdout io.Writer) error {
 		duration    = fs.Duration("duration", 2*time.Second, "measured run length of the serve load generator")
 		shards      = fs.Int("shards", 0, "serve: STR shards per epoch (0 = GOMAXPROCS)")
 		readers     = fs.Int("readers", 0, "serve: concurrent query clients (0 = 2x GOMAXPROCS)")
-		out         = fs.String("out", "", "serve/join-scale: write the run as JSON to this file (e.g. BENCH_PR3.json, BENCH_PR4.json)")
+		out         = fs.String("out", "", "serve/join-scale/plan: write the run as JSON to this file (e.g. BENCH_PR3.json, BENCH_PR4.json, BENCH_PR6.json)")
+		cacheSize   = fs.Int("cache", 0, "plan: planner store's per-epoch result-cache entries (0 = 512)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,10 +79,14 @@ func run(args []string, stdout io.Writer) error {
 		Readers:  *readers,
 		Duration: *duration,
 	}
-	return runExp(strings.ToLower(*exp), scale, *steps, serveCfg, *out, stdout)
+	planCfg := experiments.PlanBenchConfig{
+		Shards:       *shards,
+		CacheEntries: *cacheSize,
+	}
+	return runExp(strings.ToLower(*exp), scale, *steps, serveCfg, planCfg, *out, stdout)
 }
 
-func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments.ServeConfig, out string, stdout io.Writer) error {
+func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments.ServeConfig, planCfg experiments.PlanBenchConfig, out string, stdout io.Writer) error {
 	runOne := func(name, out string) error {
 		switch name {
 		case "fig2":
@@ -126,6 +135,15 @@ func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments
 				}
 				fmt.Fprintf(stdout, "wrote %s\n", out)
 			}
+		case "plan":
+			res := experiments.PlanBench(scale, planCfg)
+			fmt.Fprintln(stdout, res)
+			if out != "" {
+				if err := experiments.WritePlanBenchReport(out, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", out)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -133,14 +151,14 @@ func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments
 	}
 	if exp == "all" {
 		if out != "" {
-			// serve and join-scale write differently shaped reports; under
-			// "all" the second would silently overwrite the first.
-			return fmt.Errorf("-out requires a single experiment (serve or join-scale), not all")
+			// serve, join-scale and plan write differently shaped reports;
+			// under "all" a later one would silently overwrite an earlier one.
+			return fmt.Errorf("-out requires a single experiment (serve, join-scale or plan), not all")
 		}
 		for _, name := range []string{
 			"fig2", "fig3", "fig4", "updates", "indexes", "lsh", "join",
 			"moving", "simstep", "mesh", "ablation-resolution", "ablation-advisor",
-			"parallel", "cache-layout", "serve", "join-scale",
+			"parallel", "cache-layout", "serve", "join-scale", "plan",
 		} {
 			if err := runOne(name, ""); err != nil {
 				return err

@@ -29,10 +29,12 @@ import (
 	"net/http"
 	"os"
 
+	"spatialsim/internal/crtree"
 	"spatialsim/internal/datagen"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
 	"spatialsim/internal/persist"
+	"spatialsim/internal/planner"
 	"spatialsim/internal/rtree"
 	"spatialsim/internal/serve"
 )
@@ -56,7 +58,8 @@ func run(args []string, stdout io.Writer) error {
 		shards      = fs.Int("shards", 0, "STR shards per epoch (0 = GOMAXPROCS)")
 		workers     = fs.Int("workers", 0, "epoch build goroutines (0 = GOMAXPROCS)")
 		maxInflight = fs.Int("max-inflight", 0, "admission-control bound on in-flight queries (0 = 4x GOMAXPROCS)")
-		indexName   = fs.String("index", "rtree", "shard family (rtree|grid|octree)")
+		indexName   = fs.String("index", "rtree", "shard family (rtree|grid|octree|crtree), or auto for planner-chosen per-shard families")
+		cacheSize   = fs.Int("cache", 0, "epoch result-cache entries per epoch (0 disables caching)")
 		seed        = fs.Int64("seed", 1, "bootstrap dataset seed")
 		dataDir     = fs.String("data-dir", "", "durable epoch store directory (empty = in-memory only)")
 		snapEvery   = fs.Int("snapshot-every", 1, "persist every Nth published epoch (durable mode)")
@@ -65,16 +68,21 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	build, err := shardBuilder(*indexName)
-	if err != nil {
-		return err
-	}
 	cfg := serve.Config{
 		Shards:        *shards,
 		Workers:       *workers,
 		MaxInFlight:   *maxInflight,
-		Build:         build,
+		CacheEntries:  *cacheSize,
 		SnapshotEvery: *snapEvery,
+	}
+	if *indexName == "auto" {
+		cfg.Planner = planner.Default()
+	} else {
+		build, err := shardBuilder(*indexName)
+		if err != nil {
+			return err
+		}
+		cfg.Build = build
 	}
 	if *dataDir != "" {
 		ps, err := persist.Open(*dataDir, persist.Options{})
@@ -123,7 +131,9 @@ func shardBuilder(name string) (serve.ShardBuilder, error) {
 		return serve.GridBuilder(24), nil
 	case "octree":
 		return serve.OctreeBuilder(32), nil
+	case "crtree":
+		return serve.CRTreeBuilder(crtree.Config{}), nil
 	default:
-		return nil, fmt.Errorf("unknown shard family %q (rtree|grid|octree)", name)
+		return nil, fmt.Errorf("unknown shard family %q (rtree|grid|octree|crtree|auto)", name)
 	}
 }

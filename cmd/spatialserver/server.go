@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
@@ -32,28 +33,31 @@ func (ij itemJSON) box() geom.AABB {
 	return geom.NewAABB(geom.V(ij.Min[0], ij.Min[1], ij.Min[2]), geom.V(ij.Max[0], ij.Max[1], ij.Max[2]))
 }
 
-// queryResponse is the wire shape of /range and /knn answers: the epoch the
-// query was served from, the result count, and the items.
+// queryResponse is the wire shape of range and knn answers: the epoch the
+// query was served from, the result count, the items, and — with plan=1 —
+// the plan the store executed (family, cache hit, shard fan-out).
 type queryResponse struct {
-	Epoch uint64     `json:"epoch"`
-	Count int        `json:"count"`
-	Items []itemJSON `json:"items"`
+	Epoch uint64          `json:"epoch"`
+	Count int             `json:"count"`
+	Items []itemJSON      `json:"items"`
+	Plan  *serve.PlanInfo `json:"plan,omitempty"`
 }
 
-// joinResponse is the wire shape of a /join answer: the epoch and algorithm
+// joinResponse is the wire shape of a join answer: the epoch and algorithm
 // the join ran with, the total pair count, and (up to limit) result pairs as
 // [a, b] id tuples.
 type joinResponse struct {
-	Epoch     uint64     `json:"epoch"`
-	Algorithm string     `json:"algorithm"`
-	Eps       float64    `json:"eps"`
-	Items     int        `json:"items"`
-	Count     int        `json:"count"`
-	Truncated bool       `json:"truncated"`
-	Pairs     [][2]int64 `json:"pairs"`
+	Epoch     uint64          `json:"epoch"`
+	Algorithm string          `json:"algorithm"`
+	Eps       float64         `json:"eps"`
+	Items     int             `json:"items"`
+	Count     int             `json:"count"`
+	Truncated bool            `json:"truncated"`
+	Pairs     [][2]int64      `json:"pairs"`
+	Plan      *serve.PlanInfo `json:"plan,omitempty"`
 }
 
-// updateRequest is the wire shape of a /update batch.
+// updateRequest is the wire shape of an update batch.
 type updateRequest struct {
 	Upserts []itemJSON `json:"upserts"`
 	Deletes []int64    `json:"deletes"`
@@ -65,80 +69,170 @@ type updateResponse struct {
 	Applied int    `json:"applied"`
 }
 
-// newHandler wires the store's serving surface into HTTP/JSON endpoints:
+// errorEnvelope is the uniform error shape of every endpoint:
+// {"error": {"code": "...", "message": "..."}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// newHandler wires the store's serving surface into the versioned HTTP/JSON
+// API. Canonical routes live under /v1/; every pre-versioning path is an
+// alias onto the same handler, so legacy clients keep receiving byte-for-byte
+// identical payloads.
 //
-//	GET  /range?minx=&miny=&minz=&maxx=&maxy=&maxz=[&limit=]   range query
-//	GET  /knn?x=&y=&z=&k=                                      k nearest
-//	GET  /join?eps=[&algo=auto|grid|touch|...][&workers=][&limit=]
+//	GET  /v1/range?minx=&miny=&minz=&maxx=&maxy=&maxz=[&limit=][&plan=1]
+//	GET  /v1/knn?x=&y=&z=&k=[&plan=1]                          k nearest
+//	GET  /v1/join?eps=[&algo=auto|grid|touch|...][&workers=][&limit=][&plan=1]
 //	     epoch-pinned epsilon self-join over the published shards
-//	POST /update   {"upserts":[{"id":..,"min":[..],"max":[..]}],"deletes":[..]}
-//	POST /snapshot  force a durable snapshot of the current epoch
-//	GET  /recovery  what the store recovered on boot (durable mode)
-//	GET  /stats                                                serving stats
-//	GET  /healthz                                              liveness
+//	GET  /v1/query?op=range|knn|join&...   unified entry point (same params)
+//	POST /v1/update  {"upserts":[{"id":..,"min":[..],"max":[..]}],"deletes":[..]}
+//	POST /v1/snapshot  force a durable snapshot of the current epoch
+//	GET  /v1/recovery  what the store recovered on boot (durable mode)
+//	GET  /v1/stats                                             serving stats
+//	GET  /v1/healthz                                           liveness
+//
+// plan=1 adds the store's plan report (index family, join algorithm, cache
+// hit, shard fan-out) to the response; without it payloads are unchanged from
+// the pre-planner wire format. Errors are always {"error":{"code","message"}}.
+// Every response carries an X-Request-Id header (client-provided or
+// generated).
 func newHandler(store *serve.Store) http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("/range", func(w http.ResponseWriter, r *http.Request) {
+	rangeH := handleRange(store)
+	knnH := handleKNN(store)
+	joinH := handleJoin(store)
+	updateH := handleUpdate(store)
+	snapshotH := handleSnapshot(store)
+	recoveryH := func(w http.ResponseWriter, r *http.Request) { writeJSON(w, store.Recovery()) }
+	statsH := func(w http.ResponseWriter, r *http.Request) { writeJSON(w, store.Stats()) }
+	healthH := func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	}
+	queryH := func(w http.ResponseWriter, r *http.Request) {
+		switch op := r.URL.Query().Get("op"); op {
+		case "range":
+			rangeH(w, r)
+		case "knn":
+			knnH(w, r)
+		case "join":
+			joinH(w, r)
+		default:
+			httpError(w, http.StatusBadRequest, "bad_request", "op must be range, knn or join")
+		}
+	}
+
+	routes := map[string]http.HandlerFunc{
+		"/range":    rangeH,
+		"/knn":      knnH,
+		"/join":     joinH,
+		"/query":    queryH,
+		"/update":   updateH,
+		"/snapshot": snapshotH,
+		"/recovery": recoveryH,
+		"/stats":    statsH,
+		"/healthz":  healthH,
+	}
+	for path, h := range routes {
+		mux.HandleFunc("/v1"+path, h) // canonical
+		mux.HandleFunc(path, h)       // legacy alias, byte-identical
+	}
+
+	return withRequestID(mux)
+}
+
+// requestCounter numbers generated request ids within the process.
+var requestCounter atomic.Uint64
+
+// withRequestID stamps every response with an X-Request-Id header, echoing a
+// client-provided id or generating a process-unique one, so a query can be
+// correlated across client logs, server logs and stats.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = "req-" + strconv.FormatUint(requestCounter.Add(1), 10)
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// wantPlan reports whether the request opted into plan reporting.
+func wantPlan(r *http.Request) bool { return r.URL.Query().Get("plan") == "1" }
+
+func handleRange(store *serve.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		lo, err1 := parseVec(r, "minx", "miny", "minz")
 		hi, err2 := parseVec(r, "maxx", "maxy", "maxz")
 		if err1 != nil || err2 != nil {
-			httpError(w, http.StatusBadRequest, "range needs float params minx..maxz")
+			httpError(w, http.StatusBadRequest, "bad_request", "range needs float params minx..maxz")
 			return
 		}
 		limit := parseIntDefault(r, "limit", 0)
-		items, epoch := store.RangeAll(geom.NewAABB(lo, hi), nil)
+		rep := store.Query(serve.Request{Op: serve.OpRange, Query: geom.NewAABB(lo, hi)})
+		items := rep.Items
 		if limit > 0 && len(items) > limit {
 			items = items[:limit]
 		}
-		writeQueryResponse(w, epoch, items)
-	})
+		writeQueryResponse(w, r, rep, items)
+	}
+}
 
-	mux.HandleFunc("/knn", func(w http.ResponseWriter, r *http.Request) {
+func handleKNN(store *serve.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		p, err := parseVec(r, "x", "y", "z")
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "knn needs float params x, y, z")
+			httpError(w, http.StatusBadRequest, "bad_request", "knn needs float params x, y, z")
 			return
 		}
 		// The cap bounds per-request work: every overlapping shard gathers up
 		// to k candidates before the global merge.
 		k := parseIntDefault(r, "k", 10)
 		if k <= 0 || k > 1024 {
-			httpError(w, http.StatusBadRequest, "k out of range (1..1024)")
+			httpError(w, http.StatusBadRequest, "bad_request", "k out of range (1..1024)")
 			return
 		}
-		items, epoch := store.KNN(p, k, nil)
-		writeQueryResponse(w, epoch, items)
-	})
+		rep := store.Query(serve.Request{Op: serve.OpKNN, Point: p, K: k})
+		writeQueryResponse(w, r, rep, rep.Items)
+	}
+}
 
-	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) {
+func handleJoin(store *serve.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		eps, err := strconv.ParseFloat(r.URL.Query().Get("eps"), 64)
 		if err != nil || eps < 0 {
-			httpError(w, http.StatusBadRequest, "join needs a non-negative float param eps")
+			httpError(w, http.StatusBadRequest, "bad_request", "join needs a non-negative float param eps")
 			return
 		}
-		req := serve.JoinRequest{Eps: eps, Workers: parseIntDefault(r, "workers", 0)}
+		jr := serve.JoinRequest{Eps: eps, Workers: parseIntDefault(r, "workers", 0)}
 		if name := r.URL.Query().Get("algo"); name != "" && name != "auto" {
 			algo, err := join.ParseAlgorithm(name)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, err.Error())
+				httpError(w, http.StatusBadRequest, "bad_request", err.Error())
 				return
 			}
-			req.Algo, req.Force = algo, true
+			jr.Algo, jr.Force = algo, true
 		}
 		// The cap bounds the response body, not the join: the full pair set is
 		// computed (and counted) either way.
 		limit := parseIntDefault(r, "limit", 1000)
 		if limit <= 0 || limit > 100000 {
-			httpError(w, http.StatusBadRequest, "limit out of range (1..100000)")
+			httpError(w, http.StatusBadRequest, "bad_request", "limit out of range (1..100000)")
 			return
 		}
-		rep := store.SelfJoin(req)
+		rep := store.Query(serve.Request{Op: serve.OpJoin, Join: jr})
 		resp := joinResponse{
 			Epoch:     rep.Epoch,
-			Algorithm: rep.Algo.String(),
+			Algorithm: rep.JoinAlgo.String(),
 			Eps:       eps,
-			Items:     rep.Items,
+			Items:     rep.JoinItems,
 			Count:     len(rep.Pairs),
 			Truncated: len(rep.Pairs) > limit,
 		}
@@ -150,17 +244,23 @@ func newHandler(store *serve.Store) http.Handler {
 		for i := 0; i < n; i++ {
 			resp.Pairs[i] = [2]int64{rep.Pairs[i].A, rep.Pairs[i].B}
 		}
+		if wantPlan(r) {
+			plan := rep.Plan
+			resp.Plan = &plan
+		}
 		writeJSON(w, resp)
-	})
+	}
+}
 
-	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+func handleUpdate(store *serve.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "update requires POST")
+			httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "update requires POST")
 			return
 		}
 		var req updateRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad update body: "+err.Error())
+			httpError(w, http.StatusBadRequest, "bad_request", "bad update body: "+err.Error())
 			return
 		}
 		batch := make([]serve.Update, 0, len(req.Upserts)+len(req.Deletes))
@@ -172,41 +272,32 @@ func newHandler(store *serve.Store) http.Handler {
 		}
 		epoch := store.Apply(batch)
 		writeJSON(w, updateResponse{Epoch: epoch, Applied: len(batch)})
-	})
+	}
+}
 
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+func handleSnapshot(store *serve.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "snapshot requires POST")
+			httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "snapshot requires POST")
 			return
 		}
 		epoch, err := store.Snapshot()
 		if err != nil {
-			httpError(w, http.StatusConflict, err.Error())
+			httpError(w, http.StatusConflict, "conflict", err.Error())
 			return
 		}
 		writeJSON(w, map[string]uint64{"persisted_epoch": epoch})
-	})
-
-	mux.HandleFunc("/recovery", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, store.Recovery())
-	})
-
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, store.Stats())
-	})
-
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-
-	return mux
+	}
 }
 
-func writeQueryResponse(w http.ResponseWriter, epoch uint64, items []index.Item) {
-	resp := queryResponse{Epoch: epoch, Count: len(items), Items: make([]itemJSON, len(items))}
+func writeQueryResponse(w http.ResponseWriter, r *http.Request, rep serve.Reply, items []index.Item) {
+	resp := queryResponse{Epoch: rep.Epoch, Count: len(items), Items: make([]itemJSON, len(items))}
 	for i, it := range items {
 		resp.Items[i] = toItemJSON(it)
+	}
+	if wantPlan(r) {
+		plan := rep.Plan
+		resp.Plan = &plan
 	}
 	writeJSON(w, resp)
 }
@@ -214,14 +305,14 @@ func writeQueryResponse(w http.ResponseWriter, epoch uint64, items []index.Item)
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+func httpError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: msg}})
 }
 
 func parseVec(r *http.Request, xk, yk, zk string) (geom.Vec3, error) {

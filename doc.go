@@ -39,6 +39,15 @@
 //     connectivity-driven range queries;
 //   - internal/core — SimIndex, the grid-based index with a maintenance cost
 //     advisor that the paper's conclusions call for;
+//   - internal/catalog — the per-shard statistics catalog: freeze-time
+//     profiles (cardinality, MBR, coverage, clustering, elongation) and the
+//     online per-(family, query-class) latency accumulators the query
+//     planner consumes;
+//   - internal/planner — the cross-family query planner: chooses each
+//     shard's index family from its catalog profile (falling back to a
+//     plain scan for tiny shards), delegates join-algorithm choice to
+//     join.Planner, absorbs core.Advisor's freeze/maintenance cost model,
+//     and lets measured latency evidence override the a-priori choice;
 //   - internal/exec — the parallel batch execution engine: worker-pool
 //     BatchSearch/BatchKNN over any index family, the zero-allocation
 //     BatchRangeVisit/BatchKNNInto visitor paths with reusable Arena
@@ -54,7 +63,12 @@
 //     update batches and swaps generations without blocking readers,
 //     scatter/gather range and global-merge kNN queries, epoch-pinned
 //     parallel self-joins (Store.SelfJoin), and admission control bounding
-//     in-flight queries; with a persist store attached the subsystem is
+//     in-flight queries; every operation flows through one
+//     Store.Query(Request) Reply entry point whose Reply reports the
+//     executed plan, with an optional planner (per-shard family choice)
+//     and a bounded epoch-keyed result cache with query coalescing —
+//     dropped wholesale on epoch retirement, so cached results can never
+//     go stale; with a persist store attached the subsystem is
 //     durable — batches are WAL-journaled as they are staged, a background
 //     snapshotter persists published epochs without blocking readers, and
 //     serve.Open recovers the newest complete epoch (replaying the WAL
@@ -63,10 +77,12 @@
 //     experiment of the paper (see DESIGN.md and EXPERIMENTS.md).
 //
 // Executables: cmd/spatialbench (run any experiment, including the E12
-// serving load generator writing BENCH_PR3.json and the E13 join-scaling
-// experiment writing BENCH_PR4.json), cmd/simrun (run a full simulation with
+// serving load generator writing BENCH_PR3.json, the E13 join-scaling
+// experiment writing BENCH_PR4.json and the E14 planner-vs-static mixed
+// workload writing BENCH_PR6.json), cmd/simrun (run a full simulation with
 // a chosen index), cmd/benchjson (record the paired pointer-vs-compact
-// layout benchmarks in BENCH_*.json) and cmd/spatialserver (HTTP/JSON range,
-// knn, join, update-batch and stats endpoints over internal/serve). Runnable
-// examples are under examples/.
+// layout benchmarks in BENCH_*.json) and cmd/spatialserver (versioned
+// HTTP/JSON range, knn, join, update-batch and stats endpoints over
+// internal/serve — /v1/ routes with the legacy unversioned paths kept as
+// byte-identical aliases). Runnable examples are under examples/.
 package spatialsim

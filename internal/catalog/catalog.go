@@ -1,0 +1,264 @@
+// Package catalog is the statistics catalog of the serving subsystem: the
+// per-shard data profiles the query planner decides on, plus the online
+// latency accumulators that feed execution experience back into planning.
+//
+// The paper's central claim is that no single index configuration wins across
+// simulation workloads — the right structure depends on the data's
+// cardinality, density and clustering, and on the query mix. The catalog
+// makes those decision inputs first-class: every epoch build profiles each
+// shard's items (one cheap linear pass per shard, done at freeze time when
+// the items are already in hand), and every query the store executes feeds a
+// (family, query-class) latency observation into a Welford accumulator. The
+// planner (internal/planner) consumes both: profiles pick the index family a
+// priori, latencies correct the choice a posteriori once enough evidence has
+// accumulated.
+package catalog
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/stats"
+)
+
+// Query classes the latency catalog distinguishes. They are strings rather
+// than an enum so the catalog stays open to new classes (mesh walks,
+// subscriptions) without a lockstep change here.
+const (
+	ClassRange = "range"
+	ClassKNN   = "knn"
+	ClassJoin  = "join"
+)
+
+// ShardProfile is the statistics profile of one shard's items — the paper's
+// planner criteria (cardinality, density, clustering, extent shape) computed
+// in a single pass at freeze time.
+type ShardProfile struct {
+	// Card is the item count.
+	Card int `json:"card"`
+	// MBR is the tight bounding box of the items.
+	MBR geom.AABB `json:"-"`
+	// Coverage is the density proxy the join planner also uses: summed item
+	// box volume divided by MBR volume. Values well above 1 mean heavily
+	// overlapping elements.
+	Coverage float64 `json:"coverage"`
+	// Clustering in [0, 1] measures how clumped the item centers are: 0 is a
+	// uniform spread over the MBR, 1 is fully collapsed. It compares the
+	// occupied cells of a coarse grid over the MBR against the occupancy a
+	// uniform distribution of the same cardinality would reach.
+	Clustering float64 `json:"clustering"`
+	// Elongation is longest-axis / second-longest-axis of the MBR;
+	// effectively one-dimensional data has a large value.
+	Elongation float64 `json:"elongation"`
+}
+
+// Profile computes the profile of one shard's items in a single pass.
+func Profile(items []index.Item) ShardProfile {
+	p := ShardProfile{Card: len(items), MBR: geom.EmptyAABB()}
+	if len(items) == 0 {
+		return p
+	}
+	var volSum float64
+	for i := range items {
+		b := items[i].Box
+		p.MBR = p.MBR.Union(b)
+		volSum += b.Volume()
+	}
+	if v := p.MBR.Volume(); v > 0 {
+		p.Coverage = volSum / v
+	}
+	p.Elongation = elongation(p.MBR)
+	p.Clustering = clustering(items, p.MBR)
+	return p
+}
+
+// clusterGridDim is the per-axis resolution of the occupancy grid clustering
+// is measured on; 8^3 cells resolves clumping without profiling cost.
+const clusterGridDim = 8
+
+// clustering buckets the item centers into a coarse grid over the MBR and
+// compares the occupied-cell count against the expected occupancy of a
+// uniform distribution with the same cardinality (1 - (1-1/c)^n cells
+// occupied in expectation). Uniform data scores near 0; data collapsed into
+// few clumps occupies far fewer cells and scores near 1 regardless of how
+// far apart the clumps sit — which a variance-based measure gets wrong for
+// bimodal data.
+func clustering(items []index.Item, mbr geom.AABB) float64 {
+	size := mbr.Size()
+	var dims [3]int
+	cells := 1
+	for a := 0; a < 3; a++ {
+		dims[a] = 1
+		if size.Axis(a) > 0 {
+			dims[a] = clusterGridDim
+		}
+		cells *= dims[a]
+	}
+	if cells == 1 {
+		// No extent on any axis: every center is identical — fully clustered
+		// (a single item is trivially so).
+		return 1
+	}
+	occupied := make([]bool, cells)
+	seen := 0
+	for i := range items {
+		c := items[i].Box.Center()
+		idx := 0
+		for a := 0; a < 3; a++ {
+			cell := 0
+			if extent := size.Axis(a); extent > 0 {
+				cell = int(float64(dims[a]) * (c.Axis(a) - mbr.Min.Axis(a)) / extent)
+				if cell >= dims[a] {
+					cell = dims[a] - 1
+				}
+				if cell < 0 {
+					cell = 0
+				}
+			}
+			idx = idx*dims[a] + cell
+		}
+		if !occupied[idx] {
+			occupied[idx] = true
+			seen++
+		}
+	}
+	expected := float64(cells) * (1 - math.Pow(1-1/float64(cells), float64(len(items))))
+	if expected <= 0 {
+		return 0
+	}
+	score := 1 - float64(seen)/expected
+	if score < 0 {
+		return 0
+	}
+	return score
+}
+
+// elongation returns longest-axis / second-longest-axis of the box (the join
+// planner's shape criterion, shared here so shard profiles speak the same
+// language).
+func elongation(b geom.AABB) float64 {
+	if b.IsEmpty() {
+		return 1
+	}
+	s := b.Size()
+	d := [3]float64{s.X, s.Y, s.Z}
+	sort.Float64s(d[:])
+	if d[1] <= 0 {
+		return math.Inf(1)
+	}
+	return d[2] / d[1]
+}
+
+// Merge combines shard profiles into the epoch-level profile: cardinality
+// sums, the MBR unions, and the density/shape statistics are card-weighted
+// averages (coverage of the union would double-count inter-shard gaps).
+func Merge(profiles []ShardProfile) ShardProfile {
+	out := ShardProfile{MBR: geom.EmptyAABB()}
+	var wCov, wClu, wElo float64
+	for _, p := range profiles {
+		out.Card += p.Card
+		out.MBR = out.MBR.Union(p.MBR)
+		w := float64(p.Card)
+		wCov += w * p.Coverage
+		wClu += w * p.Clustering
+		wElo += w * p.Elongation
+	}
+	if out.Card > 0 {
+		n := float64(out.Card)
+		out.Coverage = wCov / n
+		out.Clustering = wClu / n
+		out.Elongation = wElo / n
+	} else {
+		out.Elongation = 1
+	}
+	return out
+}
+
+// latKey identifies one latency accumulator.
+type latKey struct {
+	family, class string
+}
+
+// Latencies is the online execution-latency half of the catalog: one Welford
+// accumulator per (index family, query class), fed on the query path and
+// consulted by the planner at freeze time. Safe for concurrent use; Observe
+// takes one short mutex hold, which is noise next to the query it measures.
+type Latencies struct {
+	mu sync.Mutex
+	m  map[latKey]*stats.Online
+}
+
+// NewLatencies returns an empty latency catalog.
+func NewLatencies() *Latencies {
+	return &Latencies{m: make(map[latKey]*stats.Online)}
+}
+
+// Observe records one query execution of the given class against the given
+// family, in seconds.
+func (l *Latencies) Observe(family, class string, seconds float64) {
+	if l == nil {
+		return
+	}
+	k := latKey{family, class}
+	l.mu.Lock()
+	o := l.m[k]
+	if o == nil {
+		o = &stats.Online{}
+		l.m[k] = o
+	}
+	o.Add(seconds)
+	l.mu.Unlock()
+}
+
+// Mean returns the running mean latency (seconds) and sample count for one
+// (family, class); n is 0 when nothing has been observed.
+func (l *Latencies) Mean(family, class string) (mean float64, n int64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if o := l.m[latKey{family, class}]; o != nil {
+		return o.Mean(), o.N()
+	}
+	return 0, 0
+}
+
+// LatencyStat is one row of a latency catalog snapshot.
+type LatencyStat struct {
+	Family     string  `json:"family"`
+	Class      string  `json:"class"`
+	N          int64   `json:"n"`
+	MeanMicros float64 `json:"mean_us"`
+	MaxMicros  float64 `json:"max_us"`
+}
+
+// Snapshot returns the accumulated latency rows, sorted by (family, class)
+// for stable output.
+func (l *Latencies) Snapshot() []LatencyStat {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]LatencyStat, 0, len(l.m))
+	for k, o := range l.m {
+		out = append(out, LatencyStat{
+			Family:     k.family,
+			Class:      k.class,
+			N:          o.N(),
+			MeanMicros: o.Mean() * 1e6,
+			MaxMicros:  o.Max() * 1e6,
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}

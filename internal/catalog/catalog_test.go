@@ -1,0 +1,160 @@
+package catalog
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+)
+
+func uniformItems(n int, seed int64) []index.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.1, 0.1, 0.1))}
+	}
+	return items
+}
+
+func clusteredItems(n int, seed int64) []index.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	// Tight blobs near two corners of a wide universe.
+	for i := range items {
+		base := geom.V(5, 5, 5)
+		if i%2 == 0 {
+			base = geom.V(95, 95, 95)
+		}
+		c := base.Add(geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.1, 0.1, 0.1))}
+	}
+	return items
+}
+
+func TestProfileBasics(t *testing.T) {
+	p := Profile(nil)
+	if p.Card != 0 || p.Coverage != 0 {
+		t.Fatalf("empty profile: %+v", p)
+	}
+
+	items := uniformItems(2000, 1)
+	p = Profile(items)
+	if p.Card != 2000 {
+		t.Fatalf("card = %d", p.Card)
+	}
+	if p.MBR.IsEmpty() {
+		t.Fatal("MBR empty for non-empty items")
+	}
+	if p.Coverage <= 0 {
+		t.Fatalf("coverage = %v", p.Coverage)
+	}
+	if p.Elongation < 1 {
+		t.Fatalf("elongation = %v", p.Elongation)
+	}
+}
+
+func TestProfileClusteringSeparatesUniformFromClustered(t *testing.T) {
+	uni := Profile(uniformItems(4000, 2))
+	clu := Profile(clusteredItems(4000, 3))
+	if uni.Clustering >= 0.3 {
+		t.Fatalf("uniform data should score low clustering, got %v", uni.Clustering)
+	}
+	if clu.Clustering <= uni.Clustering {
+		t.Fatalf("clustered %v should exceed uniform %v", clu.Clustering, uni.Clustering)
+	}
+	if clu.Clustering < 0.3 {
+		t.Fatalf("two tight blobs should score clearly clustered, got %v", clu.Clustering)
+	}
+}
+
+func TestProfileDegenerate(t *testing.T) {
+	// All items at the same point: fully clustered, coverage undefined (0).
+	items := make([]index.Item, 10)
+	for i := range items {
+		items[i] = index.Item{ID: int64(i), Box: geom.NewAABB(geom.V(1, 1, 1), geom.V(1, 1, 1))}
+	}
+	p := Profile(items)
+	if p.Clustering != 1 {
+		t.Fatalf("degenerate clustering = %v, want 1", p.Clustering)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Profile(uniformItems(1000, 4))
+	b := Profile(clusteredItems(3000, 5))
+	m := Merge([]ShardProfile{a, b})
+	if m.Card != 4000 {
+		t.Fatalf("merged card = %d", m.Card)
+	}
+	if !m.MBR.Contains(a.MBR) || !m.MBR.Contains(b.MBR) {
+		t.Fatal("merged MBR must contain the inputs")
+	}
+	// Card-weighted average lands between the inputs, closer to b.
+	lo, hi := a.Clustering, b.Clustering
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if m.Clustering < lo || m.Clustering > hi {
+		t.Fatalf("merged clustering %v outside [%v, %v]", m.Clustering, lo, hi)
+	}
+	if empty := Merge(nil); empty.Card != 0 || empty.Elongation != 1 {
+		t.Fatalf("empty merge: %+v", empty)
+	}
+}
+
+func TestLatenciesObserveAndSnapshot(t *testing.T) {
+	l := NewLatencies()
+	if m, n := l.Mean("rtree", ClassRange); m != 0 || n != 0 {
+		t.Fatalf("empty mean = %v/%d", m, n)
+	}
+	l.Observe("rtree", ClassRange, 1e-3)
+	l.Observe("rtree", ClassRange, 3e-3)
+	l.Observe("grid", ClassKNN, 2e-3)
+	if m, n := l.Mean("rtree", ClassRange); n != 2 || m < 1.9e-3 || m > 2.1e-3 {
+		t.Fatalf("mean = %v n = %d", m, n)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot rows = %d", len(snap))
+	}
+	// Sorted by family then class.
+	if snap[0].Family != "grid" || snap[1].Family != "rtree" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	if snap[1].N != 2 || snap[1].MeanMicros < 1900 || snap[1].MeanMicros > 2100 {
+		t.Fatalf("rtree row: %+v", snap[1])
+	}
+}
+
+func TestLatenciesNilSafe(t *testing.T) {
+	var l *Latencies
+	l.Observe("rtree", ClassRange, 1)
+	if _, n := l.Mean("rtree", ClassRange); n != 0 {
+		t.Fatal("nil Latencies should report nothing")
+	}
+	if l.Snapshot() != nil {
+		t.Fatal("nil snapshot should be nil")
+	}
+}
+
+func TestLatenciesConcurrent(t *testing.T) {
+	l := NewLatencies()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Observe("rtree", ClassRange, float64(i)*1e-6)
+				l.Observe("grid", ClassJoin, float64(i)*1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, n := l.Mean("rtree", ClassRange); n != 4000 {
+		t.Fatalf("rtree/range n = %d, want 4000", n)
+	}
+}

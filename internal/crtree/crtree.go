@@ -361,6 +361,24 @@ func (t *Tree) KNN(p geom.Vec3, k int) []index.Item {
 	return cands
 }
 
+// RangeVisit implements index.RangeVisitor. A bulk-loaded tree with no
+// overflow buffer or tombstones is immutable, so the traversal is safe for
+// unbounded concurrent readers — which is what makes the CR-Tree a
+// planner-selectable shard layout in the serving layer, not just an offline
+// experiment subject.
+func (t *Tree) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
+	t.Search(query, visit)
+}
+
+// KNNInto implements index.KNNer over the expanding-radius KNN. The CR-Tree
+// trades per-query allocation for node compression, so unlike the compact
+// snapshots this path allocates its candidate set; the serving layer's
+// planner weighs that through the latency catalog rather than a special
+// case here.
+func (t *Tree) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
+	return append(buf, t.KNN(p, k)...)
+}
+
 // CompressionRatio returns the ratio between the bytes a conventional R-Tree
 // entry would use for an MBR (48 bytes) and the quantized entry (6 bytes),
 // i.e. the node-size advantage the CR-Tree buys.
@@ -373,3 +391,4 @@ func (t *Tree) String() string {
 
 var _ index.Index = (*Tree)(nil)
 var _ index.BulkLoader = (*Tree)(nil)
+var _ index.ReadIndex = (*Tree)(nil)

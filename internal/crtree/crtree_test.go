@@ -216,3 +216,45 @@ func TestEmptyAndEdgeCases(t *testing.T) {
 		t.Error("fanout default not applied")
 	}
 }
+
+func TestReadIndexConformance(t *testing.T) {
+	// The serving layer consumes the tree through index.ReadIndex when the
+	// planner picks the crtree family; RangeVisit and KNNInto must agree with
+	// the native Search/KNN paths.
+	items := randomItems(500, 11)
+	tr := New(Config{})
+	tr.BulkLoad(items)
+	var ri index.ReadIndex = tr
+
+	q := geom.NewAABB(geom.V(20, 20, 20), geom.V(70, 70, 70))
+	want := map[int64]bool{}
+	tr.Search(q, func(it index.Item) bool { want[it.ID] = true; return true })
+	got := map[int64]bool{}
+	ri.RangeVisit(q, func(it index.Item) bool { got[it.ID] = true; return true })
+	if len(got) != len(want) {
+		t.Fatalf("RangeVisit found %d, Search found %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("RangeVisit missed id %d", id)
+		}
+	}
+
+	p := geom.V(33, 66, 40)
+	native := tr.KNN(p, 7)
+	buf := ri.KNNInto(p, 7, make([]index.Item, 0, 7))
+	if len(buf) != len(native) {
+		t.Fatalf("KNNInto returned %d, KNN returned %d", len(buf), len(native))
+	}
+	for i := range buf {
+		if buf[i].ID != native[i].ID {
+			t.Fatalf("KNNInto[%d] = %d, KNN = %d", i, buf[i].ID, native[i].ID)
+		}
+	}
+	// Append semantics: existing buffer contents survive.
+	pre := []index.Item{{ID: -1}}
+	out := ri.KNNInto(p, 3, pre)
+	if len(out) != 4 || out[0].ID != -1 {
+		t.Fatalf("KNNInto must append, got %d items, first %d", len(out), out[0].ID)
+	}
+}

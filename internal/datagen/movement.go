@@ -84,7 +84,7 @@ func (m *PlasticityModel) Step(d *Dataset) MovementStats {
 		Moved:                  moved,
 		MeanDisplacement:       stats.Mean(disp),
 		MaxDisplacement:        stats.Max(disp),
-		FractionAboveThreshold: float64(countAbove(disp, m.Threshold)) / float64(maxInt(1, d.Len())),
+		FractionAboveThreshold: float64(countAbove(disp, m.Threshold)) / float64(max(1, d.Len())),
 		Threshold:              m.Threshold,
 	}
 }
@@ -163,11 +163,4 @@ func countAbove(xs []float64, t float64) int {
 		}
 	}
 	return n
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -424,3 +424,56 @@ func TestJoinScalingRunsAndReports(t *testing.T) {
 		t.Fatalf("report shape wrong: %+v", rep)
 	}
 }
+
+func TestPlanBenchRunsAndReports(t *testing.T) {
+	s := Scale{Elements: 4000, Seed: 3, Workers: 2}
+	r := PlanBench(s, PlanBenchConfig{
+		Shards: 4, CacheEntries: 256, RangeQueries: 24, KNNQueries: 12, Repeats: 2, Joins: 1,
+	})
+	if len(r.Static) != 5 {
+		t.Fatalf("E14 must race all five static families, got %d rows", len(r.Static))
+	}
+	if r.Planner.Wall <= 0 || r.Planner.Throughput <= 0 {
+		t.Fatalf("planner row not measured: %+v", r.Planner)
+	}
+	if r.BestStatic == "" || r.WorstStatic == "" || r.BestStatic == r.WorstStatic {
+		t.Fatalf("best/worst statics not ranked: best=%q worst=%q", r.BestStatic, r.WorstStatic)
+	}
+	if !r.PlannerBeatsWorst {
+		t.Fatalf("planner lost to the worst static configuration (%s): %v", r.WorstStatic, r)
+	}
+	if r.CacheHitRate <= 0 {
+		t.Fatalf("repeated working set produced no cache hits: %+v", r)
+	}
+	if len(r.Families) == 0 {
+		t.Fatal("no family census recorded")
+	}
+	out := r.String()
+	if !strings.Contains(out, "E14") || !strings.Contains(out, "planner beats worst") {
+		t.Fatalf("unexpected E14 rendering:\n%s", out)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_PR6.json")
+	if err := WritePlanBenchReport(path, r); err != nil {
+		t.Fatalf("WritePlanBenchReport: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Elements          int     `json:"elements"`
+		PlannerBeatsWorst bool    `json:"planner_beats_worst"`
+		CacheHitRate      float64 `json:"cache_hit_rate"`
+		Static            []struct {
+			Config string  `json:"config"`
+			WallMS float64 `json:"wall_ms"`
+		} `json:"static"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_PR6.json does not parse: %v", err)
+	}
+	if rep.Elements != r.Elements || len(rep.Static) != 5 || !rep.PlannerBeatsWorst || rep.CacheHitRate <= 0 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"spatialsim/internal/crtree"
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/planner"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/serve"
+)
+
+// E14 — mixed-workload planning experiment. PR 6's thesis is that no single
+// static index family wins a mixed workload over skewed data: dense clustered
+// regions favor octrees, sparse uniform regions favor grids or R-Trees, big
+// shards favor the compressed layout. The per-shard statistics catalog lets
+// the planner pick a family per shard and an epoch-keyed result cache absorbs
+// the repeated queries every hot region produces. This experiment runs one
+// identical range/kNN/self-join workload — with the repetition real query
+// streams have — against every forced static configuration and against the
+// planner-routed store, and reports wall clock per configuration. The planner
+// must beat the worst static configuration (the smoke gate) and should track
+// or beat the best.
+
+// PlanBenchConfig shapes the E14 run.
+type PlanBenchConfig struct {
+	// Shards is the number of STR space partitions per epoch (0 = GOMAXPROCS).
+	Shards int
+	// CacheEntries sizes the planner store's per-epoch result cache (0 = 512).
+	CacheEntries int
+	// RangeQueries is the size of the range working set (0 = 256).
+	RangeQueries int
+	// KNNQueries is the size of the kNN working set (0 = 128).
+	KNNQueries int
+	// Repeats is how many passes the workload makes over the working set —
+	// hot-region repetition is what the result cache monetizes (0 = 6).
+	Repeats int
+	// K is the kNN fan-in (0 = 8).
+	K int
+	// Joins is the number of self-join rounds in the workload (0 = 1).
+	Joins int
+	// JoinEps is the self-join distance threshold (0 = universe edge / 200).
+	JoinEps float64
+}
+
+func (c PlanBenchConfig) withDefaults() PlanBenchConfig {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.RangeQueries <= 0 {
+		c.RangeQueries = 256
+	}
+	if c.KNNQueries <= 0 {
+		c.KNNQueries = 128
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 6
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.Joins <= 0 {
+		c.Joins = 1
+	}
+	return c
+}
+
+// PlanBenchRow is one configuration's result on the shared workload.
+type PlanBenchRow struct {
+	Config     string
+	Wall       time.Duration
+	Throughput float64 // ops/sec
+}
+
+// PlanBenchResult is the outcome of one E14 run.
+type PlanBenchResult struct {
+	Elements int
+	Shards   int
+	Ops      int // operations per configuration (ranges + knns + joins)
+
+	// Static rows, sorted by wall time ascending.
+	Static []PlanBenchRow
+	// Planner is the planner-routed store's row on the same workload.
+	Planner PlanBenchRow
+
+	// BestStatic / WorstStatic name the fastest and slowest forced family.
+	BestStatic  string
+	WorstStatic string
+	// PlannerBeatsWorst is the smoke gate: adaptive planning must never lose
+	// to the worst static pick. PlannerBeatsAll is the stretch outcome;
+	// PlannerVsBest is the wall ratio against the best static (≤ 1 means the
+	// planner won outright, slightly above 1 means it tied within noise).
+	PlannerBeatsWorst bool
+	PlannerBeatsAll   bool
+	PlannerVsBest     float64
+
+	// CacheHitRate is the planner store's epoch-cache hit rate over the run;
+	// Families is the planner's per-shard family census.
+	CacheHitRate float64
+	Families     map[string]int
+}
+
+// String renders the run like the other experiment tables.
+func (r PlanBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E14: mixed workload, planner vs static configurations (%d elements, %d shards, %d ops each)\n",
+		r.Elements, r.Shards, r.Ops)
+	fmt.Fprintf(&b, "  %-10s %-12s %s\n", "config", "wall", "throughput")
+	for _, row := range r.Static {
+		fmt.Fprintf(&b, "  %-10s %-12v %.0f ops/s\n", row.Config, row.Wall.Round(time.Millisecond), row.Throughput)
+	}
+	fmt.Fprintf(&b, "  %-10s %-12v %.0f ops/s  (cache hit rate %.2f, families %v)\n",
+		"planner", r.Planner.Wall.Round(time.Millisecond), r.Planner.Throughput, r.CacheHitRate, r.Families)
+	fmt.Fprintf(&b, "  planner beats worst static (%s): %v; beats all: %v (%.2fx the best static, %s)\n",
+		r.WorstStatic, r.PlannerBeatsWorst, r.PlannerBeatsAll, r.PlannerVsBest, r.BestStatic)
+	return b.String()
+}
+
+// planBenchStatics is the forced-family menu E14 competes the planner
+// against, in a stable order.
+func planBenchStatics() []struct {
+	name  string
+	build serve.ShardBuilder
+} {
+	return []struct {
+		name  string
+		build serve.ShardBuilder
+	}{
+		{"rtree", serve.RTreeBuilder(rtree.Config{})},
+		{"grid", serve.GridBuilder(24)},
+		{"octree", serve.OctreeBuilder(32)},
+		{"crtree", serve.CRTreeBuilder(crtree.Config{})},
+		{"scan", serve.ScanBuilder()},
+	}
+}
+
+// PlanBench runs E14 at the given scale.
+func PlanBench(s Scale, cfg PlanBenchConfig) PlanBenchResult {
+	s = s.withDefaults()
+	cfg = cfg.withDefaults()
+
+	// Half uniform, half clustered: the skew gives shards genuinely different
+	// profiles, so per-shard family choice has something to exploit.
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	uni := datagen.GenerateUniform(datagen.UniformConfig{N: s.Elements / 2, Universe: u, Seed: s.Seed})
+	clu := datagen.GenerateClustered(datagen.ClusteredConfig{N: s.Elements - s.Elements/2, Clusters: 6, Universe: u, Seed: s.Seed + 1})
+	items := make([]index.Item, 0, s.Elements)
+	for i := range uni.Elements {
+		items = append(items, index.Item{ID: uni.Elements[i].ID, Box: uni.Elements[i].Box})
+	}
+	base := int64(len(items))
+	for i := range clu.Elements {
+		items = append(items, index.Item{ID: base + clu.Elements[i].ID, Box: clu.Elements[i].Box})
+	}
+
+	// A shared working set: data-centered ranges over the combined dataset
+	// (so hot clusters are hit repeatedly) plus uniform kNN points. Every
+	// configuration sees the same queries in the same order.
+	merged := &datagen.Dataset{Universe: u}
+	merged.Elements = append(merged.Elements, uni.Elements...)
+	merged.Elements = append(merged.Elements, clu.Elements...)
+	ranges := datagen.GenerateDataCenteredQueries(merged, cfg.RangeQueries, s.Selectivity*10, s.Seed+2)
+	points := datagen.GenerateKNNQueries(cfg.KNNQueries, u, s.Seed+3)
+	eps := cfg.JoinEps
+	if eps <= 0 {
+		eps = u.Size().X / 200
+	}
+
+	workload := func(store *serve.Store) time.Duration {
+		buf := make([]index.Item, 0, 512)
+		start := time.Now()
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			for _, q := range ranges {
+				buf, _ = store.RangeAll(q, buf[:0])
+			}
+			for _, p := range points {
+				buf, _ = store.KNN(p, cfg.K, buf[:0])
+			}
+		}
+		for j := 0; j < cfg.Joins; j++ {
+			store.SelfJoin(serve.JoinRequest{Eps: eps, Workers: s.Workers})
+		}
+		return time.Since(start)
+	}
+	ops := cfg.Repeats*(len(ranges)+len(points)) + cfg.Joins
+
+	res := PlanBenchResult{
+		Elements: len(items),
+		Ops:      ops,
+	}
+
+	for _, sc := range planBenchStatics() {
+		store := serve.New(serve.Config{Shards: cfg.Shards, Workers: s.Workers, Build: sc.build})
+		store.Bootstrap(items)
+		wall := workload(store)
+		res.Shards = len(store.Stats().Shards)
+		store.Close()
+		res.Static = append(res.Static, PlanBenchRow{
+			Config:     sc.name,
+			Wall:       wall,
+			Throughput: float64(ops) / wall.Seconds(),
+		})
+	}
+	sort.Slice(res.Static, func(i, j int) bool { return res.Static[i].Wall < res.Static[j].Wall })
+	res.BestStatic = res.Static[0].Config
+	res.WorstStatic = res.Static[len(res.Static)-1].Config
+
+	auto := serve.New(serve.Config{
+		Shards:       cfg.Shards,
+		Workers:      s.Workers,
+		Planner:      planner.Default(),
+		CacheEntries: cfg.CacheEntries,
+	})
+	defer auto.Close()
+	auto.Bootstrap(items)
+	wall := workload(auto)
+	res.Planner = PlanBenchRow{Config: "planner", Wall: wall, Throughput: float64(ops) / wall.Seconds()}
+
+	st := auto.Stats()
+	if st.Cache != nil {
+		res.CacheHitRate = st.Cache.HitRate
+	}
+	if st.Planner != nil {
+		res.Families = st.Planner.Families
+	}
+	res.PlannerBeatsWorst = wall < res.Static[len(res.Static)-1].Wall
+	res.PlannerBeatsAll = wall < res.Static[0].Wall
+	res.PlannerVsBest = wall.Seconds() / res.Static[0].Wall.Seconds()
+	return res
+}
+
+// planBenchReport is the BENCH_PR6.json file layout: machine and workload
+// identification plus the per-configuration walls and the smoke verdicts.
+type planBenchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+
+	Elements int `json:"elements"`
+	Shards   int `json:"shards"`
+	Ops      int `json:"ops_per_config"`
+
+	Static []planBenchReportRow `json:"static"`
+
+	PlannerWallMS     float64        `json:"planner_wall_ms"`
+	PlannerThroughput float64        `json:"planner_ops_per_sec"`
+	BestStatic        string         `json:"best_static"`
+	WorstStatic       string         `json:"worst_static"`
+	PlannerBeatsWorst bool           `json:"planner_beats_worst"`
+	PlannerBeatsAll   bool           `json:"planner_beats_all"`
+	PlannerVsBest     float64        `json:"planner_vs_best_ratio"`
+	CacheHitRate      float64        `json:"cache_hit_rate"`
+	Families          map[string]int `json:"families"`
+}
+
+type planBenchReportRow struct {
+	Config     string  `json:"config"`
+	WallMS     float64 `json:"wall_ms"`
+	Throughput float64 `json:"ops_per_sec"`
+}
+
+// WritePlanBenchReport records an E14 result as machine-readable JSON
+// (BENCH_PR6.json — the planning entry of the repo's perf trajectory,
+// following BENCH_PR2/3/4).
+func WritePlanBenchReport(path string, r PlanBenchResult) error {
+	rep := planBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+
+		Elements: r.Elements,
+		Shards:   r.Shards,
+		Ops:      r.Ops,
+
+		PlannerWallMS:     float64(r.Planner.Wall) / float64(time.Millisecond),
+		PlannerThroughput: r.Planner.Throughput,
+		BestStatic:        r.BestStatic,
+		WorstStatic:       r.WorstStatic,
+		PlannerBeatsWorst: r.PlannerBeatsWorst,
+		PlannerBeatsAll:   r.PlannerBeatsAll,
+		PlannerVsBest:     r.PlannerVsBest,
+		CacheHitRate:      r.CacheHitRate,
+		Families:          r.Families,
+	}
+	for _, row := range r.Static {
+		rep.Static = append(rep.Static, planBenchReportRow{
+			Config:     row.Config,
+			WallMS:     float64(row.Wall) / float64(time.Millisecond),
+			Throughput: row.Throughput,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

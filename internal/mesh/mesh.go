@@ -108,9 +108,9 @@ func GenerateLattice(cfg LatticeConfig) *Mesh {
 	}
 	r := rand.New(rand.NewSource(cfg.Seed))
 	size := cfg.Universe.Size()
-	dx := size.X / float64(maxInt(cfg.Nx-1, 1))
-	dy := size.Y / float64(maxInt(cfg.Ny-1, 1))
-	dz := size.Z / float64(maxInt(cfg.Nz-1, 1))
+	dx := size.X / float64(max(cfg.Nx-1, 1))
+	dy := size.Y / float64(max(cfg.Ny-1, 1))
+	dz := size.Z / float64(max(cfg.Nz-1, 1))
 
 	// First pass: decide which lattice sites exist (hole removal) and assign
 	// dense vertex indices.
@@ -169,13 +169,6 @@ func GenerateLattice(cfg LatticeConfig) *Mesh {
 		m.Vertices[vi].Surface = surface
 	}
 	return m
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Deform applies a small random displacement to every vertex (bounded by

@@ -1,0 +1,154 @@
+package planner
+
+import (
+	"testing"
+	"time"
+
+	"spatialsim/internal/catalog"
+	"spatialsim/internal/core"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/join"
+)
+
+func profile(card int, clustering, coverage float64) catalog.ShardProfile {
+	return catalog.ShardProfile{
+		Card:       card,
+		MBR:        geom.NewAABB(geom.V(0, 0, 0), geom.V(10, 10, 10)),
+		Clustering: clustering,
+		Coverage:   coverage,
+		Elongation: 1,
+	}
+}
+
+func TestHeuristicFamilyRegimes(t *testing.T) {
+	p := Default()
+	cases := []struct {
+		name string
+		prof catalog.ShardProfile
+		want string
+	}{
+		{"tiny shard takes no structure", profile(50, 0, 0.1), FamilyScan},
+		{"clustered data takes the octree", profile(10000, 0.8, 0.1), FamilyOctree},
+		{"dense overlap takes the rtree", profile(10000, 0.1, 5), FamilyRTree},
+		{"large uniform takes the crtree", profile(1<<15, 0.1, 0.1), FamilyCRTree},
+		{"sparse data takes the rtree", profile(5000, 0.1, 0.005), FamilyRTree},
+		{"default takes the grid", profile(5000, 0.1, 0.1), FamilyGrid},
+	}
+	for _, tc := range cases {
+		if got := p.ChooseFamily(tc.prof, nil); got != tc.want {
+			t.Errorf("%s: got %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestScanMaxDerivedFromAdvisorCostModel(t *testing.T) {
+	adv := core.DefaultAdvisor()
+	want := int(adv.IndexedQueryCost / adv.ScanCostFactor)
+	if got := Default().ScanMax(); got != want {
+		t.Fatalf("ScanMax = %d, want the advisor crossover %d", got, want)
+	}
+	// The crossover is the advisor's scan-vs-index decision: at the
+	// threshold, one full scan costs exactly one indexed query.
+	if got := adv.ScanCostFactor * float64(want); got != adv.IndexedQueryCost {
+		t.Fatalf("scan cost at threshold = %v, want %v", got, adv.IndexedQueryCost)
+	}
+	// Anywhere below it with maintenance in play, the advisor abandons the
+	// index entirely — the decision the scan family absorbs.
+	if s := adv.Choose(want, want, 1); s != core.StrategyScan {
+		t.Fatalf("advisor below the crossover chose %v, want scan", s)
+	}
+}
+
+func TestChooseFamilyRestrictsToAvailable(t *testing.T) {
+	p := Default()
+	// Octree would win, but only rtree and grid are on the menu.
+	got := p.ChooseFamily(profile(10000, 0.9, 0.1), []string{FamilyRTree, FamilyGrid})
+	if got != FamilyRTree {
+		t.Fatalf("restricted choice = %s, want the priority fallback rtree", got)
+	}
+	if got := p.ChooseFamily(profile(50, 0, 0), []string{FamilyGrid}); got != FamilyGrid {
+		t.Fatalf("single-family menu must be honored, got %s", got)
+	}
+}
+
+func TestLatencyEvidenceOverridesHeuristic(t *testing.T) {
+	p := New(Config{MinLatencySamples: 8})
+	prof := profile(5000, 0.1, 0.1) // heuristic: grid
+	if got := p.ChooseFamily(prof, nil); got != FamilyGrid {
+		t.Fatalf("pre-evidence choice = %s", got)
+	}
+	// Measured evidence: the rtree answers ranges 10x faster than the grid.
+	for i := 0; i < 10; i++ {
+		p.Observe(FamilyGrid, catalog.ClassRange, 10*time.Millisecond)
+		p.Observe(FamilyRTree, catalog.ClassRange, time.Millisecond)
+	}
+	if got := p.ChooseFamily(prof, nil); got != FamilyRTree {
+		t.Fatalf("evidence should override heuristic, got %s", got)
+	}
+	// Insufficient challenger samples on a scored class: no override.
+	p2 := New(Config{MinLatencySamples: 8})
+	for i := 0; i < 10; i++ {
+		p2.Observe(FamilyGrid, catalog.ClassRange, 10*time.Millisecond)
+	}
+	p2.Observe(FamilyRTree, catalog.ClassRange, time.Millisecond)
+	if got := p2.ChooseFamily(prof, nil); got != FamilyGrid {
+		t.Fatalf("thin evidence must not override, got %s", got)
+	}
+}
+
+func TestLatencyOverrideNeverPicksScan(t *testing.T) {
+	p := New(Config{MinLatencySamples: 2})
+	prof := profile(5000, 0.1, 0.1)
+	for i := 0; i < 4; i++ {
+		p.Observe(FamilyGrid, catalog.ClassRange, 10*time.Millisecond)
+		p.Observe(FamilyScan, catalog.ClassRange, time.Microsecond)
+	}
+	if got := p.ChooseFamily(prof, nil); got == FamilyScan {
+		t.Fatal("scan latency from tiny shards must not transfer to large shards")
+	}
+}
+
+func TestJoinDelegation(t *testing.T) {
+	p := Default()
+	// Tiny input: the quadratic baseline, the join planner's own rule.
+	st := join.Stats{CardA: 10, CardB: 10, OverlapRatio: 1, Elongation: 1}
+	if got := p.JoinAlgorithm(st); got != join.AlgoNestedLoop {
+		t.Fatalf("join choice = %v, want nested-loop", got)
+	}
+	plan := p.PlanSelfJoin(nil, join.Options{}, join.AlgoGrid, true)
+	defer plan.Close()
+	if plan.Algo() != join.AlgoGrid {
+		t.Fatalf("forced plan algo = %v", plan.Algo())
+	}
+}
+
+func TestMaintenanceAndFreezeAbsorbAdvisor(t *testing.T) {
+	p := Default()
+	adv := core.DefaultAdvisor()
+	for _, tc := range []struct{ changed, total, queries int }{
+		{10, 100000, 100}, {90000, 100000, 100}, {100, 100000, 0},
+	} {
+		if got, want := p.Maintenance(tc.changed, tc.total, tc.queries), adv.Choose(tc.changed, tc.total, tc.queries); got != want {
+			t.Fatalf("Maintenance(%+v) = %v, want advisor's %v", tc, got, want)
+		}
+	}
+	if p.ShouldFreeze(1000, 100) != adv.ShouldFreeze(1000, 100) {
+		t.Fatal("ShouldFreeze must match the advisor cost model")
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	profiles := []catalog.ShardProfile{
+		{Card: 10, MBR: geom.NewAABB(geom.V(0, 0, 0), geom.V(1, 1, 1))},
+		{Card: 10, MBR: geom.NewAABB(geom.V(5, 5, 5), geom.V(6, 6, 6))},
+		{Card: 0, MBR: geom.NewAABB(geom.V(0, 0, 0), geom.V(9, 9, 9))}, // empty: never fanned
+	}
+	q := geom.NewAABB(geom.V(0, 0, 0), geom.V(2, 2, 2))
+	if got := FanOut(profiles, q); got != 1 {
+		t.Fatalf("fan-out = %d, want 1", got)
+	}
+	all := geom.NewAABB(geom.V(0, 0, 0), geom.V(10, 10, 10))
+	if got := FanOut(profiles, all); got != 2 {
+		t.Fatalf("fan-out = %d, want 2", got)
+	}
+}

@@ -34,7 +34,12 @@ func Open(cfg Config) (*Store, error) {
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		updates: make(chan []Update, cfg.IngestQueue),
 	}
-	s.epoch.Store(newEpoch(0, nil, 0))
+	if cfg.Planner != nil {
+		s.families = familyNames(cfg.Families)
+	}
+	empty := newEpoch(0, nil, 0)
+	s.attachCache(empty)
+	s.epoch.Store(empty)
 
 	if cfg.Persist != nil {
 		if err := s.recoverFromPersist(); err != nil {
@@ -69,17 +74,21 @@ func (s *Store) recoverFromPersist() error {
 
 	if len(rec.Shards) > 0 || rec.EpochSeq > 0 {
 		shards := make([]Shard, len(rec.Shards))
-		inner := s.cfg.Workers/maxInt(len(rec.Shards), 1) + 1
+		inner := s.cfg.Workers/max(len(rec.Shards), 1) + 1
 		exec.ForTasks(len(rec.Shards), s.cfg.Workers, func(_, i int) {
 			sr := rec.Shards[i]
 			if sr.RTree != nil {
-				shards[i] = Shard{bounds: sr.Bounds, snap: sr.RTree}
+				shards[i] = recoveredShard(sr.Bounds, sr.RTree)
 				return
 			}
-			shards[i] = Shard{bounds: sr.Bounds, snap: s.cfg.Build(sr.Bounds, sr.Items, inner)}
+			// Item-fallback shards rebuild through buildShard: the same items
+			// produce the same profile, so a planner-mode store lands on the
+			// same family it chose before the crash.
+			shards[i] = s.buildShard(sr.Bounds, sr.Items, inner)
 		})
 		e := newEpoch(rec.EpochSeq, shards, rec.Items())
 		e.covered = rec.BatchSeq
+		s.attachCache(e)
 		s.epoch.Store(e)
 
 		// Re-seed staging so the next epoch build starts from the recovered

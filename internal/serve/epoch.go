@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spatialsim/internal/catalog"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
 	"spatialsim/internal/instrument"
@@ -11,14 +12,24 @@ import (
 
 // Shard is one space partition of an epoch: a frozen, read-optimised snapshot
 // of the items whose box centers fall inside the shard's STR tile, plus the
-// tight MBR of those items used to prune query fan-out.
+// tight MBR of those items used to prune query fan-out, the index family the
+// snapshot was built as, and the statistics profile the family choice was
+// made on.
 type Shard struct {
-	bounds geom.AABB
-	snap   index.ReadIndex
+	bounds  geom.AABB
+	snap    index.ReadIndex
+	family  string
+	profile catalog.ShardProfile
 }
 
 // Bounds returns the shard's minimum bounding rectangle.
 func (sh *Shard) Bounds() geom.AABB { return sh.bounds }
+
+// Family returns the index family name the shard snapshot was built as.
+func (sh *Shard) Family() string { return sh.family }
+
+// Profile returns the freeze-time statistics profile of the shard's items.
+func (sh *Shard) Profile() catalog.ShardProfile { return sh.profile }
 
 // Len returns the number of items the shard holds.
 func (sh *Shard) Len() int { return sh.snap.Len() }
@@ -54,6 +65,13 @@ type Epoch struct {
 	superseded atomic.Bool
 	retireOnce atomic.Bool
 
+	// family is the modal shard family of the epoch — the default attribution
+	// of a query that fans out to several shards. cache is the epoch's result
+	// cache (nil when caching is disabled); it dies with the epoch, which is
+	// the whole invalidation story.
+	family string
+	cache  *epochCache
+
 	// wrapPool recycles the early-stop wrappers RangeVisit threads through
 	// shards and knnPool the scratch KNNInto merges shard candidates in, so
 	// warm epoch queries stay off the allocator like the underlying compact
@@ -64,6 +82,7 @@ type Epoch struct {
 
 func newEpoch(seq uint64, shards []Shard, items int) *Epoch {
 	e := &Epoch{seq: seq, items: items, shards: shards}
+	e.family = modalFamily(shards)
 	e.wrapPool.New = func() interface{} {
 		w := &stopWrap{}
 		w.fn = w.call
@@ -244,3 +263,87 @@ func (st *knnScratch) mergeTopK(buf []index.Item, base, cur, k int, p geom.Vec3)
 }
 
 var _ index.ReadIndex = (*Epoch)(nil)
+
+// Family returns the epoch's modal shard family — what most of its shards
+// were built as ("" for an empty epoch).
+func (e *Epoch) Family() string { return e.family }
+
+// modalFamily returns the most common family among the non-empty shards,
+// ties broken toward the lexically smaller name for determinism.
+func modalFamily(shards []Shard) string {
+	counts := make(map[string]int, 4)
+	best, bestC := "", 0
+	for i := range shards {
+		sh := &shards[i]
+		if sh.snap == nil || sh.snap.Len() == 0 {
+			continue
+		}
+		counts[sh.family]++
+		if c := counts[sh.family]; c > bestC || (c == bestC && sh.family < best) {
+			best, bestC = sh.family, c
+		}
+	}
+	return best
+}
+
+// planRange counts the shards a range query fans out to after MBR pruning
+// and returns the modal family among them — the Reply plan report, computed
+// without touching the shard snapshots. Allocation-free: family diversity is
+// bounded by the planner menu, so fixed-size scratch suffices.
+func (e *Epoch) planRange(q geom.AABB) (int, string) {
+	var names [8]string
+	var counts [8]int
+	nf, fan := 0, 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if sh.snap.Len() == 0 || !q.Intersects(sh.bounds) {
+			continue
+		}
+		fan++
+		for j := 0; ; j++ {
+			if j == nf {
+				if nf < len(names) {
+					names[nf], counts[nf] = sh.family, 1
+					nf++
+				}
+				break
+			}
+			if names[j] == sh.family {
+				counts[j]++
+				break
+			}
+		}
+	}
+	if fan == 0 || nf == 0 {
+		return fan, e.family
+	}
+	best := 0
+	for j := 1; j < nf; j++ {
+		if counts[j] > counts[best] || (counts[j] == counts[best] && names[j] < names[best]) {
+			best = j
+		}
+	}
+	return fan, names[best]
+}
+
+// planAll is planRange for whole-epoch operations (kNN merges, joins, arena
+// batches): every non-empty shard participates and the family attribution is
+// the epoch's modal one.
+func (e *Epoch) planAll() (int, string) {
+	fan := 0
+	for i := range e.shards {
+		if e.shards[i].snap.Len() > 0 {
+			fan++
+		}
+	}
+	return fan, e.family
+}
+
+// dropCache releases the epoch's result cache wholesale; called exactly once,
+// when the epoch retires. Queries still in flight on the epoch finish on the
+// entry pointers they already hold.
+func (e *Epoch) dropCache() {
+	if e.cache != nil {
+		e.cache.drop()
+	}
+}

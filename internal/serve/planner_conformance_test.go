@@ -1,0 +1,195 @@
+package serve
+
+// Randomized conformance suite for the query planner: a planner-routed store
+// must answer every query identically to every forced static configuration —
+// the planner is allowed to be faster, never different. Ranges compare exact
+// id sets, kNN compares the per-rank distance sequence (tie-breaking between
+// equidistant items is legitimately family-specific), joins compare the
+// canonical pair list.
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/crtree"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/planner"
+	"spatialsim/internal/rtree"
+)
+
+// staticConfigs is the full forced-family menu the planner competes against.
+func staticConfigs() map[string]ShardBuilder {
+	return map[string]ShardBuilder{
+		"rtree":  RTreeBuilder(rtree.Config{}),
+		"grid":   GridBuilder(24),
+		"octree": OctreeBuilder(32),
+		"crtree": CRTreeBuilder(crtree.Config{}),
+		"scan":   ScanBuilder(),
+	}
+}
+
+func uniformDataset(n int, seed int64) []index.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	for i := range items {
+		c := geom.V(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.5, 0.5, 0.5))}
+	}
+	return items
+}
+
+func clusteredDataset(n int, seed int64) []index.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]index.Item, n)
+	centers := []geom.Vec3{geom.V(10, 10, 10), geom.V(90, 90, 90), geom.V(10, 90, 50)}
+	for i := range items {
+		base := centers[i%len(centers)]
+		c := base.Add(geom.V(rng.NormFloat64()*2, rng.NormFloat64()*2, rng.NormFloat64()*2))
+		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.5, 0.5, 0.5))}
+	}
+	return items
+}
+
+func sortedIDs(items []index.Item) []int64 {
+	ids := make([]int64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func rankDistances(items []index.Item, p geom.Vec3) []float64 {
+	d := make([]float64, len(items))
+	for i, it := range items {
+		d[i] = it.Box.Distance2ToPoint(p)
+	}
+	return d
+}
+
+func TestPlannerConformsToEveryStaticConfiguration(t *testing.T) {
+	datasets := map[string][]index.Item{
+		"uniform":   uniformDataset(3000, 42),
+		"clustered": clusteredDataset(3000, 43),
+	}
+	for dsName, items := range datasets {
+		t.Run(dsName, func(t *testing.T) {
+			// The planner-routed store, with the result cache on so cached and
+			// computed answers are both exercised against the baselines.
+			auto := New(Config{Shards: 4, Workers: 2, Planner: planner.Default(), CacheEntries: 256})
+			defer auto.Close()
+			auto.Bootstrap(items)
+
+			statics := make(map[string]*Store)
+			for name, build := range staticConfigs() {
+				st := New(Config{Shards: 4, Workers: 2, Build: build})
+				defer st.Close()
+				st.Bootstrap(items)
+				statics[name] = st
+			}
+
+			rng := rand.New(rand.NewSource(7))
+			for q := 0; q < 40; q++ {
+				lo := geom.V(rng.Float64()*90, rng.Float64()*90, rng.Float64()*90)
+				ext := geom.V(rng.Float64()*25+1, rng.Float64()*25+1, rng.Float64()*25+1)
+				box := geom.NewAABB(lo, lo.Add(ext))
+				// Every other query repeats to drive the cache path.
+				for rep := 0; rep < 2; rep++ {
+					got, _ := auto.RangeAll(box, nil)
+					want := sortedIDs(got)
+					for name, st := range statics {
+						ref, _ := st.RangeAll(box, nil)
+						if !reflect.DeepEqual(want, sortedIDs(ref)) {
+							t.Fatalf("range %v: planner answered %d items, static %s answered %d", box, len(got), name, len(ref))
+						}
+					}
+				}
+			}
+
+			for q := 0; q < 25; q++ {
+				p := geom.V(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+				k := 1 + rng.Intn(20)
+				for rep := 0; rep < 2; rep++ {
+					got, _ := auto.KNN(p, k, nil)
+					want := rankDistances(got, p)
+					for name, st := range statics {
+						ref, _ := st.KNN(p, k, nil)
+						refD := rankDistances(ref, p)
+						if !reflect.DeepEqual(want, refD) {
+							t.Fatalf("knn p=%v k=%d: planner distances %v, static %s distances %v", p, k, want, name, refD)
+						}
+					}
+				}
+			}
+
+			rep := auto.SelfJoin(JoinRequest{Eps: 1.5, Workers: 2})
+			for name, st := range statics {
+				ref := st.SelfJoin(JoinRequest{Eps: 1.5, Workers: 2})
+				if !reflect.DeepEqual(rep.Pairs, ref.Pairs) {
+					t.Fatalf("self-join: planner found %d pairs, static %s found %d", len(rep.Pairs), name, len(ref.Pairs))
+				}
+			}
+
+			// The planner store must actually report its planning surface.
+			st := auto.Stats()
+			if st.Planner == nil || len(st.Planner.Families) == 0 {
+				t.Fatal("planner store must report family assignments in Stats")
+			}
+			if st.Cache == nil || st.Cache.Hits == 0 {
+				t.Fatalf("repeated queries must produce cache hits, stats: %+v", st.Cache)
+			}
+		})
+	}
+}
+
+func TestPlannerPicksScanForTinyShards(t *testing.T) {
+	s := New(Config{Shards: 4, Workers: 2, Planner: planner.Default()})
+	defer s.Close()
+	s.Bootstrap(uniformDataset(100, 9)) // ~25 items per shard, far below ScanMax
+	st := s.Stats()
+	if st.Planner == nil {
+		t.Fatal("no planner stats")
+	}
+	if n := st.Planner.Families[planner.FamilyScan]; n != len(st.Shards) {
+		t.Fatalf("tiny shards should all be scan, got %v", st.Planner.Families)
+	}
+	// And the reply must report the plan.
+	r := s.Query(Request{Op: OpRange, Query: geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))})
+	if r.Plan.Family != planner.FamilyScan || r.Plan.FanOut == 0 {
+		t.Fatalf("reply plan = %+v, want scan family with fan-out", r.Plan)
+	}
+}
+
+func TestReplyReportsPlanOnEveryOp(t *testing.T) {
+	s := New(Config{Shards: 4, Workers: 2, Planner: planner.Default(), CacheEntries: 16})
+	defer s.Close()
+	s.Bootstrap(uniformDataset(2000, 11))
+
+	box := geom.NewAABB(geom.V(10, 10, 10), geom.V(60, 60, 60))
+	r1 := s.Query(Request{Op: OpRange, Query: box})
+	if r1.Plan.Family == "" || r1.Plan.FanOut <= 0 || r1.Plan.CacheHit {
+		t.Fatalf("first range plan: %+v", r1.Plan)
+	}
+	r2 := s.Query(Request{Op: OpRange, Query: box})
+	if !r2.Plan.CacheHit {
+		t.Fatalf("repeat range plan should be a cache hit: %+v", r2.Plan)
+	}
+	if !reflect.DeepEqual(sortedIDs(r1.Items), sortedIDs(r2.Items)) {
+		t.Fatal("cache hit changed the result")
+	}
+
+	k := s.Query(Request{Op: OpKNN, Point: geom.V(50, 50, 50), K: 5})
+	if k.Plan.Family == "" || k.Plan.FanOut <= 0 {
+		t.Fatalf("knn plan: %+v", k.Plan)
+	}
+	j := s.Query(Request{Op: OpJoin, Join: JoinRequest{Eps: 1, Workers: 2}})
+	if j.Plan.Algorithm == "" {
+		t.Fatalf("join plan must name the algorithm: %+v", j.Plan)
+	}
+	if j.JoinAlgo.String() != j.Plan.Algorithm {
+		t.Fatalf("join algo %v disagrees with plan %q", j.JoinAlgo, j.Plan.Algorithm)
+	}
+}

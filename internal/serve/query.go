@@ -1,0 +1,292 @@
+package serve
+
+// The unified query entry point: every read the store serves — single range,
+// single kNN, arena batches, epoch self-joins — is one Store.Query call, so
+// admission control, epoch pinning, planning, caching, latency feedback and
+// plan reporting happen in exactly one place. The named methods (Range, KNN,
+// BatchRange, SelfJoin, ...) are thin wrappers that fill a Request and
+// reshape the Reply.
+
+import (
+	"time"
+
+	"spatialsim/internal/catalog"
+	"spatialsim/internal/exec"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/join"
+)
+
+// Op selects the operation a Request performs.
+type Op int
+
+const (
+	// OpRange is a single range query (Query box; Visit streams results,
+	// otherwise matches are appended to Buf).
+	OpRange Op = iota
+	// OpKNN is a single k-nearest-neighbor query (Point, K; results appended
+	// to Buf closest first).
+	OpKNN
+	// OpJoin is an epoch-pinned self-join (Join parameters).
+	OpJoin
+	// OpBatchRange scatters Queries over the worker pool with arena reuse.
+	OpBatchRange
+	// OpBatchKNN scatters Points over the worker pool with arena reuse.
+	OpBatchKNN
+)
+
+// Request shapes one store read. Exactly the fields of the requested Op are
+// consulted; the rest stay zero.
+type Request struct {
+	Op Op
+
+	// Query is the range box (OpRange).
+	Query geom.AABB
+	// Visit, when set on OpRange, streams matches instead of materializing
+	// them; streaming queries support early stop and bypass the result cache.
+	Visit func(index.Item) bool
+	// Buf is the append target for materialized OpRange/OpKNN results; the
+	// reply's Items extends it (pass nil to allocate).
+	Buf []index.Item
+
+	// Point and K shape OpKNN.
+	Point geom.Vec3
+	K     int
+
+	// Queries, Points, Opts and Arena shape the batch ops, mirroring the exec
+	// batch visitors they dispatch to.
+	Queries []geom.AABB
+	Points  []geom.Vec3
+	Opts    exec.Options
+	Arena   *exec.Arena
+
+	// Join shapes OpJoin.
+	Join JoinRequest
+
+	// NoCache bypasses the result cache for this request (it neither reads
+	// nor fills entries).
+	NoCache bool
+}
+
+// PlanInfo reports the decisions behind one Reply: which index family served
+// it, which join algorithm ran, whether the result came from the epoch cache,
+// and how many shards the query fanned out to.
+type PlanInfo struct {
+	// Family is the index family that served the query — the modal family of
+	// the shards reached (per-shard families may differ under the planner).
+	Family string `json:"family"`
+	// Algorithm is the join algorithm that executed ("" for non-joins).
+	Algorithm string `json:"algorithm,omitempty"`
+	// CacheHit is true when the result was served from the epoch cache
+	// (including coalesced waits on an in-flight identical query).
+	CacheHit bool `json:"cache_hit"`
+	// FanOut is the number of non-empty shards the query reached after MBR
+	// pruning (for batches: the shard count of the epoch).
+	FanOut int `json:"fan_out"`
+}
+
+// Reply is the outcome of one Store.Query call.
+type Reply struct {
+	// Epoch is the generation the query ran against.
+	Epoch uint64
+	// Items holds materialized OpRange/OpKNN results (req.Buf extended).
+	Items []index.Item
+	// Batch holds per-query results of the batch ops.
+	Batch [][]index.Item
+	// Pairs, JoinAlgo, JoinItems and JoinStats hold the OpJoin outcome.
+	Pairs     []join.Pair
+	JoinAlgo  join.Algorithm
+	JoinItems int
+	JoinStats exec.JoinStats
+	// Plan reports the planning decisions behind the reply.
+	Plan PlanInfo
+}
+
+// Query executes one read against the current epoch under admission control.
+// It is the single entry point every named query method wraps.
+func (s *Store) Query(req Request) Reply {
+	done := s.admit()
+	defer done()
+	e := s.acquire()
+	defer s.release(e)
+	switch req.Op {
+	case OpKNN:
+		return s.queryKNN(e, req)
+	case OpJoin:
+		return s.queryJoin(e, req)
+	case OpBatchRange:
+		return s.queryBatchRange(e, req)
+	case OpBatchKNN:
+		return s.queryBatchKNN(e, req)
+	default:
+		return s.queryRange(e, req)
+	}
+}
+
+// observeStart returns the wall-clock start of a latency observation, zero
+// when no planner is consuming observations (keeps time.Now off the legacy
+// hot path).
+func (s *Store) observeStart() time.Time {
+	if s.cfg.Planner == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observe feeds one execution latency into the planner's catalog.
+func (s *Store) observe(family, class string, start time.Time) {
+	if s.cfg.Planner == nil || start.IsZero() || family == "" {
+		return
+	}
+	s.cfg.Planner.Observe(family, class, time.Since(start))
+}
+
+func (s *Store) queryRange(e *Epoch, req Request) Reply {
+	start := s.observeStart()
+	fan, fam := e.planRange(req.Query)
+	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam, FanOut: fan}}
+
+	if req.Visit != nil {
+		var n int64
+		e.RangeVisit(req.Query, func(it index.Item) bool {
+			n++
+			return req.Visit(it)
+		})
+		s.queries.Add(1)
+		s.results.Add(n)
+		s.observe(fam, catalog.ClassRange, start)
+		return rep
+	}
+
+	if c := e.cache; c != nil && !req.NoCache {
+		entry, owner := c.lookup(rangeKey(req.Query))
+		if !owner {
+			if entry.ready() {
+				s.cacheHits.Add(1)
+			} else {
+				s.cacheCoalesced.Add(1)
+				<-entry.done
+			}
+			rep.Items = append(req.Buf, entry.items...)
+			rep.Plan.CacheHit = true
+			s.queries.Add(1)
+			s.results.Add(int64(len(entry.items)))
+			return rep
+		}
+		s.cacheMisses.Add(1)
+		var priv []index.Item
+		e.RangeVisit(req.Query, func(it index.Item) bool {
+			priv = append(priv, it)
+			return true
+		})
+		if entry != nil {
+			entry.fill(priv)
+		}
+		rep.Items = append(req.Buf, priv...)
+		s.queries.Add(1)
+		s.results.Add(int64(len(priv)))
+		s.observe(fam, catalog.ClassRange, start)
+		return rep
+	}
+
+	buf := req.Buf
+	base := len(buf)
+	e.RangeVisit(req.Query, func(it index.Item) bool {
+		buf = append(buf, it)
+		return true
+	})
+	rep.Items = buf
+	s.queries.Add(1)
+	s.results.Add(int64(len(buf) - base))
+	s.observe(fam, catalog.ClassRange, start)
+	return rep
+}
+
+func (s *Store) queryKNN(e *Epoch, req Request) Reply {
+	start := s.observeStart()
+	fan, fam := e.planAll()
+	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam, FanOut: fan}}
+
+	if c := e.cache; c != nil && !req.NoCache {
+		entry, owner := c.lookup(knnKey(req.Point, req.K))
+		if !owner {
+			if entry.ready() {
+				s.cacheHits.Add(1)
+			} else {
+				s.cacheCoalesced.Add(1)
+				<-entry.done
+			}
+			rep.Items = append(req.Buf, entry.items...)
+			rep.Plan.CacheHit = true
+			s.queries.Add(1)
+			s.results.Add(int64(len(entry.items)))
+			return rep
+		}
+		s.cacheMisses.Add(1)
+		priv := e.KNNInto(req.Point, req.K, nil)
+		if entry != nil {
+			entry.fill(priv)
+		}
+		rep.Items = append(req.Buf, priv...)
+		s.queries.Add(1)
+		s.results.Add(int64(len(priv)))
+		s.observe(fam, catalog.ClassKNN, start)
+		return rep
+	}
+
+	base := len(req.Buf)
+	rep.Items = e.KNNInto(req.Point, req.K, req.Buf)
+	s.queries.Add(1)
+	s.results.Add(int64(len(rep.Items) - base))
+	s.observe(fam, catalog.ClassKNN, start)
+	return rep
+}
+
+func (s *Store) queryJoin(e *Epoch, req Request) Reply {
+	start := s.observeStart()
+	fan, fam := e.planAll()
+	jr := req.Join
+
+	items := e.AllItems(make([]index.Item, 0, e.items))
+	var plan *join.Plan
+	if s.cfg.Planner != nil {
+		plan = s.cfg.Planner.PlanSelfJoin(items, join.Options{Eps: jr.Eps}, jr.Algo, jr.Force)
+	} else {
+		var pl join.Planner
+		if jr.Force {
+			plan = pl.PlanSelfWith(jr.Algo, items, join.Options{Eps: jr.Eps})
+		} else {
+			plan = pl.PlanSelf(items, join.Options{Eps: jr.Eps})
+		}
+	}
+	defer plan.Close()
+	pairs, stats := exec.ParallelJoin(plan, exec.Options{Workers: jr.Workers})
+
+	s.joins.Add(1)
+	s.joinPairs.Add(int64(len(pairs)))
+	s.observe(fam, catalog.ClassJoin, start)
+	return Reply{
+		Epoch:     e.seq,
+		Pairs:     pairs,
+		JoinAlgo:  plan.Algo(),
+		JoinItems: len(items),
+		JoinStats: stats,
+		Plan:      PlanInfo{Family: fam, Algorithm: plan.Algo().String(), FanOut: fan},
+	}
+}
+
+func (s *Store) queryBatchRange(e *Epoch, req Request) Reply {
+	fan, fam := e.planAll()
+	out, stats := exec.BatchRangeVisitArena(e, req.Queries, req.Opts, req.Arena)
+	s.queries.Add(int64(len(req.Queries)))
+	s.results.Add(stats.Results)
+	return Reply{Epoch: e.seq, Batch: out, Plan: PlanInfo{Family: fam, FanOut: fan}}
+}
+
+func (s *Store) queryBatchKNN(e *Epoch, req Request) Reply {
+	fan, fam := e.planAll()
+	out, stats := exec.BatchKNNInto(e, req.Points, req.K, req.Opts, req.Arena)
+	s.queries.Add(int64(len(req.Points)))
+	s.results.Add(stats.Results)
+	return Reply{Epoch: e.seq, Batch: out, Plan: PlanInfo{Family: fam, FanOut: fan}}
+}

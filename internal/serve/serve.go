@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spatialsim/internal/catalog"
 	"spatialsim/internal/exec"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/grid"
@@ -43,6 +44,7 @@ import (
 	"spatialsim/internal/moving"
 	"spatialsim/internal/octree"
 	"spatialsim/internal/persist"
+	"spatialsim/internal/planner"
 	"spatialsim/internal/rtree"
 )
 
@@ -96,8 +98,23 @@ type Config struct {
 	// bound wait (admission control; <= 0 picks 4x GOMAXPROCS).
 	MaxInFlight int
 	// Build constructs one shard snapshot (nil uses RTreeBuilder with the
-	// default R-Tree configuration).
+	// default R-Tree configuration). Ignored when Planner is set — the
+	// planner chooses per shard from Families instead.
 	Build ShardBuilder
+	// Planner enables statistics-driven planning: the index family of every
+	// shard is chosen per shard at freeze time from its catalog profile
+	// (corrected by online latency evidence), the join algorithm is delegated
+	// through the planner, and every query feeds the latency catalog. Nil
+	// keeps the static single-family configuration.
+	Planner *planner.Planner
+	// Families is the planner's menu of shard builders (nil uses
+	// DefaultFamilies). Ignored when Planner is nil.
+	Families map[string]ShardBuilder
+	// CacheEntries bounds the per-epoch result cache (entries per epoch,
+	// FIFO-evicted); <= 0 disables result caching. Epoch immutability makes
+	// cached results valid for the epoch's lifetime, and epoch retirement
+	// drops the whole cache — there is no invalidation protocol.
+	CacheEntries int
 	// IngestQueue is the capacity of the asynchronous update-batch queue
 	// consumed by the background builder (<= 0 picks 16).
 	IngestQueue int
@@ -122,7 +139,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
 	}
-	if c.Build == nil {
+	if c.Planner != nil {
+		if c.Families == nil {
+			c.Families = DefaultFamilies()
+		}
+	} else if c.Build == nil {
 		c.Build = RTreeBuilder(rtree.Config{})
 	}
 	if c.IngestQueue <= 0 {
@@ -169,6 +190,13 @@ type Store struct {
 	retired   atomic.Int64
 	joins     atomic.Int64
 	joinPairs atomic.Int64
+
+	// families is the sorted planner menu (nil in static mode); the cache
+	// counters aggregate across epochs (each epoch's cache map is its own).
+	families       []string
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCoalesced atomic.Int64
 
 	updates chan []Update
 	wg      sync.WaitGroup
@@ -343,15 +371,15 @@ func (s *Store) snapshotStagingLocked() ([]index.Item, uint64) {
 func (s *Store) publishLocked(items []index.Item, covered uint64) uint64 {
 	parts := partitionSTR(items, s.cfg.Shards)
 	shards := make([]Shard, len(parts))
-	inner := s.cfg.Workers/maxInt(len(parts), 1) + 1
+	inner := s.cfg.Workers/max(len(parts), 1) + 1
 	exec.ForTasks(len(parts), s.cfg.Workers, func(_, i int) {
-		bounds := boundsOf(parts[i])
-		shards[i] = Shard{bounds: bounds, snap: s.cfg.Build(bounds, parts[i], inner)}
+		shards[i] = s.buildShard(boundsOf(parts[i]), parts[i], inner)
 	})
 
 	prev := s.epoch.Load()
 	next := newEpoch(prev.seq+1, shards, len(items))
 	next.covered = covered
+	s.attachCache(next)
 	s.epoch.Store(next)
 	s.swaps.Add(1)
 	s.notifySnapshotter()
@@ -368,7 +396,16 @@ func (s *Store) publishLocked(items []index.Item, covered uint64) uint64 {
 // pooled-resource epoch would reclaim on).
 func (s *Store) maybeRetire(e *Epoch) {
 	if e.pins.Load() == 0 && e.superseded.Load() && e.retireOnce.CompareAndSwap(false, true) {
+		e.dropCache()
 		s.retired.Add(1)
+	}
+}
+
+// attachCache gives a freshly built epoch its result cache when caching is
+// enabled.
+func (s *Store) attachCache(e *Epoch) {
+	if s.cfg.CacheEntries > 0 {
+		e.cache = newEpochCache(s.cfg.CacheEntries)
 	}
 }
 
@@ -418,66 +455,34 @@ func (s *Store) admit() func() {
 
 // Range executes one range query against the current epoch, invoking visit
 // for every item whose box intersects query, and returns the epoch sequence
-// the query ran against.
+// the query ran against. Thin wrapper over Query (streaming queries support
+// early stop and bypass the result cache).
 func (s *Store) Range(query geom.AABB, visit func(index.Item) bool) uint64 {
-	done := s.admit()
-	defer done()
-	e := s.acquire()
-	defer s.release(e)
-	var n int64
-	e.RangeVisit(query, func(it index.Item) bool {
-		n++
-		return visit(it)
-	})
-	s.queries.Add(1)
-	s.results.Add(n)
-	return e.seq
+	return s.Query(Request{Op: OpRange, Query: query, Visit: visit}).Epoch
 }
 
 // RangeAll executes one range query and appends all matches to buf, returning
-// the extended slice and the epoch sequence served.
+// the extended slice and the epoch sequence served. Thin wrapper over Query.
 func (s *Store) RangeAll(query geom.AABB, buf []index.Item) ([]index.Item, uint64) {
-	done := s.admit()
-	defer done()
-	e := s.acquire()
-	defer s.release(e)
-	start := len(buf)
-	e.RangeVisit(query, func(it index.Item) bool {
-		buf = append(buf, it)
-		return true
-	})
-	s.queries.Add(1)
-	s.results.Add(int64(len(buf) - start))
-	return buf, e.seq
+	r := s.Query(Request{Op: OpRange, Query: query, Buf: buf})
+	return r.Items, r.Epoch
 }
 
 // KNN appends the (up to) k items nearest to p, closest first, to buf and
-// returns the extended slice and the epoch sequence served.
+// returns the extended slice and the epoch sequence served. Thin wrapper over
+// Query.
 func (s *Store) KNN(p geom.Vec3, k int, buf []index.Item) ([]index.Item, uint64) {
-	done := s.admit()
-	defer done()
-	e := s.acquire()
-	defer s.release(e)
-	start := len(buf)
-	buf = e.KNNInto(p, k, buf)
-	s.queries.Add(1)
-	s.results.Add(int64(len(buf) - start))
-	return buf, e.seq
+	r := s.Query(Request{Op: OpKNN, Point: p, K: k, Buf: buf})
+	return r.Items, r.Epoch
 }
 
 // BatchRange scatters a query batch over the worker pool against one pinned
 // epoch (every query in the batch sees the same generation) with per-worker
 // arena buffers; out[i] holds the matches of queries[i]. The batch occupies
-// one admission slot.
+// one admission slot. Thin wrapper over Query.
 func (s *Store) BatchRange(queries []geom.AABB, opts exec.Options, arena *exec.Arena) ([][]index.Item, uint64) {
-	done := s.admit()
-	defer done()
-	e := s.acquire()
-	defer s.release(e)
-	out, stats := exec.BatchRangeVisitArena(e, queries, opts, arena)
-	s.queries.Add(int64(len(queries)))
-	s.results.Add(stats.Results)
-	return out, e.seq
+	r := s.Query(Request{Op: OpBatchRange, Queries: queries, Opts: opts, Arena: arena})
+	return r.Batch, r.Epoch
 }
 
 // JoinRequest shapes one epoch-pinned self-join.
@@ -513,48 +518,48 @@ type JoinReply struct {
 // plan's tasks are tiled across the worker pool. The epoch stays pinned for
 // the duration, so concurrent ingestion keeps swapping generations without
 // ever tearing the join's input; the join occupies one admission slot like a
-// query batch.
+// query batch. Thin wrapper over Query.
 func (s *Store) SelfJoin(req JoinRequest) JoinReply {
-	done := s.admit()
-	defer done()
-	e := s.acquire()
-	defer s.release(e)
-
-	items := e.AllItems(make([]index.Item, 0, e.items))
-	var pl join.Planner
-	var plan *join.Plan
-	if req.Force {
-		plan = pl.PlanSelfWith(req.Algo, items, join.Options{Eps: req.Eps})
-	} else {
-		plan = pl.PlanSelf(items, join.Options{Eps: req.Eps})
-	}
-	defer plan.Close()
-	pairs, stats := exec.ParallelJoin(plan, exec.Options{Workers: req.Workers})
-
-	s.joins.Add(1)
-	s.joinPairs.Add(int64(len(pairs)))
-	return JoinReply{Epoch: e.seq, Algo: plan.Algo(), Items: len(items), Pairs: pairs, Stats: stats}
+	r := s.Query(Request{Op: OpJoin, Join: req})
+	return JoinReply{Epoch: r.Epoch, Algo: r.JoinAlgo, Items: r.JoinItems, Pairs: r.Pairs, Stats: r.JoinStats}
 }
 
 // BatchKNN scatters a kNN batch over the worker pool against one pinned
 // epoch; out[i] holds the (up to) k nearest items of points[i], closest
-// first. The batch occupies one admission slot.
+// first. The batch occupies one admission slot. Thin wrapper over Query.
 func (s *Store) BatchKNN(points []geom.Vec3, k int, opts exec.Options, arena *exec.Arena) ([][]index.Item, uint64) {
-	done := s.admit()
-	defer done()
-	e := s.acquire()
-	defer s.release(e)
-	out, stats := exec.BatchKNNInto(e, points, k, opts, arena)
-	s.queries.Add(int64(len(points)))
-	s.results.Add(stats.Results)
-	return out, e.seq
+	r := s.Query(Request{Op: OpBatchKNN, Points: points, K: k, Opts: opts, Arena: arena})
+	return r.Batch, r.Epoch
 }
 
 // ShardStats is the per-shard slice of a Stats snapshot.
 type ShardStats struct {
 	Items    int                        `json:"items"`
 	Bounds   geom.AABB                  `json:"bounds"`
+	Family   string                     `json:"family"`
+	Profile  catalog.ShardProfile       `json:"profile"`
 	Counters instrument.CounterSnapshot `json:"counters"`
+}
+
+// PlannerStats is the Stats slice describing the query planner's state (nil
+// when the store runs a static configuration).
+type PlannerStats struct {
+	// Families counts the current epoch's shards per index family.
+	Families map[string]int `json:"families"`
+	// Latencies is the online latency catalog snapshot.
+	Latencies []catalog.LatencyStat `json:"latencies,omitempty"`
+}
+
+// CacheStats is the Stats slice describing the epoch result cache (nil when
+// caching is disabled). Hit/miss/coalesced counters aggregate across epochs;
+// Entries is the current epoch's live entry count.
+type CacheStats struct {
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // Stats is a point-in-time view of the store's serving state.
@@ -573,6 +578,10 @@ type Stats struct {
 	InFlight      int64        `json:"in_flight"`
 	PeakInFlight  int64        `json:"peak_in_flight"`
 	MaxInFlight   int          `json:"max_in_flight"`
+	// Planner reports the query planner's state (nil for static stores).
+	Planner *PlannerStats `json:"planner,omitempty"`
+	// Cache reports the epoch result cache (nil when caching is disabled).
+	Cache *CacheStats `json:"cache,omitempty"`
 	// Durability reports persistence state (nil for in-memory stores).
 	Durability *DurabilityStats `json:"durability,omitempty"`
 }
@@ -606,18 +615,36 @@ func (s *Store) Stats() Stats {
 	st.Shards = make([]ShardStats, len(e.shards))
 	for i := range e.shards {
 		sh := &e.shards[i]
-		ss := ShardStats{Items: sh.Len(), Bounds: sh.bounds}
+		ss := ShardStats{Items: sh.Len(), Bounds: sh.bounds, Family: sh.family, Profile: sh.profile}
 		if c := sh.Counters(); c != nil {
 			ss.Counters = c.Snapshot()
 		}
 		st.Shards[i] = ss
 	}
-	return st
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+	if s.cfg.Planner != nil {
+		ps := &PlannerStats{Families: make(map[string]int, len(s.families))}
+		for i := range e.shards {
+			ps.Families[e.shards[i].family]++
+		}
+		ps.Latencies = s.cfg.Planner.Latencies().Snapshot()
+		st.Planner = ps
 	}
-	return b
+	if s.cfg.CacheEntries > 0 {
+		cs := &CacheStats{
+			Capacity:  s.cfg.CacheEntries,
+			Hits:      s.cacheHits.Load(),
+			Misses:    s.cacheMisses.Load(),
+			Coalesced: s.cacheCoalesced.Load(),
+		}
+		if e.cache != nil {
+			cs.Entries = e.cache.size()
+		}
+		// Coalesced waits are hits the coalescing window absorbed: the work
+		// ran once for the whole herd.
+		if total := cs.Hits + cs.Coalesced + cs.Misses; total > 0 {
+			cs.HitRate = float64(cs.Hits+cs.Coalesced) / float64(total)
+		}
+		st.Cache = cs
+	}
+	return st
 }
