@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json serve loadgen join-bench plan-bench cover fuzz fmt vet vet-strict ci
+.PHONY: all build test race bench bench-json serve loadgen join-bench plan-bench cover fuzz fmt vet vet-strict chaos ci
 
 all: build
 
@@ -75,6 +75,15 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeManifest -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run xxx -fuzz FuzzDecodeCompact -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run xxx -fuzz FuzzAABBIntersectContain -fuzztime $(FUZZTIME) ./internal/geom/
+
+# chaos soaks the durable serving store under injected disk faults (failed,
+# torn and stalled writes), deadlined query load and crash-abandon restarts,
+# under the race detector. The gate is zero wrong-answer events: every
+# fault may degrade a reply but must never corrupt one. CHAOS_ROUNDS scales
+# the number of restart rounds.
+CHAOS_ROUNDS ?= 8
+chaos:
+	CHAOS_ROUNDS=$(CHAOS_ROUNDS) $(GO) test -race -count=1 -run 'TestChaosSoak' -v ./internal/serve/
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -19,15 +19,26 @@
 // Endpoints: GET /range, GET /knn, GET /join, POST /update, POST /snapshot,
 // GET /recovery, GET /stats, GET /healthz (see newHandler for parameter
 // shapes).
+//
+// The server degrades gracefully under pressure: -deadline/-join-deadline set
+// per-class query deadlines (tightened per request with ?timeout=),
+// -max-queued bounds the admission queue before requests are shed with 503 +
+// Retry-After, and SIGINT/SIGTERM trigger a graceful shutdown — the listener
+// drains for -drain, then the store closes with a final durable snapshot.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"spatialsim/internal/crtree"
 	"spatialsim/internal/datagen"
@@ -63,6 +74,10 @@ func run(args []string, stdout io.Writer) error {
 		seed        = fs.Int64("seed", 1, "bootstrap dataset seed")
 		dataDir     = fs.String("data-dir", "", "durable epoch store directory (empty = in-memory only)")
 		snapEvery   = fs.Int("snapshot-every", 1, "persist every Nth published epoch (durable mode)")
+		maxQueued   = fs.Int("max-queued", 0, "admission queue bound before requests are shed with 503 (0 = 4x max-inflight)")
+		deadline    = fs.Duration("deadline", 0, "default deadline for range/knn queries (0 = none; ?timeout= overrides)")
+		joinDead    = fs.Duration("join-deadline", 0, "default deadline for join and batch queries (0 = none)")
+		drain       = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,8 +87,15 @@ func run(args []string, stdout io.Writer) error {
 		Shards:        *shards,
 		Workers:       *workers,
 		MaxInFlight:   *maxInflight,
+		MaxQueued:     *maxQueued,
 		CacheEntries:  *cacheSize,
 		SnapshotEvery: *snapEvery,
+		Deadlines: serve.Deadlines{
+			Range: *deadline,
+			KNN:   *deadline,
+			Join:  *joinDead,
+			Batch: *joinDead,
+		},
 	}
 	if *indexName == "auto" {
 		cfg.Planner = planner.Default()
@@ -120,7 +142,42 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "spatialserver: serving %s index on http://%s (range, knn, update, stats)\n",
 		*indexName, ln.Addr())
-	return http.Serve(ln, newHandler(store))
+	return serveUntilSignal(store, ln, *drain, stdout)
+}
+
+// serveUntilSignal serves until the listener fails or a SIGINT/SIGTERM
+// arrives, then shuts down gracefully: the listener stops accepting,
+// in-flight requests get the drain budget to finish (then are cut), and the
+// store is closed — which, in durable mode, takes the final snapshot that
+// makes the shutdown recoverable without WAL replay.
+func serveUntilSignal(store *serve.Store, ln net.Listener, drain time.Duration, stdout io.Writer) error {
+	srv := &http.Server{Handler: newHandler(store)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+	fmt.Fprintf(stdout, "spatialserver: shutdown signal received, draining for up to %s\n", drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stdout, "spatialserver: drain budget exhausted, closing remaining connections (%v)\n", err)
+		srv.Close()
+	}
+	store.Close()
+	fmt.Fprintln(stdout, "spatialserver: graceful shutdown complete")
+	return nil
 }
 
 func shardBuilder(name string) (serve.ShardBuilder, error) {

@@ -15,7 +15,10 @@ import (
 
 func testServer(t *testing.T, n int) (*serve.Store, *httptest.Server) {
 	t.Helper()
-	store := serve.New(serve.Config{Shards: 4, Workers: 2})
+	store, err := serve.New(serve.Config{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	items := make([]index.Item, n)
 	for i := range items {
 		x := float64(i % 10)

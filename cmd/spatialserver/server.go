@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
@@ -41,6 +44,12 @@ type queryResponse struct {
 	Count int             `json:"count"`
 	Items []itemJSON      `json:"items"`
 	Plan  *serve.PlanInfo `json:"plan,omitempty"`
+	// Degraded marks a partial answer (some shard missed its deadline slice or
+	// failed; the others' results are included) with per-shard detail. Both
+	// fields are omitted on complete answers, keeping the legacy wire format
+	// byte-identical.
+	Degraded    bool               `json:"degraded,omitempty"`
+	ShardErrors []serve.ShardError `json:"shard_errors,omitempty"`
 }
 
 // joinResponse is the wire shape of a join answer: the epoch and algorithm
@@ -55,6 +64,9 @@ type joinResponse struct {
 	Truncated bool            `json:"truncated"`
 	Pairs     [][2]int64      `json:"pairs"`
 	Plan      *serve.PlanInfo `json:"plan,omitempty"`
+	// Degraded marks a join cut short by its deadline: the pairs of the tasks
+	// that ran are included (correct but incomplete). Omitted when complete.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // updateRequest is the wire shape of an update batch.
@@ -101,6 +113,13 @@ type errorBody struct {
 // the pre-planner wire format. Errors are always {"error":{"code","message"}}.
 // Every response carries an X-Request-Id header (client-provided or
 // generated).
+//
+// Robustness surface: every query endpoint accepts ?timeout= (a Go duration,
+// e.g. 50ms) tightening the store's per-class default deadline. Overloaded
+// requests are shed with 503 + Retry-After; a query whose deadline fires
+// before any shard contributes answers 504 deadline_exceeded; a deadline that
+// fires mid-fan-out answers 200 with "degraded":true and the partial result
+// plus per-shard error detail.
 func newHandler(store *serve.Store) http.Handler {
 	mux := http.NewServeMux()
 
@@ -167,6 +186,41 @@ func withRequestID(next http.Handler) http.Handler {
 // wantPlan reports whether the request opted into plan reporting.
 func wantPlan(r *http.Request) bool { return r.URL.Query().Get("plan") == "1" }
 
+// queryCtx derives the query's context from the HTTP request: the request's
+// own context (so a disconnected client cancels the query) tightened by
+// ?timeout= when present. The returned cancel must be called; a parse error
+// means the caller already answered 400.
+func queryCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	ctx := r.Context()
+	if s := r.URL.Query().Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad_request", "timeout must be a positive duration (e.g. 50ms)")
+			return nil, nil, false
+		}
+		ctx, cancel := context.WithTimeout(ctx, d)
+		return ctx, cancel, true
+	}
+	return ctx, func() {}, true
+}
+
+// writeReplyError maps a failed Reply onto the error envelope: shed requests
+// answer 503 with a Retry-After hint, expired deadlines answer 504, a client
+// that went away answers 503, anything else is a 500.
+func writeReplyError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrOverload):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusServiceUnavailable, "canceled", err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
 func handleRange(store *serve.Store) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		lo, err1 := parseVec(r, "minx", "miny", "minz")
@@ -176,7 +230,16 @@ func handleRange(store *serve.Store) http.HandlerFunc {
 			return
 		}
 		limit := parseIntDefault(r, "limit", 0)
-		rep := store.Query(serve.Request{Op: serve.OpRange, Query: geom.NewAABB(lo, hi)})
+		ctx, cancel, ok := queryCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		rep := store.Query(serve.Request{Op: serve.OpRange, Query: geom.NewAABB(lo, hi), Ctx: ctx})
+		if rep.Err != nil {
+			writeReplyError(w, rep.Err)
+			return
+		}
 		items := rep.Items
 		if limit > 0 && len(items) > limit {
 			items = items[:limit]
@@ -199,7 +262,16 @@ func handleKNN(store *serve.Store) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, "bad_request", "k out of range (1..1024)")
 			return
 		}
-		rep := store.Query(serve.Request{Op: serve.OpKNN, Point: p, K: k})
+		ctx, cancel, ok := queryCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		rep := store.Query(serve.Request{Op: serve.OpKNN, Point: p, K: k, Ctx: ctx})
+		if rep.Err != nil {
+			writeReplyError(w, rep.Err)
+			return
+		}
 		writeQueryResponse(w, r, rep, rep.Items)
 	}
 }
@@ -227,7 +299,16 @@ func handleJoin(store *serve.Store) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, "bad_request", "limit out of range (1..100000)")
 			return
 		}
-		rep := store.Query(serve.Request{Op: serve.OpJoin, Join: jr})
+		ctx, cancel, ok := queryCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		rep := store.Query(serve.Request{Op: serve.OpJoin, Join: jr, Ctx: ctx})
+		if rep.Err != nil {
+			writeReplyError(w, rep.Err)
+			return
+		}
 		resp := joinResponse{
 			Epoch:     rep.Epoch,
 			Algorithm: rep.JoinAlgo.String(),
@@ -235,6 +316,7 @@ func handleJoin(store *serve.Store) http.HandlerFunc {
 			Items:     rep.JoinItems,
 			Count:     len(rep.Pairs),
 			Truncated: len(rep.Pairs) > limit,
+			Degraded:  rep.Degraded,
 		}
 		n := len(rep.Pairs)
 		if n > limit {
@@ -291,7 +373,10 @@ func handleSnapshot(store *serve.Store) http.HandlerFunc {
 }
 
 func writeQueryResponse(w http.ResponseWriter, r *http.Request, rep serve.Reply, items []index.Item) {
-	resp := queryResponse{Epoch: rep.Epoch, Count: len(items), Items: make([]itemJSON, len(items))}
+	resp := queryResponse{
+		Epoch: rep.Epoch, Count: len(items), Items: make([]itemJSON, len(items)),
+		Degraded: rep.Degraded, ShardErrors: rep.ShardErrors,
+	}
 	for i, it := range items {
 		resp.Items[i] = toItemJSON(it)
 	}

@@ -166,7 +166,10 @@ func TestUnifiedQueryEndpointMatchesDedicatedRoutes(t *testing.T) {
 }
 
 func TestPlanReportingOptIn(t *testing.T) {
-	store := serve.New(serve.Config{Shards: 4, Workers: 2, Planner: planner.Default(), CacheEntries: 64})
+	store, err := serve.New(serve.Config{Shards: 4, Workers: 2, Planner: planner.Default(), CacheEntries: 64})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	seedStore(t, store, 200)
 	ts := newTestHTTP(t, store)
 

@@ -72,7 +72,14 @@
 //     durable — batches are WAL-journaled as they are staged, a background
 //     snapshotter persists published epochs without blocking readers, and
 //     serve.Open recovers the newest complete epoch (replaying the WAL
-//     tail) on boot;
+//     tail) on boot; queries are deadline-aware (per-class defaults,
+//     caller contexts observed mid-scan) and degrade gracefully — partial
+//     results are marked Degraded with per-shard error detail, overload is
+//     shed with typed errors, and snapshot/WAL I/O runs behind a
+//     retry-and-circuit-breaker guard;
+//   - internal/faultinject — the seed-deterministic failpoint registry
+//     (error, latency, torn-write) wired into the storage, persist and
+//     serve layers, powering the chaos soak (make chaos);
 //   - internal/experiments — drivers regenerating every figure and in-text
 //     experiment of the paper (see DESIGN.md and EXPERIMENTS.md).
 //

@@ -22,6 +22,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,11 @@ import (
 type Options struct {
 	// Workers is the number of goroutines used; <= 0 uses GOMAXPROCS.
 	Workers int
+	// Ctx, when non-nil, cancels the batch cooperatively: workers stop
+	// claiming new tasks once the context is done and the batch returns with
+	// its stats marked Cancelled. Granularity is one task — an individual
+	// query or join task runs to completion once started.
+	Ctx context.Context
 }
 
 // workerCount resolves Workers against the number of available tasks.
@@ -71,6 +77,9 @@ type BatchStats struct {
 	// accounting — node visits, intersection tests, elements touched — and it
 	// is exact because index counters are atomic.
 	Index instrument.CounterSnapshot
+	// Cancelled reports that Options.Ctx expired before every task ran; the
+	// unclaimed queries' output slots are left nil.
+	Cancelled bool
 }
 
 // Aggregate returns the sum of the per-worker counter snapshots.
@@ -97,22 +106,34 @@ func Prepare(ix index.Index) {
 // shared fan-out primitive of the engine and of the per-family parallel bulk
 // loaders.
 func ForTasks(n, workers int, fn func(worker, task int)) {
+	ForTasksCtx(nil, n, workers, fn)
+}
+
+// ForTasksCtx is ForTasks with cooperative cancellation: workers check ctx
+// between task chunks and stop claiming work once it is done. It reports
+// whether every task ran (true for a nil ctx). Tasks already started always
+// run to completion — cancellation never tears a task's own writes.
+func ForTasksCtx(ctx context.Context, n, workers int, fn func(worker, task int)) bool {
 	if n <= 0 {
-		return
+		return true
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return false
+			}
 			fn(0, i)
 		}
-		return
+		return true
 	}
 	chunk := n / (workers * 8)
 	if chunk < 1 {
 		chunk = 1
 	}
+	var cancelled atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -120,6 +141,10 @@ func ForTasks(n, workers int, fn func(worker, task int)) {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
 				end := int(next.Add(int64(chunk)))
 				start := end - chunk
 				if start >= n {
@@ -135,6 +160,7 @@ func ForTasks(n, workers int, fn func(worker, task int)) {
 		}(w)
 	}
 	wg.Wait()
+	return !cancelled.Load()
 }
 
 // ForChunks splits [0, n) into one contiguous chunk per worker and runs

@@ -45,6 +45,10 @@ type JoinStats struct {
 	// PerWorker holds the counters each worker accumulated privately —
 	// the load-balance view of the join's comparison work.
 	PerWorker []instrument.CounterSnapshot
+	// Cancelled reports that Options.Ctx expired before every plan task ran;
+	// the returned pairs are the (correct but incomplete) output of the tasks
+	// that did run.
+	Cancelled bool
 }
 
 // Aggregate returns the sum of the per-worker counter snapshots.
@@ -82,7 +86,7 @@ func ParallelJoinArena(p *join.Plan, opts Options, arena *JoinArena) ([]join.Pai
 	}
 	bufs := arena.buffers(w)
 	locals := make([]instrument.Counters, w)
-	ForTasks(n, w, func(worker, task int) {
+	stats.Cancelled = !ForTasksCtx(opts.Ctx, n, w, func(worker, task int) {
 		bufs[worker] = p.RunTask(task, &locals[worker], bufs[worker])
 	})
 	ForTasks(w, w, func(_, i int) { join.SortPairs(bufs[i]) })

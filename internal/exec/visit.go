@@ -76,7 +76,7 @@ func BatchRangeVisitArena(rv index.RangeVisitor, queries []geom.AABB, opts Optio
 	}
 	bufs := arena.buffers(w)
 	locals := make([]instrument.Counters, w)
-	ForTasks(len(queries), w, func(worker, qi int) {
+	stats.Cancelled = !ForTasksCtx(opts.Ctx, len(queries), w, func(worker, qi int) {
 		buf := bufs[worker]
 		start := len(buf)
 		rv.RangeVisit(queries[qi], func(it index.Item) bool {
@@ -156,7 +156,7 @@ func BatchKNNInto(kn index.KNNer, points []geom.Vec3, k int, opts Options, arena
 	}
 	bufs := arena.buffers(w)
 	locals := make([]instrument.Counters, w)
-	ForTasks(len(points), w, func(worker, pi int) {
+	stats.Cancelled = !ForTasksCtx(opts.Ctx, len(points), w, func(worker, pi int) {
 		buf := bufs[worker]
 		start := len(buf)
 		buf = kn.KNNInto(points[pi], k, buf)

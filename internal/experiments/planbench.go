@@ -201,7 +201,7 @@ func PlanBench(s Scale, cfg PlanBenchConfig) PlanBenchResult {
 	}
 
 	for _, sc := range planBenchStatics() {
-		store := serve.New(serve.Config{Shards: cfg.Shards, Workers: s.Workers, Build: sc.build})
+		store := mustServe(serve.Config{Shards: cfg.Shards, Workers: s.Workers, Build: sc.build})
 		store.Bootstrap(items)
 		wall := workload(store)
 		res.Shards = len(store.Stats().Shards)
@@ -216,7 +216,7 @@ func PlanBench(s Scale, cfg PlanBenchConfig) PlanBenchResult {
 	res.BestStatic = res.Static[0].Config
 	res.WorstStatic = res.Static[len(res.Static)-1].Config
 
-	auto := serve.New(serve.Config{
+	auto := mustServe(serve.Config{
 		Shards:       cfg.Shards,
 		Workers:      s.Workers,
 		Planner:      planner.Default(),

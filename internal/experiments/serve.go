@@ -28,6 +28,17 @@ import (
 // block readers, latency should stay flat while generations turn over
 // underneath the query stream.
 
+// mustServe builds an in-memory serving store for an experiment run; without
+// persistence attached, construction cannot fail, so a failure here is a
+// programming error worth a panic.
+func mustServe(cfg serve.Config) *serve.Store {
+	store, err := serve.New(cfg)
+	if err != nil {
+		panic("experiments: serve.New: " + err.Error())
+	}
+	return store
+}
+
 // ServeConfig shapes the E12 load run.
 type ServeConfig struct {
 	// Shards is the number of STR space partitions per epoch (0 = GOMAXPROCS).
@@ -124,7 +135,7 @@ func ServeBench(s Scale, cfg ServeConfig) ServeResult {
 		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
 	}
 
-	store := serve.New(serve.Config{Shards: cfg.Shards, Workers: s.Workers})
+	store := mustServe(serve.Config{Shards: cfg.Shards, Workers: s.Workers})
 	defer store.Close()
 	store.Bootstrap(items)
 

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSequence is the replay guarantee: two registries with the
+// same seed and the same call sequence inject exactly the same faults.
+func TestDeterministicSequence(t *testing.T) {
+	run := func() []bool {
+		r := NewRegistry(42)
+		r.Enable("p", Spec{ErrRate: 0.3})
+		hits := make([]bool, 200)
+		for i := range hits {
+			hits[i] = r.Hit("p") != nil
+		}
+		return hits
+	}
+	a, b := run(), run()
+	var injected int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged between identical seeds", i)
+		}
+		if a[i] {
+			injected++
+		}
+	}
+	if injected == 0 || injected == len(a) {
+		t.Fatalf("ErrRate 0.3 injected %d/%d faults — rate not applied", injected, len(a))
+	}
+}
+
+func TestCountCapsInjections(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("p", Spec{ErrRate: 1, Count: 3})
+	var injected int
+	for i := 0; i < 50; i++ {
+		if r.Hit("p") != nil {
+			injected++
+		}
+	}
+	if injected != 3 {
+		t.Fatalf("Count=3 injected %d faults", injected)
+	}
+	if got := r.Triggered("p"); got != 3 {
+		t.Fatalf("Triggered = %d, want 3", got)
+	}
+}
+
+func TestDisarmedIsClean(t *testing.T) {
+	r := NewRegistry(1)
+	if err := r.Hit("never-enabled"); err != nil {
+		t.Fatalf("disarmed registry injected: %v", err)
+	}
+	r.Enable("p", Spec{ErrRate: 1})
+	r.Disable("p")
+	if err := r.Hit("p"); err != nil {
+		t.Fatalf("disabled failpoint injected: %v", err)
+	}
+	r.Enable("p", Spec{ErrRate: 1})
+	r.Reset()
+	if err := r.Hit("p"); err != nil {
+		t.Fatalf("reset registry injected: %v", err)
+	}
+}
+
+func TestInjectedErrorIdentity(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("p", Spec{ErrRate: 1})
+	if err := r.Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default injected error = %v, want ErrInjected", err)
+	}
+	custom := errors.New("custom disk error")
+	r.Enable("p", Spec{ErrRate: 1, Err: custom})
+	if err := r.Hit("p"); !errors.Is(err, custom) {
+		t.Fatalf("custom injected error = %v, want %v", err, custom)
+	}
+}
+
+// TestCheckWriteTorn pins the torn-write contract: the prefix is a proper
+// prefix (0 <= n < payload) and the error always surfaces.
+func TestCheckWriteTorn(t *testing.T) {
+	r := NewRegistry(7)
+	r.Enable("w", Spec{TornRate: 1})
+	for i := 0; i < 20; i++ {
+		n, err := r.CheckWrite("w", 1000)
+		if err == nil {
+			t.Fatal("torn write reported no error")
+		}
+		if n < 0 || n >= 1000 {
+			t.Fatalf("torn prefix %d out of [0, 1000)", n)
+		}
+	}
+}
+
+func TestCheckWriteClean(t *testing.T) {
+	r := NewRegistry(1)
+	n, err := r.CheckWrite("unarmed", 512)
+	if n != 512 || err != nil {
+		t.Fatalf("disarmed CheckWrite = (%d, %v), want (512, nil)", n, err)
+	}
+}
+
+// TestLatencyInterruptibleByContext: an injected stall must not outlive the
+// caller's deadline.
+func TestLatencyInterruptibleByContext(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("slow", Spec{LatencyRate: 1, Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := r.HitCtx(ctx, "slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted latency returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("injected stall outlived the deadline by far: %v", elapsed)
+	}
+}

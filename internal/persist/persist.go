@@ -30,9 +30,15 @@ import (
 	"strings"
 	"sync"
 
+	"spatialsim/internal/faultinject"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/storage"
 )
+
+// FaultManifestAppend instruments manifest/WAL record appends (torn-write
+// capable): chaos tests arm it to make batch journaling fail or tear exactly
+// where a crash mid-append would.
+const FaultManifestAppend = "persist.manifest.append"
 
 // Update is one element mutation of an ingest batch: an upsert of (ID, Box),
 // or a removal when Delete is set. It is the WAL's unit of replay;
@@ -247,6 +253,14 @@ func (s *Store) LogBatch(updates []Update) (uint64, error) {
 // replay, where it would collide with the reused sequence number and
 // shadow the retry. Caller holds s.mu.
 func (s *Store) appendLocked(rec []byte, sync bool) error {
+	if n, ferr := faultinject.CheckWrite(FaultManifestAppend, len(rec)); ferr != nil {
+		if n > 0 {
+			// Torn append: the prefix lands, the offset stays — exactly the
+			// partial record recovery's checksum cut must discard.
+			s.manifest.WriteAt(rec[:n], s.off)
+		}
+		return ferr
+	}
 	if _, err := s.manifest.WriteAt(rec, s.off); err != nil {
 		return err
 	}

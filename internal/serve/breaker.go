@@ -1,0 +1,152 @@
+package serve
+
+// Circuit breaker + retry policy around persistence I/O. A sick disk must
+// degrade durability, never wedge publication: WAL appends and snapshot
+// writes pass through one shared breaker, so consecutive failures trip it
+// open and subsequent persistence work is skipped (and counted) until a
+// cooldown probe succeeds. Snapshot attempts additionally retry with
+// exponential backoff before charging the breaker — transient write errors
+// (the common sick-disk shape) heal without ever opening the circuit.
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the persistence circuit breaker and snapshot retry
+// policy. The zero value picks the defaults noted per field.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that trips the breaker open
+	// (<= 0 picks 3).
+	Failures int
+	// Cooldown is how long the breaker stays open before allowing one
+	// half-open probe (<= 0 picks 2s).
+	Cooldown time.Duration
+	// Retries is how many additional attempts a snapshot write gets before
+	// its failure is charged to the breaker (<= 0 picks 2). WAL appends never
+	// retry — they run under the staging lock and must fail fast.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt (<= 0 picks
+	// 25ms).
+	Backoff time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 25 * time.Millisecond
+	}
+	return c
+}
+
+// errBreakerOpen reports persistence work skipped because the breaker is
+// open. It never escapes the store: callers count it as skipped work.
+var errBreakerOpen = errors.New("serve: persistence circuit breaker open")
+
+// breaker is a minimal consecutive-failure circuit breaker:
+// closed -> (Failures consecutive errors) -> open -> (Cooldown) -> half-open
+// probe -> closed on success, open again on failure.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	fails     int
+	open      bool
+	openUntil time.Time
+	trips     int64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// allow reports whether an operation may proceed: always when closed, and
+// once per cooldown window when open (the half-open probe).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if time.Now().After(b.openUntil) {
+		// Half-open: admit this probe and push the window forward so a
+		// failing probe doesn't admit a thundering herd behind it.
+		b.openUntil = time.Now().Add(b.cfg.Cooldown)
+		return true
+	}
+	return false
+}
+
+// onResult records an operation outcome and drives the state machine.
+func (b *breaker) onResult(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.fails = 0
+		b.open = false
+		return
+	}
+	b.fails++
+	if b.fails >= b.cfg.Failures && !b.open {
+		b.open = true
+		b.trips++
+		b.openUntil = time.Now().Add(b.cfg.Cooldown)
+	} else if b.open {
+		// A failed half-open probe re-arms the cooldown.
+		b.openUntil = time.Now().Add(b.cfg.Cooldown)
+	}
+}
+
+// state returns the breaker's observable state name for stats.
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return "closed"
+	}
+	if time.Now().After(b.openUntil) {
+		return "half-open"
+	}
+	return "open"
+}
+
+// tripCount returns how many times the breaker has opened.
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// do runs op through the breaker with up to retries additional attempts,
+// sleeping backoff (doubling) between attempts. Returns errBreakerOpen
+// without running op when the circuit is open, unless force is set — a
+// forced attempt (shutdown's final snapshot, the /snapshot endpoint) is the
+// last chance to persist and always runs, closing the breaker if the disk
+// has healed.
+func (b *breaker) do(force bool, retries int, backoff time.Duration, op func() error) error {
+	if !b.allow() && !force {
+		return errBreakerOpen
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			b.onResult(nil)
+			return nil
+		}
+		if attempt >= retries {
+			break
+		}
+		time.Sleep(backoff << attempt)
+	}
+	b.onResult(err)
+	return err
+}

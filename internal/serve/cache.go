@@ -19,9 +19,12 @@ import (
 // cacheEntry is one cached (or in-flight) result. The done channel closes
 // when items is final; waiters hold the entry pointer directly, so an entry
 // evicted or dropped mid-flight still completes for everyone waiting on it.
+// failed marks an abandoned entry: the owner's execution was cancelled or
+// degraded, so items must not be trusted — waiters re-execute for themselves.
 type cacheEntry struct {
-	done  chan struct{}
-	items []index.Item
+	done   chan struct{}
+	failed bool
+	items  []index.Item
 }
 
 // epochCache is the bounded per-epoch result map. Eviction is FIFO over the
@@ -71,6 +74,26 @@ func (c *epochCache) lookup(key string) (e *cacheEntry, owner bool) {
 func (e *cacheEntry) fill(items []index.Item) {
 	e.items = items
 	close(e.done)
+}
+
+// abandon releases waiters without publishing a result: the owner's query was
+// cancelled or came back incomplete, and a partial result must never be
+// served as a cache hit. The failed flag is written before the close, so
+// waiters that observe done closed see it.
+func (e *cacheEntry) abandon() {
+	e.failed = true
+	close(e.done)
+}
+
+// remove forgets the entry under key so the next identical query re-executes;
+// paired with abandon on the entry itself. Missing keys (already evicted or
+// dropped) are fine.
+func (c *epochCache) remove(key string) {
+	c.mu.Lock()
+	if c.entries != nil {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
 }
 
 // ready reports whether the entry was already filled — distinguishing a plain

@@ -15,7 +15,7 @@ import (
 )
 
 func TestCacheCorrectAcrossEpochSwaps(t *testing.T) {
-	s := New(Config{Shards: 4, Workers: 2, CacheEntries: 64})
+	s := mustNew(t, Config{Shards: 4, Workers: 2, CacheEntries: 64})
 	defer s.Close()
 
 	const n = 400
@@ -73,7 +73,7 @@ func TestCacheCorrectAcrossEpochSwaps(t *testing.T) {
 }
 
 func TestCacheHitDoesNotAliasCallerBuffers(t *testing.T) {
-	s := New(Config{Shards: 2, Workers: 2, CacheEntries: 16})
+	s := mustNew(t, Config{Shards: 2, Workers: 2, CacheEntries: 16})
 	defer s.Close()
 	s.Bootstrap(genItems(50, 0))
 	q := geom.NewAABB(geom.V(-1, -1, -1), geom.V(40, 40, 10))
@@ -92,7 +92,7 @@ func TestCacheHitDoesNotAliasCallerBuffers(t *testing.T) {
 }
 
 func TestCacheCoalescingUnderConcurrency(t *testing.T) {
-	s := New(Config{Shards: 4, Workers: 2, CacheEntries: 64})
+	s := mustNew(t, Config{Shards: 4, Workers: 2, CacheEntries: 64})
 	defer s.Close()
 	const n = 500
 	s.Bootstrap(genItems(n, 0))
@@ -134,7 +134,7 @@ func TestCacheCoalescingUnderConcurrency(t *testing.T) {
 
 func TestCacheEvictionIsBounded(t *testing.T) {
 	const capacity = 8
-	s := New(Config{Shards: 2, Workers: 2, CacheEntries: capacity})
+	s := mustNew(t, Config{Shards: 2, Workers: 2, CacheEntries: capacity})
 	defer s.Close()
 	s.Bootstrap(genItems(100, 0))
 
@@ -159,7 +159,7 @@ func TestCacheEvictionIsBounded(t *testing.T) {
 }
 
 func TestStreamingRangeBypassesCache(t *testing.T) {
-	s := New(Config{Shards: 2, Workers: 2, CacheEntries: 16})
+	s := mustNew(t, Config{Shards: 2, Workers: 2, CacheEntries: 16})
 	defer s.Close()
 	s.Bootstrap(genItems(100, 0))
 	q := geom.NewAABB(geom.V(-1, -1, -1), geom.V(40, 40, 10))

@@ -42,6 +42,7 @@ func Open(cfg Config) (*Store, error) {
 	s.epoch.Store(empty)
 
 	if cfg.Persist != nil {
+		s.breaker = newBreaker(cfg.Breaker)
 		if err := s.recoverFromPersist(); err != nil {
 			return nil, err
 		}
@@ -172,7 +173,17 @@ func (s *Store) snapshotIfNeeded(force bool) error {
 		return nil
 	}
 	recs := shardRecords(e)
-	if err := s.cfg.Persist.SaveEpoch(e.seq, e.covered, recs); err != nil {
+	err := s.breaker.do(force, s.cfg.Breaker.Retries, s.cfg.Breaker.Backoff, func() error {
+		return s.cfg.Persist.SaveEpoch(e.seq, e.covered, recs)
+	})
+	if err == errBreakerOpen {
+		// Open circuit: durability is degraded, not failed — the attempt is
+		// counted as skipped and the epoch stays covered by the WAL (or by the
+		// next snapshot once the probe closes the breaker).
+		s.snapSkipped.Add(1)
+		return nil
+	}
+	if err != nil {
 		return err
 	}
 	s.lastPersisted.Store(e.seq)
@@ -235,6 +246,14 @@ type DurabilityStats struct {
 	SnapshotBytes      int64        `json:"snapshot_bytes"`
 	Rotations          int64        `json:"rotations"`
 	Recovery           RecoveryInfo `json:"recovery"`
+	// BreakerState is the persistence circuit breaker's current state
+	// (closed / half-open / open); BreakerTrips counts how many times it has
+	// opened. WALSkipped and SnapshotsSkipped count persistence work the open
+	// breaker shed — the observable footprint of degraded durability.
+	BreakerState     string `json:"breaker_state"`
+	BreakerTrips     int64  `json:"breaker_trips"`
+	WALSkipped       int64  `json:"wal_skipped"`
+	SnapshotsSkipped int64  `json:"snapshots_skipped"`
 }
 
 // durabilityStats assembles the durability slice of a Stats snapshot (nil
@@ -253,6 +272,10 @@ func (s *Store) durabilityStats() *DurabilityStats {
 		SnapshotBytes:      ps.SnapshotBytes,
 		Rotations:          ps.Rotations,
 		Recovery:           s.recovery,
+		BreakerState:       s.breaker.state(),
+		BreakerTrips:       s.breaker.tripCount(),
+		WALSkipped:         s.walSkipped.Load(),
+		SnapshotsSkipped:   s.snapSkipped.Load(),
 	}
 	if msg := s.lastSnapErr.Load(); msg != nil {
 		d.LastError = *msg

@@ -182,7 +182,7 @@ func TestDurableStatsSurface(t *testing.T) {
 	st.Close()
 
 	// In-memory stores keep a nil durability slice.
-	mem := New(Config{})
+	mem := mustNew(t, Config{})
 	defer mem.Close()
 	if mem.Stats().Durability != nil {
 		t.Fatal("in-memory store reports durability stats")

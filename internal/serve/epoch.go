@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"spatialsim/internal/catalog"
+	"spatialsim/internal/faultinject"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
 	"spatialsim/internal/instrument"
@@ -114,15 +116,43 @@ func (e *Epoch) Shards() []Shard { return e.shards }
 // Pins returns the number of readers currently pinning the epoch.
 func (e *Epoch) Pins() int64 { return e.pins.Load() }
 
-// stopWrap threads early-stop through the per-shard traversals without
-// allocating: the bound method value is created once per pooled instance.
+// FaultShardVisit is the failpoint consulted once per shard on the
+// single-query serving path (rangeVisitCtx / knnIntoCtx with a context):
+// arming it with latency makes a shard deliberately slow, arming it with
+// errors makes a shard fail its slice of the fan-out — the two conditions the
+// degraded-reply contract is tested under. The interface paths (RangeVisit /
+// KNNInto, used by the exec batch engine and join materialization) never
+// consult it, so fault arming cannot silently thin a batch result.
+const FaultShardVisit = "serve.shard.visit"
+
+// cancelCheckEvery is how many visited leaves pass between context checks
+// inside one shard scan — small enough that a deadline interrupts a scan of
+// a dense shard promptly, large enough to amortize the check to noise.
+const cancelCheckEvery = 256
+
+// stopWrap threads early-stop (and, when a context is attached, cooperative
+// cancellation every cancelCheckEvery leaves) through the per-shard
+// traversals without allocating: the bound method value is created once per
+// pooled instance.
 type stopWrap struct {
-	visit   func(index.Item) bool
-	stopped bool
-	fn      func(index.Item) bool
+	visit     func(index.Item) bool
+	stopped   bool
+	cancelled bool
+	ctx       context.Context
+	countdown int
+	fn        func(index.Item) bool
 }
 
 func (w *stopWrap) call(it index.Item) bool {
+	if w.ctx != nil {
+		if w.countdown--; w.countdown <= 0 {
+			w.countdown = cancelCheckEvery
+			if w.ctx.Err() != nil {
+				w.cancelled = true
+				return false
+			}
+		}
+	}
 	if !w.visit(it) {
 		w.stopped = true
 		return false
@@ -130,24 +160,77 @@ func (w *stopWrap) call(it index.Item) bool {
 	return true
 }
 
+// visitOutcome reports how a fanned-out read over the epoch's shards ended:
+// how many shards the query reached after MBR pruning, how many completed,
+// whether the visitor stopped early (not a failure), whether the context
+// expired mid-fan-out, and the per-shard errors of the shards that did not
+// contribute. A clean read has done == fan and no errors.
+type visitOutcome struct {
+	fan       int
+	done      int
+	stopped   bool
+	cancelled bool
+	errs      []ShardError
+}
+
+// clean reports whether every reached shard contributed fully.
+func (o visitOutcome) clean() bool {
+	return !o.cancelled && !o.stopped && len(o.errs) == 0
+}
+
 // RangeVisit implements index.RangeVisitor by scattering the query to every
 // shard whose MBR intersects it. Items live in exactly one shard, so the
 // concatenation of shard results is duplicate-free and complete.
 func (e *Epoch) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
+	e.rangeVisitCtx(nil, query, visit)
+}
+
+// rangeVisitCtx is the cancellable, fault-aware form of RangeVisit: shards
+// are checked against ctx before each scan (and every cancelCheckEvery leaves
+// within one), the per-shard failpoint can inject latency or errors, and the
+// outcome reports exactly which shards did not contribute. A nil ctx is the
+// legacy interface path — no checks, no failpoints, no allocation.
+func (e *Epoch) rangeVisitCtx(ctx context.Context, query geom.AABB, visit func(index.Item) bool) visitOutcome {
+	var out visitOutcome
 	w := e.wrapPool.Get().(*stopWrap)
-	w.visit, w.stopped = visit, false
+	w.visit, w.stopped, w.cancelled, w.ctx, w.countdown = visit, false, false, ctx, cancelCheckEvery
 	for i := range e.shards {
 		sh := &e.shards[i]
 		if sh.snap.Len() == 0 || !query.Intersects(sh.bounds) {
 			continue
 		}
+		out.fan++
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				// Deadline gone: keep walking only to attribute the skipped
+				// shards in the degraded reply's error detail.
+				out.cancelled = true
+				out.errs = append(out.errs, ShardError{Shard: i, Err: err.Error()})
+				continue
+			}
+			if err := faultinject.HitCtx(ctx, FaultShardVisit); err != nil {
+				if ctx.Err() != nil {
+					out.cancelled = true
+				}
+				out.errs = append(out.errs, ShardError{Shard: i, Err: err.Error()})
+				continue
+			}
+		}
 		sh.snap.RangeVisit(query, w.fn)
+		if w.cancelled {
+			out.cancelled = true
+			out.errs = append(out.errs, ShardError{Shard: i, Err: ctx.Err().Error()})
+			continue
+		}
 		if w.stopped {
+			out.stopped = true
 			break
 		}
+		out.done++
 	}
-	w.visit = nil
+	w.visit, w.ctx = nil, nil
 	e.wrapPool.Put(w)
+	return out
 }
 
 // Bounds returns the union of the epoch's shard MBRs — the tight extent of
@@ -200,8 +283,20 @@ type knnScratch struct {
 // least that far), so the scan stops early — the branch-and-bound the shard
 // MBRs exist for.
 func (e *Epoch) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
+	buf, _ = e.knnIntoCtx(nil, p, k, buf)
+	return buf
+}
+
+// knnIntoCtx is the cancellable, fault-aware form of KNNInto: the context and
+// the per-shard failpoint are consulted between shard merges (a nil ctx — the
+// interface path — skips both). A shard that errors is recorded and skipped,
+// which may cost result quality (its nearer neighbors are missed), so any
+// non-clean outcome must be reported as degraded by the caller. Cancellation
+// stops the merge at a shard boundary with the results gathered so far.
+func (e *Epoch) knnIntoCtx(ctx context.Context, p geom.Vec3, k int, buf []index.Item) ([]index.Item, visitOutcome) {
+	var out visitOutcome
 	if k <= 0 || len(e.shards) == 0 {
-		return buf
+		return buf, out
 	}
 	st := e.knnPool.Get().(*knnScratch)
 	st.order = st.order[:0]
@@ -212,6 +307,7 @@ func (e *Epoch) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
 		st.dist2[i] = e.shards[i].bounds.Distance2ToPoint(p)
 		st.order = append(st.order, int32(i))
 	}
+	out.fan = len(st.order)
 	// Insertion sort: shard counts are small (tens, not thousands).
 	for i := 1; i < len(st.order); i++ {
 		for j := i; j > 0 && st.dist2[st.order[j]] < st.dist2[st.order[j-1]]; j-- {
@@ -224,7 +320,27 @@ func (e *Epoch) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
 	for _, si := range st.order {
 		cur := len(buf) - base
 		if cur >= k && st.dist2[si] > st.curD[cur-1] {
-			break
+			// Branch-and-bound exhaustion: the remaining shards cannot
+			// contribute, so the result is complete, not degraded.
+			out.done = out.fan - len(out.errs)
+			e.knnPool.Put(st)
+			return buf, out
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				out.cancelled = true
+				out.errs = append(out.errs, ShardError{Shard: int(si), Err: err.Error()})
+				break
+			}
+			if err := faultinject.HitCtx(ctx, FaultShardVisit); err != nil {
+				if ctx.Err() != nil {
+					out.cancelled = true
+					out.errs = append(out.errs, ShardError{Shard: int(si), Err: err.Error()})
+					break
+				}
+				out.errs = append(out.errs, ShardError{Shard: int(si), Err: err.Error()})
+				continue
+			}
 		}
 		buf = e.shards[si].snap.KNNInto(p, k, buf)
 		st.newD = st.newD[:0]
@@ -232,9 +348,10 @@ func (e *Epoch) KNNInto(p geom.Vec3, k int, buf []index.Item) []index.Item {
 			st.newD = append(st.newD, it.Box.Distance2ToPoint(p))
 		}
 		buf, st.curD = st.mergeTopK(buf, base, cur, k, p)
+		out.done++
 	}
 	e.knnPool.Put(st)
-	return buf
+	return buf, out
 }
 
 // mergeTopK merges the sorted runs buf[base:base+cur] (distances st.curD) and

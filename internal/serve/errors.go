@@ -1,0 +1,41 @@
+package serve
+
+// Typed failure surface of the robust query path. Every Store.Query outcome
+// is one of three shapes: a clean Reply, a degraded Reply (partial results,
+// per-shard error detail, Reply.Err nil), or a failed Reply whose Err is one
+// of the sentinels below — the contract cmd/spatialserver maps onto HTTP
+// status codes and the future multi-node coordinator will inherit per shard.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrOverload is the load-shedding rejection: admission control found the
+// in-flight bound saturated and the (priority-scaled) wait queue full, so the
+// request was dropped immediately instead of queueing toward a deadline it
+// could never meet. Clients should back off and retry.
+var ErrOverload = errors.New("serve: overloaded: request shed by admission control")
+
+// ErrDeadline is the deadline rejection: the request's context expired before
+// any shard produced a result. It wraps context.DeadlineExceeded, so
+// errors.Is(err, context.DeadlineExceeded) holds.
+var ErrDeadline = fmt.Errorf("serve: query deadline exceeded: %w", context.DeadlineExceeded)
+
+// mapCtxErr normalizes a context error into the serve sentinel vocabulary:
+// deadline expiry becomes ErrDeadline, cancellation passes through.
+func mapCtxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return err
+}
+
+// ShardError is the per-shard failure detail of a degraded Reply: which shard
+// of the fan-out did not contribute and why (an injected or organic shard
+// error, or the deadline expiring before the shard was scanned).
+type ShardError struct {
+	Shard int    `json:"shard"`
+	Err   string `json:"error"`
+}

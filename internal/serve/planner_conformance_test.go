@@ -79,13 +79,13 @@ func TestPlannerConformsToEveryStaticConfiguration(t *testing.T) {
 		t.Run(dsName, func(t *testing.T) {
 			// The planner-routed store, with the result cache on so cached and
 			// computed answers are both exercised against the baselines.
-			auto := New(Config{Shards: 4, Workers: 2, Planner: planner.Default(), CacheEntries: 256})
+			auto := mustNew(t, Config{Shards: 4, Workers: 2, Planner: planner.Default(), CacheEntries: 256})
 			defer auto.Close()
 			auto.Bootstrap(items)
 
 			statics := make(map[string]*Store)
 			for name, build := range staticConfigs() {
-				st := New(Config{Shards: 4, Workers: 2, Build: build})
+				st := mustNew(t, Config{Shards: 4, Workers: 2, Build: build})
 				defer st.Close()
 				st.Bootstrap(items)
 				statics[name] = st
@@ -146,7 +146,7 @@ func TestPlannerConformsToEveryStaticConfiguration(t *testing.T) {
 }
 
 func TestPlannerPicksScanForTinyShards(t *testing.T) {
-	s := New(Config{Shards: 4, Workers: 2, Planner: planner.Default()})
+	s := mustNew(t, Config{Shards: 4, Workers: 2, Planner: planner.Default()})
 	defer s.Close()
 	s.Bootstrap(uniformDataset(100, 9)) // ~25 items per shard, far below ScanMax
 	st := s.Stats()
@@ -164,7 +164,7 @@ func TestPlannerPicksScanForTinyShards(t *testing.T) {
 }
 
 func TestReplyReportsPlanOnEveryOp(t *testing.T) {
-	s := New(Config{Shards: 4, Workers: 2, Planner: planner.Default(), CacheEntries: 16})
+	s := mustNew(t, Config{Shards: 4, Workers: 2, Planner: planner.Default(), CacheEntries: 16})
 	defer s.Close()
 	s.Bootstrap(uniformDataset(2000, 11))
 

@@ -2,12 +2,30 @@ package serve
 
 // The unified query entry point: every read the store serves — single range,
 // single kNN, arena batches, epoch self-joins — is one Store.Query call, so
-// admission control, epoch pinning, planning, caching, latency feedback and
-// plan reporting happen in exactly one place. The named methods (Range, KNN,
-// BatchRange, SelfJoin, ...) are thin wrappers that fill a Request and
-// reshape the Reply.
+// admission control, epoch pinning, deadlines, planning, caching, latency
+// feedback and plan reporting happen in exactly one place. The named methods
+// (Range, KNN, BatchRange, SelfJoin, ...) are thin wrappers that fill a
+// Request and reshape the Reply.
+//
+// Robustness contract (the graceful-degradation shape a future multi-node
+// coordinator inherits per shard):
+//
+//   - every query runs under a context: the caller's (Request.Ctx), tightened
+//     by the per-class default deadline of Config.Deadlines when the caller
+//     set none;
+//   - admission control sheds instead of queueing forever: a saturated store
+//     bounds its wait queue (background-priority work at a quarter of the
+//     bound) and rejects the overflow with ErrOverload, while queued requests
+//     carry their deadline into the queue and leave with ErrDeadline when it
+//     fires first;
+//   - a deadline or shard failure mid-fan-out degrades instead of failing:
+//     if any shard contributed, the Reply carries the partial result with
+//     Degraded set and per-shard error detail; only a query that made no
+//     progress fails with Reply.Err.
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"spatialsim/internal/catalog"
@@ -35,10 +53,64 @@ const (
 	OpBatchKNN
 )
 
+// Priority classes admission-control shedding. Under saturation, background
+// work is shed at a quarter of the wait-queue bound, so interactive traffic
+// keeps four times the queue headroom of scans and joins.
+type Priority int
+
+const (
+	// PriorityAuto derives the class from the Op: joins and arena batches are
+	// background, single range/kNN queries are interactive.
+	PriorityAuto Priority = iota
+	// PriorityInteractive is latency-sensitive point traffic.
+	PriorityInteractive
+	// PriorityBackground is bulk/analytical traffic, shed first.
+	PriorityBackground
+)
+
+// Deadlines is the per-query-class default deadline table (zero = none). A
+// class deadline applies only when the request's own context carries no
+// deadline — an explicit caller deadline (e.g. ?timeout= on the HTTP surface)
+// always wins.
+type Deadlines struct {
+	// Range bounds single range queries.
+	Range time.Duration
+	// KNN bounds single k-nearest-neighbor queries.
+	KNN time.Duration
+	// Join bounds epoch-pinned self-joins.
+	Join time.Duration
+	// Batch bounds the arena batch operations.
+	Batch time.Duration
+}
+
+// ForOp returns the class deadline of op.
+func (d Deadlines) ForOp(op Op) time.Duration {
+	switch op {
+	case OpKNN:
+		return d.KNN
+	case OpJoin:
+		return d.Join
+	case OpBatchRange, OpBatchKNN:
+		return d.Batch
+	default:
+		return d.Range
+	}
+}
+
 // Request shapes one store read. Exactly the fields of the requested Op are
 // consulted; the rest stay zero.
 type Request struct {
 	Op Op
+
+	// Ctx carries the caller's deadline and cancellation into the query: the
+	// admission queue, the shard fan-out (checked every few hundred leaves)
+	// and the parallel batch/join engines all observe it. Nil means
+	// context.Background() plus the store's per-class default deadline.
+	Ctx context.Context
+
+	// Priority classes the request for load shedding (PriorityAuto derives it
+	// from Op).
+	Priority Priority
 
 	// Query is the range box (OpRange).
 	Query geom.AABB
@@ -68,6 +140,19 @@ type Request struct {
 	NoCache bool
 }
 
+// priority resolves the request's effective shedding class.
+func (r Request) priority() Priority {
+	if r.Priority != PriorityAuto {
+		return r.Priority
+	}
+	switch r.Op {
+	case OpJoin, OpBatchRange, OpBatchKNN:
+		return PriorityBackground
+	default:
+		return PriorityInteractive
+	}
+}
+
 // PlanInfo reports the decisions behind one Reply: which index family served
 // it, which join algorithm ran, whether the result came from the epoch cache,
 // and how many shards the query fanned out to.
@@ -87,7 +172,8 @@ type PlanInfo struct {
 
 // Reply is the outcome of one Store.Query call.
 type Reply struct {
-	// Epoch is the generation the query ran against.
+	// Epoch is the generation the query ran against (0 when the query was
+	// rejected before pinning one).
 	Epoch uint64
 	// Items holds materialized OpRange/OpKNN results (req.Buf extended).
 	Items []index.Item
@@ -100,27 +186,96 @@ type Reply struct {
 	JoinStats exec.JoinStats
 	// Plan reports the planning decisions behind the reply.
 	Plan PlanInfo
+
+	// Degraded marks a partial result: some shard of the fan-out (or some
+	// task of a batch/join) did not contribute — because its slice of the
+	// deadline budget ran out or it failed — but others did, so the reply
+	// carries what was gathered instead of failing outright. ShardErrors
+	// holds the per-shard detail. Degraded results are never cached.
+	Degraded    bool         `json:"degraded,omitempty"`
+	ShardErrors []ShardError `json:"shard_errors,omitempty"`
+	// Err is set when the query produced nothing usable: ErrOverload (shed at
+	// admission), ErrDeadline / context.Canceled (context died before any
+	// shard contributed), or a store-level failure. Mutually exclusive with
+	// Degraded.
+	Err error `json:"-"`
 }
 
-// Query executes one read against the current epoch under admission control.
-// It is the single entry point every named query method wraps.
+// Query executes one read against the current epoch under admission control
+// and the store's deadline policy. It is the single entry point every named
+// query method wraps.
 func (s *Store) Query(req Request) Reply {
-	done := s.admit()
-	defer done()
+	ctx := req.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := s.cfg.Deadlines.ForOp(req.Op); d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+	}
+
+	release, err := s.admit(ctx, req.priority())
+	if err != nil {
+		return s.failedReply(err)
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return s.failedReply(mapCtxErr(err))
+	}
+
 	e := s.acquire()
 	defer s.release(e)
+	var rep Reply
 	switch req.Op {
 	case OpKNN:
-		return s.queryKNN(e, req)
+		rep = s.queryKNN(ctx, e, req)
 	case OpJoin:
-		return s.queryJoin(e, req)
+		rep = s.queryJoin(ctx, e, req)
 	case OpBatchRange:
-		return s.queryBatchRange(e, req)
+		rep = s.queryBatchRange(ctx, e, req)
 	case OpBatchKNN:
-		return s.queryBatchKNN(e, req)
+		rep = s.queryBatchKNN(ctx, e, req)
 	default:
-		return s.queryRange(e, req)
+		rep = s.queryRange(ctx, e, req)
 	}
+	if rep.Degraded {
+		s.degraded.Add(1)
+	}
+	if rep.Err != nil && errors.Is(rep.Err, context.DeadlineExceeded) {
+		s.deadlineHits.Add(1)
+	}
+	return rep
+}
+
+// failedReply counts and shapes a query rejected before execution.
+func (s *Store) failedReply(err error) Reply {
+	if errors.Is(err, ErrOverload) {
+		s.shed.Add(1)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		s.deadlineHits.Add(1)
+	}
+	return Reply{Err: err}
+}
+
+// finishOutcome folds a shard fan-out outcome into the reply: a clean (or
+// visitor-stopped) read passes through; partial progress degrades the reply
+// with per-shard detail; zero progress on a dead context fails it. gathered
+// is how many results the caller collected — progress even when no shard
+// finished whole.
+func (rep *Reply) finishOutcome(ctx context.Context, out visitOutcome, gathered int) {
+	rep.Plan.FanOut = out.fan
+	if out.clean() || out.stopped {
+		return
+	}
+	if out.done == 0 && gathered == 0 && out.cancelled {
+		rep.Err = mapCtxErr(ctx.Err())
+		return
+	}
+	rep.Degraded = true
+	rep.ShardErrors = out.errs
 }
 
 // observeStart returns the wall-clock start of a latency observation, zero
@@ -133,7 +288,9 @@ func (s *Store) observeStart() time.Time {
 	return time.Now()
 }
 
-// observe feeds one execution latency into the planner's catalog.
+// observe feeds one execution latency into the planner's catalog. Degraded or
+// failed executions are not observed — a shed shard would make a family look
+// faster than it is.
 func (s *Store) observe(family, class string, start time.Time) {
 	if s.cfg.Planner == nil || start.IsZero() || family == "" {
 		return
@@ -141,112 +298,192 @@ func (s *Store) observe(family, class string, start time.Time) {
 	s.cfg.Planner.Observe(family, class, time.Since(start))
 }
 
-func (s *Store) queryRange(e *Epoch, req Request) Reply {
+func (s *Store) queryRange(ctx context.Context, e *Epoch, req Request) Reply {
 	start := s.observeStart()
-	fan, fam := e.planRange(req.Query)
-	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam, FanOut: fan}}
+	_, fam := e.planRange(req.Query)
+	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam}}
 
 	if req.Visit != nil {
 		var n int64
-		e.RangeVisit(req.Query, func(it index.Item) bool {
+		out := e.rangeVisitCtx(ctx, req.Query, func(it index.Item) bool {
 			n++
 			return req.Visit(it)
 		})
+		rep.finishOutcome(ctx, out, int(n))
 		s.queries.Add(1)
 		s.results.Add(n)
-		s.observe(fam, catalog.ClassRange, start)
+		if out.clean() || out.stopped {
+			s.observe(fam, catalog.ClassRange, start)
+		}
 		return rep
 	}
 
 	if c := e.cache; c != nil && !req.NoCache {
-		entry, owner := c.lookup(rangeKey(req.Query))
+		key := rangeKey(req.Query)
+		entry, owner := c.lookup(key)
 		if !owner {
-			if entry.ready() {
-				s.cacheHits.Add(1)
-			} else {
-				s.cacheCoalesced.Add(1)
-				<-entry.done
+			if hit, failed := s.awaitEntry(ctx, entry); !hit {
+				rep.Err = mapCtxErr(ctx.Err())
+				return rep
+			} else if failed {
+				// The owner abandoned the entry (cancelled or degraded
+				// execution): fall through and execute privately, uncached.
+				return s.rangeUncached(ctx, e, req, rep, fam, start)
 			}
 			rep.Items = append(req.Buf, entry.items...)
 			rep.Plan.CacheHit = true
+			rep.Plan.FanOut, _ = e.planRange(req.Query)
 			s.queries.Add(1)
 			s.results.Add(int64(len(entry.items)))
 			return rep
 		}
 		s.cacheMisses.Add(1)
 		var priv []index.Item
-		e.RangeVisit(req.Query, func(it index.Item) bool {
+		out := e.rangeVisitCtx(ctx, req.Query, func(it index.Item) bool {
 			priv = append(priv, it)
 			return true
 		})
+		// entry is nil when the cache was dropped mid-query (epoch retired).
 		if entry != nil {
-			entry.fill(priv)
+			if out.clean() {
+				entry.fill(priv)
+			} else {
+				// Never let a partial result become a cache hit.
+				c.remove(key)
+				entry.abandon()
+			}
+		}
+		rep.finishOutcome(ctx, out, len(priv))
+		if rep.Err != nil {
+			return rep
 		}
 		rep.Items = append(req.Buf, priv...)
 		s.queries.Add(1)
 		s.results.Add(int64(len(priv)))
-		s.observe(fam, catalog.ClassRange, start)
+		if out.clean() {
+			s.observe(fam, catalog.ClassRange, start)
+		}
 		return rep
 	}
 
+	return s.rangeUncached(ctx, e, req, rep, fam, start)
+}
+
+// rangeUncached is the cache-bypassing materializing range path.
+func (s *Store) rangeUncached(ctx context.Context, e *Epoch, req Request, rep Reply, fam string, start time.Time) Reply {
 	buf := req.Buf
 	base := len(buf)
-	e.RangeVisit(req.Query, func(it index.Item) bool {
+	out := e.rangeVisitCtx(ctx, req.Query, func(it index.Item) bool {
 		buf = append(buf, it)
 		return true
 	})
+	rep.finishOutcome(ctx, out, len(buf)-base)
+	if rep.Err != nil {
+		return rep
+	}
 	rep.Items = buf
 	s.queries.Add(1)
 	s.results.Add(int64(len(buf) - base))
-	s.observe(fam, catalog.ClassRange, start)
+	if out.clean() {
+		s.observe(fam, catalog.ClassRange, start)
+	}
 	return rep
 }
 
-func (s *Store) queryKNN(e *Epoch, req Request) Reply {
+// awaitEntry waits for a coalesced cache entry to resolve, bounded by ctx.
+// hit is false when the context died first; failed mirrors entry.failed.
+func (s *Store) awaitEntry(ctx context.Context, entry *cacheEntry) (hit, failed bool) {
+	if entry.ready() {
+		if entry.failed {
+			return true, true
+		}
+		s.cacheHits.Add(1)
+		return true, false
+	}
+	s.cacheCoalesced.Add(1)
+	select {
+	case <-entry.done:
+		return true, entry.failed
+	case <-ctx.Done():
+		return false, false
+	}
+}
+
+func (s *Store) queryKNN(ctx context.Context, e *Epoch, req Request) Reply {
 	start := s.observeStart()
-	fan, fam := e.planAll()
-	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam, FanOut: fan}}
+	_, fam := e.planAll()
+	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam}}
 
 	if c := e.cache; c != nil && !req.NoCache {
-		entry, owner := c.lookup(knnKey(req.Point, req.K))
+		key := knnKey(req.Point, req.K)
+		entry, owner := c.lookup(key)
 		if !owner {
-			if entry.ready() {
-				s.cacheHits.Add(1)
-			} else {
-				s.cacheCoalesced.Add(1)
-				<-entry.done
+			if hit, failed := s.awaitEntry(ctx, entry); !hit {
+				rep.Err = mapCtxErr(ctx.Err())
+				return rep
+			} else if failed {
+				return s.knnUncached(ctx, e, req, rep, fam, start)
 			}
 			rep.Items = append(req.Buf, entry.items...)
 			rep.Plan.CacheHit = true
+			rep.Plan.FanOut, _ = e.planAll()
 			s.queries.Add(1)
 			s.results.Add(int64(len(entry.items)))
 			return rep
 		}
 		s.cacheMisses.Add(1)
-		priv := e.KNNInto(req.Point, req.K, nil)
+		priv, out := e.knnIntoCtx(ctx, req.Point, req.K, nil)
 		if entry != nil {
-			entry.fill(priv)
+			if out.clean() {
+				entry.fill(priv)
+			} else {
+				c.remove(key)
+				entry.abandon()
+			}
+		}
+		rep.finishOutcome(ctx, out, len(priv))
+		if rep.Err != nil {
+			return rep
 		}
 		rep.Items = append(req.Buf, priv...)
 		s.queries.Add(1)
 		s.results.Add(int64(len(priv)))
-		s.observe(fam, catalog.ClassKNN, start)
+		if out.clean() {
+			s.observe(fam, catalog.ClassKNN, start)
+		}
 		return rep
 	}
 
+	return s.knnUncached(ctx, e, req, rep, fam, start)
+}
+
+// knnUncached is the cache-bypassing kNN path.
+func (s *Store) knnUncached(ctx context.Context, e *Epoch, req Request, rep Reply, fam string, start time.Time) Reply {
 	base := len(req.Buf)
-	rep.Items = e.KNNInto(req.Point, req.K, req.Buf)
+	items, out := e.knnIntoCtx(ctx, req.Point, req.K, req.Buf)
+	rep.finishOutcome(ctx, out, len(items)-base)
+	if rep.Err != nil {
+		return rep
+	}
+	rep.Items = items
 	s.queries.Add(1)
-	s.results.Add(int64(len(rep.Items) - base))
-	s.observe(fam, catalog.ClassKNN, start)
+	s.results.Add(int64(len(items) - base))
+	if out.clean() {
+		s.observe(fam, catalog.ClassKNN, start)
+	}
 	return rep
 }
 
-func (s *Store) queryJoin(e *Epoch, req Request) Reply {
+func (s *Store) queryJoin(ctx context.Context, e *Epoch, req Request) Reply {
 	start := s.observeStart()
 	fan, fam := e.planAll()
+	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam, FanOut: fan}}
 	jr := req.Join
 
+	if err := ctx.Err(); err != nil {
+		rep.Err = mapCtxErr(err)
+		return rep
+	}
 	items := e.AllItems(make([]index.Item, 0, e.items))
 	var plan *join.Plan
 	if s.cfg.Planner != nil {
@@ -260,33 +497,45 @@ func (s *Store) queryJoin(e *Epoch, req Request) Reply {
 		}
 	}
 	defer plan.Close()
-	pairs, stats := exec.ParallelJoin(plan, exec.Options{Workers: jr.Workers})
+	pairs, stats := exec.ParallelJoin(plan, exec.Options{Workers: jr.Workers, Ctx: ctx})
 
+	rep.Pairs = pairs
+	rep.JoinAlgo = plan.Algo()
+	rep.JoinItems = len(items)
+	rep.JoinStats = stats
+	rep.Plan.Algorithm = plan.Algo().String()
+	if stats.Cancelled {
+		if len(pairs) == 0 {
+			rep.Pairs = nil
+			rep.Err = mapCtxErr(ctx.Err())
+			return rep
+		}
+		rep.Degraded = true
+	}
 	s.joins.Add(1)
 	s.joinPairs.Add(int64(len(pairs)))
-	s.observe(fam, catalog.ClassJoin, start)
-	return Reply{
-		Epoch:     e.seq,
-		Pairs:     pairs,
-		JoinAlgo:  plan.Algo(),
-		JoinItems: len(items),
-		JoinStats: stats,
-		Plan:      PlanInfo{Family: fam, Algorithm: plan.Algo().String(), FanOut: fan},
+	if !stats.Cancelled {
+		s.observe(fam, catalog.ClassJoin, start)
 	}
+	return rep
 }
 
-func (s *Store) queryBatchRange(e *Epoch, req Request) Reply {
+func (s *Store) queryBatchRange(ctx context.Context, e *Epoch, req Request) Reply {
 	fan, fam := e.planAll()
-	out, stats := exec.BatchRangeVisitArena(e, req.Queries, req.Opts, req.Arena)
+	opts := req.Opts
+	opts.Ctx = ctx
+	out, stats := exec.BatchRangeVisitArena(e, req.Queries, opts, req.Arena)
 	s.queries.Add(int64(len(req.Queries)))
 	s.results.Add(stats.Results)
-	return Reply{Epoch: e.seq, Batch: out, Plan: PlanInfo{Family: fam, FanOut: fan}}
+	return Reply{Epoch: e.seq, Batch: out, Degraded: stats.Cancelled, Plan: PlanInfo{Family: fam, FanOut: fan}}
 }
 
-func (s *Store) queryBatchKNN(e *Epoch, req Request) Reply {
+func (s *Store) queryBatchKNN(ctx context.Context, e *Epoch, req Request) Reply {
 	fan, fam := e.planAll()
-	out, stats := exec.BatchKNNInto(e, req.Points, req.K, req.Opts, req.Arena)
+	opts := req.Opts
+	opts.Ctx = ctx
+	out, stats := exec.BatchKNNInto(e, req.Points, req.K, opts, req.Arena)
 	s.queries.Add(int64(len(req.Points)))
 	s.results.Add(stats.Results)
-	return Reply{Epoch: e.seq, Batch: out, Plan: PlanInfo{Family: fam, FanOut: fan}}
+	return Reply{Epoch: e.seq, Batch: out, Degraded: stats.Cancelled, Plan: PlanInfo{Family: fam, FanOut: fan}}
 }

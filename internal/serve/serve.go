@@ -15,10 +15,15 @@
 //
 // Readers pin the current epoch with an atomic pointer + per-epoch refcount,
 // so a swap never blocks a reader and a reader never observes half of two
-// generations; admission control bounds in-flight queries so overload
-// degrades into queueing instead of collapse. cmd/spatialserver fronts a
-// Store with HTTP endpoints and spatialbench's "serve" experiment drives it
-// with mixed query/update traffic.
+// generations. Admission control bounds both in-flight queries and the wait
+// queue behind them: saturation degrades into a bounded wait (shorter for
+// background work) and overflow is shed with ErrOverload instead of
+// collapsing into unbounded queueing. Every query runs under a context with a
+// per-class default deadline (Config.Deadlines); a deadline that fires
+// mid-fan-out degrades the reply to the partial result gathered so far
+// (Reply.Degraded + per-shard errors) rather than discarding it.
+// cmd/spatialserver fronts a Store with HTTP endpoints and spatialbench's
+// "serve" experiment drives it with mixed query/update traffic.
 //
 // With a persistence store attached (Config.Persist, see internal/persist
 // and Open), the subsystem is durable: ingest batches are WAL-journaled as
@@ -30,6 +35,7 @@
 package serve
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -97,6 +103,21 @@ type Config struct {
 	// MaxInFlight bounds concurrently executing queries; callers beyond the
 	// bound wait (admission control; <= 0 picks 4x GOMAXPROCS).
 	MaxInFlight int
+	// MaxQueued bounds how many callers may wait for an in-flight slot before
+	// admission control sheds with ErrOverload (<= 0 picks 4x MaxInFlight).
+	// Background-priority requests (joins, batches) are shed at a quarter of
+	// the bound, so interactive traffic keeps queue headroom under overload.
+	MaxQueued int
+	// Deadlines is the per-query-class default deadline table (zero entries
+	// mean no default). A class deadline applies only when the request's own
+	// context carries none.
+	Deadlines Deadlines
+	// Breaker configures the circuit breaker guarding snapshot and WAL I/O of
+	// a durable store (zero value picks the defaults; ignored when Persist is
+	// nil). When the breaker is open, snapshots are skipped and WAL appends
+	// are suspended instead of hammering a sick disk — serving continues in
+	// memory and durability catches up when the disk recovers.
+	Breaker BreakerConfig
 	// Build constructs one shard snapshot (nil uses RTreeBuilder with the
 	// default R-Tree configuration). Ignored when Planner is set — the
 	// planner chooses per shard from Families instead.
@@ -139,6 +160,10 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
 	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 4 * c.MaxInFlight
+	}
+	c.Breaker = c.Breaker.withDefaults()
 	if c.Planner != nil {
 		if c.Families == nil {
 			c.Families = DefaultFamilies()
@@ -183,13 +208,17 @@ type Store struct {
 	sem      chan struct{}
 	inFlight atomic.Int64
 	peak     atomic.Int64
+	queued   atomic.Int64
 
-	queries   atomic.Int64
-	results   atomic.Int64
-	swaps     atomic.Int64
-	retired   atomic.Int64
-	joins     atomic.Int64
-	joinPairs atomic.Int64
+	queries      atomic.Int64
+	results      atomic.Int64
+	swaps        atomic.Int64
+	retired      atomic.Int64
+	joins        atomic.Int64
+	joinPairs    atomic.Int64
+	shed         atomic.Int64
+	degraded     atomic.Int64
+	deadlineHits atomic.Int64
 
 	// families is the sorted planner menu (nil in static mode); the cache
 	// counters aggregate across epochs (each epoch's cache map is its own).
@@ -212,8 +241,14 @@ type Store struct {
 	snapshots     atomic.Int64
 	snapErrs      atomic.Int64
 	walErrs       atomic.Int64
+	walSkipped    atomic.Int64
+	snapSkipped   atomic.Int64
 	lastSnapErr   atomic.Pointer[string]
 	recovery      RecoveryInfo
+	// breaker guards persistence I/O: snapshot failures trip it, an open
+	// breaker sheds snapshot attempts and WAL appends until the cooldown
+	// probe succeeds (nil when cfg.Persist is nil).
+	breaker *breaker
 }
 
 // RecoveryInfo describes what Open recovered from the persistence store.
@@ -235,15 +270,11 @@ type RecoveryInfo struct {
 }
 
 // New returns an empty store serving epoch 0 (no shards) and starts its
-// background builder. Close releases the builder when the store is done.
-// For a durable store (Config.Persist set) use Open, which can fail on
-// unrecoverable corruption; New panics in that case.
-func New(cfg Config) *Store {
-	s, err := Open(cfg)
-	if err != nil {
-		panic("serve.New: " + err.Error())
-	}
-	return s
+// background builder; Close releases the builder when the store is done.
+// New is Open under its historical name: it fails (instead of serving torn
+// data) when a durable store's recovery finds only unverifiable snapshots.
+func New(cfg Config) (*Store, error) {
+	return Open(cfg)
 }
 
 // Close stops the background builder after draining queued batches, then —
@@ -329,12 +360,21 @@ func (s *Store) applyBatch(batch []Update, journal bool) uint64 {
 		}
 	}
 	if journal && s.cfg.Persist != nil {
-		if seq, err := s.cfg.Persist.LogBatch(batch); err != nil {
+		if !s.breaker.allow() {
+			// Breaker open: skip the append instead of hammering a sick disk
+			// from under the staging lock. The batch stays live in memory and
+			// is covered by the next snapshot that succeeds.
+			s.walSkipped.Add(1)
+		} else if seq, err := s.cfg.Persist.LogBatch(batch); err != nil {
 			// Serving keeps going on WAL failure: the batch is live in
 			// memory and will be covered by the next snapshot that succeeds.
+			// No retry here — LogBatch runs under stagingMu and must fail
+			// fast; the failure charges the breaker instead.
+			s.breaker.onResult(err)
 			s.walErrs.Add(1)
 			s.setLastSnapErr(err)
 		} else {
+			s.breaker.onResult(nil)
 			s.stagedSeq = seq
 		}
 	}
@@ -436,10 +476,33 @@ func (s *Store) release(e *Epoch) {
 	}
 }
 
-// admit blocks until an in-flight slot is free (admission control) and
-// returns the release func.
-func (s *Store) admit() func() {
-	s.sem <- struct{}{}
+// admit acquires an in-flight slot under the load-shedding policy and returns
+// the release func. A free slot admits immediately; otherwise the caller
+// queues — bounded by cfg.MaxQueued (background priority at a quarter of the
+// bound) — and waits for a slot or its context, whichever comes first. A full
+// queue sheds with ErrOverload instead of waiting forever: under sustained
+// overload the store answers "come back later" in microseconds rather than
+// stacking callers until everything times out.
+func (s *Store) admit(ctx context.Context, pri Priority) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		limit := int64(s.cfg.MaxQueued)
+		if pri == PriorityBackground {
+			limit = max(limit/4, 1)
+		}
+		if s.queued.Add(1) > limit {
+			s.queued.Add(-1)
+			return nil, ErrOverload
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return nil, mapCtxErr(ctx.Err())
+		}
+	}
 	n := s.inFlight.Add(1)
 	for {
 		p := s.peak.Load()
@@ -450,7 +513,7 @@ func (s *Store) admit() func() {
 	return func() {
 		s.inFlight.Add(-1)
 		<-s.sem
-	}
+	}, nil
 }
 
 // Range executes one range query against the current epoch, invoking visit
@@ -578,6 +641,16 @@ type Stats struct {
 	InFlight      int64        `json:"in_flight"`
 	PeakInFlight  int64        `json:"peak_in_flight"`
 	MaxInFlight   int          `json:"max_in_flight"`
+	// Queued is the number of requests currently waiting for an in-flight
+	// slot; MaxQueued is the shedding bound.
+	Queued    int64 `json:"queued"`
+	MaxQueued int   `json:"max_queued"`
+	// Shed counts requests rejected by admission control (ErrOverload);
+	// Degraded counts replies that returned partial results; DeadlineExceeded
+	// counts queries that died on their deadline with no usable result.
+	Shed             int64 `json:"shed"`
+	Degraded         int64 `json:"degraded"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
 	// Planner reports the query planner's state (nil for static stores).
 	Planner *PlannerStats `json:"planner,omitempty"`
 	// Cache reports the epoch result cache (nil when caching is disabled).
@@ -597,15 +670,20 @@ func (s *Store) Stats() Stats {
 		EpochSwaps:    s.swaps.Load(),
 		EpochsRetired: s.retired.Load(),
 		// Exclude this Stats call's own pin, so an idle store reports 0.
-		EpochPins:    e.pins.Load() - 1,
-		Queries:      s.queries.Load(),
-		Results:      s.results.Load(),
-		Joins:        s.joins.Load(),
-		JoinPairs:    s.joinPairs.Load(),
-		InFlight:     s.inFlight.Load(),
-		PeakInFlight: s.peak.Load(),
-		MaxInFlight:  s.cfg.MaxInFlight,
-		Durability:   s.durabilityStats(),
+		EpochPins:        e.pins.Load() - 1,
+		Queries:          s.queries.Load(),
+		Results:          s.results.Load(),
+		Joins:            s.joins.Load(),
+		JoinPairs:        s.joinPairs.Load(),
+		InFlight:         s.inFlight.Load(),
+		PeakInFlight:     s.peak.Load(),
+		MaxInFlight:      s.cfg.MaxInFlight,
+		Queued:           s.queued.Load(),
+		MaxQueued:        s.cfg.MaxQueued,
+		Shed:             s.shed.Load(),
+		Degraded:         s.degraded.Load(),
+		DeadlineExceeded: s.deadlineHits.Load(),
+		Durability:       s.durabilityStats(),
 	}
 	s.stagingMu.Lock()
 	if c := s.staging.Counters(); c != nil {

@@ -14,6 +14,17 @@ import (
 	"spatialsim/internal/join"
 )
 
+// mustNew builds a store or fails the test (construction only fails for
+// durable stores with unrecoverable state).
+func mustNew(t testing.TB, cfg Config) *Store {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // genBox returns the box of item id at generation gen: a unit cube on a grid
 // in x/y whose z coordinate encodes the generation. A consistent epoch
 // therefore answers a whole-universe range query with boxes that all carry
@@ -51,7 +62,7 @@ func TestEpochSwapConsistencyUnderConcurrentReaders(t *testing.T) {
 		cycles  = 12
 		readers = 6
 	)
-	s := New(Config{Shards: 5, Workers: 4, MaxInFlight: 64})
+	s := mustNew(t, Config{Shards: 5, Workers: 4, MaxInFlight: 64})
 	defer s.Close()
 	s.Bootstrap(genItems(n, 0))
 
@@ -167,7 +178,7 @@ func TestRangeMatchesReference(t *testing.T) {
 		"grid":   GridBuilder(12),
 		"octree": OctreeBuilder(16),
 	} {
-		s := New(Config{Shards: 7, Workers: 4, Build: build})
+		s := mustNew(t, Config{Shards: 7, Workers: 4, Build: build})
 		s.Bootstrap(items)
 		for q := 0; q < 40; q++ {
 			c := geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
@@ -198,7 +209,7 @@ func TestKNNMatchesReference(t *testing.T) {
 	}
 	ref := index.NewLinearScan()
 	ref.BulkLoad(items)
-	s := New(Config{Shards: 9, Workers: 4})
+	s := mustNew(t, Config{Shards: 9, Workers: 4})
 	defer s.Close()
 	s.Bootstrap(items)
 
@@ -229,7 +240,7 @@ func TestBatchPathsMatchSingleQueries(t *testing.T) {
 		c := geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
 		items[i] = index.Item{ID: int64(i), Box: geom.AABBFromCenter(c, geom.V(0.5, 0.5, 0.5))}
 	}
-	s := New(Config{Shards: 6, Workers: 4})
+	s := mustNew(t, Config{Shards: 6, Workers: 4})
 	defer s.Close()
 	s.Bootstrap(items)
 
@@ -276,7 +287,7 @@ func TestBatchPathsMatchSingleQueries(t *testing.T) {
 // TestAdmissionControlBoundsInFlight holds queries open with a slow visitor
 // and checks the in-flight watermark never exceeds the configured bound.
 func TestAdmissionControlBoundsInFlight(t *testing.T) {
-	s := New(Config{Shards: 2, Workers: 2, MaxInFlight: 3})
+	s := mustNew(t, Config{Shards: 2, Workers: 2, MaxInFlight: 3})
 	defer s.Close()
 	s.Bootstrap(genItems(200, 0))
 
@@ -308,7 +319,7 @@ func TestAdmissionControlBoundsInFlight(t *testing.T) {
 // TestBackgroundBuilderIngest checks the async path: enqueued batches become
 // visible in a later epoch without any synchronous Apply call.
 func TestBackgroundBuilderIngest(t *testing.T) {
-	s := New(Config{Shards: 3, Workers: 2})
+	s := mustNew(t, Config{Shards: 3, Workers: 2})
 	s.Bootstrap(genItems(100, 0))
 
 	for gen := 1; gen <= 3; gen++ {
@@ -339,7 +350,7 @@ func TestBackgroundBuilderIngest(t *testing.T) {
 
 // TestDeletesAndStats exercises the delete path and the stats snapshot shape.
 func TestDeletesAndStats(t *testing.T) {
-	s := New(Config{Shards: 4, Workers: 2})
+	s := mustNew(t, Config{Shards: 4, Workers: 2})
 	defer s.Close()
 	s.Bootstrap(genItems(300, 0))
 
@@ -440,7 +451,7 @@ func idSet(items []index.Item) map[int64]bool {
 // whichever algorithm the planner (or the caller) picks.
 func TestSelfJoinMatchesReference(t *testing.T) {
 	const n = 500
-	s := New(Config{Shards: 4, Workers: 4})
+	s := mustNew(t, Config{Shards: 4, Workers: 4})
 	defer s.Close()
 	items := genItems(n, 0)
 	s.Bootstrap(items)
@@ -479,7 +490,7 @@ func TestSelfJoinMatchesReference(t *testing.T) {
 // elements that ended up in different z layers.
 func TestSelfJoinPinnedUnderSwaps(t *testing.T) {
 	const n = 400
-	s := New(Config{Shards: 4, Workers: 4, MaxInFlight: 32})
+	s := mustNew(t, Config{Shards: 4, Workers: 4, MaxInFlight: 32})
 	defer s.Close()
 	s.Bootstrap(genItems(n, 0))
 	want := join.DedupPairs(join.SelfNestedLoop(genItems(n, 0), join.Options{}))
@@ -509,7 +520,7 @@ func TestSelfJoinPinnedUnderSwaps(t *testing.T) {
 // TestEpochAllItems: materialization gathers every item exactly once.
 func TestEpochAllItems(t *testing.T) {
 	const n = 300
-	s := New(Config{Shards: 5, Workers: 2})
+	s := mustNew(t, Config{Shards: 5, Workers: 2})
 	defer s.Close()
 	s.Bootstrap(genItems(n, 0))
 	e := s.Current()

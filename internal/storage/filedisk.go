@@ -5,6 +5,22 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"spatialsim/internal/faultinject"
+)
+
+// Failpoint names compiled into FileDisk's I/O paths. Disarmed (the
+// production state) they cost one atomic load per operation; chaos tests arm
+// them to make the page file fail, stall, or tear mid-write.
+const (
+	// FaultFileDiskWrite instruments page writes; it supports torn-write
+	// injection (a random proper prefix lands before the error surfaces —
+	// the crash-mid-write shape the recovery tests must tolerate).
+	FaultFileDiskWrite = "storage.filedisk.write"
+	// FaultFileDiskRead instruments page reads.
+	FaultFileDiskRead = "storage.filedisk.read"
+	// FaultFileDiskSync instruments Sync.
+	FaultFileDiskSync = "storage.filedisk.sync"
 )
 
 // BackingFile is the slice of the *os.File surface FileDisk needs. It exists
@@ -128,6 +144,14 @@ func (d *FileDisk) Write(id PageID, data []byte) error {
 		page = make([]byte, d.pageSize)
 		copy(page, data)
 	}
+	if n, ferr := faultinject.CheckWrite(FaultFileDiskWrite, len(page)); ferr != nil {
+		if n > 0 {
+			// Torn write: land the prefix, then fail — the caller sees the
+			// error but the file holds partial bytes, like a crash mid-write.
+			d.f.WriteAt(page[:n], int64(id)*int64(d.pageSize))
+		}
+		return ferr
+	}
 	_, err := d.f.WriteAt(page, int64(id)*int64(d.pageSize))
 	return err
 }
@@ -143,6 +167,9 @@ func (d *FileDisk) Read(id PageID) ([]byte, error) {
 	d.stats.BytesRead += int64(d.pageSize)
 	d.mu.Unlock()
 
+	if err := faultinject.Hit(FaultFileDiskRead); err != nil {
+		return nil, err
+	}
 	out := make([]byte, d.pageSize)
 	n, err := d.f.ReadAt(out, int64(id)*int64(d.pageSize))
 	if err == io.EOF && n >= 0 {
@@ -157,7 +184,12 @@ func (d *FileDisk) Read(id PageID) ([]byte, error) {
 }
 
 // Sync flushes written pages to stable storage.
-func (d *FileDisk) Sync() error { return d.f.Sync() }
+func (d *FileDisk) Sync() error {
+	if err := faultinject.Hit(FaultFileDiskSync); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
 
 // Close closes the backing file.
 func (d *FileDisk) Close() error { return d.f.Close() }
