@@ -25,6 +25,25 @@
 // -max-queued bounds the admission queue before requests are shed with 503 +
 // Retry-After, and SIGINT/SIGTERM trigger a graceful shutdown — the listener
 // drains for -drain, then the store closes with a final durable snapshot.
+//
+// Observability surface (see internal/obs):
+//
+//   - GET /metrics serves the Prometheus text exposition: per-query-class
+//     latency histograms (spatial_query_seconds{class=...}) with
+//     p50/p90/p99/p999 rows, the paper's four cost categories as
+//     spatial_cost_seconds_total{category=...}, robustness counters (sheds,
+//     deadline expiries, degraded replies, breaker trips, fault injections),
+//     cache and epoch lifecycle series, per-route HTTP series and Go runtime
+//     gauges;
+//   - ?trace=1 on any /v1 query or update endpoint adds a "trace" span tree
+//     to the reply — admission, planner decision, cache lookup, per-shard
+//     fan-out with instrument counter deltas, merge, WAL append and freeze;
+//   - -debug-addr starts a second listener serving /debug/pprof and /metrics
+//     so profiling never competes with queries for the serving port;
+//   - -slow-query logs queries over the threshold through log/slog with the
+//     request id, executed plan, shard errors and counter breakdown. All
+//     server logs are structured (log/slog); every request is correlated by
+//     its X-Request-Id (client-provided or generated).
 package main
 
 import (
@@ -44,6 +63,7 @@ import (
 	"spatialsim/internal/datagen"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
+	"spatialsim/internal/obs"
 	"spatialsim/internal/persist"
 	"spatialsim/internal/planner"
 	"spatialsim/internal/rtree"
@@ -78,12 +98,19 @@ func run(args []string, stdout io.Writer) error {
 		deadline    = fs.Duration("deadline", 0, "default deadline for range/knn queries (0 = none; ?timeout= overrides)")
 		joinDead    = fs.Duration("join-deadline", 0, "default deadline for join and batch queries (0 = none)")
 		drain       = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		debugAddr   = fs.String("debug-addr", "", "separate listen address for pprof and /metrics (empty disables)")
+		slowQuery   = fs.Duration("slow-query", 0, "log queries slower than this threshold with plan and counter detail (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger := newLogger(stdout)
+
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeGauges(reg)
 
 	cfg := serve.Config{
+		Metrics:       reg,
 		Shards:        *shards,
 		Workers:       *workers,
 		MaxInFlight:   *maxInflight,
@@ -121,8 +148,8 @@ func run(args []string, stdout io.Writer) error {
 	defer store.Close()
 
 	if rec := store.Recovery(); rec.Recovered {
-		fmt.Fprintf(stdout, "spatialserver: recovered epoch %d (%d items) from %s, replayed %d WAL batches\n",
-			rec.Epoch, rec.Items, *dataDir, rec.ReplayedBatches)
+		logger.Info("recovered persisted state",
+			"epoch", rec.Epoch, "items", rec.Items, "dir", *dataDir, "replayed_batches", rec.ReplayedBatches)
 	}
 
 	if *elements > 0 && store.Current().Len() == 0 {
@@ -133,16 +160,31 @@ func run(args []string, stdout io.Writer) error {
 			items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
 		}
 		epoch := store.Bootstrap(items)
-		fmt.Fprintf(stdout, "spatialserver: bootstrapped %d elements into epoch %d\n", len(items), epoch)
+		logger.Info("bootstrapped dataset", "elements", len(items), "epoch", epoch)
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		go func() {
+			if err := http.Serve(dln, newDebugMux(reg)); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+		logger.Info("debug server listening", "addr", dln.Addr().String(), "endpoints", "/debug/pprof /metrics")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "spatialserver: serving %s index on http://%s (range, knn, update, stats)\n",
-		*indexName, ln.Addr())
-	return serveUntilSignal(store, ln, *drain, stdout)
+	logger.Info("serving", "index", *indexName, "addr", ln.Addr().String(),
+		"endpoints", "/v1/{range,knn,join,query,update,snapshot,recovery,stats,healthz} /metrics")
+	so := newServerObs(reg, logger, *slowQuery)
+	return serveHandlerUntilSignal(store, newHandlerObs(store, so), ln, *drain, stdout)
 }
 
 // serveUntilSignal serves until the listener fails or a SIGINT/SIGTERM
@@ -151,7 +193,14 @@ func run(args []string, stdout io.Writer) error {
 // store is closed — which, in durable mode, takes the final snapshot that
 // makes the shutdown recoverable without WAL replay.
 func serveUntilSignal(store *serve.Store, ln net.Listener, drain time.Duration, stdout io.Writer) error {
-	srv := &http.Server{Handler: newHandler(store)}
+	return serveHandlerUntilSignal(store, newHandler(store), ln, drain, stdout)
+}
+
+// serveHandlerUntilSignal is serveUntilSignal with a caller-built handler
+// (run wires the observability hooks in; tests use the plain one).
+func serveHandlerUntilSignal(store *serve.Store, handler http.Handler, ln net.Listener, drain time.Duration, stdout io.Writer) error {
+	logger := newLogger(stdout)
+	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -167,16 +216,16 @@ func serveUntilSignal(store *serve.Store, ln net.Listener, drain time.Duration, 
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second signal kills hard
-	fmt.Fprintf(stdout, "spatialserver: shutdown signal received, draining for up to %s\n", drain)
+	logger.Info("shutdown signal received, draining", "budget", drain)
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(stdout, "spatialserver: drain budget exhausted, closing remaining connections (%v)\n", err)
+		logger.Warn("drain budget exhausted, closing remaining connections", "err", err)
 		srv.Close()
 	}
 	store.Close()
-	fmt.Fprintln(stdout, "spatialserver: graceful shutdown complete")
+	logger.Info("graceful shutdown complete")
 	return nil
 }
 

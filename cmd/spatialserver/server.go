@@ -13,6 +13,7 @@ import (
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
 	"spatialsim/internal/join"
+	"spatialsim/internal/obs"
 	"spatialsim/internal/serve"
 )
 
@@ -50,6 +51,8 @@ type queryResponse struct {
 	// byte-identical.
 	Degraded    bool               `json:"degraded,omitempty"`
 	ShardErrors []serve.ShardError `json:"shard_errors,omitempty"`
+	// Trace is the request's span tree, present only with ?trace=1.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // joinResponse is the wire shape of a join answer: the epoch and algorithm
@@ -67,6 +70,8 @@ type joinResponse struct {
 	// Degraded marks a join cut short by its deadline: the pairs of the tasks
 	// that ran are included (correct but incomplete). Omitted when complete.
 	Degraded bool `json:"degraded,omitempty"`
+	// Trace is the request's span tree, present only with ?trace=1.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // updateRequest is the wire shape of an update batch.
@@ -79,6 +84,9 @@ type updateRequest struct {
 type updateResponse struct {
 	Epoch   uint64 `json:"epoch"`
 	Applied int    `json:"applied"`
+	// Trace is the update's span tree (staging, WAL append, freeze+swap),
+	// present only with ?trace=1.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // errorEnvelope is the uniform error shape of every endpoint:
@@ -120,12 +128,24 @@ type errorBody struct {
 // before any shard contributes answers 504 deadline_exceeded; a deadline that
 // fires mid-fan-out answers 200 with "degraded":true and the partial result
 // plus per-shard error detail.
+//
+// Observability surface: ?trace=1 on any /v1 query or update endpoint returns
+// the request's span tree in the reply ("trace" field; omitted otherwise, so
+// the wire format is unchanged). With metrics wired (newHandlerObs), GET
+// /metrics serves the Prometheus text exposition and every route feeds
+// per-route latency/status series.
 func newHandler(store *serve.Store) http.Handler {
+	return newHandlerObs(store, nil)
+}
+
+// newHandlerObs is newHandler with the HTTP-layer observability hooks
+// attached (nil so serves the identical wire format uninstrumented).
+func newHandlerObs(store *serve.Store, so *serverObs) http.Handler {
 	mux := http.NewServeMux()
 
-	rangeH := handleRange(store)
-	knnH := handleKNN(store)
-	joinH := handleJoin(store)
+	rangeH := handleRange(store, so)
+	knnH := handleKNN(store, so)
+	joinH := handleJoin(store, so)
 	updateH := handleUpdate(store)
 	snapshotH := handleSnapshot(store)
 	recoveryH := func(w http.ResponseWriter, r *http.Request) { writeJSON(w, store.Recovery()) }
@@ -159,8 +179,12 @@ func newHandler(store *serve.Store) http.Handler {
 		"/healthz":  healthH,
 	}
 	for path, h := range routes {
+		h = so.instrument("/v1"+path, h)
 		mux.HandleFunc("/v1"+path, h) // canonical
 		mux.HandleFunc(path, h)       // legacy alias, byte-identical
+	}
+	if so != nil && so.reg != nil {
+		mux.HandleFunc("/metrics", metricsHandler(so.reg))
 	}
 
 	return withRequestID(mux)
@@ -221,7 +245,7 @@ func writeReplyError(w http.ResponseWriter, err error) {
 	}
 }
 
-func handleRange(store *serve.Store) http.HandlerFunc {
+func handleRange(store *serve.Store, so *serverObs) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		lo, err1 := parseVec(r, "minx", "miny", "minz")
 		hi, err2 := parseVec(r, "maxx", "maxy", "maxz")
@@ -235,7 +259,10 @@ func handleRange(store *serve.Store) http.HandlerFunc {
 			return
 		}
 		defer cancel()
+		ctx, tr := maybeTrace(ctx, r)
+		start := time.Now()
 		rep := store.Query(serve.Request{Op: serve.OpRange, Query: geom.NewAABB(lo, hi), Ctx: ctx})
+		so.observeQuery(w, "range", time.Since(start), rep)
 		if rep.Err != nil {
 			writeReplyError(w, rep.Err)
 			return
@@ -244,11 +271,11 @@ func handleRange(store *serve.Store) http.HandlerFunc {
 		if limit > 0 && len(items) > limit {
 			items = items[:limit]
 		}
-		writeQueryResponse(w, r, rep, items)
+		writeQueryResponse(w, r, rep, items, tr)
 	}
 }
 
-func handleKNN(store *serve.Store) http.HandlerFunc {
+func handleKNN(store *serve.Store, so *serverObs) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		p, err := parseVec(r, "x", "y", "z")
 		if err != nil {
@@ -267,16 +294,19 @@ func handleKNN(store *serve.Store) http.HandlerFunc {
 			return
 		}
 		defer cancel()
+		ctx, tr := maybeTrace(ctx, r)
+		start := time.Now()
 		rep := store.Query(serve.Request{Op: serve.OpKNN, Point: p, K: k, Ctx: ctx})
+		so.observeQuery(w, "knn", time.Since(start), rep)
 		if rep.Err != nil {
 			writeReplyError(w, rep.Err)
 			return
 		}
-		writeQueryResponse(w, r, rep, rep.Items)
+		writeQueryResponse(w, r, rep, rep.Items, tr)
 	}
 }
 
-func handleJoin(store *serve.Store) http.HandlerFunc {
+func handleJoin(store *serve.Store, so *serverObs) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		eps, err := strconv.ParseFloat(r.URL.Query().Get("eps"), 64)
 		if err != nil || eps < 0 {
@@ -304,7 +334,10 @@ func handleJoin(store *serve.Store) http.HandlerFunc {
 			return
 		}
 		defer cancel()
+		ctx, tr := maybeTrace(ctx, r)
+		start := time.Now()
 		rep := store.Query(serve.Request{Op: serve.OpJoin, Join: jr, Ctx: ctx})
+		so.observeQuery(w, "join", time.Since(start), rep)
 		if rep.Err != nil {
 			writeReplyError(w, rep.Err)
 			return
@@ -330,6 +363,7 @@ func handleJoin(store *serve.Store) http.HandlerFunc {
 			plan := rep.Plan
 			resp.Plan = &plan
 		}
+		resp.Trace = tr.Finish()
 		writeJSON(w, resp)
 	}
 }
@@ -352,8 +386,9 @@ func handleUpdate(store *serve.Store) http.HandlerFunc {
 		for _, id := range req.Deletes {
 			batch = append(batch, serve.Update{ID: id, Delete: true})
 		}
-		epoch := store.Apply(batch)
-		writeJSON(w, updateResponse{Epoch: epoch, Applied: len(batch)})
+		ctx, tr := maybeTrace(r.Context(), r)
+		epoch := store.ApplyCtx(ctx, batch)
+		writeJSON(w, updateResponse{Epoch: epoch, Applied: len(batch), Trace: tr.Finish()})
 	}
 }
 
@@ -372,7 +407,7 @@ func handleSnapshot(store *serve.Store) http.HandlerFunc {
 	}
 }
 
-func writeQueryResponse(w http.ResponseWriter, r *http.Request, rep serve.Reply, items []index.Item) {
+func writeQueryResponse(w http.ResponseWriter, r *http.Request, rep serve.Reply, items []index.Item, tr *obs.Trace) {
 	resp := queryResponse{
 		Epoch: rep.Epoch, Count: len(items), Items: make([]itemJSON, len(items)),
 		Degraded: rep.Degraded, ShardErrors: rep.ShardErrors,
@@ -384,6 +419,7 @@ func writeQueryResponse(w http.ResponseWriter, r *http.Request, rep serve.Reply,
 		plan := rep.Plan
 		resp.Plan = &plan
 	}
+	resp.Trace = tr.Finish()
 	writeJSON(w, resp)
 }
 

@@ -227,13 +227,17 @@ func (l *Latencies) Mean(family, class string) (mean float64, n int64) {
 	return 0, 0
 }
 
-// LatencyStat is one row of a latency catalog snapshot.
+// LatencyStat is one row of a latency catalog snapshot: the full evidence of
+// one Welford accumulator (count, mean, spread and range), so /v1/stats
+// exposes exactly what the planner consults at freeze time.
 type LatencyStat struct {
-	Family     string  `json:"family"`
-	Class      string  `json:"class"`
-	N          int64   `json:"n"`
-	MeanMicros float64 `json:"mean_us"`
-	MaxMicros  float64 `json:"max_us"`
+	Family       string  `json:"family"`
+	Class        string  `json:"class"`
+	N            int64   `json:"n"`
+	MeanMicros   float64 `json:"mean_us"`
+	StdDevMicros float64 `json:"stddev_us"`
+	MinMicros    float64 `json:"min_us"`
+	MaxMicros    float64 `json:"max_us"`
 }
 
 // Snapshot returns the accumulated latency rows, sorted by (family, class)
@@ -246,11 +250,13 @@ func (l *Latencies) Snapshot() []LatencyStat {
 	out := make([]LatencyStat, 0, len(l.m))
 	for k, o := range l.m {
 		out = append(out, LatencyStat{
-			Family:     k.family,
-			Class:      k.class,
-			N:          o.N(),
-			MeanMicros: o.Mean() * 1e6,
-			MaxMicros:  o.Max() * 1e6,
+			Family:       k.family,
+			Class:        k.class,
+			N:            o.N(),
+			MeanMicros:   o.Mean() * 1e6,
+			StdDevMicros: o.StdDev() * 1e6,
+			MinMicros:    o.Min() * 1e6,
+			MaxMicros:    o.Max() * 1e6,
 		})
 	}
 	l.mu.Unlock()

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
@@ -80,6 +81,9 @@ type BatchStats struct {
 	// Cancelled reports that Options.Ctx expired before every task ran; the
 	// unclaimed queries' output slots are left nil.
 	Cancelled bool
+	// Elapsed is the wall-clock duration of the batch, including Prepare and
+	// the merge — what a caller would have measured around the call.
+	Elapsed time.Duration
 }
 
 // Aggregate returns the sum of the per-worker counter snapshots.
@@ -201,6 +205,7 @@ func ForChunks(n, workers int, fn func(worker, lo, hi int)) {
 // every in-memory family in this library is after Prepare (deferred
 // maintenance is forced up front).
 func BatchSearch(ix index.Index, queries []geom.AABB, opts Options) ([][]index.Item, BatchStats) {
+	start := time.Now()
 	Prepare(ix)
 	w := opts.workerCount(len(queries))
 	out := make([][]index.Item, len(queries))
@@ -233,6 +238,7 @@ func BatchSearch(ix index.Index, queries []geom.AABB, opts Options) ([][]index.I
 	if counters != nil {
 		stats.Index = counters.Snapshot().Sub(before)
 	}
+	stats.Elapsed = time.Since(start)
 	return out, stats
 }
 
@@ -242,6 +248,7 @@ func BatchSearch(ix index.Index, queries []geom.AABB, opts Options) ([][]index.I
 // only result cardinality is needed (e.g. the simulation harness's
 // monitoring phase).
 func BatchSearchCount(ix index.Index, queries []geom.AABB, opts Options) (int64, BatchStats) {
+	start := time.Now()
 	Prepare(ix)
 	w := opts.workerCount(len(queries))
 	stats := BatchStats{Workers: w, Queries: len(queries)}
@@ -267,12 +274,14 @@ func BatchSearchCount(ix index.Index, queries []geom.AABB, opts Options) (int64,
 	if counters != nil {
 		stats.Index = counters.Snapshot().Sub(before)
 	}
+	stats.Elapsed = time.Since(start)
 	return stats.Results, stats
 }
 
 // BatchKNN executes a k-nearest-neighbor query for every point using a worker
 // pool; out[i] holds the (up to) k nearest items of points[i], closest first.
 func BatchKNN(ix index.Index, points []geom.Vec3, k int, opts Options) ([][]index.Item, BatchStats) {
+	start := time.Now()
 	Prepare(ix)
 	w := opts.workerCount(len(points))
 	out := make([][]index.Item, len(points))
@@ -295,6 +304,7 @@ func BatchKNN(ix index.Index, points []geom.Vec3, k int, opts Options) ([][]inde
 	if counters != nil {
 		stats.Index = counters.Snapshot().Sub(before)
 	}
+	stats.Elapsed = time.Since(start)
 	return out, stats
 }
 

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"spatialsim/internal/instrument"
 	"spatialsim/internal/join"
 )
@@ -49,6 +51,9 @@ type JoinStats struct {
 	// the returned pairs are the (correct but incomplete) output of the tasks
 	// that did run.
 	Cancelled bool
+	// Elapsed is the wall-clock duration of the join, including the gather
+	// merge — what a caller would have measured around the call.
+	Elapsed time.Duration
 }
 
 // Aggregate returns the sum of the per-worker counter snapshots.
@@ -78,6 +83,7 @@ func ParallelJoin(p *join.Plan, opts Options) ([]join.Pair, JoinStats) {
 // so sequential and parallel runs charge the same totals. A nil arena uses a
 // private one.
 func ParallelJoinArena(p *join.Plan, opts Options, arena *JoinArena) ([]join.Pair, JoinStats) {
+	start := time.Now()
 	n := p.Tasks()
 	w := opts.workerCount(n)
 	stats := JoinStats{Algo: p.Algo(), Workers: w, Tasks: n}
@@ -100,5 +106,6 @@ func ParallelJoinArena(p *join.Plan, opts Options, arena *JoinArena) ([]join.Pai
 		c.AddElemIntersectTests(agg.ElemIntersectTests)
 		c.AddTreeIntersectTests(agg.TreeIntersectTests)
 	}
+	stats.Elapsed = time.Since(start)
 	return arena.out, stats
 }

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
 	"spatialsim/internal/instrument"
@@ -58,6 +60,7 @@ func BatchRangeVisit(rv index.RangeVisitor, queries []geom.AABB, opts Options) (
 // results as a capped sub-slice, so a warm arena makes the whole batch
 // allocation-free on the engine side. A nil arena uses a private one.
 func BatchRangeVisitArena(rv index.RangeVisitor, queries []geom.AABB, opts Options, arena *Arena) ([][]index.Item, BatchStats) {
+	start := time.Now()
 	if p, ok := rv.(index.Preparer); ok {
 		p.PrepareForRead()
 	}
@@ -95,6 +98,7 @@ func BatchRangeVisitArena(rv index.RangeVisitor, queries []geom.AABB, opts Optio
 	if counters != nil {
 		stats.Index = counters.Snapshot().Sub(before)
 	}
+	stats.Elapsed = time.Since(start)
 	return out, stats
 }
 
@@ -102,6 +106,7 @@ func BatchRangeVisitArena(rv index.RangeVisitor, queries []geom.AABB, opts Optio
 // only counts matches — with a compact index this path performs zero heap
 // allocations per query at any batch size.
 func BatchRangeVisitCount(rv index.RangeVisitor, queries []geom.AABB, opts Options) (int64, BatchStats) {
+	start := time.Now()
 	if p, ok := rv.(index.Preparer); ok {
 		p.PrepareForRead()
 	}
@@ -129,6 +134,7 @@ func BatchRangeVisitCount(rv index.RangeVisitor, queries []geom.AABB, opts Optio
 	if counters != nil {
 		stats.Index = counters.Snapshot().Sub(before)
 	}
+	stats.Elapsed = time.Since(start)
 	return stats.Results, stats
 }
 
@@ -138,6 +144,7 @@ func BatchRangeVisitCount(rv index.RangeVisitor, queries []geom.AABB, opts Optio
 // and the index's pooled KNN state keeps the per-query traversal heap off the
 // allocator, so a warm batch allocates nothing.
 func BatchKNNInto(kn index.KNNer, points []geom.Vec3, k int, opts Options, arena *Arena) ([][]index.Item, BatchStats) {
+	start := time.Now()
 	if p, ok := kn.(index.Preparer); ok {
 		p.PrepareForRead()
 	}
@@ -170,5 +177,6 @@ func BatchKNNInto(kn index.KNNer, points []geom.Vec3, k int, opts Options, arena
 	if counters != nil {
 		stats.Index = counters.Snapshot().Sub(before)
 	}
+	stats.Elapsed = time.Since(start)
 	return out, stats
 }

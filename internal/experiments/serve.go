@@ -14,8 +14,8 @@ import (
 	"spatialsim/internal/datagen"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
+	"spatialsim/internal/obs"
 	"spatialsim/internal/serve"
-	"spatialsim/internal/stats"
 )
 
 // E12 — serving experiment. The ROADMAP's north star is a serving system,
@@ -135,7 +135,11 @@ func ServeBench(s Scale, cfg ServeConfig) ServeResult {
 		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
 	}
 
-	store := mustServe(serve.Config{Shards: cfg.Shards, Workers: s.Workers})
+	// Latency percentiles come from the store's own metrics histograms — the
+	// same series /metrics exposes — so the harness measures exactly what
+	// production scrapes would, without bespoke per-reader latency slices.
+	reg := obs.NewRegistry()
+	store := mustServe(serve.Config{Shards: cfg.Shards, Workers: s.Workers, Metrics: reg})
 	defer store.Close()
 	store.Bootstrap(items)
 
@@ -146,7 +150,6 @@ func ServeBench(s Scale, cfg ServeConfig) ServeResult {
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	latencies := make([][]float64, cfg.Readers) // per-reader, nanoseconds
 	var rangeOps, knnOps atomic.Int64
 
 	for r := 0; r < cfg.Readers; r++ {
@@ -155,9 +158,7 @@ func ServeBench(s Scale, cfg ServeConfig) ServeResult {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(s.Seed + 100 + int64(id)))
 			buf := make([]index.Item, 0, 256)
-			lat := make([]float64, 0, 4096)
 			for !stop.Load() {
-				start := time.Now()
 				if rng.Float64() < cfg.RangeFraction {
 					buf, _ = store.RangeAll(queries[rng.Intn(len(queries))], buf[:0])
 					rangeOps.Add(1)
@@ -165,9 +166,7 @@ func ServeBench(s Scale, cfg ServeConfig) ServeResult {
 					buf, _ = store.KNN(points[rng.Intn(len(points))], cfg.K, buf[:0])
 					knnOps.Add(1)
 				}
-				lat = append(lat, float64(time.Since(start)))
 			}
-			latencies[id] = lat
 		}(r)
 	}
 
@@ -206,10 +205,10 @@ func ServeBench(s Scale, cfg ServeConfig) ServeResult {
 	stop.Store(true)
 	wg.Wait()
 
-	var all []float64
-	for _, lat := range latencies {
-		all = append(all, lat...)
-	}
+	// Merge the per-class latency histograms into the mixed-workload view the
+	// E12 table reports.
+	mixed := reg.Histogram(obs.Name("spatial_query_seconds", "class", "range")).SnapshotInto(nil)
+	mixed.Merge(reg.Histogram(obs.Name("spatial_query_seconds", "class", "knn")).SnapshotInto(nil))
 	st := store.Stats()
 	res := ServeResult{
 		Elements: len(items),
@@ -226,11 +225,11 @@ func ServeBench(s Scale, cfg ServeConfig) ServeResult {
 	}
 	res.Ops = res.RangeOps + res.KNNOps
 	res.Throughput = float64(res.Ops) / cfg.Duration.Seconds()
-	if len(all) > 0 {
-		res.P50 = time.Duration(stats.Percentile(all, 50))
-		res.P90 = time.Duration(stats.Percentile(all, 90))
-		res.P99 = time.Duration(stats.Percentile(all, 99))
-		res.Max = time.Duration(stats.Max(all))
+	if mixed.Count > 0 {
+		res.P50 = mixed.Quantile(0.5)
+		res.P90 = mixed.Quantile(0.9)
+		res.P99 = mixed.Quantile(0.99)
+		res.Max = time.Duration(mixed.Max)
 	}
 	return res
 }

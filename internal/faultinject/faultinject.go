@@ -64,6 +64,10 @@ type Registry struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	points map[string]*point
+	// total counts every injected fault across all points, surviving
+	// Disable/Reset (per-point counts die with their point) — the monotonic
+	// series the metrics exposition reads.
+	total atomic.Int64
 }
 
 // NewRegistry returns an empty registry whose decisions are deterministic in
@@ -154,8 +158,13 @@ func (r *Registry) decide(name string, write bool) (decision, bool) {
 		d.err = ErrInjected
 	}
 	p.triggered++
+	r.total.Add(1)
 	return d, true
 }
+
+// TotalTriggered reports how many faults the registry has injected across all
+// failpoints, including ones since disarmed.
+func (r *Registry) TotalTriggered() int64 { return r.total.Load() }
 
 // HitCtx consults the named failpoint: it returns nil when the point is
 // disarmed (or rolls clean), sleeps an injected latency (interruptible by
@@ -235,6 +244,9 @@ func SetSeed(seed int64) { Default.SetSeed(seed) }
 
 // Triggered reports the Default registry's injection count for name.
 func Triggered(name string) int64 { return Default.Triggered(name) }
+
+// TotalTriggered reports the Default registry's all-points injection count.
+func TotalTriggered() int64 { return Default.TotalTriggered() }
 
 // HitCtx consults a failpoint on the Default registry.
 func HitCtx(ctx context.Context, name string) error { return Default.HitCtx(ctx, name) }

@@ -1,0 +1,222 @@
+// Package obs is the observability substrate of the serving layer: a
+// lock-light metrics registry (atomic counters, gauges and log-bucketed
+// latency histograms with percentile estimation), Prometheus text
+// exposition, and a per-request span tracer threaded through the existing
+// context.Context plumbing.
+//
+// The paper's contribution is *explaining* where spatial query time goes —
+// the Figure 2/3 cost breakdowns internal/instrument reproduces offline.
+// This package turns that explanation live: the serving layer registers the
+// paper's cost categories, per-query-class latency histograms and its
+// robustness counters as named series a scraper can watch, and a request
+// that opts in (?trace=1) gets its own span tree back — admission, planner
+// decision, cache lookup, per-shard fan-out, merge, WAL I/O — with per-span
+// durations and instrument counter deltas.
+//
+// Design constraints, in order:
+//
+//   - the disabled paths are free: with no trace attached to a context,
+//     every tracer call is a nil-receiver no-op and allocates nothing; a
+//     metrics observation is one atomic add (histograms add one more for
+//     the sum), so metrics stay on in production;
+//   - readers never block writers: instruments are resolved to pointers at
+//     wiring time and the registry's maps are only touched at registration
+//     and scrape time;
+//   - exposition is dependency-free: WritePrometheus renders the standard
+//     text format without importing a client library.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing series. The zero value is ready to
+// use; Add is one atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// GaugeFunc is a gauge read at scrape time. Gauges are callbacks rather than
+// stored values so existing atomic counters (the store's in-flight count, the
+// breaker's state, a queue depth) become series without double bookkeeping on
+// their hot paths.
+type GaugeFunc func() float64
+
+// Registry is a named collection of instruments. Get-or-create methods are
+// safe for concurrent use; hot paths should resolve instruments once at
+// wiring time and hold the pointers.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	counterFns map[string]GaugeFunc
+	gauges     map[string]GaugeFunc
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		counterFns: make(map[string]GaugeFunc),
+		gauges:     make(map[string]GaugeFunc),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. The name may
+// carry Prometheus labels inline: `requests_total{route="/v1/range"}`.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// CounterFunc registers (or replaces) a counter series backed by a callback —
+// the bridge for monotonic atomics that already exist elsewhere (the store's
+// shed/deadline/degraded counts), exposed without double bookkeeping on their
+// hot paths. The callback must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name string, fn GaugeFunc) {
+	r.mu.Lock()
+	r.counterFns[name] = fn
+	r.mu.Unlock()
+}
+
+// Gauge registers (or replaces) the named gauge callback.
+func (r *Registry) Gauge(name string, fn GaugeFunc) {
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns the registered histograms keyed by name (for harnesses
+// that consume percentiles directly instead of scraping text).
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		out[n] = h
+	}
+	return out
+}
+
+// Name renders a series name with label pairs: Name("x_total", "class",
+// "range") -> `x_total{class="range"}`. Odd trailing label keys are dropped.
+func Name(base string, labels ...string) string {
+	if len(labels) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates an inline-labeled series name into its base name and
+// the label body (without braces): `a{b="c"}` -> ("a", `b="c"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// WritePrometheus renders every instrument in the Prometheus text exposition
+// format, sorted by name for stable scrapes. Histograms are rendered as
+// cumulative `_bucket{le=...}` series (collapsed to power-of-two boundaries),
+// plus `_sum`, `_count` and precomputed `{quantile=...}` gauge rows for
+// p50/p90/p99/p999.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	counterNames := sortedKeys(r.counters)
+	counterFnNames := sortedKeys(r.counterFns)
+	gaugeNames := sortedKeys(r.gauges)
+	histNames := sortedKeys(r.hists)
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	counterFns := make(map[string]GaugeFunc, len(r.counterFns))
+	for n, f := range r.counterFns {
+		counterFns[n] = f
+	}
+	gauges := make(map[string]GaugeFunc, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	for _, n := range counterNames {
+		base, _ := splitName(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n", base)
+		fmt.Fprintf(w, "%s %d\n", n, counters[n].Value())
+	}
+	for _, n := range counterFnNames {
+		base, _ := splitName(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n", base)
+		fmt.Fprintf(w, "%s %g\n", n, counterFns[n]())
+	}
+	for _, n := range gaugeNames {
+		base, _ := splitName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+		fmt.Fprintf(w, "%s %g\n", n, gauges[n]())
+	}
+	for _, n := range histNames {
+		hists[n].writePrometheus(w, n)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

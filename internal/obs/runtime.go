@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeGauges registers Go runtime health series: goroutine count,
+// heap bytes, GC pause totals and cycle count. ReadMemStats stops the world
+// briefly, so scrapes of these gauges share one snapshot per scrape pass
+// (refreshed at most once per registered-gauge read burst is unnecessary —
+// the stats are read freshly per gauge call, which is fine at scrape rates).
+func RegisterRuntimeGauges(r *Registry) {
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	read := func(f func(*runtime.MemStats) float64) GaugeFunc {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			runtime.ReadMemStats(&ms)
+			return f(&ms)
+		}
+	}
+	r.Gauge("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Gauge("go_heap_alloc_bytes", read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.Gauge("go_heap_objects", read(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.Gauge("go_gc_pause_seconds_total", read(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+	r.Gauge("go_gc_cycles_total", read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace is a per-request span tree. A request that opts in gets a Trace
+// attached to its context; every instrumented stage opens a child span.
+// All methods are no-ops on a nil receiver, so the instrumented code calls
+// them unconditionally and the tracing-off path costs one context lookup.
+type Trace struct {
+	root *Span
+}
+
+// Span is one timed stage of a request. Children may be appended and
+// attributes set concurrently (the fan-out and batch paths run spans from
+// worker goroutines).
+type Span struct {
+	mu       sync.Mutex
+	stage    string
+	shard    int
+	start    time.Time
+	end      time.Time
+	attrs    map[string]any
+	children []*Span
+}
+
+// NewTrace starts a trace whose root span covers the whole request.
+func NewTrace(stage string) *Trace {
+	return &Trace{root: newSpan(stage)}
+}
+
+func newSpan(stage string) *Span {
+	return &Span{stage: stage, shard: -1, start: time.Now()}
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (and any still-open descendants) and renders the
+// tree. Returns nil for a nil trace.
+func (t *Trace) Finish() *SpanJSON {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return t.root.render(now, t.root.start)
+}
+
+// Child opens a new child span. Returns nil (safe to use) when s is nil.
+func (s *Span) Child(stage string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(stage)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetShard tags the span with a shard number.
+func (s *Span) SetShard(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.shard = n
+	s.mu.Unlock()
+}
+
+// Set attaches an attribute rendered verbatim into the span's JSON (used for
+// instrument counter deltas, result counts, plan decisions).
+func (s *Span) Set(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// SpanJSON is the wire form of a span tree: stage, offset from the trace
+// start, duration, optional shard and attributes, children in start order.
+type SpanJSON struct {
+	Stage          string         `json:"stage"`
+	OffsetMicros   int64          `json:"offset_us"`
+	DurationMicros int64          `json:"duration_us"`
+	Shard          *int           `json:"shard,omitempty"`
+	Attrs          map[string]any `json:"attrs,omitempty"`
+	Children       []*SpanJSON    `json:"children,omitempty"`
+}
+
+func (s *Span) render(now, traceStart time.Time) *SpanJSON {
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	out := &SpanJSON{
+		Stage:          s.stage,
+		OffsetMicros:   s.start.Sub(traceStart).Microseconds(),
+		DurationMicros: end.Sub(s.start).Microseconds(),
+	}
+	if s.shard >= 0 {
+		shard := s.shard
+		out.Shard = &shard
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
+		}
+	}
+	children := s.children
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.render(now, traceStart))
+	}
+	return out
+}
+
+type traceKey struct{}
+
+// WithTrace attaches the trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil. The nil return is usable:
+// every Trace/Span method no-ops on nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// SpanFromContext returns the root span of the context's trace, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	return FromContext(ctx).Root()
+}

@@ -46,7 +46,9 @@ func newEpochCache(capacity int) *epochCache {
 // obligation: owner=true means the entry was just created and the caller must
 // execute the query and call fill (waiters are blocked on it). owner=false
 // means the entry exists — wait on entry.done before reading entry.items.
-func (c *epochCache) lookup(key string) (e *cacheEntry, owner bool) {
+// The key is bytes so a hit costs no allocation (the map read converts the
+// key in place); the string copy is made only when a miss must store it.
+func (c *epochCache) lookup(key []byte) (e *cacheEntry, owner bool) {
 	c.mu.Lock()
 	if c.entries == nil {
 		// Dropped (epoch retired mid-query): behave as an always-miss cache
@@ -54,13 +56,14 @@ func (c *epochCache) lookup(key string) (e *cacheEntry, owner bool) {
 		c.mu.Unlock()
 		return nil, true
 	}
-	if e = c.entries[key]; e != nil {
+	if e = c.entries[string(key)]; e != nil {
 		c.mu.Unlock()
 		return e, false
 	}
 	e = &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.fifo = append(c.fifo, key)
+	ks := string(key)
+	c.entries[ks] = e
+	c.fifo = append(c.fifo, ks)
 	if len(c.fifo) > c.cap {
 		evict := c.fifo[0]
 		c.fifo = c.fifo[1:]
@@ -88,10 +91,10 @@ func (e *cacheEntry) abandon() {
 // remove forgets the entry under key so the next identical query re-executes;
 // paired with abandon on the entry itself. Missing keys (already evicted or
 // dropped) are fine.
-func (c *epochCache) remove(key string) {
+func (c *epochCache) remove(key []byte) {
 	c.mu.Lock()
 	if c.entries != nil {
-		delete(c.entries, key)
+		delete(c.entries, string(key))
 	}
 	c.mu.Unlock()
 }
@@ -125,21 +128,22 @@ func (c *epochCache) size() int {
 
 // rangeKey and knnKey fingerprint a query exactly (bit-for-bit on the float
 // parameters): the cache must never conflate two queries, and near-miss reuse
-// is the coalescing window's job, not the key's.
-func rangeKey(q geom.AABB) string {
+// is the coalescing window's job, not the key's. Both return fixed arrays
+// (callers slice them) so the hit path builds its key on the stack.
+func rangeKey(q geom.AABB) [1 + 6*8]byte {
 	var b [1 + 6*8]byte
 	b[0] = 'r'
 	putVec(b[1:], q.Min)
 	putVec(b[25:], q.Max)
-	return string(b[:])
+	return b
 }
 
-func knnKey(p geom.Vec3, k int) string {
+func knnKey(p geom.Vec3, k int) [1 + 3*8 + 8]byte {
 	var b [1 + 3*8 + 8]byte
 	b[0] = 'k'
 	putVec(b[1:], p)
 	binary.LittleEndian.PutUint64(b[25:], uint64(k))
-	return string(b[:])
+	return b
 }
 
 func putVec(b []byte, v geom.Vec3) {

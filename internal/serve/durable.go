@@ -9,6 +9,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"spatialsim/internal/exec"
 	"spatialsim/internal/index"
@@ -34,6 +35,10 @@ func Open(cfg Config) (*Store, error) {
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		updates: make(chan []Update, cfg.IngestQueue),
 	}
+	s.releaseSlot = func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}
 	if cfg.Planner != nil {
 		s.families = familyNames(cfg.Families)
 	}
@@ -51,6 +56,9 @@ func Open(cfg Config) (*Store, error) {
 		s.snapWg.Add(1)
 		go s.snapshotLoop()
 	}
+	// Metrics come online after recovery: replayed batches are rebuild work,
+	// not serving traffic, so they stay out of the latency histograms.
+	s.initMetrics(cfg.Metrics)
 
 	s.wg.Add(1)
 	go s.builderLoop()
@@ -173,9 +181,16 @@ func (s *Store) snapshotIfNeeded(force bool) error {
 		return nil
 	}
 	recs := shardRecords(e)
+	var t0 time.Time
+	if s.metrics != nil && s.metrics.snapshotSeconds != nil {
+		t0 = time.Now()
+	}
 	err := s.breaker.do(force, s.cfg.Breaker.Retries, s.cfg.Breaker.Backoff, func() error {
 		return s.cfg.Persist.SaveEpoch(e.seq, e.covered, recs)
 	})
+	if !t0.IsZero() && err != errBreakerOpen {
+		s.metrics.snapshotSeconds.Observe(time.Since(t0))
+	}
 	if err == errBreakerOpen {
 		// Open circuit: durability is degraded, not failed — the attempt is
 		// counted as skipped and the epoch stays covered by the WAL (or by the

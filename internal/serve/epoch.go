@@ -4,12 +4,14 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spatialsim/internal/catalog"
 	"spatialsim/internal/faultinject"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
 	"spatialsim/internal/instrument"
+	"spatialsim/internal/obs"
 )
 
 // Shard is one space partition of an epoch: a frozen, read-optimised snapshot
@@ -60,7 +62,10 @@ type Epoch struct {
 	// snapshotter stamps it into the segment so recovery knows which WAL
 	// tail to replay on top.
 	covered uint64
-	pins    atomic.Int64
+	// born is when the epoch was published (the retirement-age series
+	// measures epoch lifetimes from it).
+	born time.Time
+	pins atomic.Int64
 	// superseded is set when a newer epoch replaces this one; retireOnce
 	// makes the drained-epoch accounting fire exactly once, whichever of the
 	// swapper or the last unpinning reader observes pins reach zero.
@@ -83,7 +88,7 @@ type Epoch struct {
 }
 
 func newEpoch(seq uint64, shards []Shard, items int) *Epoch {
-	e := &Epoch{seq: seq, items: items, shards: shards}
+	e := &Epoch{seq: seq, items: items, shards: shards, born: time.Now()}
 	e.family = modalFamily(shards)
 	e.wrapPool.New = func() interface{} {
 		w := &stopWrap{}
@@ -171,6 +176,10 @@ type visitOutcome struct {
 	stopped   bool
 	cancelled bool
 	errs      []ShardError
+	// counters is the instrument-counter delta observed on the visited shards
+	// (ctx paths only). Shard counters are shared across concurrent queries,
+	// so the attribution is approximate under contention.
+	counters instrument.CounterSnapshot
 }
 
 // clean reports whether every reached shard contributed fully.
@@ -192,6 +201,10 @@ func (e *Epoch) RangeVisit(query geom.AABB, visit func(index.Item) bool) {
 // legacy interface path — no checks, no failpoints, no allocation.
 func (e *Epoch) rangeVisitCtx(ctx context.Context, query geom.AABB, visit func(index.Item) bool) visitOutcome {
 	var out visitOutcome
+	var fan *obs.Span
+	if ctx != nil {
+		fan = obs.SpanFromContext(ctx).Child("fanout")
+	}
 	w := e.wrapPool.Get().(*stopWrap)
 	w.visit, w.stopped, w.cancelled, w.ctx, w.countdown = visit, false, false, ctx, cancelCheckEvery
 	for i := range e.shards {
@@ -200,12 +213,21 @@ func (e *Epoch) rangeVisitCtx(ctx context.Context, query geom.AABB, visit func(i
 			continue
 		}
 		out.fan++
+		sp := fan.Child("shard_visit")
+		sp.SetShard(i)
+		var before instrument.CounterSnapshot
+		c := sh.Counters()
+		if ctx != nil && c != nil {
+			before = c.Snapshot()
+		}
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				// Deadline gone: keep walking only to attribute the skipped
 				// shards in the degraded reply's error detail.
 				out.cancelled = true
 				out.errs = append(out.errs, ShardError{Shard: i, Err: err.Error()})
+				sp.Set("error", err.Error())
+				sp.End()
 				continue
 			}
 			if err := faultinject.HitCtx(ctx, FaultShardVisit); err != nil {
@@ -213,10 +235,20 @@ func (e *Epoch) rangeVisitCtx(ctx context.Context, query geom.AABB, visit func(i
 					out.cancelled = true
 				}
 				out.errs = append(out.errs, ShardError{Shard: i, Err: err.Error()})
+				sp.Set("error", err.Error())
+				sp.End()
 				continue
 			}
 		}
 		sh.snap.RangeVisit(query, w.fn)
+		if ctx != nil && c != nil {
+			delta := c.Snapshot().Sub(before)
+			out.counters = out.counters.Add(delta)
+			if sp != nil {
+				sp.Set("counters", delta)
+			}
+		}
+		sp.End()
 		if w.cancelled {
 			out.cancelled = true
 			out.errs = append(out.errs, ShardError{Shard: i, Err: ctx.Err().Error()})
@@ -230,6 +262,10 @@ func (e *Epoch) rangeVisitCtx(ctx context.Context, query geom.AABB, visit func(i
 	}
 	w.visit, w.ctx = nil, nil
 	e.wrapPool.Put(w)
+	if fan != nil {
+		fan.Set("fan", out.fan)
+		fan.End()
+	}
 	return out
 }
 
@@ -298,6 +334,16 @@ func (e *Epoch) knnIntoCtx(ctx context.Context, p geom.Vec3, k int, buf []index.
 	if k <= 0 || len(e.shards) == 0 {
 		return buf, out
 	}
+	var fan *obs.Span
+	if ctx != nil {
+		fan = obs.SpanFromContext(ctx).Child("knn_fanout")
+	}
+	endFan := func() {
+		if fan != nil {
+			fan.Set("fan", out.fan)
+			fan.End()
+		}
+	}
 	st := e.knnPool.Get().(*knnScratch)
 	st.order = st.order[:0]
 	for i := range e.shards {
@@ -324,15 +370,22 @@ func (e *Epoch) knnIntoCtx(ctx context.Context, p geom.Vec3, k int, buf []index.
 			// contribute, so the result is complete, not degraded.
 			out.done = out.fan - len(out.errs)
 			e.knnPool.Put(st)
+			endFan()
 			return buf, out
 		}
+		sp := fan.Child("shard_knn")
+		sp.SetShard(int(si))
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				out.cancelled = true
 				out.errs = append(out.errs, ShardError{Shard: int(si), Err: err.Error()})
+				sp.Set("error", err.Error())
+				sp.End()
 				break
 			}
 			if err := faultinject.HitCtx(ctx, FaultShardVisit); err != nil {
+				sp.Set("error", err.Error())
+				sp.End()
 				if ctx.Err() != nil {
 					out.cancelled = true
 					out.errs = append(out.errs, ShardError{Shard: int(si), Err: err.Error()})
@@ -342,15 +395,34 @@ func (e *Epoch) knnIntoCtx(ctx context.Context, p geom.Vec3, k int, buf []index.
 				continue
 			}
 		}
+		var before instrument.CounterSnapshot
+		c := e.shards[si].Counters()
+		if ctx != nil && c != nil {
+			before = c.Snapshot()
+		}
 		buf = e.shards[si].snap.KNNInto(p, k, buf)
+		if ctx != nil && c != nil {
+			delta := c.Snapshot().Sub(before)
+			out.counters = out.counters.Add(delta)
+			if sp != nil {
+				sp.Set("counters", delta)
+			}
+		}
+		sp.End()
+		ms := fan.Child("merge")
 		st.newD = st.newD[:0]
 		for _, it := range buf[base+cur:] {
 			st.newD = append(st.newD, it.Box.Distance2ToPoint(p))
 		}
 		buf, st.curD = st.mergeTopK(buf, base, cur, k, p)
+		if ms != nil {
+			ms.SetShard(int(si))
+			ms.End()
+		}
 		out.done++
 	}
 	e.knnPool.Put(st)
+	endFan()
 	return buf, out
 }
 

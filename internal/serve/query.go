@@ -32,7 +32,9 @@ import (
 	"spatialsim/internal/exec"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
+	"spatialsim/internal/instrument"
 	"spatialsim/internal/join"
+	"spatialsim/internal/obs"
 )
 
 // Op selects the operation a Request performs.
@@ -186,6 +188,13 @@ type Reply struct {
 	JoinStats exec.JoinStats
 	// Plan reports the planning decisions behind the reply.
 	Plan PlanInfo
+	// Counters is the instrument-counter delta the query induced on the index
+	// structures it touched — the raw material of the paper's cost breakdown,
+	// attributed per query. For range/kNN it is the delta observed across the
+	// shard fan-out (approximate under concurrent load: shard counters are
+	// shared); for joins it is the workers' aggregated accounting; for batches
+	// it is the exact index delta of the batch. Zero on cache hits.
+	Counters instrument.CounterSnapshot `json:"counters"`
 
 	// Degraded marks a partial result: some shard of the fan-out (or some
 	// task of a batch/join) did not contribute — because its slice of the
@@ -216,8 +225,18 @@ func (s *Store) Query(req Request) Reply {
 			defer cancel()
 		}
 	}
+	// Latency is measured only for executed queries (shed and pre-admission
+	// deadline rejects answer in microseconds and would drown the real
+	// distribution under overload).
+	var t0 time.Time
+	if s.metrics != nil {
+		t0 = time.Now()
+	}
+	root := obs.SpanFromContext(ctx)
 
+	as := root.Child("admit")
 	release, err := s.admit(ctx, req.priority())
+	as.End()
 	if err != nil {
 		return s.failedReply(err)
 	}
@@ -228,6 +247,7 @@ func (s *Store) Query(req Request) Reply {
 
 	e := s.acquire()
 	defer s.release(e)
+	root.Set("epoch", e.seq)
 	var rep Reply
 	switch req.Op {
 	case OpKNN:
@@ -246,6 +266,9 @@ func (s *Store) Query(req Request) Reply {
 	}
 	if rep.Err != nil && errors.Is(rep.Err, context.DeadlineExceeded) {
 		s.deadlineHits.Add(1)
+	}
+	if s.metrics != nil {
+		s.metrics.latFor(req.Op).Observe(time.Since(t0))
 	}
 	return rep
 }
@@ -267,6 +290,7 @@ func (s *Store) failedReply(err error) Reply {
 // finished whole.
 func (rep *Reply) finishOutcome(ctx context.Context, out visitOutcome, gathered int) {
 	rep.Plan.FanOut = out.fan
+	rep.Counters = out.counters
 	if out.clean() || out.stopped {
 		return
 	}
@@ -300,14 +324,24 @@ func (s *Store) observe(family, class string, start time.Time) {
 
 func (s *Store) queryRange(ctx context.Context, e *Epoch, req Request) Reply {
 	start := s.observeStart()
+	span := obs.SpanFromContext(ctx)
+	ps := span.Child("plan")
 	_, fam := e.planRange(req.Query)
+	if ps != nil {
+		ps.Set("family", fam)
+		ps.End()
+	}
 	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam}}
 
 	if req.Visit != nil {
 		var n int64
+		// Capture only the visitor func: the closure escapes into the visit
+		// machinery, and grabbing all of req would drag the whole request to
+		// the heap — on every path through this function, cached hits included.
+		visit := req.Visit
 		out := e.rangeVisitCtx(ctx, req.Query, func(it index.Item) bool {
 			n++
-			return req.Visit(it)
+			return visit(it)
 		})
 		rep.finishOutcome(ctx, out, int(n))
 		s.queries.Add(1)
@@ -320,9 +354,15 @@ func (s *Store) queryRange(ctx context.Context, e *Epoch, req Request) Reply {
 
 	if c := e.cache; c != nil && !req.NoCache {
 		key := rangeKey(req.Query)
-		entry, owner := c.lookup(key)
+		cs := span.Child("cache_lookup")
+		entry, owner := c.lookup(key[:])
 		if !owner {
-			if hit, failed := s.awaitEntry(ctx, entry); !hit {
+			hit, failed := s.awaitEntry(ctx, entry)
+			if cs != nil {
+				cs.Set("hit", hit && !failed)
+				cs.End()
+			}
+			if !hit {
 				rep.Err = mapCtxErr(ctx.Err())
 				return rep
 			} else if failed {
@@ -337,6 +377,10 @@ func (s *Store) queryRange(ctx context.Context, e *Epoch, req Request) Reply {
 			s.results.Add(int64(len(entry.items)))
 			return rep
 		}
+		if cs != nil {
+			cs.Set("hit", false)
+			cs.End()
+		}
 		s.cacheMisses.Add(1)
 		var priv []index.Item
 		out := e.rangeVisitCtx(ctx, req.Query, func(it index.Item) bool {
@@ -349,7 +393,7 @@ func (s *Store) queryRange(ctx context.Context, e *Epoch, req Request) Reply {
 				entry.fill(priv)
 			} else {
 				// Never let a partial result become a cache hit.
-				c.remove(key)
+				c.remove(key[:])
 				entry.abandon()
 			}
 		}
@@ -411,14 +455,21 @@ func (s *Store) awaitEntry(ctx context.Context, entry *cacheEntry) (hit, failed 
 
 func (s *Store) queryKNN(ctx context.Context, e *Epoch, req Request) Reply {
 	start := s.observeStart()
+	span := obs.SpanFromContext(ctx)
 	_, fam := e.planAll()
 	rep := Reply{Epoch: e.seq, Plan: PlanInfo{Family: fam}}
 
 	if c := e.cache; c != nil && !req.NoCache {
 		key := knnKey(req.Point, req.K)
-		entry, owner := c.lookup(key)
+		cs := span.Child("cache_lookup")
+		entry, owner := c.lookup(key[:])
 		if !owner {
-			if hit, failed := s.awaitEntry(ctx, entry); !hit {
+			hit, failed := s.awaitEntry(ctx, entry)
+			if cs != nil {
+				cs.Set("hit", hit && !failed)
+				cs.End()
+			}
+			if !hit {
 				rep.Err = mapCtxErr(ctx.Err())
 				return rep
 			} else if failed {
@@ -431,13 +482,17 @@ func (s *Store) queryKNN(ctx context.Context, e *Epoch, req Request) Reply {
 			s.results.Add(int64(len(entry.items)))
 			return rep
 		}
+		if cs != nil {
+			cs.Set("hit", false)
+			cs.End()
+		}
 		s.cacheMisses.Add(1)
 		priv, out := e.knnIntoCtx(ctx, req.Point, req.K, nil)
 		if entry != nil {
 			if out.clean() {
 				entry.fill(priv)
 			} else {
-				c.remove(key)
+				c.remove(key[:])
 				entry.abandon()
 			}
 		}
@@ -497,12 +552,19 @@ func (s *Store) queryJoin(ctx context.Context, e *Epoch, req Request) Reply {
 		}
 	}
 	defer plan.Close()
+	js := obs.SpanFromContext(ctx).Child("join_exec")
 	pairs, stats := exec.ParallelJoin(plan, exec.Options{Workers: jr.Workers, Ctx: ctx})
+	if js != nil {
+		js.Set("algorithm", plan.Algo().String())
+		js.Set("pairs", len(pairs))
+		js.End()
+	}
 
 	rep.Pairs = pairs
 	rep.JoinAlgo = plan.Algo()
 	rep.JoinItems = len(items)
 	rep.JoinStats = stats
+	rep.Counters = stats.Aggregate()
 	rep.Plan.Algorithm = plan.Algo().String()
 	if stats.Cancelled {
 		if len(pairs) == 0 {
@@ -524,18 +586,30 @@ func (s *Store) queryBatchRange(ctx context.Context, e *Epoch, req Request) Repl
 	fan, fam := e.planAll()
 	opts := req.Opts
 	opts.Ctx = ctx
+	bs := obs.SpanFromContext(ctx).Child("batch_exec")
 	out, stats := exec.BatchRangeVisitArena(e, req.Queries, opts, req.Arena)
+	if bs != nil {
+		bs.Set("queries", len(req.Queries))
+		bs.Set("workers", stats.Workers)
+		bs.End()
+	}
 	s.queries.Add(int64(len(req.Queries)))
 	s.results.Add(stats.Results)
-	return Reply{Epoch: e.seq, Batch: out, Degraded: stats.Cancelled, Plan: PlanInfo{Family: fam, FanOut: fan}}
+	return Reply{Epoch: e.seq, Batch: out, Degraded: stats.Cancelled, Counters: stats.Index, Plan: PlanInfo{Family: fam, FanOut: fan}}
 }
 
 func (s *Store) queryBatchKNN(ctx context.Context, e *Epoch, req Request) Reply {
 	fan, fam := e.planAll()
 	opts := req.Opts
 	opts.Ctx = ctx
+	bs := obs.SpanFromContext(ctx).Child("batch_exec")
 	out, stats := exec.BatchKNNInto(e, req.Points, req.K, opts, req.Arena)
+	if bs != nil {
+		bs.Set("queries", len(req.Points))
+		bs.Set("workers", stats.Workers)
+		bs.End()
+	}
 	s.queries.Add(int64(len(req.Points)))
 	s.results.Add(stats.Results)
-	return Reply{Epoch: e.seq, Batch: out, Degraded: stats.Cancelled, Plan: PlanInfo{Family: fam, FanOut: fan}}
+	return Reply{Epoch: e.seq, Batch: out, Degraded: stats.Cancelled, Counters: stats.Index, Plan: PlanInfo{Family: fam, FanOut: fan}}
 }

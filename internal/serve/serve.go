@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spatialsim/internal/catalog"
 	"spatialsim/internal/exec"
@@ -48,6 +49,7 @@ import (
 	"spatialsim/internal/instrument"
 	"spatialsim/internal/join"
 	"spatialsim/internal/moving"
+	"spatialsim/internal/obs"
 	"spatialsim/internal/octree"
 	"spatialsim/internal/persist"
 	"spatialsim/internal/planner"
@@ -148,6 +150,12 @@ type Config struct {
 	// SnapshotEvery persists only every Nth published epoch (<= 0 picks 1 —
 	// every epoch). Skipped epochs stay recoverable through the WAL.
 	SnapshotEvery int
+	// Metrics registers the store's serving state as named series on the
+	// given registry (per-query-class latency histograms, the paper's cost
+	// categories, robustness and cache counters, epoch lifecycle series) —
+	// see metrics.go for the catalog. Nil disables metrics; the per-query
+	// cost with metrics on is one histogram observation.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +217,9 @@ type Store struct {
 	inFlight atomic.Int64
 	peak     atomic.Int64
 	queued   atomic.Int64
+	// releaseSlot is admit's release func, built once — handing every caller
+	// the same closure keeps the admission path allocation-free.
+	releaseSlot func()
 
 	queries      atomic.Int64
 	results      atomic.Int64
@@ -226,6 +237,14 @@ type Store struct {
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheCoalesced atomic.Int64
+
+	// metrics is the resolved instrument set (nil when Config.Metrics is).
+	// costRetired accumulates the shard counters of retired epochs so the
+	// cost-category series stay monotonic across epoch swaps (a swap resets
+	// the live shard counters with the shards themselves).
+	metrics     *storeMetrics
+	costMu      sync.Mutex
+	costRetired instrument.CounterSnapshot
 
 	updates chan []Update
 	wg      sync.WaitGroup
@@ -343,14 +362,29 @@ func (s *Store) Bootstrap(items []index.Item) uint64 {
 // either way — they keep answering from the previous epoch until the atomic
 // pointer swap, and pinned readers finish on the epoch they pinned.
 func (s *Store) Apply(batch []Update) uint64 {
-	return s.applyBatch(batch, true)
+	return s.applyBatchCtx(context.Background(), batch, true)
+}
+
+// ApplyCtx is Apply with the caller's context threaded through for tracing:
+// a context carrying an obs.Trace gets stage/wal_append/freeze spans. The
+// context does not cancel the apply — an epoch build, once started, always
+// publishes.
+func (s *Store) ApplyCtx(ctx context.Context, batch []Update) uint64 {
+	return s.applyBatchCtx(ctx, batch, true)
 }
 
 // applyBatch is Apply with the WAL append made optional: recovery replays
-// batches that are already in the WAL and must not journal them again. The
-// append happens under stagingMu, which makes the WAL order identical to
-// the staging order — the property replay depends on.
+// batches that are already in the WAL and must not journal them again.
 func (s *Store) applyBatch(batch []Update, journal bool) uint64 {
+	return s.applyBatchCtx(context.Background(), batch, journal)
+}
+
+// applyBatchCtx stages the batch (journaling it unless replaying), then
+// freezes and swaps. The WAL append happens under stagingMu, which makes the
+// WAL order identical to the staging order — the property replay depends on.
+func (s *Store) applyBatchCtx(ctx context.Context, batch []Update, journal bool) uint64 {
+	span := obs.SpanFromContext(ctx)
+	st := span.Child("stage")
 	s.stagingMu.Lock()
 	for _, u := range batch {
 		if u.Delete {
@@ -360,11 +394,17 @@ func (s *Store) applyBatch(batch []Update, journal bool) uint64 {
 		}
 	}
 	if journal && s.cfg.Persist != nil {
+		ws := span.Child("wal_append")
+		var w0 time.Time
+		if s.metrics != nil && s.metrics.walSeconds != nil {
+			w0 = time.Now()
+		}
 		if !s.breaker.allow() {
 			// Breaker open: skip the append instead of hammering a sick disk
 			// from under the staging lock. The batch stays live in memory and
 			// is covered by the next snapshot that succeeds.
 			s.walSkipped.Add(1)
+			ws.Set("skipped", true)
 		} else if seq, err := s.cfg.Persist.LogBatch(batch); err != nil {
 			// Serving keeps going on WAL failure: the batch is live in
 			// memory and will be covered by the next snapshot that succeeds.
@@ -373,13 +413,22 @@ func (s *Store) applyBatch(batch []Update, journal bool) uint64 {
 			s.breaker.onResult(err)
 			s.walErrs.Add(1)
 			s.setLastSnapErr(err)
+			ws.Set("error", err.Error())
 		} else {
 			s.breaker.onResult(nil)
 			s.stagedSeq = seq
 		}
+		if !w0.IsZero() {
+			s.metrics.walSeconds.Observe(time.Since(w0))
+		}
+		ws.End()
 	}
 	s.stagingMu.Unlock()
-	return s.freezeAndSwap()
+	st.End()
+	fs := span.Child("freeze")
+	seq := s.freezeAndSwap()
+	fs.End()
+	return seq
 }
 
 // freezeAndSwap snapshots the staging table and publishes it as the next
@@ -409,6 +458,10 @@ func (s *Store) snapshotStagingLocked() ([]index.Item, uint64) {
 // holds buildMu. The scratch slice is free for reuse on return: every shard
 // family copies items into its own storage during bulk load.
 func (s *Store) publishLocked(items []index.Item, covered uint64) uint64 {
+	var t0 time.Time
+	if s.metrics != nil {
+		t0 = time.Now()
+	}
 	parts := partitionSTR(items, s.cfg.Shards)
 	shards := make([]Shard, len(parts))
 	inner := s.cfg.Workers/max(len(parts), 1) + 1
@@ -428,6 +481,9 @@ func (s *Store) publishLocked(items []index.Item, covered uint64) uint64 {
 	// the last unpinning reader. No watcher goroutine, no polling.
 	prev.superseded.Store(true)
 	s.maybeRetire(prev)
+	if s.metrics != nil {
+		s.metrics.buildSeconds.Observe(time.Since(t0))
+	}
 	return next.seq
 }
 
@@ -437,6 +493,7 @@ func (s *Store) publishLocked(items []index.Item, covered uint64) uint64 {
 func (s *Store) maybeRetire(e *Epoch) {
 	if e.pins.Load() == 0 && e.superseded.Load() && e.retireOnce.CompareAndSwap(false, true) {
 		e.dropCache()
+		s.foldRetiredCounters(e)
 		s.retired.Add(1)
 	}
 }
@@ -510,10 +567,7 @@ func (s *Store) admit(ctx context.Context, pri Priority) (func(), error) {
 			break
 		}
 	}
-	return func() {
-		s.inFlight.Add(-1)
-		<-s.sem
-	}, nil
+	return s.releaseSlot, nil
 }
 
 // Range executes one range query against the current epoch, invoking visit
@@ -651,6 +705,9 @@ type Stats struct {
 	Shed             int64 `json:"shed"`
 	Degraded         int64 `json:"degraded"`
 	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// QueryLatencies holds live per-class latency summaries from the metrics
+	// histograms (nil unless the store was opened with Config.Metrics).
+	QueryLatencies []QueryLatencyStat `json:"query_latencies,omitempty"`
 	// Planner reports the query planner's state (nil for static stores).
 	Planner *PlannerStats `json:"planner,omitempty"`
 	// Cache reports the epoch result cache (nil when caching is disabled).
@@ -683,6 +740,7 @@ func (s *Store) Stats() Stats {
 		Shed:             s.shed.Load(),
 		Degraded:         s.degraded.Load(),
 		DeadlineExceeded: s.deadlineHits.Load(),
+		QueryLatencies:   s.queryLatencyStats(),
 		Durability:       s.durabilityStats(),
 	}
 	s.stagingMu.Lock()
