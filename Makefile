@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json serve loadgen join-bench plan-bench cover fuzz fmt vet vet-strict chaos ci
+.PHONY: all build test race bench bench-json serve loadgen join-bench plan-bench mmap-bench cover fuzz fmt vet vet-strict chaos ci
 
 all: build
 
@@ -55,6 +55,16 @@ PLANBENCH_ARGS ?= -elements 60000 -shards 8
 plan-bench:
 	$(GO) run ./cmd/spatialbench -exp plan $(PLANBENCH_ARGS) -out BENCH_PR6.json
 
+# mmap-bench runs the E15 zero-copy serving experiment (mapped vs heap cold
+# restart on the same durable store, answer identity across range/kNN, and
+# the constrained-buffer-pool pread-vs-mmap page contrast) and records the
+# cold-restart speedup + identity verdict in BENCH_PR9.json. MMAPBENCH_ARGS
+# shrinks the run in CI; -shards pins the shard count so single-core runners
+# still exercise multi-shard zero-copy recovery.
+MMAPBENCH_ARGS ?= -elements 200000 -queries 100 -shards 4
+mmap-bench:
+	$(GO) run ./cmd/spatialbench -exp mmap $(MMAPBENCH_ARGS) -out BENCH_PR9.json
+
 # cover runs the whole suite with coverage and fails if the total drops
 # below the ratcheted baseline (raise the baseline when coverage improves,
 # never lower it to make a red build green).
@@ -71,9 +81,11 @@ cover:
 # hunting; CI keeps it short.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run xxx -fuzz FuzzDecodeSegment -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeSegment$$' -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run xxx -fuzz FuzzDecodeSegmentMapped -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run xxx -fuzz FuzzDecodeManifest -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run xxx -fuzz FuzzDecodeCompact -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run xxx -fuzz FuzzOverlayCompact -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run xxx -fuzz FuzzAABBIntersectContain -fuzztime $(FUZZTIME) ./internal/geom/
 
 # chaos soaks the durable serving store under injected disk faults (failed,

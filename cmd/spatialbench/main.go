@@ -13,7 +13,7 @@
 //
 // Experiments: fig2, fig3, fig4, updates, indexes, lsh, join, moving,
 // simstep, mesh, ablation-resolution, ablation-advisor, parallel,
-// cache-layout, serve, join-scale, plan, all.
+// cache-layout, serve, join-scale, plan, mmap, all.
 //
 // The -workers flag sets the goroutine budget of the parallel execution
 // engine (internal/exec); "serve" is the load-generator mode that drives the
@@ -25,7 +25,10 @@
 // (BENCH_PR4.json); "plan" races the statistics-driven query planner (with
 // the epoch result cache) against every forced static index family on one
 // mixed range/kNN/join workload and, with -out, records the walls and the
-// planner-beats-worst verdict as JSON (BENCH_PR6.json).
+// planner-beats-worst verdict as JSON (BENCH_PR6.json); "mmap" measures
+// zero-copy mapped serving — cold-restart time and query equivalence of
+// Serving=mapped versus heap recovery plus the constrained-buffer-pool
+// contrast — and, with -out, records the run as JSON (BENCH_PR9.json).
 package main
 
 import (
@@ -50,7 +53,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("spatialbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|join-scale|plan|all)")
+		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|join-scale|plan|mmap|all)")
 		elements    = fs.Int("elements", 100000, "number of spatial elements")
 		queries     = fs.Int("queries", 200, "number of range queries")
 		selectivity = fs.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
@@ -83,10 +86,13 @@ func run(args []string, stdout io.Writer) error {
 		Shards:       *shards,
 		CacheEntries: *cacheSize,
 	}
-	return runExp(strings.ToLower(*exp), scale, *steps, serveCfg, planCfg, *out, stdout)
+	mmapCfg := experiments.MmapBenchConfig{
+		Shards: *shards,
+	}
+	return runExp(strings.ToLower(*exp), scale, *steps, serveCfg, planCfg, mmapCfg, *out, stdout)
 }
 
-func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments.ServeConfig, planCfg experiments.PlanBenchConfig, out string, stdout io.Writer) error {
+func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments.ServeConfig, planCfg experiments.PlanBenchConfig, mmapCfg experiments.MmapBenchConfig, out string, stdout io.Writer) error {
 	runOne := func(name, out string) error {
 		switch name {
 		case "fig2":
@@ -144,6 +150,15 @@ func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments
 				}
 				fmt.Fprintf(stdout, "wrote %s\n", out)
 			}
+		case "mmap":
+			res := experiments.MmapBench(scale, mmapCfg)
+			fmt.Fprintln(stdout, res)
+			if out != "" {
+				if err := experiments.WriteMmapBenchReport(out, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", out)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -158,7 +173,7 @@ func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments
 		for _, name := range []string{
 			"fig2", "fig3", "fig4", "updates", "indexes", "lsh", "join",
 			"moving", "simstep", "mesh", "ablation-resolution", "ablation-advisor",
-			"parallel", "cache-layout", "serve", "join-scale", "plan",
+			"parallel", "cache-layout", "serve", "join-scale", "plan", "mmap",
 		} {
 			if err := runOne(name, ""); err != nil {
 				return err

@@ -94,6 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		seed        = fs.Int64("seed", 1, "bootstrap dataset seed")
 		dataDir     = fs.String("data-dir", "", "durable epoch store directory (empty = in-memory only)")
 		snapEvery   = fs.Int("snapshot-every", 1, "persist every Nth published epoch (durable mode)")
+		serving     = fs.String("serving", "heap", "durable-mode recovery read path: heap (decode shards to memory) or mapped (zero-copy mmap of the segment, O(open) restart)")
 		maxQueued   = fs.Int("max-queued", 0, "admission queue bound before requests are shed with 503 (0 = 4x max-inflight)")
 		deadline    = fs.Duration("deadline", 0, "default deadline for range/knn queries (0 = none; ?timeout= overrides)")
 		joinDead    = fs.Duration("join-deadline", 0, "default deadline for join and batch queries (0 = none)")
@@ -133,6 +134,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		cfg.Build = build
 	}
+	switch serve.ServingMode(*serving) {
+	case serve.ServingHeap, serve.ServingMapped:
+		cfg.Serving = serve.ServingMode(*serving)
+	default:
+		return fmt.Errorf("unknown -serving mode %q (heap|mapped)", *serving)
+	}
 	if *dataDir != "" {
 		ps, err := persist.Open(*dataDir, persist.Options{})
 		if err != nil {
@@ -149,7 +156,8 @@ func run(args []string, stdout io.Writer) error {
 
 	if rec := store.Recovery(); rec.Recovered {
 		logger.Info("recovered persisted state",
-			"epoch", rec.Epoch, "items", rec.Items, "dir", *dataDir, "replayed_batches", rec.ReplayedBatches)
+			"epoch", rec.Epoch, "items", rec.Items, "dir", *dataDir, "replayed_batches", rec.ReplayedBatches,
+			"serving", string(rec.Serving), "zero_copy_shards", rec.ZeroCopyShards, "rebuilt_shards", rec.RebuiltShards)
 	}
 
 	if *elements > 0 && store.Current().Len() == 0 {

@@ -1,0 +1,365 @@
+package experiments
+
+// E15 — zero-copy mmap serving. The claim under test: with Serving=mapped, a
+// durable store's cold restart is O(open) — map the newest segment, validate
+// the envelope, publish — instead of O(data) — read, checksum and decode
+// every shard — so restart cost stops scaling with dataset size, while query
+// answers stay byte-identical to heap serving. The experiment writes one
+// durable epoch, then reopens it repeatedly in both modes (best-of-N, cold
+// path only), cross-checks range and kNN results, and also measures the
+// storage-layer contrast directly: a PagedCompact scanning the same bytes
+// through a deliberately tiny buffer pool (the larger-than-RAM shape) versus
+// the pool's zero-copy mmap path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"spatialsim/internal/datagen"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/persist"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/serve"
+	"spatialsim/internal/storage"
+)
+
+// MmapBenchConfig shapes the E15 run.
+type MmapBenchConfig struct {
+	// Shards is the number of STR shards per epoch (0 = GOMAXPROCS).
+	Shards int
+	// Rounds is how many cold reopens each mode gets; the best (minimum)
+	// open time is reported (0 = 3).
+	Rounds int
+	// PoolPages is the constrained buffer-pool capacity of the paged
+	// baseline, in pages — small on purpose, so the dataset is
+	// larger-than-pool (0 = 32).
+	PoolPages int
+}
+
+func (c MmapBenchConfig) withDefaults() MmapBenchConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = 32
+	}
+	return c
+}
+
+// MmapBenchResult is the E15 outcome.
+type MmapBenchResult struct {
+	Elements int
+	Shards   int
+	Queries  int
+	Rounds   int
+
+	// Cold-restart times (best of Rounds): full serve.Open including
+	// recovery, for each serving mode. Speedup is heap/mapped.
+	HeapOpen   time.Duration
+	MappedOpen time.Duration
+	Speedup    float64
+
+	// Recovery shape of the mapped reopen: the no-rebuild guarantee.
+	RebuiltShards  int
+	ZeroCopyShards int
+	MmapSupported  bool
+
+	// Query-time totals over the workload (Queries ranges + Queries kNNs):
+	// heap mode, mapped first pass (faulting pages in cold) and mapped
+	// second pass (page cache warm).
+	HeapQuery       time.Duration
+	MappedColdQuery time.Duration
+	MappedWarmQuery time.Duration
+	// Identical is true when mapped range and kNN results matched heap
+	// results exactly, query by query.
+	Identical bool
+
+	// Storage-layer contrast over the same compact image: a pread
+	// PagedCompact behind a PoolPages-page buffer pool (hit rate < 1, pages
+	// re-read as the pool churns) versus the pool's zero-copy mmap path
+	// (every access a zero-copy hit).
+	ImagePages     int
+	PagedHitRate   float64
+	PagedPagesRead int64
+	ZeroCopyHits   int64
+
+	// OK is the E15 gate: byte-identical answers and a >= 10x cold-restart
+	// speedup.
+	OK bool
+}
+
+// MmapBench runs E15 at the given scale.
+func MmapBench(s Scale, cfg MmapBenchConfig) MmapBenchResult {
+	s = s.withDefaults()
+	cfg = cfg.withDefaults()
+	res := MmapBenchResult{
+		Elements:      s.Elements,
+		Shards:        cfg.Shards,
+		Queries:       s.Queries,
+		Rounds:        cfg.Rounds,
+		MmapSupported: storage.MmapSupported(),
+		Identical:     true,
+	}
+
+	u := geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	d := datagen.GenerateUniform(datagen.UniformConfig{N: s.Elements, Universe: u, Seed: s.Seed})
+	items := make([]index.Item, d.Len())
+	for i := range d.Elements {
+		items[i] = index.Item{ID: d.Elements[i].ID, Box: d.Elements[i].Box}
+	}
+	queries := datagen.GenerateDataCenteredQueries(d, s.Queries, s.Selectivity*10, s.Seed+1)
+	points := datagen.GenerateKNNQueries(s.Queries, u, s.Seed+2)
+
+	dir, err := os.MkdirTemp("", "mmapbench-*")
+	if err != nil {
+		panic("experiments: mmapbench tempdir: " + err.Error())
+	}
+	defer os.RemoveAll(dir)
+
+	// Write one durable epoch and shut down cleanly, so every reopen below
+	// recovers the same snapshot with no WAL tail.
+	seedDir := filepath.Join(dir, "store")
+	func() {
+		ps, err := persist.Open(seedDir, persist.Options{})
+		if err != nil {
+			panic("experiments: mmapbench persist: " + err.Error())
+		}
+		defer ps.Close()
+		store := mustServe(serve.Config{Shards: cfg.Shards, Workers: s.Workers, Persist: ps})
+		defer store.Close()
+		store.Bootstrap(items)
+	}()
+
+	openOnce := func(mode serve.ServingMode) (time.Duration, *serve.Store, *persist.Store) {
+		ps, err := persist.Open(seedDir, persist.Options{})
+		if err != nil {
+			panic("experiments: mmapbench reopen persist: " + err.Error())
+		}
+		t0 := time.Now()
+		store, err := serve.Open(serve.Config{Shards: cfg.Shards, Workers: s.Workers, Persist: ps, Serving: mode})
+		if err != nil {
+			panic("experiments: mmapbench reopen: " + err.Error())
+		}
+		return time.Since(t0), store, ps
+	}
+	runQueries := func(store *serve.Store, capture bool, want [][]int64) (time.Duration, [][]int64) {
+		var got [][]int64
+		if capture {
+			got = make([][]int64, 0, 2*s.Queries)
+		}
+		buf := make([]index.Item, 0, 512)
+		t0 := time.Now()
+		for qi, q := range queries {
+			buf, _ = store.RangeAll(q, buf[:0])
+			if capture {
+				got = append(got, itemIDs(buf))
+			} else if want != nil && !sameIDs(itemIDs(buf), want[qi]) {
+				res.Identical = false
+			}
+		}
+		for pi, p := range points {
+			buf, _ = store.KNN(p, 8, buf[:0])
+			if capture {
+				got = append(got, itemIDs(buf))
+			} else if want != nil && !sameIDs(itemIDs(buf), want[len(queries)+pi]) {
+				res.Identical = false
+			}
+		}
+		return time.Since(t0), got
+	}
+
+	// Cold-reopen timing, alternating modes so filesystem cache treatment is
+	// symmetric; the reference answers come from the first heap reopen.
+	var heapAnswers [][]int64
+	for round := 0; round < cfg.Rounds; round++ {
+		hOpen, hStore, hPs := openOnce(serve.ServingHeap)
+		if res.HeapOpen == 0 || hOpen < res.HeapOpen {
+			res.HeapOpen = hOpen
+		}
+		if round == 0 {
+			res.HeapQuery, heapAnswers = runQueries(hStore, true, nil)
+		}
+		hStore.Close()
+		hPs.Close()
+
+		mOpen, mStore, mPs := openOnce(serve.ServingMapped)
+		if res.MappedOpen == 0 || mOpen < res.MappedOpen {
+			res.MappedOpen = mOpen
+		}
+		if round == 0 {
+			rec := mStore.Recovery()
+			res.RebuiltShards = rec.RebuiltShards
+			res.ZeroCopyShards = rec.ZeroCopyShards
+			res.MappedColdQuery, _ = runQueries(mStore, false, heapAnswers)
+			res.MappedWarmQuery, _ = runQueries(mStore, false, heapAnswers)
+		}
+		mStore.Close()
+		mPs.Close()
+	}
+	if res.MappedOpen > 0 {
+		res.Speedup = float64(res.HeapOpen) / float64(res.MappedOpen)
+	}
+
+	// Storage-layer contrast: the same compact image queried through a tiny
+	// pread pool versus the zero-copy mmap pool.
+	c := rtree.FreezeItems(items, rtree.Config{})
+	pagesPath := filepath.Join(dir, "image.pages")
+	fd, err := storage.CreateFileDisk(pagesPath, 4096)
+	if err != nil {
+		panic("experiments: mmapbench filedisk: " + err.Error())
+	}
+	start, pages, err := persist.WriteCompactPages(fd, c)
+	if err != nil {
+		panic("experiments: mmapbench write pages: " + err.Error())
+	}
+	res.ImagePages = pages
+	pc, err := persist.OpenPagedCompact(fd, start, cfg.PoolPages)
+	if err != nil {
+		panic("experiments: mmapbench paged open: " + err.Error())
+	}
+	for _, q := range queries {
+		if err := pc.Search(q, func(index.Item) bool { return true }); err != nil {
+			panic("experiments: mmapbench paged search: " + err.Error())
+		}
+	}
+	pStats := pc.Pool().Stats()
+	res.PagedHitRate = pStats.HitRate()
+	res.PagedPagesRead = pc.Counters().Snapshot().PagesRead
+	fd.Close()
+
+	if storage.MmapSupported() {
+		md, err := storage.OpenMmapDisk(pagesPath, 4096)
+		if err != nil {
+			panic("experiments: mmapbench mmap: " + err.Error())
+		}
+		zp := storage.NewBufferPool(md, cfg.PoolPages)
+		for i := 0; i < md.NumPages(); i++ {
+			if _, err := zp.Get(storage.PageID(i)); err != nil {
+				panic("experiments: mmapbench mmap get: " + err.Error())
+			}
+		}
+		res.ZeroCopyHits = zp.Stats().ZeroCopy
+		md.Close()
+	}
+
+	res.OK = res.Identical && res.Speedup >= 10
+	return res
+}
+
+func itemIDs(items []index.Item) []int64 {
+	ids := make([]int64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	return ids
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the E15 result for the terminal.
+func (r MmapBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E15 zero-copy mmap serving: %d elements, %d shards, %d+%d queries (mmap supported: %v)\n",
+		r.Elements, r.Shards, r.Queries, r.Queries, r.MmapSupported)
+	fmt.Fprintf(&b, "  cold restart (best of %d): heap %v, mapped %v -> %.1fx speedup\n",
+		r.Rounds, r.HeapOpen, r.MappedOpen, r.Speedup)
+	fmt.Fprintf(&b, "  mapped recovery: %d shards rebuilt, %d zero-copy overlays; answers identical: %v\n",
+		r.RebuiltShards, r.ZeroCopyShards, r.Identical)
+	fmt.Fprintf(&b, "  query totals: heap %v, mapped cold %v, mapped warm %v\n",
+		r.HeapQuery, r.MappedColdQuery, r.MappedWarmQuery)
+	fmt.Fprintf(&b, "  constrained pool (%d-page image): pread hit rate %.3f (%d pages read) vs %d zero-copy hits\n",
+		r.ImagePages, r.PagedHitRate, r.PagedPagesRead, r.ZeroCopyHits)
+	fmt.Fprintf(&b, "  gate (identical answers, >=10x cold restart): ok=%v\n", r.OK)
+	return b.String()
+}
+
+// mmapReport is the JSON shape of BENCH_PR9.json.
+type mmapReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+
+	Elements int  `json:"elements"`
+	Shards   int  `json:"shards"`
+	Queries  int  `json:"queries"`
+	Rounds   int  `json:"rounds"`
+	Mmap     bool `json:"mmap_supported"`
+
+	HeapOpenMicros   float64 `json:"heap_open_us"`
+	MappedOpenMicros float64 `json:"mapped_open_us"`
+	Speedup          float64 `json:"cold_restart_speedup"`
+
+	RebuiltShards  int `json:"rebuilt_shards"`
+	ZeroCopyShards int `json:"zero_copy_shards"`
+
+	HeapQueryMicros       float64 `json:"heap_query_total_us"`
+	MappedColdQueryMicros float64 `json:"mapped_cold_query_total_us"`
+	MappedWarmQueryMicros float64 `json:"mapped_warm_query_total_us"`
+	Identical             bool    `json:"identical_answers"`
+
+	ImagePages     int     `json:"image_pages"`
+	PagedHitRate   float64 `json:"paged_pool_hit_rate"`
+	PagedPagesRead int64   `json:"paged_pages_read"`
+	ZeroCopyHits   int64   `json:"zero_copy_hits"`
+
+	OK bool `json:"ok"`
+}
+
+// WriteMmapBenchReport writes the E15 run as JSON (BENCH_PR9.json).
+func WriteMmapBenchReport(path string, r MmapBenchResult) error {
+	rep := mmapReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+
+		Elements: r.Elements,
+		Shards:   r.Shards,
+		Queries:  r.Queries,
+		Rounds:   r.Rounds,
+		Mmap:     r.MmapSupported,
+
+		HeapOpenMicros:   float64(r.HeapOpen) / float64(time.Microsecond),
+		MappedOpenMicros: float64(r.MappedOpen) / float64(time.Microsecond),
+		Speedup:          r.Speedup,
+
+		RebuiltShards:  r.RebuiltShards,
+		ZeroCopyShards: r.ZeroCopyShards,
+
+		HeapQueryMicros:       float64(r.HeapQuery) / float64(time.Microsecond),
+		MappedColdQueryMicros: float64(r.MappedColdQuery) / float64(time.Microsecond),
+		MappedWarmQueryMicros: float64(r.MappedWarmQuery) / float64(time.Microsecond),
+		Identical:             r.Identical,
+
+		ImagePages:     r.ImagePages,
+		PagedHitRate:   r.PagedHitRate,
+		PagedPagesRead: r.PagedPagesRead,
+		ZeroCopyHits:   r.ZeroCopyHits,
+
+		OK: r.OK,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

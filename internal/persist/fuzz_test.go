@@ -137,6 +137,106 @@ func FuzzDecodeCompact(f *testing.F) {
 	})
 }
 
+// FuzzDecodeSegmentMapped drives the zero-copy segment decoder with
+// verifyCRC=false — the mapped open path, where no checksum stands between
+// arbitrary bytes and the overlay. Structural validation alone must reject
+// corruption: a flipped length field must error, and whatever is accepted
+// must be traversable without a fault. Accepted images are cross-checked
+// against the copying decoder where it also accepts.
+func FuzzDecodeSegmentMapped(f *testing.F) {
+	seed := fuzzSeedSegment()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:511])
+	// Flip a byte inside the first shard's blob-length field (v2 layout:
+	// payload at page 1, record header is kind+pad(8) + bounds(48), length
+	// at +56).
+	flippedLen := append([]byte(nil), seed...)
+	flippedLen[512+56] ^= 0xFF
+	f.Add(flippedLen)
+	flipped := append([]byte(nil), seed...)
+	flipped[600] ^= 0xFF
+	f.Add(flipped)
+	f.Add([]byte("not a segment"))
+	query := geom.NewAABB(geom.V(-1000, -1000, -1000), geom.V(1000, 1000, 1000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		info, shards, zc, err := DecodeSegmentMapped(data, 2, false)
+		if err != nil {
+			return
+		}
+		if len(shards) != info.ShardCount {
+			t.Fatalf("decoded %d shards, header says %d", len(shards), info.ShardCount)
+		}
+		if zc > len(shards) {
+			t.Fatalf("%d zero-copy of %d shards", zc, len(shards))
+		}
+		// Every accepted R-Tree shard must be queryable without panics or
+		// out-of-range access, whatever the bytes were.
+		for _, sr := range shards {
+			if sr.Mapped == nil {
+				continue
+			}
+			n := 0
+			sr.Mapped.RangeVisit(query, func(index.Item) bool { n++; return n < 10000 })
+			sr.Mapped.KNN(geom.V(1, 2, 3), 3)
+		}
+		// Agreement law: when the CRC-verifying copying decoder also accepts
+		// the image, both decoders must see the same shard shape.
+		if _, full, ferr := DecodeSegment(data, 2); ferr == nil {
+			if len(full) != len(shards) {
+				t.Fatalf("mapped decoded %d shards, copying decoded %d", len(shards), len(full))
+			}
+			for i := range full {
+				if full[i].Len() != shards[i].Len() {
+					t.Fatalf("shard %d: mapped %d items, copying %d", i, shards[i].Len(), full[i].Len())
+				}
+			}
+		}
+	})
+}
+
+// FuzzOverlayCompact pins the zero-copy slab overlay to the copying decoder:
+// overlay acceptance implies copying acceptance with identical shape, and
+// whatever the overlay accepts must traverse without faulting.
+func FuzzOverlayCompact(f *testing.F) {
+	items := testItems(200, 13)
+	blob := rtree.FreezeItems(items, rtree.Config{}).AppendBinary(nil)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/3])
+	mutated := append([]byte(nil), blob...)
+	mutated[40] ^= 0x10
+	f.Add(mutated)
+	flippedCount := append([]byte(nil), blob...)
+	flippedCount[4] ^= 0xFF // node count
+	f.Add(flippedCount)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		c, n, err := rtree.OverlayCompact(data)
+		if err != nil {
+			return // rejected (corrupt) or unsupported (alignment): both fine
+		}
+		dc, dn, derr := rtree.DecodeCompact(data)
+		if derr != nil {
+			t.Fatalf("overlay accepted what the copying decoder rejects: %v", derr)
+		}
+		if n != dn || c.Len() != dc.Len() || c.Height() != dc.Height() {
+			t.Fatalf("overlay (%d bytes, %d items) disagrees with decode (%d bytes, %d items)",
+				n, c.Len(), dn, dc.Len())
+		}
+		q := geom.NewAABB(geom.V(-10, -10, -10), geom.V(110, 110, 110))
+		count := 0
+		c.RangeVisit(q, func(index.Item) bool { count++; return count < 10000 })
+		batch := 0
+		c.RangeVisitBatch(q, func(index.Item) bool { batch++; return batch < 10000 })
+		c.KNN(geom.V(1, 2, 3), 5)
+	})
+}
+
 // TestFuzzSeedsHoldRoundTrip pins the seeds' behavior in a plain test, so
 // `go test` (without -fuzz) still executes every fuzz body on the committed
 // corpus plus the in-code seeds.

@@ -51,6 +51,13 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 		{Bounds: boundsOf(items), Items: items},
 	}, 256)
 	writeCorpusFile(t, "FuzzDecodeSegment", "seed-valid", seg)
+	writeCorpusFile(t, "FuzzDecodeSegmentMapped", "seed-valid", seg)
+	lenFlip := append([]byte(nil), seg...)
+	lenFlip[256+56] ^= 0xFF // shard 0 blob-length field (v2: payload at page 1, record offset 56)
+	writeCorpusFile(t, "FuzzDecodeSegmentMapped", "seed-flipped-length", lenFlip)
+
+	writeCorpusFile(t, "FuzzOverlayCompact", "seed-valid", blob)
+	writeCorpusFile(t, "FuzzOverlayCompact", "seed-mutated", mut)
 
 	var man []byte
 	man = encodeSnapshotRecord(man, SnapshotRecord{

@@ -1,0 +1,376 @@
+package persist
+
+// Tests for the zero-copy read path: version-1 read compatibility, the
+// mapped segment lifecycle, mapped recovery equivalence with heap recovery,
+// and larger-than-pool paged serving.
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/storage"
+)
+
+// encodeSegmentV1 writes the legacy packed segment layout (version 1, no
+// alignment padding) so the decoders' read-compat promise stays pinned even
+// though the writer moved to version 2.
+func encodeSegmentV1(epochSeq, batchSeq uint64, shards []ShardRecord, pageSize int) []byte {
+	payload := make([]byte, 0, 4096)
+	for _, sr := range shards {
+		if sr.RTree != nil {
+			payload = append(payload, shardKindRTree)
+			payload = appendBox(payload, sr.Bounds)
+			payload = appendU64(payload, uint64(sr.RTree.BinarySize()))
+			payload = sr.RTree.AppendBinary(payload)
+			continue
+		}
+		payload = append(payload, shardKindItems)
+		payload = appendBox(payload, sr.Bounds)
+		payload = appendU64(payload, uint64(4+len(sr.Items)*itemWireSize))
+		payload = appendU32(payload, uint32(len(sr.Items)))
+		for _, it := range sr.Items {
+			payload = appendItem(payload, it)
+		}
+	}
+	header := make([]byte, 0, segmentHeaderSize)
+	header = appendU32(header, segmentMagic)
+	header = appendU32(header, segmentVersionLegacy)
+	header = appendU64(header, epochSeq)
+	header = appendU64(header, batchSeq)
+	header = appendU32(header, uint32(len(shards)))
+	header = appendU32(header, uint32(pageSize))
+	header = appendU64(header, uint64(len(payload)))
+	header = appendU32(header, crc32.Checksum(payload, castagnoli))
+	total := pageSize + len(payload)
+	if rem := total % pageSize; rem != 0 {
+		total += pageSize - rem
+	}
+	image := make([]byte, total)
+	copy(image, header)
+	copy(image[pageSize:], payload)
+	return image
+}
+
+// shardIDs collects the sorted result ids of a range query against whichever
+// representation the shard record carries.
+func shardIDs(t *testing.T, sr ShardRecord, q geom.AABB) []int64 {
+	t.Helper()
+	var ids []int64
+	switch {
+	case sr.RTree != nil:
+		sr.RTree.RangeVisit(q, func(it index.Item) bool { ids = append(ids, it.ID); return true })
+	case sr.Mapped != nil:
+		sr.Mapped.RangeVisit(q, func(it index.Item) bool { ids = append(ids, it.ID); return true })
+	default:
+		for _, it := range sr.Items {
+			if q.Intersects(it.Box) {
+				ids = append(ids, it.ID)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func testQueries() []geom.AABB {
+	return []geom.AABB{
+		geom.NewAABB(geom.V(10, 10, 10), geom.V(30, 30, 30)),
+		geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)),
+		geom.NewAABB(geom.V(200, 200, 200), geom.V(201, 201, 201)),
+	}
+}
+
+func TestSegmentLegacyV1Decode(t *testing.T) {
+	shards := testShards(t, 500, 23)
+	v1 := encodeSegmentV1(5, 9, shards, 4096)
+
+	info, dec, err := DecodeSegment(v1, 2)
+	if err != nil {
+		t.Fatalf("copying decoder rejects v1: %v", err)
+	}
+	if info.Version != segmentVersionLegacy || info.EpochSeq != 5 || info.BatchSeq != 9 {
+		t.Fatalf("v1 info = %+v", info)
+	}
+	minfo, mdec, _, err := DecodeSegmentMapped(v1, 2, true)
+	if err != nil {
+		t.Fatalf("mapped decoder rejects v1: %v", err)
+	}
+	if minfo.Version != segmentVersionLegacy || len(mdec) != len(dec) {
+		t.Fatalf("mapped v1 decode: info %+v, %d shards", minfo, len(mdec))
+	}
+	for i := range dec {
+		if dec[i].Len() != shards[i].Len() || mdec[i].Len() != shards[i].Len() {
+			t.Fatalf("shard %d: v1 lens %d/%d, want %d", i, dec[i].Len(), mdec[i].Len(), shards[i].Len())
+		}
+		for qi, q := range testQueries() {
+			want := shardIDs(t, shards[i], q)
+			if got := shardIDs(t, dec[i], q); !equalIDs(got, want) {
+				t.Fatalf("shard %d q%d: copying v1 decode diverges", i, qi)
+			}
+			if got := shardIDs(t, mdec[i], q); !equalIDs(got, want) {
+				t.Fatalf("shard %d q%d: mapped v1 decode diverges", i, qi)
+			}
+		}
+	}
+}
+
+// TestSegmentV2BlobAlignment pins the writer invariant the overlay relies
+// on: every blob in a version-2 image starts 8-byte aligned.
+func TestSegmentV2BlobAlignment(t *testing.T) {
+	shards := testShards(t, 321, 29) // odd sizes → odd blob lengths
+	image := EncodeSegment(1, 1, shards, 512)
+	info, err := DecodeSegmentInfo(image, len(image))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := segmentDirectory(info, image[info.PageSize:info.PageSize+info.PayloadLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadStart := info.PageSize
+	if payloadStart%8 != 0 {
+		t.Fatalf("payload starts at %d, not 8-byte aligned", payloadStart)
+	}
+	for i, rs := range raw {
+		// Blob offset within the image: alias arithmetic against the
+		// backing array.
+		off := int64(cap(image)) - int64(cap(rs.blob))
+		if off%8 != 0 {
+			t.Fatalf("shard %d blob at image offset %d, not 8-byte aligned", i, off)
+		}
+	}
+}
+
+func TestOpenMappedSegmentLifecycle(t *testing.T) {
+	shards := testShards(t, 800, 31)
+	image := EncodeSegment(3, 8, shards, 4096)
+	path := filepath.Join(t.TempDir(), "epoch.seg")
+	if err := os.WriteFile(path, image, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ms, err := OpenMappedSegment(path, 4096, 2, int64(len(image)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Info.EpochSeq != 3 || ms.Info.BatchSeq != 8 || len(ms.Shards) != 2 {
+		t.Fatalf("mapped segment: %+v, %d shards", ms.Info, len(ms.Shards))
+	}
+	if ms.Mapped() != storage.MmapSupported() {
+		t.Fatalf("Mapped() = %v with MmapSupported() = %v", ms.Mapped(), storage.MmapSupported())
+	}
+	if storage.MmapSupported() && rtree.OverlaySupported() && ms.ZeroCopyShards() != 1 {
+		t.Fatalf("expected 1 zero-copy shard, got %d", ms.ZeroCopyShards())
+	}
+	if ms.Size() != int64(len(image)) {
+		t.Fatalf("Size() = %d, want %d", ms.Size(), len(image))
+	}
+	if err := ms.Advise(storage.AdviceWillNeed); err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	for i := range shards {
+		for qi, q := range testQueries() {
+			want := shardIDs(t, shards[i], q)
+			if got := shardIDs(t, ms.Shards[i], q); !equalIDs(got, want) {
+				t.Fatalf("shard %d q%d: mapped results diverge from source", i, qi)
+			}
+		}
+	}
+	if n, ok := ms.Resident(); ok && n <= 0 {
+		t.Fatalf("Resident() = %d after touching every shard", n)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ms.Shards != nil {
+		t.Fatal("Shards not released on Close")
+	}
+
+	// Size mismatch against the manifest expectation must refuse to open.
+	if _, err := OpenMappedSegment(path, 4096, 2, int64(len(image))+4096); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRecoverMappedMatchesHeap(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	shards := testShards(t, 1200, 41)
+	if err := s.SaveEpoch(1, 1, shards); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LogBatch([]Update{{ID: 7, Delete: true}}); err != nil {
+		t.Fatal(err)
+	}
+
+	heap, err := s.Recover(RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := s.Recover(RecoverOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Mapping == nil {
+		t.Fatal("mapped recovery carries no mapping")
+	}
+	defer mapped.Mapping.Close()
+	if mapped.EpochSeq != heap.EpochSeq || mapped.BatchSeq != heap.BatchSeq {
+		t.Fatalf("mapped identity (%d,%d), heap (%d,%d)",
+			mapped.EpochSeq, mapped.BatchSeq, heap.EpochSeq, heap.BatchSeq)
+	}
+	if mapped.Items() != heap.Items() {
+		t.Fatalf("mapped recovers %d items, heap %d", mapped.Items(), heap.Items())
+	}
+	if len(mapped.Pending) != len(heap.Pending) {
+		t.Fatalf("mapped sees %d pending batches, heap %d", len(mapped.Pending), len(heap.Pending))
+	}
+	if storage.MmapSupported() && rtree.OverlaySupported() {
+		if mapped.ZeroCopyShards != 1 {
+			t.Fatalf("ZeroCopyShards = %d", mapped.ZeroCopyShards)
+		}
+		if !mapped.Shards[0].Mapped.ZeroCopy() {
+			t.Fatal("R-Tree shard is not a zero-copy overlay")
+		}
+	}
+	for i := range heap.Shards {
+		for qi, q := range testQueries() {
+			want := shardIDs(t, heap.Shards[i], q)
+			if got := shardIDs(t, mapped.Shards[i], q); !equalIDs(got, want) {
+				t.Fatalf("shard %d q%d: mapped recovery diverges from heap", i, qi)
+			}
+		}
+	}
+}
+
+// TestRecoverMappedRejectsStructuralCorruption flips bytes the mapped path
+// must catch without a checksum: the header, the shard directory, and the
+// R-Tree node slab. (Leaf payload bytes are the documented trust boundary —
+// only the CRC-verifying heap path catches those.)
+func TestRecoverMappedRejectsStructuralCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SaveEpoch(1, 1, testShards(t, 300, 43)); err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			seg = filepath.Join(dir, e.Name())
+		}
+	}
+	if seg == "" {
+		t.Fatal("no segment file written")
+	}
+	pristine, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(off int) {
+		t.Helper()
+		mut := append([]byte(nil), pristine...)
+		mut[off] ^= 0xFF
+		if err := os.WriteFile(seg, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		off  int
+	}{
+		{"header-shard-count", 24},
+		{"directory-blob-length", 512 + 56},
+		{"node-slab-child-index", 512 + 64 + 32 + 48}, // first node record's child index
+	} {
+		corrupt(tc.off)
+		if rec, err := s.Recover(RecoverOptions{Mapped: true}); err == nil {
+			rec.Mapping.Close()
+			t.Fatalf("%s: corruption at byte %d recovered cleanly", tc.name, tc.off)
+		}
+	}
+	// Truncation (size disagrees with the manifest) must also refuse.
+	if err := os.WriteFile(seg, pristine[:len(pristine)-512], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := s.Recover(RecoverOptions{Mapped: true}); err == nil {
+		rec.Mapping.Close()
+		t.Fatal("truncated segment recovered cleanly")
+	}
+	// Restore and confirm the pristine image still recovers.
+	if err := os.WriteFile(seg, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Recover(RecoverOptions{Mapped: true})
+	if err != nil {
+		t.Fatalf("pristine segment rejected: %v", err)
+	}
+	rec.Mapping.Close()
+}
+
+// TestPagedCompactTinyPool serves a dataset whose page image is far larger
+// than the buffer pool — the larger-than-RAM shape, scaled down — and checks
+// results stay exact while the pool actually churns.
+func TestPagedCompactTinyPool(t *testing.T) {
+	items := testItems(5000, 53)
+	c := rtree.FreezeItems(items, rtree.Config{})
+	pager := storage.NewDisk(storage.DiskConfig{PageSize: 512})
+	start, pages, err := WriteCompactPages(pager, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const poolPages = 4
+	if pages <= poolPages*8 {
+		t.Fatalf("dataset spans %d pages, not larger-than-pool (%d)", pages, poolPages)
+	}
+	pc, err := OpenPagedCompact(pager, start, poolPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range testQueries() {
+		got, err := pc.SearchIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int64
+		c.RangeVisit(q, func(it index.Item) bool { want = append(want, it.ID); return true })
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !equalIDs(got, want) {
+			t.Fatalf("q%d: tiny-pool results diverge (%d vs %d)", qi, len(got), len(want))
+		}
+	}
+	stats := pc.Pool().Stats()
+	if stats.Evictions == 0 {
+		t.Fatalf("pool never evicted under capacity %d with %d pages: %+v", poolPages, pages, stats)
+	}
+}

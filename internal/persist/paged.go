@@ -11,8 +11,11 @@ package persist
 // The serialized form was designed for this: 64-byte node records mean a
 // node never straddles more than two pages and a node's children are
 // physically adjacent, and the SoA leaf regions scan sequentially within
-// pages. Reads are assembled through readAt, which pins the touched pages
-// for the duration of the copy.
+// pages. Records are served through record(), which keeps the current page
+// pinned across consecutive accesses (per-page pin amortization) and returns
+// direct views into the pinned page — the scratch buffer is touched only
+// when a record straddles a page boundary, so the pread path performs no
+// per-record copy and no per-record pool round trip.
 
 import (
 	"fmt"
@@ -67,6 +70,13 @@ type PagedCompact struct {
 	counters instrument.Counters
 	scratch  [rtree.CompactNodeSize]byte
 	stack    []int32
+
+	// curPage/curData are the one page held pinned across consecutive record
+	// accesses. Most traversal locality is within a page (adjacent children,
+	// SoA leaf runs), so amortizing the pin per page replaces a pool
+	// Pin/Get/Unpin round trip per record with a slice index.
+	curPage storage.PageID
+	curData []byte
 }
 
 // OpenPagedCompact opens the snapshot whose blob starts at page start of the
@@ -106,8 +116,11 @@ func (pc *PagedCompact) Counters() *instrument.Counters { return &pc.counters }
 func (pc *PagedCompact) Pool() *storage.BufferPool { return pc.pool }
 
 // ClearCache drops the buffer pool contents (the paper's cold-cache protocol
-// between queries).
-func (pc *PagedCompact) ClearCache() { pc.pool.Clear() }
+// between queries). The held page is released first so the sweep is total.
+func (pc *PagedCompact) ClearCache() {
+	pc.releasePage()
+	pc.pool.Clear()
+}
 
 // String describes the paged snapshot.
 func (pc *PagedCompact) String() string {
@@ -115,56 +128,91 @@ func (pc *PagedCompact) String() string {
 		pc.hdr.Size, pc.hdr.Height, pc.hdr.NodeCount, pc.pageSize)
 }
 
-// readAt assembles blob bytes [off, off+len(dst)) from the underlying pages
-// through the pool, pinning each touched page across its copy. Page-read
-// accounting: every pool miss is one page fetched from the device.
-func (pc *PagedCompact) readAt(dst []byte, off int64) error {
-	abs := pc.base + off
-	for len(dst) > 0 {
-		page := storage.PageID(abs / int64(pc.pageSize))
-		within := int(abs % int64(pc.pageSize))
-		pc.pool.Pin(page)
-		data, hit, err := pc.pool.GetTracked(page)
-		if err != nil {
-			pc.pool.Unpin(page)
-			return err
-		}
-		if !hit {
-			pc.counters.AddPagesRead(1)
-			pc.counters.AddBytesRead(int64(pc.pageSize))
-		}
-		n := copy(dst, data[within:])
-		pc.pool.Unpin(page)
-		dst = dst[n:]
-		abs += int64(n)
+// page returns the contents of the given page with the pin held until the
+// next page switch or releasePage. Consecutive accesses to the same page —
+// the common case for adjacent child records and SoA leaf runs — cost one
+// comparison, no pool traffic. Page-read accounting: every pool miss is one
+// page fetched from the device.
+func (pc *PagedCompact) page(id storage.PageID) ([]byte, error) {
+	if pc.curData != nil && id == pc.curPage {
+		return pc.curData, nil
 	}
-	return nil
+	pc.pool.Pin(id)
+	data, hit, err := pc.pool.GetTracked(id)
+	if err != nil {
+		pc.pool.Unpin(id)
+		return nil, err
+	}
+	if !hit {
+		pc.counters.AddPagesRead(1)
+		pc.counters.AddBytesRead(int64(pc.pageSize))
+	}
+	pc.releasePage()
+	pc.curPage, pc.curData = id, data
+	return data, nil
+}
+
+// releasePage drops the held pin (end of traversal, or page switch).
+func (pc *PagedCompact) releasePage() {
+	if pc.curData != nil {
+		pc.pool.Unpin(pc.curPage)
+		pc.curData = nil
+	}
+}
+
+// record returns a read-only view of blob bytes [off, off+n): a direct
+// subslice of the pinned page when the record lies within one page, a stitch
+// into the scratch buffer only when it straddles a boundary (n is at most a
+// node record, so at most two pages are involved). The view is valid until
+// the next record/page call.
+func (pc *PagedCompact) record(off int64, n int) ([]byte, error) {
+	abs := pc.base + off
+	id := storage.PageID(abs / int64(pc.pageSize))
+	within := int(abs % int64(pc.pageSize))
+	data, err := pc.page(id)
+	if err != nil {
+		return nil, err
+	}
+	if within+n <= len(data) {
+		return data[within : within+n], nil
+	}
+	// Straddle: copy the prefix, then the remainder from the next page.
+	m := copy(pc.scratch[:n], data[within:])
+	next, err := pc.page(id + 1)
+	if err != nil {
+		return nil, err
+	}
+	copy(pc.scratch[m:n], next)
+	return pc.scratch[:n], nil
 }
 
 func (pc *PagedCompact) readNode(i int32) (box geom.AABB, first, count int32, leaf bool, err error) {
 	off := int64(pc.hdr.NodesOffset()) + int64(i)*rtree.CompactNodeSize
-	if err = pc.readAt(pc.scratch[:], off); err != nil {
+	rec, err := pc.record(off, rtree.CompactNodeSize)
+	if err != nil {
 		return
 	}
-	box, first, count, leaf = rtree.DecodeCompactNode(pc.scratch[:])
+	box, first, count, leaf = rtree.DecodeCompactNode(rec)
 	err = rtree.ValidateCompactNode(pc.hdr, int(i), first, count, leaf)
 	return
 }
 
 func (pc *PagedCompact) readLeafBox(i int32) (geom.AABB, error) {
 	off := int64(pc.hdr.LeafBoxesOffset()) + int64(i)*rtree.CompactLeafBoxSize
-	if err := pc.readAt(pc.scratch[:rtree.CompactLeafBoxSize], off); err != nil {
+	rec, err := pc.record(off, rtree.CompactLeafBoxSize)
+	if err != nil {
 		return geom.AABB{}, err
 	}
-	return rtree.DecodeCompactLeafBox(pc.scratch[:]), nil
+	return rtree.DecodeCompactLeafBox(rec), nil
 }
 
 func (pc *PagedCompact) readLeafID(i int32) (int64, error) {
 	off := int64(pc.hdr.LeafIDsOffset()) + int64(i)*rtree.CompactLeafIDSize
-	if err := pc.readAt(pc.scratch[:rtree.CompactLeafIDSize], off); err != nil {
+	rec, err := pc.record(off, rtree.CompactLeafIDSize)
+	if err != nil {
 		return 0, err
 	}
-	return rtree.DecodeCompactLeafID(pc.scratch[:]), nil
+	return rtree.DecodeCompactLeafID(rec), nil
 }
 
 // Search invokes fn for every item whose box intersects query, fetching node
@@ -177,6 +225,7 @@ func (pc *PagedCompact) Search(query geom.AABB, fn func(index.Item) bool) error 
 	if pc.hdr.Size == 0 {
 		return nil
 	}
+	defer pc.releasePage()
 	var nodeVisits, treeTests, elemTests, results int64
 	defer func() {
 		pc.counters.AddNodeVisits(nodeVisits)

@@ -20,6 +20,17 @@
 // payload checksum and every shard blob decode cleanly; otherwise recovery
 // falls back to the previous retained snapshot, and only if no snapshot
 // survives does it report corruption instead of serving torn data.
+//
+// The mapped read path (RecoverOptions.Mapped, OpenMappedSegment) trades
+// that whole-payload scan for O(open) recovery: the segment file is mmapped
+// read-only, only the O(1) envelope (header, shard table, bounds) is
+// validated eagerly, and each aligned R-Tree blob is served zero-copy
+// through rtree.OverlayCompact as a MappedCompact — no decode, no rebuild,
+// no page faulted until a query touches it. Structural corruption is still
+// rejected (the overlay bounds-checks the slab geometry), unsupported
+// shapes (no mmap, v1 packed blobs, misalignment) fall back to the
+// heap-decoding path with full CRC verification, and the mapping is
+// released when the recovered epoch retires.
 package persist
 
 import (

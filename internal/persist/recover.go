@@ -20,6 +20,15 @@ type RecoverOptions struct {
 	// Workers bounds the goroutines used for parallel shard decode (<= 0
 	// uses GOMAXPROCS).
 	Workers int
+	// Mapped selects the zero-copy recovery path: the chosen segment is
+	// mmap'd and its R-Tree shards are served as overlays of the mapping
+	// (Recovery.Mapping holds it; the caller must Close it when the epoch
+	// retires). Recovery work becomes O(open) — no whole-image checksum, no
+	// blob deserialization — at the cost of trusting segment payload bytes
+	// structurally validated but not checksummed. Platforms without mmap
+	// degrade to a pread image with the full checksum, still without any
+	// shard rebuild.
+	Mapped bool
 }
 
 // Recovery is the outcome of a successful recovery pass.
@@ -38,6 +47,13 @@ type Recovery struct {
 	SkippedCorrupt int
 	// Segment is the file name the epoch was loaded from ("" if none).
 	Segment string
+	// Mapping is the mapped segment backing the shards of a Mapped recovery
+	// (nil otherwise). The caller must keep it open while any shard serves
+	// and Close it when the recovered epoch retires.
+	Mapping *MappedSegment
+	// ZeroCopyShards counts shards served as true zero-copy overlays of the
+	// mapping (Mapped recoveries only).
+	ZeroCopyShards int
 }
 
 // Items returns the total item count across the recovered shards.
@@ -72,7 +88,13 @@ func (s *Store) Recover(opts RecoverOptions) (*Recovery, error) {
 	var firstErr error
 	skipped := 0
 	for _, sr := range snaps {
-		rec, err := s.loadSnapshot(sr, opts)
+		var rec *Recovery
+		var err error
+		if opts.Mapped {
+			rec, err = s.loadSnapshotMapped(sr, opts)
+		} else {
+			rec, err = s.loadSnapshot(sr, opts)
+		}
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("snapshot epoch %d (%s): %w", sr.EpochSeq, sr.Name, err)
@@ -127,6 +149,35 @@ func (s *Store) loadSnapshot(sr SnapshotRecord, opts RecoverOptions) (*Recovery,
 		BatchSeq: sr.BatchSeq,
 		Shards:   shards,
 		Segment:  sr.Name,
+	}, nil
+}
+
+// loadSnapshotMapped is loadSnapshot's zero-copy sibling: mmap the segment,
+// validate the O(1) envelope (manifest size, header fields, shard directory,
+// node slabs), and serve the R-Tree shards as overlays of the mapping. The
+// whole-image checksum is intentionally not computed on the mapped path —
+// it would fault in every page, which is the exact O(data) cost this mode
+// removes (the pread fallback inside OpenMappedSegment still checksums).
+func (s *Store) loadSnapshotMapped(sr SnapshotRecord, opts RecoverOptions) (*Recovery, error) {
+	if filepath.Base(sr.Name) != sr.Name {
+		return nil, fmt.Errorf("%w snapshot: name %q escapes the data dir", ErrCorrupt, sr.Name)
+	}
+	ms, err := OpenMappedSegment(filepath.Join(s.dir, sr.Name), s.opts.PageSize, opts.Workers, sr.SegSize)
+	if err != nil {
+		return nil, err
+	}
+	if ms.Info.EpochSeq != sr.EpochSeq || ms.Info.BatchSeq != sr.BatchSeq {
+		ms.Close()
+		return nil, fmt.Errorf("%w segment: header (%d,%d) disagrees with manifest (%d,%d)",
+			ErrCorrupt, ms.Info.EpochSeq, ms.Info.BatchSeq, sr.EpochSeq, sr.BatchSeq)
+	}
+	return &Recovery{
+		EpochSeq:       sr.EpochSeq,
+		BatchSeq:       sr.BatchSeq,
+		Shards:         ms.Shards,
+		Segment:        sr.Name,
+		Mapping:        ms,
+		ZeroCopyShards: ms.ZeroCopyShards(),
 	}, nil
 }
 

@@ -14,7 +14,7 @@ package persist
 //
 //	header page:
 //	  [0:4)   magic "SEG1"
-//	  [4:8)   format version (1)
+//	  [4:8)   format version (2; version-1 segments still decode)
 //	  [8:16)  epoch sequence
 //	  [16:24) covered batch sequence (WAL records <= this are in the epoch)
 //	  [24:28) shard count
@@ -22,9 +22,20 @@ package persist
 //	  [32:40) payload length in bytes
 //	  [40:44) CRC-32C of the payload
 //	payload (from page 1):
-//	  per shard: kind u8 | bounds 48 B | blob length u64 | blob
+//	  version 2 (writer): per shard, starting 8-byte aligned:
+//	    kind u8 | pad 7 B | bounds 48 B | blob length u64 | blob | pad to 8 B
+//	  version 1 (read-compat): per shard, packed:
+//	    kind u8 | bounds 48 B | blob length u64 | blob
 //	  kind 1: blob = rtree.Compact binary form
 //	  kind 2: blob = item count u32 | items (id i64 + box 48 B)
+//
+// Version 2 exists for the zero-copy read path: the payload begins on a page
+// boundary and every field group is padded so each blob starts 8-byte
+// aligned in the file image. An mmap of the segment is page-aligned, so the
+// R-Tree node slab inside each blob lands 8-byte aligned in memory — the
+// precondition for rtree.OverlayCompact to point its slices straight into
+// the mapping. Version-1 segments still decode everywhere; their unaligned
+// blobs simply fall back to the copying decoder on the mapped path.
 
 import (
 	"errors"
@@ -39,8 +50,12 @@ import (
 )
 
 const (
-	segmentMagic   = 0x31474553 // "SEG1"
-	segmentVersion = 1
+	segmentMagic = 0x31474553 // "SEG1"
+	// segmentVersion is what the writer emits (aligned shard records);
+	// segmentVersionLegacy is the packed pre-mmap layout the decoder still
+	// accepts.
+	segmentVersion       = 2
+	segmentVersionLegacy = 1
 	// segmentHeaderSize is the used prefix of the header page.
 	segmentHeaderSize = 44
 	// maxSegmentShards bounds the shard count a decoder will accept.
@@ -50,17 +65,23 @@ const (
 	shardKindItems = 2
 )
 
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
 // ErrCorrupt is wrapped by every segment/manifest decode failure: the bytes
 // on disk do not form a complete, checksummed record.
 var ErrCorrupt = errors.New("persist: corrupt")
 
-// ShardRecord is the durable form of one epoch shard. Exactly one of RTree
-// and Items is set: RTree carries a natively-serialized compact snapshot that
-// recovery serves directly; Items carries the fallback item list that
-// recovery rebuilds through the serving layer's shard builder.
+// ShardRecord is the durable form of one epoch shard. Exactly one of RTree,
+// Mapped and Items is set: RTree carries a natively-serialized compact
+// snapshot that recovery serves directly; Mapped carries the zero-copy
+// overlay a mapped recovery built over the segment bytes; Items carries the
+// fallback item list that recovery rebuilds through the serving layer's
+// shard builder.
 type ShardRecord struct {
 	Bounds geom.AABB
 	RTree  *rtree.Compact
+	Mapped *MappedCompact
 	Items  []index.Item
 }
 
@@ -69,11 +90,15 @@ func (sr ShardRecord) Len() int {
 	if sr.RTree != nil {
 		return sr.RTree.Len()
 	}
+	if sr.Mapped != nil {
+		return sr.Mapped.Len()
+	}
 	return len(sr.Items)
 }
 
 // SegmentInfo is the decoded header of a segment.
 type SegmentInfo struct {
+	Version    int
 	EpochSeq   uint64
 	BatchSeq   uint64
 	ShardCount int
@@ -83,27 +108,40 @@ type SegmentInfo struct {
 }
 
 // EncodeSegment builds the complete page-aligned segment image for one
-// epoch. The image length is a multiple of pageSize.
+// epoch. The image length is a multiple of pageSize. Records are written in
+// the version-2 aligned layout (see the package comment): each record starts
+// on an 8-byte boundary with the blob at record offset 64, so blobs are
+// 8-byte aligned within the page-aligned image and a mapped reader can
+// overlay them in place.
 func EncodeSegment(epochSeq, batchSeq uint64, shards []ShardRecord, pageSize int) []byte {
 	if pageSize <= 0 {
 		pageSize = 4096
 	}
+	var pad [8]byte
 	payload := make([]byte, 0, 4096)
 	for _, sr := range shards {
-		if sr.RTree != nil {
+		rt := sr.RTree
+		if rt == nil && sr.Mapped != nil {
+			rt = sr.Mapped.Compact
+		}
+		if rt != nil {
 			payload = append(payload, shardKindRTree)
+			payload = append(payload, pad[:7]...)
 			payload = appendBox(payload, sr.Bounds)
-			payload = appendU64(payload, uint64(sr.RTree.BinarySize()))
-			payload = sr.RTree.AppendBinary(payload)
+			payload = appendU64(payload, uint64(rt.BinarySize()))
+			payload = rt.AppendBinary(payload)
+			payload = append(payload, pad[:align8(len(payload))-len(payload)]...)
 			continue
 		}
 		payload = append(payload, shardKindItems)
+		payload = append(payload, pad[:7]...)
 		payload = appendBox(payload, sr.Bounds)
 		payload = appendU64(payload, uint64(4+len(sr.Items)*itemWireSize))
 		payload = appendU32(payload, uint32(len(sr.Items)))
 		for _, it := range sr.Items {
 			payload = appendItem(payload, it)
 		}
+		payload = append(payload, pad[:align8(len(payload))-len(payload)]...)
 	}
 
 	header := make([]byte, 0, segmentHeaderSize)
@@ -138,9 +176,11 @@ func DecodeSegmentInfo(data []byte, avail int) (SegmentInfo, error) {
 	if m := r.u32(); m != segmentMagic {
 		return info, fmt.Errorf("%w segment: magic %#x", ErrCorrupt, m)
 	}
-	if v := r.u32(); v != segmentVersion {
+	v := r.u32()
+	if v != segmentVersion && v != segmentVersionLegacy {
 		return info, fmt.Errorf("%w segment: version %d", ErrCorrupt, v)
 	}
+	info.Version = int(v)
 	info.EpochSeq = r.u64()
 	info.BatchSeq = r.u64()
 	info.ShardCount = int(r.u32())
@@ -162,6 +202,53 @@ func DecodeSegmentInfo(data []byte, avail int) (SegmentInfo, error) {
 	return info, nil
 }
 
+// rawShard is one undecoded entry of a segment's shard directory: the kind
+// byte, the shard bounds, and the blob bytes still aliasing the image.
+type rawShard struct {
+	kind   byte
+	bounds geom.AABB
+	blob   []byte
+}
+
+// segmentDirectory splits a payload into its raw shard entries without
+// decoding any blob — the cheap first pass shared by the copying and mapped
+// read paths. The walk understands both record layouts: version 2 skips the
+// alignment padding, version 1 is packed.
+func segmentDirectory(info SegmentInfo, payload []byte) ([]rawShard, error) {
+	// Pre-size from the payload, not the header: a crafted shard count must
+	// not translate into an allocation (a record is at least 57 bytes).
+	sizeHint := info.ShardCount
+	if maxFit := len(payload)/57 + 1; sizeHint > maxFit {
+		sizeHint = maxFit
+	}
+	raw := make([]rawShard, 0, sizeHint)
+	r := &byteReader{data: payload}
+	for i := 0; i < info.ShardCount; i++ {
+		kind := r.u8()
+		if info.Version >= 2 {
+			r.bytes(7) // alignment pad after the kind byte
+		}
+		bounds := r.box()
+		blobLen := r.u64()
+		if !r.ensure(0) || blobLen > uint64(r.remaining()) {
+			return nil, fmt.Errorf("%w segment: shard %d blob overruns payload", ErrCorrupt, i)
+		}
+		blob := r.bytes(int(blobLen))
+		if info.Version >= 2 {
+			if tail := align8(int(blobLen)) - int(blobLen); tail > 0 && !r.ensure(tail) {
+				return nil, fmt.Errorf("%w segment: shard %d missing alignment pad", ErrCorrupt, i)
+			} else if tail > 0 {
+				r.bytes(tail)
+			}
+		}
+		raw = append(raw, rawShard{kind: kind, bounds: bounds, blob: blob})
+	}
+	if !r.ok() {
+		return nil, fmt.Errorf("%w segment: truncated shard directory", ErrCorrupt)
+	}
+	return raw, nil
+}
+
 // DecodeSegment decodes a full segment image (header page + payload) into
 // its shard records using up to workers goroutines for the per-shard blob
 // decodes. It verifies the payload checksum before touching any blob.
@@ -175,31 +262,9 @@ func DecodeSegment(image []byte, workers int) (SegmentInfo, []ShardRecord, error
 		return info, nil, fmt.Errorf("%w segment: payload crc %#x, want %#x", ErrCorrupt, crc, info.PayloadCRC)
 	}
 
-	// First pass: cheap directory scan splitting the payload into blobs.
-	type rawShard struct {
-		kind   byte
-		bounds geom.AABB
-		blob   []byte
-	}
-	// Pre-size from the payload, not the header: a crafted shard count must
-	// not translate into an allocation (a record is at least 57 bytes).
-	sizeHint := info.ShardCount
-	if maxFit := len(payload)/57 + 1; sizeHint > maxFit {
-		sizeHint = maxFit
-	}
-	raw := make([]rawShard, 0, sizeHint)
-	r := &byteReader{data: payload}
-	for i := 0; i < info.ShardCount; i++ {
-		kind := r.u8()
-		bounds := r.box()
-		blobLen := r.u64()
-		if !r.ensure(0) || blobLen > uint64(r.remaining()) {
-			return info, nil, fmt.Errorf("%w segment: shard %d blob overruns payload", ErrCorrupt, i)
-		}
-		raw = append(raw, rawShard{kind: kind, bounds: bounds, blob: r.bytes(int(blobLen))})
-	}
-	if !r.ok() {
-		return info, nil, fmt.Errorf("%w segment: truncated shard directory", ErrCorrupt)
+	raw, err := segmentDirectory(info, payload)
+	if err != nil {
+		return info, nil, err
 	}
 
 	// Second pass: decode blobs in parallel (the expensive part — native

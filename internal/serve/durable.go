@@ -9,6 +9,7 @@ package serve
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"spatialsim/internal/exec"
@@ -66,9 +67,13 @@ func Open(cfg Config) (*Store, error) {
 }
 
 // recoverFromPersist loads the persisted state into the (not yet started)
-// store.
+// store. In heap mode every shard is decoded (or rebuilt) onto the heap; in
+// mapped mode R-Tree shards overlay the mmap'd segment and recovery work is
+// O(open) — no shard rebuild, no item scan (the staging re-seed is deferred
+// to the first Apply via seedFrom).
 func (s *Store) recoverFromPersist() error {
-	rec, err := s.cfg.Persist.Recover(persist.RecoverOptions{Workers: s.cfg.Workers})
+	mapped := s.cfg.Serving == ServingMapped
+	rec, err := s.cfg.Persist.Recover(persist.RecoverOptions{Workers: s.cfg.Workers, Mapped: mapped})
 	if err != nil {
 		return fmt.Errorf("serve: recovery: %w", err)
 	}
@@ -79,34 +84,51 @@ func (s *Store) recoverFromPersist() error {
 		Items:           rec.Items(),
 		ReplayedBatches: len(rec.Pending),
 		SkippedCorrupt:  rec.SkippedCorrupt,
+		Serving:         s.cfg.Serving,
+		ZeroCopyShards:  rec.ZeroCopyShards,
 	}
 
 	if len(rec.Shards) > 0 || rec.EpochSeq > 0 {
 		shards := make([]Shard, len(rec.Shards))
+		var rebuilt atomic.Int64
 		inner := s.cfg.Workers/max(len(rec.Shards), 1) + 1
 		exec.ForTasks(len(rec.Shards), s.cfg.Workers, func(_, i int) {
 			sr := rec.Shards[i]
-			if sr.RTree != nil {
+			switch {
+			case sr.Mapped != nil:
+				shards[i] = mappedShard(sr.Bounds, sr.Mapped)
+			case sr.RTree != nil:
 				shards[i] = recoveredShard(sr.Bounds, sr.RTree)
-				return
+			default:
+				// Item-fallback shards rebuild through buildShard: the same items
+				// produce the same profile, so a planner-mode store lands on the
+				// same family it chose before the crash.
+				shards[i] = s.buildShard(sr.Bounds, sr.Items, inner)
+				rebuilt.Add(1)
 			}
-			// Item-fallback shards rebuild through buildShard: the same items
-			// produce the same profile, so a planner-mode store lands on the
-			// same family it chose before the crash.
-			shards[i] = s.buildShard(sr.Bounds, sr.Items, inner)
 		})
+		s.recovery.RebuiltShards = int(rebuilt.Load())
 		e := newEpoch(rec.EpochSeq, shards, rec.Items())
 		e.covered = rec.BatchSeq
+		if rec.Mapping != nil {
+			// The mapping lives exactly as long as the epoch serving from it:
+			// retirement (last pin off a superseded epoch) unmaps instead of
+			// freeing.
+			ms := rec.Mapping
+			s.mapping.Store(ms)
+			e.onRetire = append(e.onRetire, func() {
+				s.mapping.CompareAndSwap(ms, nil)
+				ms.Close()
+			})
+		}
 		s.attachCache(e)
 		s.epoch.Store(e)
 
-		// Re-seed staging so the next epoch build starts from the recovered
-		// content, and so replayed deletes find their targets.
-		items := e.AllItems(nil)
+		// Defer the staging re-seed to the first Apply: recovery publishes
+		// without scanning a single item, and replayed deletes still find
+		// their targets because applyBatch seeds before staging.
 		s.stagingMu.Lock()
-		for _, it := range items {
-			s.staging.Update(it.ID, it.Box, it.Box)
-		}
+		s.seedFrom = e
 		s.stagedSeq = rec.BatchSeq
 		s.stagingMu.Unlock()
 	} else {
@@ -230,6 +252,10 @@ func shardRecords(e *Epoch) []persist.ShardRecord {
 		sh := &e.shards[i]
 		if c, ok := sh.snap.(*rtree.Compact); ok {
 			recs[i] = persist.ShardRecord{Bounds: sh.bounds, RTree: c}
+			continue
+		}
+		if mc, ok := sh.snap.(*persist.MappedCompact); ok {
+			recs[i] = persist.ShardRecord{Bounds: sh.bounds, Mapped: mc}
 			continue
 		}
 		var items []index.Item

@@ -72,6 +72,11 @@ type Epoch struct {
 	superseded atomic.Bool
 	retireOnce atomic.Bool
 
+	// onRetire runs exactly once when the epoch retires (superseded and
+	// unpinned), after the cache drop — the reclamation hook a mapped epoch
+	// uses to release its segment mapping instead of freeing heap.
+	onRetire []func()
+
 	// family is the modal shard family of the epoch — the default attribution
 	// of a query that fans out to several shards. cache is the epoch's result
 	// cache (nil when caching is disabled); it dies with the epoch, which is

@@ -14,6 +14,7 @@ import (
 	"spatialsim/internal/crtree"
 	"spatialsim/internal/geom"
 	"spatialsim/internal/index"
+	"spatialsim/internal/persist"
 	"spatialsim/internal/planner"
 	"spatialsim/internal/rtree"
 )
@@ -98,9 +99,26 @@ func recoveredShard(bounds geom.AABB, snap index.ReadIndex) Shard {
 	return Shard{bounds: bounds, snap: snap, family: normalizeFamily(snap.Name()), profile: catalog.Profile(items)}
 }
 
+// mappedShard wraps a zero-copy mapped snapshot into a Shard. Unlike
+// recoveredShard it does not scan the items to reconstruct a statistics
+// profile — a scan would fault in every leaf page, defeating the O(open)
+// recovery the mapped path exists for. The profile carries only what the
+// envelope knows (cardinality and bounds), which is all query fan-out
+// pruning needs; the first post-recovery epoch build re-profiles everything
+// anyway.
+func mappedShard(bounds geom.AABB, mc *persist.MappedCompact) Shard {
+	return Shard{
+		bounds:  bounds,
+		snap:    mc,
+		family:  normalizeFamily(mc.Name()),
+		profile: catalog.ShardProfile{Card: mc.Len(), MBR: bounds},
+	}
+}
+
 // normalizeFamily maps a snapshot's self-reported name onto its planner
-// family name ("rtree-compact" -> "rtree"), so family attribution is stable
-// across the mutable/frozen boundary and across crash recovery.
+// family name ("rtree-compact" and "rtree-mapped" -> "rtree"), so family
+// attribution is stable across the mutable/frozen boundary, across crash
+// recovery, and across heap/mapped serving modes.
 func normalizeFamily(name string) string {
-	return strings.TrimSuffix(name, "-compact")
+	return strings.TrimSuffix(strings.TrimSuffix(name, "-compact"), "-mapped")
 }

@@ -1,0 +1,194 @@
+package serve
+
+// Zero-copy serving tests: mapped recovery must not rebuild a single shard,
+// must answer byte-identically to heap recovery across every query class,
+// and must release its mapping exactly when the recovered epoch retires.
+
+import (
+	"testing"
+
+	"spatialsim/internal/geom"
+	"spatialsim/internal/obs"
+	"spatialsim/internal/rtree"
+	"spatialsim/internal/storage"
+)
+
+// seedMappedStore writes a durable store with several snapshot generations
+// on disk (multi-segment recovery input) and returns its pre-shutdown
+// fingerprint.
+func seedMappedStore(t *testing.T, dir string, cfg Config) (uint64, []int64) {
+	t.Helper()
+	st, ps := openDurable(t, dir, cfg)
+	st.Bootstrap(durableItems(3000, 21))
+	st.Apply([]Update{{ID: 9000, Box: geom.NewAABB(geom.V(3, 3, 3), geom.V(4, 4, 4))}})
+	st.Apply([]Update{{ID: 42, Delete: true}})
+	epoch, rangeRes, _ := queryFingerprint(t, st)
+	ids := make([]int64, len(rangeRes))
+	for i, it := range rangeRes {
+		ids[i] = it.ID
+	}
+	st.Close()
+	ps.Close()
+	return epoch, ids
+}
+
+func TestMappedRecoveryNoRebuildAndIdenticalAnswers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 4, Workers: 2}
+	epoch, _ := seedMappedStore(t, dir, cfg)
+
+	// Heap-mode reopen: the reference surface.
+	heapCfg := cfg
+	st, ps := openDurable(t, dir, heapCfg)
+	hEpoch, hRange, hKNN := queryFingerprint(t, st)
+	hJoin := st.SelfJoin(JoinRequest{Eps: 0.5})
+	st.Close()
+	ps.Close()
+	if hEpoch != epoch {
+		t.Fatalf("heap reopen epoch %d, want %d", hEpoch, epoch)
+	}
+
+	// Mapped-mode reopen, with metrics so the no-rebuild claim is checked
+	// against the build histogram, not just the recovery report.
+	reg := obs.NewRegistry()
+	mCfg := cfg
+	mCfg.Serving = ServingMapped
+	mCfg.Metrics = reg
+	st2, ps2 := openDurable(t, dir, mCfg)
+	defer func() { st2.Close(); ps2.Close() }()
+
+	rec := st2.Recovery()
+	if !rec.Recovered || rec.Epoch != epoch || rec.Serving != ServingMapped {
+		t.Fatalf("mapped recovery: %+v", rec)
+	}
+	if rec.RebuiltShards != 0 {
+		t.Fatalf("mapped recovery rebuilt %d shards", rec.RebuiltShards)
+	}
+	if rec.ReplayedBatches != 0 {
+		t.Fatalf("clean shutdown left %d batches to replay", rec.ReplayedBatches)
+	}
+	if n := reg.Histogram("spatial_epoch_build_seconds").Count(); n != 0 {
+		t.Fatalf("recovery ran %d epoch builds; mapped open must run none", n)
+	}
+	if storage.MmapSupported() && rtree.OverlaySupported() {
+		if rec.ZeroCopyShards == 0 {
+			t.Fatal("no zero-copy shards on a platform with mmap support")
+		}
+		if st2.mapping.Load() == nil {
+			t.Fatal("no live mapping after mapped recovery")
+		}
+	}
+
+	mEpoch, mRange, mKNN := queryFingerprint(t, st2)
+	if mEpoch != hEpoch {
+		t.Fatalf("mapped epoch %d, heap %d", mEpoch, hEpoch)
+	}
+	if !sameItems(mRange, hRange) {
+		t.Fatalf("range results diverge: mapped %d items, heap %d", len(mRange), len(hRange))
+	}
+	if !sameItems(mKNN, hKNN) {
+		t.Fatalf("kNN results diverge: mapped %d items, heap %d", len(mKNN), len(hKNN))
+	}
+	mJoin := st2.SelfJoin(JoinRequest{Eps: 0.5})
+	if len(mJoin.Pairs) != len(hJoin.Pairs) {
+		t.Fatalf("join pairs diverge: mapped %d, heap %d", len(mJoin.Pairs), len(hJoin.Pairs))
+	}
+	for i := range mJoin.Pairs {
+		if mJoin.Pairs[i] != hJoin.Pairs[i] {
+			t.Fatalf("join pair %d diverges: %+v vs %+v", i, mJoin.Pairs[i], hJoin.Pairs[i])
+		}
+	}
+}
+
+func TestMappedServingAcceptsUpdatesAndUnmapsOnRetire(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 4, Workers: 2}
+	epoch, _ := seedMappedStore(t, dir, cfg)
+
+	mCfg := cfg
+	mCfg.Serving = ServingMapped
+	st, ps := openDurable(t, dir, mCfg)
+	defer func() { st.Close(); ps.Close() }()
+
+	before, _ := st.RangeAll(geom.NewAABB(geom.V(0, 0, 0), geom.V(100, 100, 100)), nil)
+
+	// The first Apply seeds staging from the mapped epoch, merges the batch,
+	// and publishes a heap epoch; the recovered epoch retires and the
+	// mapping must be released.
+	box := geom.NewAABB(geom.V(200, 200, 200), geom.V(201, 201, 201))
+	next := st.Apply([]Update{{ID: 7777, Box: box}, {ID: 1, Delete: true}})
+	if next != epoch+1 {
+		t.Fatalf("post-recovery apply published epoch %d, want %d", next, epoch+1)
+	}
+	after, _ := st.RangeAll(geom.NewAABB(geom.V(0, 0, 0), geom.V(300, 300, 300)), nil)
+	if len(after) != len(before) { // +1 insert -1 delete
+		t.Fatalf("post-apply epoch holds %d items in range, want %d", len(after), len(before))
+	}
+	found := false
+	for _, it := range after {
+		if it.ID == 7777 {
+			found = true
+		}
+		if it.ID == 1 {
+			t.Fatal("replayed delete target survived the seed+apply")
+		}
+	}
+	if !found {
+		t.Fatal("inserted item missing after mapped-mode apply")
+	}
+	if st.mapping.Load() != nil {
+		t.Fatal("mapping still live after the recovered epoch retired")
+	}
+
+	// Restart once more in mapped mode: the post-update state must round-trip
+	// through a snapshot written while serving mapped-recovered content.
+	st.Close()
+	ps.Close()
+	st2, ps2 := openDurable(t, dir, mCfg)
+	defer func() { st2.Close(); ps2.Close() }()
+	if got := st2.Recovery().Epoch; got != next {
+		t.Fatalf("second mapped recovery epoch %d, want %d", got, next)
+	}
+	again, _ := st2.RangeAll(geom.NewAABB(geom.V(0, 0, 0), geom.V(300, 300, 300)), nil)
+	if !sameItems(again, after) {
+		t.Fatalf("second mapped recovery diverges: %d items, want %d", len(again), len(after))
+	}
+}
+
+// TestMappedRecoveryWALReplay crashes the store (skipping Close's final
+// snapshot) so mapped recovery has a WAL tail to replay on top of the mapped
+// epoch — the replay seeds staging from the mapping before applying.
+func TestMappedRecoveryWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	// SnapshotEvery keeps the background snapshotter off the later epochs, so
+	// the two post-snapshot batches exist only in the WAL at "crash" time.
+	cfg := Config{Shards: 4, Workers: 2, SnapshotEvery: 100}
+
+	st, ps := openDurable(t, dir, cfg)
+	st.Bootstrap(durableItems(1500, 33))
+	if _, err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Stage two more batches, then abandon without Close: they live only in
+	// the WAL.
+	st.Apply([]Update{{ID: 8000, Box: geom.NewAABB(geom.V(5, 5, 5), geom.V(6, 6, 6))}})
+	st.Apply([]Update{{ID: 2, Delete: true}})
+	want, wantRange, wantKNN := queryFingerprint(t, st)
+	ps.Close() // simulated crash: WAL is on disk, final snapshot is not
+
+	mCfg := cfg
+	mCfg.Serving = ServingMapped
+	st2, ps2 := openDurable(t, dir, mCfg)
+	defer func() { st2.Close(); ps2.Close() }()
+	rec := st2.Recovery()
+	if rec.ReplayedBatches != 2 {
+		t.Fatalf("replayed %d batches, want 2", rec.ReplayedBatches)
+	}
+	got, gotRange, gotKNN := queryFingerprint(t, st2)
+	if got != want {
+		t.Fatalf("replayed to epoch %d, want %d", got, want)
+	}
+	if !sameItems(gotRange, wantRange) || !sameItems(gotKNN, wantKNN) {
+		t.Fatal("mapped WAL replay diverges from pre-crash state")
+	}
+}

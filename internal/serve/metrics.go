@@ -155,6 +155,34 @@ func (s *Store) initMetrics(reg *obs.Registry) {
 		reg.CounterFunc("spatial_breaker_trips_total", func() float64 {
 			return float64(s.breaker.tripCount())
 		})
+		// Zero-copy serving series: how many segments are mapped (0 or 1 —
+		// the recovered epoch's), the mapped byte extent, and how much of it
+		// is resident in physical memory — the page-fault proxy (bytes not
+		// yet resident are faults still to come; a falling resident count is
+		// reclaim). All go to zero when the mapped epoch retires.
+		reg.Gauge("spatial_mmap_segments", func() float64 {
+			if s.mapping.Load() != nil {
+				return 1
+			}
+			return 0
+		})
+		reg.Gauge("spatial_mmap_bytes", func() float64 {
+			if ms := s.mapping.Load(); ms != nil {
+				return float64(ms.Size())
+			}
+			return 0
+		})
+		reg.Gauge("spatial_mmap_resident_bytes", func() float64 {
+			if ms := s.mapping.Load(); ms != nil {
+				if n, ok := ms.Resident(); ok {
+					return float64(n)
+				}
+			}
+			return 0
+		})
+		reg.Gauge("spatial_mmap_zero_copy_shards", func() float64 {
+			return float64(s.recovery.ZeroCopyShards)
+		})
 		reg.Gauge("spatial_breaker_state", func() float64 {
 			switch s.breaker.state() {
 			case "open":

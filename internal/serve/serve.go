@@ -32,6 +32,15 @@
 // Open recovers the newest complete epoch — replaying the WAL tail, which
 // reproduces both the pre-crash contents and the pre-crash epoch sequence
 // numbers — before serving.
+//
+// Config.Serving selects the durable-mode recovery read path: ServingHeap
+// decodes every shard into memory, while ServingMapped mmaps the newest
+// segment and serves R-Tree shards zero-copy from the mapped bytes
+// (persist.MappedCompact) — recovery cost is O(open) regardless of dataset
+// size, pages fault in on demand (so datasets larger than RAM serve), and
+// the mapping is unmapped exactly when the recovered epoch retires. The
+// first post-recovery update batch lazily re-seeds the staging table from
+// the mapped epoch, keeping the open path free of item scans.
 package serve
 
 import (
@@ -92,6 +101,23 @@ func OctreeBuilder(leafCapacity int) ShardBuilder {
 	}
 }
 
+// ServingMode selects how a durable store serves recovered epochs.
+type ServingMode string
+
+const (
+	// ServingHeap is the default: recovery decodes every shard onto the heap
+	// (verifying the full segment checksum) before serving.
+	ServingHeap ServingMode = "heap"
+	// ServingMapped serves recovered R-Tree shards as zero-copy overlays of
+	// the mmap'd segment file: recovery is O(open) — map, validate the
+	// structural envelope, publish, replay the WAL tail — and the OS pages
+	// shard data in lazily as queries touch it, so datasets larger than RAM
+	// serve within whatever the page cache holds. The mapping is released
+	// when the recovered epoch retires. Platforms without mmap degrade to a
+	// checksummed pread image, still with no shard rebuild.
+	ServingMapped ServingMode = "mapped"
+)
+
 // Config configures a Store.
 type Config struct {
 	// Shards bounds the STR space partitions per epoch (<= 0 picks
@@ -150,6 +176,10 @@ type Config struct {
 	// SnapshotEvery persists only every Nth published epoch (<= 0 picks 1 —
 	// every epoch). Skipped epochs stay recoverable through the WAL.
 	SnapshotEvery int
+	// Serving selects the recovery read path of a durable store ("" picks
+	// ServingHeap; ignored when Persist is nil). See ServingMapped for the
+	// zero-copy mode.
+	Serving ServingMode
 	// Metrics registers the store's serving state as named series on the
 	// given registry (per-query-class latency histograms, the paper's cost
 	// categories, robustness and cache counters, epoch lifecycle series) —
@@ -185,6 +215,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 1
 	}
+	if c.Serving == "" {
+		c.Serving = ServingHeap
+	}
 	return c
 }
 
@@ -212,6 +245,12 @@ type Store struct {
 	// stagingMu); each epoch records the value it was built under, so a
 	// snapshot knows exactly which WAL records it covers.
 	stagedSeq uint64
+	// seedFrom defers the post-recovery staging re-seed (guarded by
+	// stagingMu): recovery publishes the recovered epoch without scanning its
+	// items — the O(open) property of mapped serving — and the first Apply
+	// materializes them into staging before staging its own batch, so
+	// replayed deletes still find their targets. Nil once seeded.
+	seedFrom *Epoch
 
 	sem      chan struct{}
 	inFlight atomic.Int64
@@ -264,6 +303,10 @@ type Store struct {
 	snapSkipped   atomic.Int64
 	lastSnapErr   atomic.Pointer[string]
 	recovery      RecoveryInfo
+	// mapping is the mmap'd segment backing the recovered epoch's zero-copy
+	// shards (mapped serving only); cleared and closed when that epoch
+	// retires. The pointer outlives the epoch reference only for metrics.
+	mapping atomic.Pointer[persist.MappedSegment]
 	// breaker guards persistence I/O: snapshot failures trip it, an open
 	// breaker sheds snapshot attempts and WAL appends until the cooldown
 	// probe succeeds (nil when cfg.Persist is nil).
@@ -286,6 +329,15 @@ type RecoveryInfo struct {
 	// SkippedCorrupt counts snapshot generations recovery skipped because
 	// they failed verification.
 	SkippedCorrupt int `json:"skipped_corrupt"`
+	// Serving is the mode the recovery ran under ("heap" or "mapped").
+	Serving ServingMode `json:"serving,omitempty"`
+	// RebuiltShards counts shards recovery had to rebuild through the shard
+	// builder (item-fallback records). Mapped recovery of an all-R-Tree epoch
+	// reports 0 — the no-rebuild guarantee the mode exists for.
+	RebuiltShards int `json:"rebuilt_shards"`
+	// ZeroCopyShards counts shards served as zero-copy overlays of the
+	// mapped segment (0 in heap mode and on platforms without mmap).
+	ZeroCopyShards int `json:"zero_copy_shards"`
 }
 
 // New returns an empty store serving epoch 0 (no shards) and starts its
@@ -386,6 +438,7 @@ func (s *Store) applyBatchCtx(ctx context.Context, batch []Update, journal bool)
 	span := obs.SpanFromContext(ctx)
 	st := span.Child("stage")
 	s.stagingMu.Lock()
+	s.seedStagingLocked()
 	for _, u := range batch {
 		if u.Delete {
 			s.staging.Delete(u.ID, geom.AABB{})
@@ -445,6 +498,22 @@ func (s *Store) freezeAndSwap() uint64 {
 	return s.publishLocked(snapshot, covered)
 }
 
+// seedStagingLocked materializes the recovered epoch's items into the
+// staging table, once, on the first Apply after recovery. Caller holds
+// stagingMu. Until this runs, recovery cost is independent of dataset size;
+// the seed is the deferred O(items) scan, paid only when the content
+// actually starts changing.
+func (s *Store) seedStagingLocked() {
+	if s.seedFrom == nil {
+		return
+	}
+	items := s.seedFrom.AllItems(nil)
+	s.seedFrom = nil
+	for _, it := range items {
+		s.staging.Update(it.ID, it.Box, it.Box)
+	}
+}
+
 // snapshotStagingLocked copies the staged state into the reusable scratch
 // slice and reports the WAL sequence the copy covers. Caller holds
 // stagingMu.
@@ -493,6 +562,9 @@ func (s *Store) publishLocked(items []index.Item, covered uint64) uint64 {
 func (s *Store) maybeRetire(e *Epoch) {
 	if e.pins.Load() == 0 && e.superseded.Load() && e.retireOnce.CompareAndSwap(false, true) {
 		e.dropCache()
+		for _, fn := range e.onRetire {
+			fn()
+		}
 		s.foldRetiredCounters(e)
 		s.retired.Add(1)
 	}

@@ -3,22 +3,28 @@ package storage
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
-// BufferPoolStats reports hit/miss counts of a buffer pool.
+// BufferPoolStats reports hit/miss counts of a buffer pool. ZeroCopy counts
+// lookups answered straight from a mapped pager's own bytes (no frame copy,
+// no LRU traffic); they are hits for HitRate purposes — the page was served
+// without a pread.
 type BufferPoolStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	ZeroCopy  int64
 }
 
-// HitRate returns the fraction of lookups served from the pool.
+// HitRate returns the fraction of lookups served without going to the pager
+// (pool hits plus zero-copy views).
 func (s BufferPoolStats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := s.Hits + s.Misses + s.ZeroCopy
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits+s.ZeroCopy) / float64(total)
 }
 
 // BufferPool caches pages of a Pager with an LRU replacement policy. The
@@ -27,8 +33,33 @@ func (s BufferPoolStats) HitRate() float64 {
 // operations (the paged segment readers assembling a record that straddles
 // pages) pin it first: a pinned page is never evicted — not by capacity
 // pressure, not by Evict, not by Clear — until its last pin is dropped.
+//
+// Two fast paths sit in front of the classic frame cache:
+//
+//   - Zero copy: when the pager implements ViewPager (MmapDisk), Get returns
+//     the mapping's own bytes. No frame is allocated, no lock is taken, and
+//     pins are satisfied trivially — the mapping never moves and never gets
+//     evicted, so the pin contract ("the slice stays this page") holds by
+//     construction. The OS page cache becomes the real buffer pool and the
+//     configured capacity stops mattering for those pages.
+//   - Sharding: large pools split the frame cache into independently locked
+//     shards (pages hash to a shard by id), so concurrent readers touching
+//     different pages stop serializing on one mutex. Small pools (below
+//     shardThreshold frames) stay single-sharded, preserving exact global-LRU
+//     eviction order for the paper's cold-cache experiments.
 type BufferPool struct {
 	pager    Pager
+	capacity int
+	view     ViewPager // non-nil when pager serves stable zero-copy views
+	zcHits   atomic.Int64
+
+	shards []poolShard
+	mask   uint32
+}
+
+// poolShard is one independently locked slice of the frame cache. Each shard
+// runs the full pin-aware LRU protocol over its subset of the page-id space.
+type poolShard struct {
 	capacity int
 
 	mu    sync.Mutex
@@ -39,57 +70,106 @@ type BufferPool struct {
 	stats BufferPoolStats
 }
 
+// shardThreshold is the capacity at which the pool starts sharding. Below it
+// a single shard preserves exact global LRU semantics (the deterministic
+// eviction-order tests and the cold-cache experiment protocol rely on them);
+// at or above it, lock contention dominates and approximate per-shard LRU is
+// the right trade.
+const shardThreshold = 64
+
+// poolShardCount is how many shards a sharded pool uses (power of two).
+const poolShardCount = 8
+
 // NewBufferPool returns a pool caching up to capacity pages of the pager.
 // A capacity of 0 disables caching entirely (every Get goes to the pager).
 func NewBufferPool(pager Pager, capacity int) *BufferPool {
-	return &BufferPool{
+	n := 1
+	if capacity >= shardThreshold {
+		n = poolShardCount
+	}
+	p := &BufferPool{
 		pager:    pager,
 		capacity: capacity,
-		lru:      list.New(),
-		index:    make(map[PageID]*list.Element),
-		data:     make(map[PageID][]byte),
-		pins:     make(map[PageID]int),
+		shards:   make([]poolShard, n),
+		mask:     uint32(n - 1),
 	}
+	if v, ok := pager.(ViewPager); ok {
+		p.view = v
+	}
+	base, extra := capacity/n, capacity%n
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.capacity = base
+		if i < extra {
+			sh.capacity++
+		}
+		sh.lru = list.New()
+		sh.index = make(map[PageID]*list.Element)
+		sh.data = make(map[PageID][]byte)
+		sh.pins = make(map[PageID]int)
+	}
+	return p
 }
 
 // Capacity returns the configured capacity in pages.
 func (p *BufferPool) Capacity() int { return p.capacity }
 
+// ZeroCopy reports whether lookups bypass the frame cache entirely and serve
+// the pager's own mapped bytes.
+func (p *BufferPool) ZeroCopy() bool { return p.view != nil }
+
+// shard maps a page id to its owning shard. The multiplier spreads the dense
+// sequential ids persist produces across shards instead of striping runs of
+// adjacent pages onto one.
+func (p *BufferPool) shard(id PageID) *poolShard {
+	return &p.shards[(uint32(id)*2654435761)>>16&p.mask]
+}
+
 // Get returns the contents of the page, reading it from the pager on a miss.
 // The returned slice is owned by the pool and must not be modified; callers
 // that need it to stay coherent across further pool traffic must Pin the page
-// for the duration.
+// for the duration. On a zero-copy pool the slice is the mapping itself and
+// is valid until the mapping is closed.
 func (p *BufferPool) Get(id PageID) ([]byte, error) {
-	p.mu.Lock()
-	if el, ok := p.index[id]; ok {
-		p.lru.MoveToFront(el)
-		p.stats.Hits++
-		data := p.data[id]
-		p.mu.Unlock()
+	if p.view != nil {
+		data, err := p.view.PageView(id)
+		if err != nil {
+			return nil, err
+		}
+		p.zcHits.Add(1)
 		return data, nil
 	}
-	p.stats.Misses++
-	p.mu.Unlock()
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.index[id]; ok {
+		sh.lru.MoveToFront(el)
+		sh.stats.Hits++
+		data := sh.data[id]
+		sh.mu.Unlock()
+		return data, nil
+	}
+	sh.stats.Misses++
+	sh.mu.Unlock()
 
 	data, err := p.pager.Read(id)
 	if err != nil {
 		return nil, err
 	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.capacity > 0 || p.pins[id] > 0 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.capacity > 0 || sh.pins[id] > 0 {
 		// A pinned page is cached even by a zero-capacity (cold-cache) pool:
 		// the pin is a promise that the caller's slice stays the page, and
 		// that promise must survive a concurrent Get of the same id.
-		if _, ok := p.index[id]; !ok {
-			p.index[id] = p.lru.PushFront(id)
-			p.data[id] = data
-			p.evictOverCapacityLocked()
+		if _, ok := sh.index[id]; !ok {
+			sh.index[id] = sh.lru.PushFront(id)
+			sh.data[id] = data
+			sh.evictOverCapacityLocked()
 		} else {
 			// Raced with another miss of the same id: keep the resident copy
 			// so every caller that pinned it observes one stable slice.
-			data = p.data[id]
+			data = sh.data[id]
 		}
 	}
 	return data, nil
@@ -98,11 +178,17 @@ func (p *BufferPool) Get(id PageID) ([]byte, error) {
 // Pin marks the page as unevictable until a matching Unpin. Pinning a page
 // that is not (yet) resident is allowed — the pin takes effect the moment a
 // Get brings it in, which is exactly the interleaving a concurrent
-// Get/Evict of the same id produces.
+// Get/Evict of the same id produces. On a zero-copy pool pins are free:
+// mapped bytes cannot be evicted or move, so the pin promise holds without
+// bookkeeping.
 func (p *BufferPool) Pin(id PageID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.pins[id]++
+	if p.view != nil {
+		return
+	}
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pins[id]++
 }
 
 // Unpin drops one pin. It panics on a page that was not pinned: an unbalanced
@@ -112,67 +198,76 @@ func (p *BufferPool) Pin(id PageID) {
 // pools) or kept the pool in overflow leaves immediately rather than
 // lingering as a phantom cache hit.
 func (p *BufferPool) Unpin(id PageID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	n, ok := p.pins[id]
+	if p.view != nil {
+		return
+	}
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.pins[id]
 	if !ok {
 		panic("storage: Unpin of unpinned page")
 	}
 	if n > 1 {
-		p.pins[id] = n - 1
+		sh.pins[id] = n - 1
 		return
 	}
-	delete(p.pins, id)
-	if p.lru.Len() > p.capacity {
-		p.evictOverCapacityLocked()
+	delete(sh.pins, id)
+	if sh.lru.Len() > sh.capacity {
+		sh.evictOverCapacityLocked()
 	}
 }
 
 // Evict drops the page from the cache and reports whether it is gone. A
 // pinned page is not evicted (returns false); an absent page is trivially
-// gone (returns true).
+// gone (returns true). Zero-copy pages live in the OS page cache, not the
+// pool, so they are trivially gone too.
 func (p *BufferPool) Evict(id PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.pins[id] > 0 {
+	if p.view != nil {
+		return true
+	}
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.pins[id] > 0 {
 		return false
 	}
-	el, ok := p.index[id]
+	el, ok := sh.index[id]
 	if !ok {
 		return true
 	}
-	p.removeLocked(el, id)
+	sh.removeLocked(el, id)
 	return true
 }
 
-// evictOverCapacityLocked brings the cache back under capacity, scanning from
+// evictOverCapacityLocked brings the shard back under capacity, scanning from
 // the LRU end and skipping pinned pages. If every resident page is pinned the
-// pool runs over capacity rather than evicting a page someone holds — the
+// shard runs over capacity rather than evicting a page someone holds — the
 // overflow drains as pins drop and later insertions re-run the scan.
-func (p *BufferPool) evictOverCapacityLocked() {
-	over := p.lru.Len() - p.capacity
-	if p.capacity <= 0 {
+func (sh *poolShard) evictOverCapacityLocked() {
+	over := sh.lru.Len() - sh.capacity
+	if sh.capacity <= 0 {
 		// capacity 0 admits pages only for their pin's lifetime; everything
 		// unpinned is surplus.
-		over = p.lru.Len()
+		over = sh.lru.Len()
 	}
-	for el := p.lru.Back(); el != nil && over > 0; {
+	for el := sh.lru.Back(); el != nil && over > 0; {
 		prev := el.Prev()
 		id := el.Value.(PageID)
-		if p.pins[id] == 0 {
-			p.removeLocked(el, id)
-			p.stats.Evictions++
+		if sh.pins[id] == 0 {
+			sh.removeLocked(el, id)
+			sh.stats.Evictions++
 			over--
 		}
 		el = prev
 	}
 }
 
-// removeLocked drops one resident page. Caller holds p.mu.
-func (p *BufferPool) removeLocked(el *list.Element, id PageID) {
-	p.lru.Remove(el)
-	delete(p.index, id)
-	delete(p.data, id)
+// removeLocked drops one resident page. Caller holds sh.mu.
+func (sh *poolShard) removeLocked(el *list.Element, id PageID) {
+	sh.lru.Remove(el)
+	delete(sh.index, id)
+	delete(sh.data, id)
 }
 
 // Clear drops every unpinned cached page, emulating the paper's cold-cache
@@ -180,36 +275,69 @@ func (p *BufferPool) removeLocked(el *list.Element, id PageID) {
 // stay resident: a cold-cache sweep must not invalidate a page a reader is
 // holding mid-record.
 func (p *BufferPool) Clear() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for el := p.lru.Back(); el != nil; {
-		prev := el.Prev()
-		id := el.Value.(PageID)
-		if p.pins[id] == 0 {
-			p.removeLocked(el, id)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Back(); el != nil; {
+			prev := el.Prev()
+			id := el.Value.(PageID)
+			if sh.pins[id] == 0 {
+				sh.removeLocked(el, id)
+			}
+			el = prev
 		}
-		el = prev
+		sh.mu.Unlock()
 	}
 }
 
-// Stats returns a snapshot of the hit/miss counters.
+// Stats returns a snapshot of the hit/miss counters, summed across shards.
 func (p *BufferPool) Stats() BufferPoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var out BufferPoolStats
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		out.Hits += sh.stats.Hits
+		out.Misses += sh.stats.Misses
+		out.Evictions += sh.stats.Evictions
+		sh.mu.Unlock()
+	}
+	out.ZeroCopy = p.zcHits.Load()
+	return out
 }
 
 // ResetStats zeroes the hit/miss counters without dropping cached pages.
 func (p *BufferPool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = BufferPoolStats{}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.stats = BufferPoolStats{}
+		sh.mu.Unlock()
+	}
+	p.zcHits.Store(0)
 }
 
 // resident reports whether the page is currently cached (test hook).
 func (p *BufferPool) resident(id PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.index[id]
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.index[id]
 	return ok
+}
+
+// cached returns the total resident page count and whether every shard's
+// internal structures agree (test hook for the -race invariant checks).
+func (p *BufferPool) cached() (n int, coherent bool) {
+	coherent = true
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		d, l, ix := len(sh.data), sh.lru.Len(), len(sh.index)
+		sh.mu.Unlock()
+		if d != l || ix != d {
+			coherent = false
+		}
+		n += d
+	}
+	return n, coherent
 }

@@ -93,9 +93,8 @@ func TestBufferPoolAllPinnedOverflows(t *testing.T) {
 
 // lruLen reports the resident page count (test hook).
 func (p *BufferPool) lruLen() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.lru.Len()
+	n, _ := p.cached()
+	return n
 }
 
 func TestBufferPoolZeroCapacityDropsPageOnUnpin(t *testing.T) {

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package storage
+
+const mincoreSupported = false
+
+func mincoreResident([]byte) (int64, bool) { return 0, false }

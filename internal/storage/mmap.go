@@ -1,0 +1,198 @@
+package storage
+
+// Memory-mapped page device: the zero-copy end of the Pager spectrum. Where
+// FileDisk preads each page into a fresh heap buffer (and the BufferPool
+// copies it into a frame), MmapDisk maps the whole file once and hands out
+// subslices of the mapping. The OS page cache becomes the buffer pool: a
+// "read" is a pointer computation, a cold page is a major fault serviced by
+// the kernel, and eviction is the kernel's problem — which is exactly what
+// lets a dataset larger than RAM be served at all.
+//
+// MmapDisk is strictly read-only (segments are immutable once sealed), and
+// only exists on platforms with a working mmap (see mmap_unix.go); everywhere
+// else OpenMmapDisk returns ErrMmapUnsupported and callers fall back to the
+// FileDisk pread path — same bytes, one copy slower.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// ViewPager is a Pager whose pages can be served as stable zero-copy views.
+// A PageView slice aliases the pager's own storage (an mmap'd region): it is
+// valid until the pager is closed, never moves, and must never be written.
+// The BufferPool detects this interface and bypasses its frame cache
+// entirely for such pagers — pin accounting degenerates to a no-op because
+// the "frame" can never be evicted out from under a reader.
+type ViewPager interface {
+	Pager
+	// PageView returns a zero-copy view of the page, aliasing the backing
+	// mapping. The slice stays valid until Close.
+	PageView(id PageID) ([]byte, error)
+}
+
+// Advice hints the kernel about the expected access pattern of a mapping
+// (madvise). On platforms without madvise the hints are accepted and
+// ignored.
+type Advice int
+
+const (
+	// AdviceNormal resets to the default kernel readahead behavior.
+	AdviceNormal Advice = iota
+	// AdviceRandom disables readahead — right for point lookups and index
+	// descents where prefetched neighbors would only pollute the page cache.
+	AdviceRandom
+	// AdviceSequential aggressively reads ahead — right for leaf-run scans
+	// and whole-segment checksums.
+	AdviceSequential
+	// AdviceWillNeed asks the kernel to start faulting the range in now
+	// (warmup before a latency-sensitive phase).
+	AdviceWillNeed
+)
+
+// ErrMmapUnsupported is returned by OpenMmapDisk on platforms without mmap
+// support. Callers treat it as "use the FileDisk pread fallback", not as a
+// failure.
+var ErrMmapUnsupported = errors.New("storage: mmap not supported on this platform")
+
+// ErrReadOnlyPager is returned by Write on a read-only (mapped) pager.
+var ErrReadOnlyPager = errors.New("storage: pager is read-only")
+
+// MmapSupported reports whether this platform can serve files through
+// MmapDisk. When false, every OpenMmapDisk fails with ErrMmapUnsupported and
+// mapped-mode serving silently degrades to the pread path.
+func MmapSupported() bool { return mmapSupported }
+
+// MmapDisk is a read-only Pager over a memory-mapped file. The file size
+// must be a whole number of pages (segment files are written page-aligned; a
+// short file is a torn write). All methods are safe for concurrent use —
+// the mapping is immutable after Open, so reads need no locking at all.
+type MmapDisk struct {
+	data     []byte
+	pageSize int
+	pages    int
+	closed   atomic.Bool
+
+	reads atomic.Int64
+}
+
+var _ ViewPager = (*MmapDisk)(nil)
+
+// OpenMmapDisk maps the file at path read-only. pageSize <= 0 picks the 4 KB
+// default. On platforms without mmap it returns ErrMmapUnsupported; callers
+// should fall back to OpenFileDisk. The file descriptor is closed before
+// returning — the mapping keeps the file contents alive on its own (on Unix,
+// even across an unlink of the path, which is what makes segment GC safe
+// while an old epoch still serves from the mapping).
+func OpenMmapDisk(path string, pageSize int) (*MmapDisk, error) {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	if !mmapSupported {
+		return nil, ErrMmapUnsupported
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size%int64(pageSize) != 0 {
+		return nil, fmt.Errorf("storage: file size %d is not a multiple of page size %d (torn write)", size, pageSize)
+	}
+	var data []byte
+	if size > 0 {
+		data, err = mmapFile(f, size)
+		if err != nil {
+			return nil, fmt.Errorf("storage: mmap %s: %w", path, err)
+		}
+	}
+	return &MmapDisk{data: data, pageSize: pageSize, pages: int(size / int64(pageSize))}, nil
+}
+
+// PageSize implements Pager.
+func (d *MmapDisk) PageSize() int { return d.pageSize }
+
+// NumPages implements Pager.
+func (d *MmapDisk) NumPages() int { return d.pages }
+
+// Allocate implements Pager. A mapped segment is sealed; growing it is a
+// programming error, not an I/O condition.
+func (d *MmapDisk) Allocate() PageID {
+	panic("storage: Allocate on read-only MmapDisk")
+}
+
+// Write implements Pager; mapped segments are immutable.
+func (d *MmapDisk) Write(PageID, []byte) error { return ErrReadOnlyPager }
+
+// Read implements Pager. The returned slice aliases the mapping (zero copy);
+// it must not be modified and stays valid until Close.
+func (d *MmapDisk) Read(id PageID) ([]byte, error) {
+	return d.PageView(id)
+}
+
+// PageView implements ViewPager: a zero-copy, stable view of the page.
+func (d *MmapDisk) PageView(id PageID) ([]byte, error) {
+	if id < 0 || int(id) >= d.pages {
+		return nil, fmt.Errorf("%w: %d", ErrPageOutOfRange, id)
+	}
+	if d.closed.Load() {
+		return nil, errors.New("storage: MmapDisk is closed")
+	}
+	d.reads.Add(1)
+	off := int(id) * d.pageSize
+	return d.data[off : off+d.pageSize : off+d.pageSize], nil
+}
+
+// Bytes returns the whole mapping (zero copy, read-only, valid until Close).
+// The persist layer overlays segment structures directly on it.
+func (d *MmapDisk) Bytes() []byte { return d.data }
+
+// Advise passes an access-pattern hint for the whole mapping to the kernel.
+// Best effort: errors are returned for observability but are never fatal.
+func (d *MmapDisk) Advise(a Advice) error {
+	if len(d.data) == 0 || d.closed.Load() {
+		return nil
+	}
+	return madvise(d.data, a)
+}
+
+// Resident returns how many bytes of the mapping are currently resident in
+// physical memory (mincore) — the closest portable proxy for "how many page
+// faults would a full scan take". Platforms without mincore return 0, false.
+func (d *MmapDisk) Resident() (int64, bool) {
+	if len(d.data) == 0 || d.closed.Load() {
+		return 0, mincoreSupported
+	}
+	return mincoreResident(d.data)
+}
+
+// Size returns the mapped length in bytes.
+func (d *MmapDisk) Size() int64 { return int64(len(d.data)) }
+
+// Stats returns a snapshot of the activity counters. Every read is zero-copy,
+// so BytesRead counts bytes exposed, not bytes copied.
+func (d *MmapDisk) Stats() DiskStats {
+	r := d.reads.Load()
+	return DiskStats{PageReads: r, BytesRead: r * int64(d.pageSize)}
+}
+
+// Close unmaps the file. Views handed out earlier become invalid; callers
+// (epoch retirement) must ensure no reader holds one. Close is idempotent.
+func (d *MmapDisk) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	if len(d.data) == 0 {
+		return nil
+	}
+	data := d.data
+	d.data = nil
+	return munmapFile(data)
+}

@@ -1,0 +1,24 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// Portability stub: platforms without a (wired-up) mmap never construct an
+// MmapDisk — OpenMmapDisk fails with ErrMmapUnsupported before reaching
+// these, and callers fall back to the FileDisk pread path.
+
+const mmapSupported = false
+
+func mmapFile(*os.File, int64) ([]byte, error) {
+	return nil, ErrMmapUnsupported
+}
+
+func munmapFile([]byte) error {
+	return errors.New("storage: munmap without mmap support")
+}
+
+func madvise([]byte, Advice) error { return nil }

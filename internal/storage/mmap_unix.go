@@ -1,0 +1,38 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: the mapping observes
+// the file as written, costs no anonymous memory, and survives closing the
+// descriptor (and on these platforms, unlinking the path).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// madvise forwards the access-pattern hint. The MADV_* values come from the
+// platform syscall package, so each OS gets its own numbering.
+func madvise(data []byte, a Advice) error {
+	var hint int
+	switch a {
+	case AdviceRandom:
+		hint = syscall.MADV_RANDOM
+	case AdviceSequential:
+		hint = syscall.MADV_SEQUENTIAL
+	case AdviceWillNeed:
+		hint = syscall.MADV_WILLNEED
+	default:
+		hint = syscall.MADV_NORMAL
+	}
+	return syscall.Madvise(data, hint)
+}
