@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json serve loadgen join-bench plan-bench mmap-bench cover fuzz fmt vet vet-strict chaos ci
+.PHONY: all build test race bench bench-json serve cluster loadgen join-bench plan-bench mmap-bench cluster-bench cover fuzz fmt vet vet-strict chaos ci
 
 all: build
 
@@ -65,6 +65,23 @@ MMAPBENCH_ARGS ?= -elements 200000 -queries 100 -shards 4
 mmap-bench:
 	$(GO) run ./cmd/spatialbench -exp mmap $(MMAPBENCH_ARGS) -out BENCH_PR9.json
 
+# cluster starts the distributed serving harness (cmd/spatialcluster): an
+# in-process fleet of nodes behind the scatter/gather coordinator, with
+# kill/revive admin endpoints for failure drills.
+CLUSTER_ADDR ?= :8090
+CLUSTER_NODES ?= 3
+cluster:
+	$(GO) run ./cmd/spatialcluster -addr $(CLUSTER_ADDR) -nodes $(CLUSTER_NODES) -elements $(SERVE_ELEMENTS)
+
+# cluster-bench runs the E16 distributed scatter/gather experiment (3-node
+# coordinator vs single-store answer identity, torn-epoch count under
+# cluster-wide swap load, and the node-kill drills) and records the verdicts
+# in BENCH_PR10.json. CLUSTERBENCH_ARGS shrinks the run in CI; CI greps the
+# report for identical answers and zero torn epochs.
+CLUSTERBENCH_ARGS ?= -elements 50000 -queries 100 -shards 4
+cluster-bench:
+	$(GO) run ./cmd/spatialbench -exp cluster $(CLUSTERBENCH_ARGS) -out BENCH_PR10.json
+
 # cover runs the whole suite with coverage and fails if the total drops
 # below the ratcheted baseline (raise the baseline when coverage improves,
 # never lower it to make a red build green).
@@ -114,8 +131,8 @@ vet-strict:
 	$(GO) vet ./internal/index/... ./internal/rtree/... ./internal/grid/... \
 		./internal/octree/... ./internal/kdtree/... ./internal/exec/... \
 		./internal/core/... ./internal/join/... ./internal/serve/... \
-		./internal/persist/... ./internal/storage/... \
-		./cmd/benchjson/... ./cmd/spatialserver/...
+		./internal/persist/... ./internal/storage/... ./internal/cluster/... \
+		./cmd/benchjson/... ./cmd/spatialserver/... ./cmd/spatialcluster/...
 	$(GO) test -run xxx -race ./internal/index/ ./internal/rtree/ ./internal/grid/ > /dev/null
 
 ci: build fmt vet vet-strict race bench

@@ -13,7 +13,7 @@
 //
 // Experiments: fig2, fig3, fig4, updates, indexes, lsh, join, moving,
 // simstep, mesh, ablation-resolution, ablation-advisor, parallel,
-// cache-layout, serve, join-scale, plan, mmap, all.
+// cache-layout, serve, join-scale, plan, mmap, cluster, all.
 //
 // The -workers flag sets the goroutine budget of the parallel execution
 // engine (internal/exec); "serve" is the load-generator mode that drives the
@@ -28,7 +28,11 @@
 // planner-beats-worst verdict as JSON (BENCH_PR6.json); "mmap" measures
 // zero-copy mapped serving — cold-restart time and query equivalence of
 // Serving=mapped versus heap recovery plus the constrained-buffer-pool
-// contrast — and, with -out, records the run as JSON (BENCH_PR9.json).
+// contrast — and, with -out, records the run as JSON (BENCH_PR9.json);
+// "cluster" proves the distributed coordinator — scatter/gather answers
+// identical to a single store, zero torn epochs under cluster-wide swap load,
+// node kills degraded-but-correct (replication 1) or absorbed (replication 2)
+// — and, with -out, records the run as JSON (BENCH_PR10.json).
 package main
 
 import (
@@ -53,7 +57,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("spatialbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|join-scale|plan|mmap|all)")
+		exp         = fs.String("exp", "all", "experiment to run (fig2|fig3|fig4|updates|indexes|lsh|join|moving|simstep|mesh|ablation-resolution|ablation-advisor|parallel|cache-layout|serve|join-scale|plan|mmap|cluster|all)")
 		elements    = fs.Int("elements", 100000, "number of spatial elements")
 		queries     = fs.Int("queries", 200, "number of range queries")
 		selectivity = fs.Float64("selectivity", 5e-6, "range query selectivity (fraction of universe volume)")
@@ -65,6 +69,9 @@ func run(args []string, stdout io.Writer) error {
 		readers     = fs.Int("readers", 0, "serve: concurrent query clients (0 = 2x GOMAXPROCS)")
 		out         = fs.String("out", "", "serve/join-scale/plan: write the run as JSON to this file (e.g. BENCH_PR3.json, BENCH_PR4.json, BENCH_PR6.json)")
 		cacheSize   = fs.Int("cache", 0, "plan: planner store's per-epoch result-cache entries (0 = 512)")
+		nodes       = fs.Int("nodes", 0, "cluster: fleet size (0 = 3)")
+		replication = fs.Int("replication", 0, "cluster: owners per tile (0 = 2)")
+		swapGens    = fs.Int("swap-gens", 0, "cluster: swap-storm generations (0 = 8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,10 +96,16 @@ func run(args []string, stdout io.Writer) error {
 	mmapCfg := experiments.MmapBenchConfig{
 		Shards: *shards,
 	}
-	return runExp(strings.ToLower(*exp), scale, *steps, serveCfg, planCfg, mmapCfg, *out, stdout)
+	clusterCfg := experiments.ClusterBenchConfig{
+		Nodes:       *nodes,
+		Replication: *replication,
+		Shards:      *shards,
+		SwapGens:    *swapGens,
+	}
+	return runExp(strings.ToLower(*exp), scale, *steps, serveCfg, planCfg, mmapCfg, clusterCfg, *out, stdout)
 }
 
-func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments.ServeConfig, planCfg experiments.PlanBenchConfig, mmapCfg experiments.MmapBenchConfig, out string, stdout io.Writer) error {
+func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments.ServeConfig, planCfg experiments.PlanBenchConfig, mmapCfg experiments.MmapBenchConfig, clusterCfg experiments.ClusterBenchConfig, out string, stdout io.Writer) error {
 	runOne := func(name, out string) error {
 		switch name {
 		case "fig2":
@@ -159,6 +172,15 @@ func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments
 				}
 				fmt.Fprintf(stdout, "wrote %s\n", out)
 			}
+		case "cluster":
+			res := experiments.ClusterBench(scale, clusterCfg)
+			fmt.Fprintln(stdout, res)
+			if out != "" {
+				if err := experiments.WriteClusterBenchReport(out, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", out)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -173,7 +195,7 @@ func runExp(exp string, scale experiments.Scale, steps int, serveCfg experiments
 		for _, name := range []string{
 			"fig2", "fig3", "fig4", "updates", "indexes", "lsh", "join",
 			"moving", "simstep", "mesh", "ablation-resolution", "ablation-advisor",
-			"parallel", "cache-layout", "serve", "join-scale", "plan", "mmap",
+			"parallel", "cache-layout", "serve", "join-scale", "plan", "mmap", "cluster",
 		} {
 			if err := runOne(name, ""); err != nil {
 				return err

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spatialsim/internal/cluster"
+	"spatialsim/internal/geom"
+	"spatialsim/internal/index"
+	"spatialsim/internal/join"
+	"spatialsim/internal/obs"
+	"spatialsim/internal/serve"
+)
+
+// itemJSON mirrors the single-node wire shape: id plus box corners as
+// [x, y, z] triples, so clients move between spatialserver and spatialcluster
+// without reshaping payloads.
+type itemJSON struct {
+	ID  int64      `json:"id"`
+	Min [3]float64 `json:"min"`
+	Max [3]float64 `json:"max"`
+}
+
+func toItemJSON(it index.Item) itemJSON {
+	return itemJSON{
+		ID:  it.ID,
+		Min: [3]float64{it.Box.Min.X, it.Box.Min.Y, it.Box.Min.Z},
+		Max: [3]float64{it.Box.Max.X, it.Box.Max.Y, it.Box.Max.Z},
+	}
+}
+
+func (ij itemJSON) box() geom.AABB {
+	return geom.NewAABB(geom.V(ij.Min[0], ij.Min[1], ij.Min[2]), geom.V(ij.Max[0], ij.Max[1], ij.Max[2]))
+}
+
+// clusterQueryResponse is the wire shape of scattered range/knn answers: the
+// cluster epoch the whole read observed, the merged items, and the fan-out
+// accounting (how many node queries, hedges and failovers it took). Degraded
+// replies additionally carry per-node error detail; both fields are omitted
+// on complete answers.
+type clusterQueryResponse struct {
+	Epoch      uint64              `json:"epoch"`
+	Count      int                 `json:"count"`
+	Items      []itemJSON          `json:"items"`
+	FanOut     int                 `json:"fan_out"`
+	Hedges     int                 `json:"hedges,omitempty"`
+	Failovers  int                 `json:"failovers,omitempty"`
+	Degraded   bool                `json:"degraded,omitempty"`
+	NodeErrors []cluster.NodeError `json:"node_errors,omitempty"`
+}
+
+// clusterJoinResponse is the wire shape of a cluster-wide join answer.
+type clusterJoinResponse struct {
+	Epoch      uint64              `json:"epoch"`
+	Algorithm  string              `json:"algorithm"`
+	Eps        float64             `json:"eps"`
+	Count      int                 `json:"count"`
+	Truncated  bool                `json:"truncated"`
+	Pairs      [][2]int64          `json:"pairs"`
+	FanOut     int                 `json:"fan_out"`
+	Degraded   bool                `json:"degraded,omitempty"`
+	NodeErrors []cluster.NodeError `json:"node_errors,omitempty"`
+}
+
+// updateRequest is the wire shape of an update batch (same as spatialserver).
+type updateRequest struct {
+	Upserts []itemJSON `json:"upserts"`
+	Deletes []int64    `json:"deletes"`
+}
+
+// updateResponse reports the cluster epoch the batch was published as.
+type updateResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+}
+
+// errorEnvelope is the uniform error shape: {"error":{"code","message"}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// newClusterHandler wires the coordinator into the versioned HTTP/JSON API.
+//
+//	GET  /v1/range?minx=..&maxz=..[&limit=][&timeout=]   scatter/gather range
+//	GET  /v1/knn?x=&y=&z=&k=[&timeout=]                  scatter/gather kNN
+//	GET  /v1/join?eps=[&algo=][&workers=][&limit=]       cluster-wide self-join
+//	POST /v1/update {"upserts":[...],"deletes":[...]}    two-phase epoch swap
+//	GET  /v1/stats                                       coordinator + nodes
+//	GET  /v1/placement                                   the tile map
+//	POST /v1/nodes/kill?name=n0                          failure drill
+//	POST /v1/nodes/revive?name=n0
+//	GET  /v1/healthz
+//	GET  /metrics                                        Prometheus exposition
+//
+// Query replies follow the cluster degradation contract: a node failure with
+// replicas left answers complete (failover/hedging absorbed it); a failure
+// with no replica answers 200 with "degraded":true and per-node detail —
+// correct but partial, never wrong. Zero progress answers 503, an expired
+// ?timeout= answers 504, exactly like the single-node server.
+func newClusterHandler(co *cluster.Coordinator, nodes []*cluster.Node, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/range", handleClusterRange(co))
+	mux.HandleFunc("/v1/knn", handleClusterKNN(co))
+	mux.HandleFunc("/v1/join", handleClusterJoin(co))
+	mux.HandleFunc("/v1/update", handleClusterUpdate(co))
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) { writeJSON(w, co.Stats()) })
+	mux.HandleFunc("/v1/placement", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]interface{}{"epoch": co.Epoch(), "tiles": co.Placement().Tiles()})
+	})
+	mux.HandleFunc("/v1/nodes/kill", handleNodeAdmin(nodes, true))
+	mux.HandleFunc("/v1/nodes/revive", handleNodeAdmin(nodes, false))
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+	}
+	return mux
+}
+
+// maxQueryTimeout bounds ?timeout= exactly like the single-node server: a
+// typo like 300m (meant 300ms) answers 400 instead of pinning slots for hours.
+const maxQueryTimeout = time.Hour
+
+func queryCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	ctx := r.Context()
+	if s := r.URL.Query().Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad_request", "timeout must be a positive duration (e.g. 50ms)")
+			return nil, nil, false
+		}
+		if d > maxQueryTimeout {
+			httpError(w, http.StatusBadRequest, "bad_request", "timeout exceeds the 1h maximum")
+			return nil, nil, false
+		}
+		ctx, cancel := context.WithTimeout(ctx, d)
+		return ctx, cancel, true
+	}
+	return ctx, func() {}, true
+}
+
+// writeClusterError maps a zero-progress cluster Reply onto the envelope:
+// every-owner-down answers 503 (the cluster may heal; retry), an expired
+// deadline 504, everything else 500.
+func writeClusterError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, cluster.ErrUnavailable):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+	case errors.Is(err, serve.ErrOverload):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusServiceUnavailable, "canceled", err.Error())
+	case errors.Is(err, cluster.ErrNotBootstrapped):
+		httpError(w, http.StatusConflict, "conflict", err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func writeClusterQueryResponse(w http.ResponseWriter, rep cluster.Reply, items []index.Item) {
+	resp := clusterQueryResponse{
+		Epoch: rep.Epoch, Count: len(items), Items: make([]itemJSON, len(items)),
+		FanOut: rep.FanOut, Hedges: rep.Hedges, Failovers: rep.Failovers,
+		Degraded: rep.Degraded, NodeErrors: rep.NodeErrors,
+	}
+	for i, it := range items {
+		resp.Items[i] = toItemJSON(it)
+	}
+	writeJSON(w, resp)
+}
+
+func handleClusterRange(co *cluster.Coordinator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lo, err1 := parseVec(r, "minx", "miny", "minz")
+		hi, err2 := parseVec(r, "maxx", "maxy", "maxz")
+		if err1 != nil || err2 != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "range needs float params minx..maxz")
+			return
+		}
+		limit := parseIntDefault(r, "limit", 0)
+		ctx, cancel, ok := queryCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		rep := co.Range(ctx, geom.NewAABB(lo, hi))
+		if rep.Err != nil {
+			writeClusterError(w, rep.Err)
+			return
+		}
+		items := rep.Items
+		if limit > 0 && len(items) > limit {
+			items = items[:limit]
+		}
+		writeClusterQueryResponse(w, rep, items)
+	}
+}
+
+func handleClusterKNN(co *cluster.Coordinator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p, err := parseVec(r, "x", "y", "z")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "knn needs float params x, y, z")
+			return
+		}
+		k := parseIntDefault(r, "k", 10)
+		if k <= 0 || k > 1024 {
+			httpError(w, http.StatusBadRequest, "bad_request", "k out of range (1..1024)")
+			return
+		}
+		ctx, cancel, ok := queryCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		rep := co.KNN(ctx, p, k)
+		if rep.Err != nil {
+			writeClusterError(w, rep.Err)
+			return
+		}
+		writeClusterQueryResponse(w, rep, rep.Items)
+	}
+}
+
+func handleClusterJoin(co *cluster.Coordinator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		eps, err := strconv.ParseFloat(r.URL.Query().Get("eps"), 64)
+		if err != nil || eps < 0 {
+			httpError(w, http.StatusBadRequest, "bad_request", "join needs a non-negative float param eps")
+			return
+		}
+		jr := serve.JoinRequest{Eps: eps, Workers: parseIntDefault(r, "workers", 0)}
+		if name := r.URL.Query().Get("algo"); name != "" && name != "auto" {
+			algo, err := join.ParseAlgorithm(name)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad_request", err.Error())
+				return
+			}
+			jr.Algo, jr.Force = algo, true
+		}
+		limit := parseIntDefault(r, "limit", 1000)
+		if limit <= 0 || limit > 100000 {
+			httpError(w, http.StatusBadRequest, "bad_request", "limit out of range (1..100000)")
+			return
+		}
+		ctx, cancel, ok := queryCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		rep := co.Join(ctx, jr)
+		if rep.Err != nil {
+			writeClusterError(w, rep.Err)
+			return
+		}
+		resp := clusterJoinResponse{
+			Epoch:      rep.Epoch,
+			Algorithm:  rep.JoinAlgo.String(),
+			Eps:        eps,
+			Count:      len(rep.Pairs),
+			Truncated:  len(rep.Pairs) > limit,
+			FanOut:     rep.FanOut,
+			Degraded:   rep.Degraded,
+			NodeErrors: rep.NodeErrors,
+		}
+		n := len(rep.Pairs)
+		if n > limit {
+			n = limit
+		}
+		resp.Pairs = make([][2]int64, n)
+		for i := 0; i < n; i++ {
+			resp.Pairs[i] = [2]int64{rep.Pairs[i].A, rep.Pairs[i].B}
+		}
+		writeJSON(w, resp)
+	}
+}
+
+func handleClusterUpdate(co *cluster.Coordinator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "update requires POST")
+			return
+		}
+		var req updateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "bad update body: "+err.Error())
+			return
+		}
+		batch := make([]serve.Update, 0, len(req.Upserts)+len(req.Deletes))
+		for _, up := range req.Upserts {
+			batch = append(batch, serve.Update{ID: up.ID, Box: up.box()})
+		}
+		for _, id := range req.Deletes {
+			batch = append(batch, serve.Update{ID: id, Delete: true})
+		}
+		epoch, err := co.ApplyCtx(r.Context(), batch)
+		if err != nil {
+			// A stage failure aborted the swap: readers are still consistent on
+			// the old epoch, so this is retryable — 503, not 500.
+			if errors.Is(err, cluster.ErrNotBootstrapped) {
+				httpError(w, http.StatusConflict, "conflict", err.Error())
+				return
+			}
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "swap_aborted", err.Error())
+			return
+		}
+		writeJSON(w, updateResponse{Epoch: epoch, Applied: len(batch)})
+	}
+}
+
+// handleNodeAdmin is the failure-drill surface: POST /v1/nodes/kill?name=n0
+// makes a node unreachable (queries fail over, swaps abort), revive brings it
+// back. Drills are how the CI smoke job proves degraded-but-correct serving.
+func handleNodeAdmin(nodes []*cluster.Node, kill bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "node admin requires POST")
+			return
+		}
+		name := r.URL.Query().Get("name")
+		for _, n := range nodes {
+			if n.Name() == name {
+				if kill {
+					n.Kill()
+				} else {
+					n.Revive()
+				}
+				writeJSON(w, map[string]interface{}{"node": name, "down": n.Down()})
+				return
+			}
+		}
+		httpError(w, http.StatusNotFound, "not_found", "no node named "+strconv.Quote(name))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: msg}})
+}
+
+func parseVec(r *http.Request, xk, yk, zk string) (geom.Vec3, error) {
+	x, err := strconv.ParseFloat(r.URL.Query().Get(xk), 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	y, err := strconv.ParseFloat(r.URL.Query().Get(yk), 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	z, err := strconv.ParseFloat(r.URL.Query().Get(zk), 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	return geom.V(x, y, z), nil
+}
+
+func parseIntDefault(r *http.Request, key string, def int) int {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}

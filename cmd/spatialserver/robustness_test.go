@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -38,7 +39,9 @@ func decodeError(t *testing.T, body []byte) errorBody {
 
 func TestTimeoutParamRejectsBadDurations(t *testing.T) {
 	_, ts := testServer(t, 100)
-	for _, bad := range []string{"nope", "-5ms", "0s"} {
+	// "nope" unparsable, "-5ms"/"0s" non-positive, "300m"/"1000h" absurd
+	// (the first is the classic 300ms typo that would pin a slot for hours).
+	for _, bad := range []string{"nope", "-5ms", "0s", "300m", "1000h"} {
 		resp, body := getResp(t, ts.URL+"/v1/range?minx=0&miny=0&minz=0&maxx=1&maxy=1&maxz=1&timeout="+bad)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("timeout=%q: status %d, want 400", bad, resp.StatusCode)
@@ -106,8 +109,19 @@ func TestOverloadAnswers503RetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503; body %s", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	// Retry-After must be the admission queue's drain estimate: a whole
+	// number of seconds inside the estimator's [1s, 60s] clamp, not a bare
+	// constant placeholder.
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Fatal("503 response is missing the Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 60]", ra)
+	}
+	if want := int(store.RetryAfterHint() / time.Second); secs != want {
+		t.Fatalf("Retry-After = %d, want the store's drain estimate %d", secs, want)
 	}
 	if eb := decodeError(t, body); eb.Code != "overloaded" {
 		t.Fatalf("code %q, want overloaded", eb.Code)

@@ -210,16 +210,26 @@ func withRequestID(next http.Handler) http.Handler {
 // wantPlan reports whether the request opted into plan reporting.
 func wantPlan(r *http.Request) bool { return r.URL.Query().Get("plan") == "1" }
 
+// maxQueryTimeout bounds ?timeout=: anything beyond it is a client bug (a
+// typo like 300m for 300ms would silently pin a slot for five hours), so it
+// answers 400 instead of being accepted.
+const maxQueryTimeout = time.Hour
+
 // queryCtx derives the query's context from the HTTP request: the request's
 // own context (so a disconnected client cancels the query) tightened by
-// ?timeout= when present. The returned cancel must be called; a parse error
-// means the caller already answered 400.
+// ?timeout= when present. Zero, negative, unparsable and absurdly large
+// (> 1h) timeouts answer 400. The returned cancel must be called; a parse
+// error means the caller already answered 400.
 func queryCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
 	ctx := r.Context()
 	if s := r.URL.Query().Get("timeout"); s != "" {
 		d, err := time.ParseDuration(s)
 		if err != nil || d <= 0 {
 			httpError(w, http.StatusBadRequest, "bad_request", "timeout must be a positive duration (e.g. 50ms)")
+			return nil, nil, false
+		}
+		if d > maxQueryTimeout {
+			httpError(w, http.StatusBadRequest, "bad_request", "timeout exceeds the 1h maximum")
 			return nil, nil, false
 		}
 		ctx, cancel := context.WithTimeout(ctx, d)
@@ -229,12 +239,18 @@ func queryCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.
 }
 
 // writeReplyError maps a failed Reply onto the error envelope: shed requests
-// answer 503 with a Retry-After hint, expired deadlines answer 504, a client
-// that went away answers 503, anything else is a 500.
-func writeReplyError(w http.ResponseWriter, err error) {
+// answer 503 with a Retry-After estimating when the admission queue actually
+// drains (queue depth x observed mean service time over the slot count, not
+// a constant), expired deadlines answer 504, a client that went away answers
+// 503, anything else is a 500.
+func writeReplyError(w http.ResponseWriter, store *serve.Store, err error) {
 	switch {
 	case errors.Is(err, serve.ErrOverload):
-		w.Header().Set("Retry-After", "1")
+		retry := int64(1)
+		if store != nil {
+			retry = int64(store.RetryAfterHint() / time.Second)
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
 		httpError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
@@ -264,7 +280,7 @@ func handleRange(store *serve.Store, so *serverObs) http.HandlerFunc {
 		rep := store.Query(serve.Request{Op: serve.OpRange, Query: geom.NewAABB(lo, hi), Ctx: ctx})
 		so.observeQuery(w, "range", time.Since(start), rep)
 		if rep.Err != nil {
-			writeReplyError(w, rep.Err)
+			writeReplyError(w, store, rep.Err)
 			return
 		}
 		items := rep.Items
@@ -299,7 +315,7 @@ func handleKNN(store *serve.Store, so *serverObs) http.HandlerFunc {
 		rep := store.Query(serve.Request{Op: serve.OpKNN, Point: p, K: k, Ctx: ctx})
 		so.observeQuery(w, "knn", time.Since(start), rep)
 		if rep.Err != nil {
-			writeReplyError(w, rep.Err)
+			writeReplyError(w, store, rep.Err)
 			return
 		}
 		writeQueryResponse(w, r, rep, rep.Items, tr)
@@ -339,7 +355,7 @@ func handleJoin(store *serve.Store, so *serverObs) http.HandlerFunc {
 		rep := store.Query(serve.Request{Op: serve.OpJoin, Join: jr, Ctx: ctx})
 		so.observeQuery(w, "join", time.Since(start), rep)
 		if rep.Err != nil {
-			writeReplyError(w, rep.Err)
+			writeReplyError(w, store, rep.Err)
 			return
 		}
 		resp := joinResponse{

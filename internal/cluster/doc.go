@@ -1,0 +1,44 @@
+// Package cluster scales the serving subsystem from one process to a small
+// fleet: STR-partitioned placement of the dataset across 2-3 node instances
+// (each node a serve.Store with its own persist directory — segment files
+// are the shipping and replication unit), a thin coordinator that
+// scatter/gathers range, kNN and join queries over a transport-interface
+// fan-out, and epoch-consistent cluster-wide swaps.
+//
+// # Placement
+//
+// The dataset is cut into node-sized tiles with the same sort-tile-recursive
+// discipline the epoch builder shards with (serve.PartitionSTR), so node
+// boundaries nest naturally over shard boundaries. Each tile is owned by a
+// primary node plus Replication-1 replicas in round-robin order; writes
+// route by box center to the owning tile's nodes (with a delete broadcast
+// that keeps a moved item from lingering on its old owner), reads prune the
+// node fan-out by each node's epoch MBR — the cluster-level lift of the
+// per-shard MBR pruning inside every store.
+//
+// # Epoch-consistent swaps
+//
+// A cluster epoch is published in two phases. Stage: the coordinator routes
+// the batch into per-node sub-batches and applies them to every node (each
+// node's local epoch advances, invisible to cluster readers). Publish: only
+// when every node acked its stage, the coordinator pins each node's new
+// epoch (serve.Store.AcquireEpoch) into a fresh view and atomically swaps
+// the view pointer. Readers pin the view for the duration of a query and
+// read through its pinned node epochs (serve.Store.QueryPinned), so every
+// read observes one consistent cluster generation end to end — even while
+// node-local epochs churn underneath — and a stage failure aborts the swap
+// with the old view intact. The superseded view's node pins release when its
+// last reader drains, which is what finally lets node epochs retire.
+//
+// # Partial failure
+//
+// The coordinator inherits the single-store robustness contract: a node
+// fan-out that fails or exceeds the hedge delay fails over to untried
+// replica owners of the unresolved tiles; if every owner of some tile is
+// gone, the reply degrades (Reply.Degraded plus per-node error detail,
+// reusing the serve.ErrOverload / serve.ErrDeadline vocabulary) rather than
+// returning wrong answers — results merged from the surviving nodes are
+// deduplicated by item ID, so replica overlap never duplicates and a dead
+// node never corrupts. Metrics surface as spatial_cluster_* series and every
+// fan-out gets per-node child spans in the request trace.
+package cluster

@@ -1,0 +1,31 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"spatialsim/internal/obs"
+)
+
+func newTestRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	return obs.NewRegistry()
+}
+
+func promText(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	return sb.String()
+}
+
+// containsLine reports whether any exposition line starts with prefix (exact
+// value match when prefix includes the sample value).
+func containsLine(text, prefix string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	return false
+}

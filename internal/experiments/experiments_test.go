@@ -522,3 +522,52 @@ func TestMmapBenchIdenticalNoRebuildAndReport(t *testing.T) {
 		t.Fatalf("report shape wrong: %+v", rep)
 	}
 }
+
+func TestClusterBenchConformanceAndDrills(t *testing.T) {
+	s := Scale{Elements: 4000, Queries: 15, Selectivity: 5e-5, Seed: 7}
+	r := ClusterBench(s, ClusterBenchConfig{Nodes: 3, Replication: 2, Shards: 4, SwapGens: 3, SwapReaders: 2, SwapItems: 400})
+	if !r.Identical {
+		t.Fatal("cluster answers diverge from the single store")
+	}
+	if r.TornEpochs != 0 {
+		t.Fatalf("swap storm observed %d torn epochs", r.TornEpochs)
+	}
+	if r.FinalEpoch != 4 {
+		t.Fatalf("storm final epoch = %d, want 4 (bootstrap + 3 generations)", r.FinalEpoch)
+	}
+	if !r.DegradedCorrect || !r.ReplicasAbsorb {
+		t.Fatalf("kill drills failed: degraded_correct=%v replicas_absorb=%v", r.DegradedCorrect, r.ReplicasAbsorb)
+	}
+	if r.DegradedCount == 0 || r.DegradedCount >= r.FullCount {
+		t.Fatalf("degraded count %d of %d is not a proper subset", r.DegradedCount, r.FullCount)
+	}
+	if !r.OK {
+		t.Fatalf("gate failed: %+v", r)
+	}
+	if !strings.Contains(r.String(), "E16") {
+		t.Fatal("String missing title")
+	}
+
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := WriteClusterBenchReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Nodes      int  `json:"nodes"`
+		Identical  bool `json:"identical_answers"`
+		TornEpochs int  `json:"torn_epochs"`
+		Degraded   bool `json:"degraded_correct"`
+		Absorb     bool `json:"replicas_absorb"`
+		OK         bool `json:"ok"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Nodes != 3 || !rep.Identical || rep.TornEpochs != 0 || !rep.Degraded || !rep.Absorb || !rep.OK {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+}

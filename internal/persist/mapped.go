@@ -92,7 +92,15 @@ type MappedSegment struct {
 	Shards []ShardRecord
 
 	zeroCopyShards int
+	closed         bool
 }
+
+// ErrSegmentClosed is returned by Close when the mapping was already
+// released. A second Close means the single-owner lifecycle (one epoch
+// retirement → one unmap) was violated, which a correct caller treats as a
+// hard error: the first Close may have invalidated views a reader still
+// holds.
+var ErrSegmentClosed = errors.New("persist: mapped segment closed twice")
 
 // ZeroCopyShards returns how many R-Tree shards alias the mapping directly.
 func (ms *MappedSegment) ZeroCopyShards() int { return ms.zeroCopyShards }
@@ -125,8 +133,15 @@ func (ms *MappedSegment) Advise(a storage.Advice) error {
 
 // Close releases the mapping. The caller owns the ordering: no reader may
 // hold a view of any shard past Close (epoch retirement guarantees this —
-// an epoch is retired only after its last reader pin drops).
+// an epoch is retired only after its last reader pin drops). Close is not
+// idempotent by design: a second call returns ErrSegmentClosed so a
+// double-retire bug surfaces as a hard error instead of a silent no-op over
+// possibly-invalidated reader views.
 func (ms *MappedSegment) Close() error {
+	if ms.closed {
+		return ErrSegmentClosed
+	}
+	ms.closed = true
 	ms.Shards = nil
 	ms.image = nil
 	if ms.disk == nil {

@@ -5,6 +5,7 @@ package persist
 // and larger-than-pool paged serving.
 
 import (
+	"errors"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -202,6 +203,11 @@ func TestOpenMappedSegmentLifecycle(t *testing.T) {
 	}
 	if ms.Shards != nil {
 		t.Fatal("Shards not released on Close")
+	}
+	// Double-close is a lifecycle violation (double-retire upstream), not a
+	// silent no-op: it must surface as a hard error.
+	if err := ms.Close(); !errors.Is(err, ErrSegmentClosed) {
+		t.Fatalf("second Close = %v, want ErrSegmentClosed", err)
 	}
 
 	// Size mismatch against the manifest expectation must refuse to open.

@@ -1,0 +1,101 @@
+package persist
+
+// Segment shipping: a node's newest snapshot segment is a self-contained,
+// CRC-verified image of one epoch, which makes it the natural replication
+// unit — seeding (or re-seeding) a cluster replica is copying one segment
+// file and a one-record manifest into the replica's data directory, after
+// which the replica's ordinary Recover path takes over.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ErrNoSnapshot is returned by CloneNewestSnapshot when the source store has
+// never saved an epoch — there is nothing to ship.
+var ErrNoSnapshot = errors.New("persist: no snapshot to ship")
+
+// CloneNewestSnapshot ships the store's newest snapshot into dstDir: the
+// segment image is read back and CRC-verified against its manifest record
+// (rot is never replicated), written to dstDir under its canonical segment
+// name, and a fresh single-record manifest is installed by atomic rename —
+// replacing whatever manifest dstDir had, so re-seeding a stale or corrupt
+// replica is the same call as seeding an empty one. The destination then
+// recovers through the ordinary Open+Recover path. WAL batches newer than
+// the snapshot are not shipped; in the cluster they are re-staged by the
+// coordinator's swap protocol.
+func (s *Store) CloneNewestSnapshot(dstDir string) (SnapshotRecord, error) {
+	s.mu.Lock()
+	if s.manifest == nil {
+		s.mu.Unlock()
+		return SnapshotRecord{}, fmt.Errorf("persist: store closed")
+	}
+	if len(s.snapshots) == 0 {
+		s.mu.Unlock()
+		return SnapshotRecord{}, ErrNoSnapshot
+	}
+	sr := s.snapshots[len(s.snapshots)-1]
+	open := s.openFile
+	s.mu.Unlock()
+
+	f, size, err := open(filepath.Join(s.dir, sr.Name))
+	if err != nil {
+		return SnapshotRecord{}, err
+	}
+	if size < sr.SegSize {
+		f.Close()
+		return SnapshotRecord{}, fmt.Errorf("%w: segment %s is %d bytes, manifest says %d", ErrCorrupt, sr.Name, size, sr.SegSize)
+	}
+	image := make([]byte, sr.SegSize)
+	if _, err := f.ReadAt(image, 0); err != nil {
+		f.Close()
+		return SnapshotRecord{}, err
+	}
+	if err := f.Close(); err != nil {
+		return SnapshotRecord{}, err
+	}
+	if imageCRC(image) != sr.SegCRC {
+		return SnapshotRecord{}, fmt.Errorf("%w: segment %s failed CRC before shipping", ErrCorrupt, sr.Name)
+	}
+
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return SnapshotRecord{}, err
+	}
+	if err := writeFileSynced(filepath.Join(dstDir, sr.Name), image); err != nil {
+		return SnapshotRecord{}, err
+	}
+	// Manifest last, atomically: a crash mid-ship leaves either the old
+	// manifest (pointing at old, still-present segments) or the new one
+	// (pointing at the fully-written segment above) — never a reference to a
+	// half-shipped image.
+	manifest := encodeSnapshotRecord(nil, sr)
+	tmp := filepath.Join(dstDir, manifestName+".tmp")
+	if err := writeFileSynced(tmp, manifest); err != nil {
+		return SnapshotRecord{}, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dstDir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return SnapshotRecord{}, err
+	}
+	return sr, nil
+}
+
+// writeFileSynced writes data and fsyncs before closing, so the shipping
+// protocol's ordering argument holds on a real disk.
+func writeFileSynced(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

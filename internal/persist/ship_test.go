@@ -1,0 +1,94 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCloneNewestSnapshot(t *testing.T) {
+	src := t.TempDir()
+	dst := t.TempDir()
+	s, err := Open(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Nothing saved yet: nothing to ship.
+	if _, err := s.CloneNewestSnapshot(dst); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty-store clone err = %v, want ErrNoSnapshot", err)
+	}
+
+	// Two epochs; the clone must pick the newest.
+	if err := s.SaveEpoch(1, 10, testShards(t, 200, 5)); err != nil {
+		t.Fatal(err)
+	}
+	wantShards := testShards(t, 300, 6)
+	if err := s.SaveEpoch(2, 20, wantShards); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := s.CloneNewestSnapshot(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.EpochSeq != 2 || sr.BatchSeq != 20 {
+		t.Fatalf("shipped record = %+v, want epoch 2 / batch 20", sr)
+	}
+
+	// The replica recovers the shipped epoch through the ordinary path.
+	replica, err := Open(dst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	rec, err := replica.Recover(RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.EpochSeq != 2 || rec.BatchSeq != 20 || len(rec.Pending) != 0 {
+		t.Fatalf("replica recovery = epoch %d batch %d pending %d", rec.EpochSeq, rec.BatchSeq, len(rec.Pending))
+	}
+	wantItems := 0
+	for i := range wantShards {
+		wantItems += wantShards[i].Len()
+	}
+	if rec.Items() != wantItems {
+		t.Fatalf("replica items = %d, want %d", rec.Items(), wantItems)
+	}
+
+	// Re-shipping over a stale replica replaces its manifest in place.
+	if err := s.SaveEpoch(3, 30, testShards(t, 100, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloneNewestSnapshot(dst); err != nil {
+		t.Fatal(err)
+	}
+	replica2, err := Open(dst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica2.Close()
+	rec2, err := replica2.Recover(RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.EpochSeq != 3 {
+		t.Fatalf("re-seeded replica epoch = %d, want 3", rec2.EpochSeq)
+	}
+
+	// A rotted source segment must refuse to ship, not replicate corruption.
+	seg := filepath.Join(src, segmentName(3))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloneNewestSnapshot(t.TempDir()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt clone err = %v, want ErrCorrupt", err)
+	}
+}

@@ -118,7 +118,12 @@ func (s *Store) recoverFromPersist() error {
 			s.mapping.Store(ms)
 			e.onRetire = append(e.onRetire, func() {
 				s.mapping.CompareAndSwap(ms, nil)
-				ms.Close()
+				if err := ms.Close(); err != nil {
+					// A second unmap means the retire-once protocol broke:
+					// readers may still hold views of the first unmap. That is
+					// a memory-safety bug, not a degraded mode — fail loudly.
+					panic(fmt.Sprintf("serve: mapped epoch %d retired twice: %v", e.seq, err))
+				}
 			})
 		}
 		s.attachCache(e)
@@ -194,7 +199,13 @@ func (s *Store) snapshotLoop() {
 func (s *Store) snapshotIfNeeded(force bool) error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	e := s.epoch.Load()
+	// Pin the epoch for the whole persist: shardRecords reads shard snapshots
+	// that may be zero-copy overlays of the mmap'd segment, and an unpinned
+	// load would let a concurrent swap retire the epoch — running its unmap
+	// hook — while SaveEpoch is still encoding from the mapped bytes. The pin
+	// makes the snapshot race-free against the first post-recovery Apply.
+	e := s.acquire()
+	defer s.release(e)
 	last := s.lastPersisted.Load()
 	if e.seq <= last {
 		return nil

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ErrOverload is the load-shedding rejection: admission control found the
@@ -38,4 +39,52 @@ func mapCtxErr(err error) error {
 type ShardError struct {
 	Shard int    `json:"shard"`
 	Err   string `json:"error"`
+}
+
+// RetryAfterEstimate converts admission-queue state into the drain estimate
+// an ErrOverload response should advertise as Retry-After: the time until a
+// caller arriving now would plausibly get a slot, i.e. the queue depth
+// (plus the caller itself) served at the observed average service time
+// across maxInFlight parallel slots. The estimate is clamped to [1s, 60s]
+// and rounded up to whole seconds — HTTP Retry-After is integral, and an
+// estimate below a second is indistinguishable from "retry immediately",
+// which is exactly the hammering the header exists to prevent.
+func RetryAfterEstimate(queued int64, maxInFlight int, avg time.Duration) time.Duration {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	drain := time.Duration((queued + 1) * int64(avg) / int64(maxInFlight))
+	// Round up to whole seconds, then clamp.
+	secs := (drain + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs * time.Second
+}
+
+// RetryAfterHint is the store's live drain estimate for overload responses:
+// RetryAfterEstimate over the current queue depth, the in-flight bound, and
+// an exponentially weighted moving average of recent query service times.
+// An idle or just-started store reports the 1s floor.
+func (s *Store) RetryAfterHint() time.Duration {
+	return RetryAfterEstimate(s.queued.Load(), s.cfg.MaxInFlight, time.Duration(s.avgQueryNs.Load()))
+}
+
+// observeServiceTime folds one executed query's wall time into the EWMA
+// behind RetryAfterHint (alpha 1/8). The read-modify-write is deliberately
+// not atomic as a unit: a lost update under contention skews a hint, not an
+// answer.
+func (s *Store) observeServiceTime(d time.Duration) {
+	old := s.avgQueryNs.Load()
+	if old == 0 {
+		s.avgQueryNs.Store(int64(d))
+		return
+	}
+	s.avgQueryNs.Store(old + (int64(d)-old)/8)
 }

@@ -91,6 +91,19 @@ func cutRuns(items []index.Item, n int) [][]index.Item {
 	return runs
 }
 
+// PartitionSTR is the exported form of the store's sort-tile-recursive
+// partitioning, for callers that place data with the same discipline the
+// epoch builder shards with — the cluster placement layer cuts the dataset
+// into node-sized tiles through it, so node boundaries nest naturally over
+// shard boundaries. The slice is sorted in place; each returned part is a
+// subslice of items.
+func PartitionSTR(items []index.Item, k int) [][]index.Item {
+	return partitionSTR(items, k)
+}
+
+// BoundsOf returns the union of all item boxes (the MBR of a part).
+func BoundsOf(items []index.Item) geom.AABB { return boundsOf(items) }
+
 // boundsOf returns the union of all item boxes (the shard MBR).
 func boundsOf(items []index.Item) geom.AABB {
 	b := geom.EmptyAABB()

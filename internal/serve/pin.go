@@ -1,0 +1,29 @@
+package serve
+
+// Exported epoch pinning: the handles a multi-node coordinator uses to hold a
+// node's generation stable across a fan-out. A cluster-wide "epoch" is a set
+// of per-node epochs published together; the coordinator pins each node's
+// epoch when the cluster view is installed and releases the pins when the
+// view is superseded, so every read through the view observes one consistent
+// generation on every node — the same torn-read guarantee a single store
+// gives per query, lifted to the cluster.
+
+// AcquireEpoch pins and returns the current epoch. The caller owns one pin
+// and must pair it with exactly one ReleaseEpoch on the same store; until
+// then the epoch (and any segment mapping backing it) cannot retire. Queries
+// against the pinned generation go through QueryPinned.
+func (s *Store) AcquireEpoch() *Epoch { return s.acquire() }
+
+// ReleaseEpoch drops a pin taken by AcquireEpoch. The last pin off a
+// superseded epoch retires it (dropping its result cache and running its
+// reclamation hooks, e.g. unmapping a mapped segment).
+func (s *Store) ReleaseEpoch(e *Epoch) { s.release(e) }
+
+// QueryPinned is Query against a caller-pinned epoch instead of the current
+// one: admission control, deadlines, caching and the degraded-reply contract
+// all apply identically, but the read runs on exactly the generation the
+// caller pinned with AcquireEpoch — even if the store has swapped past it.
+// The caller must hold a pin on e for the duration of the call.
+func (s *Store) QueryPinned(req Request, e *Epoch) Reply {
+	return s.queryOn(req, e)
+}

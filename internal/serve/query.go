@@ -214,6 +214,13 @@ type Reply struct {
 // and the store's deadline policy. It is the single entry point every named
 // query method wraps.
 func (s *Store) Query(req Request) Reply {
+	return s.queryOn(req, nil)
+}
+
+// queryOn is the shared body of Query and QueryPinned: a nil pinned epoch
+// reads the current generation under a query-scoped pin, a non-nil one reads
+// exactly the generation the caller pinned.
+func (s *Store) queryOn(req Request, pinned *Epoch) Reply {
 	ctx := req.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -227,11 +234,9 @@ func (s *Store) Query(req Request) Reply {
 	}
 	// Latency is measured only for executed queries (shed and pre-admission
 	// deadline rejects answer in microseconds and would drown the real
-	// distribution under overload).
-	var t0 time.Time
-	if s.metrics != nil {
-		t0 = time.Now()
-	}
+	// distribution under overload). The measurement also feeds the EWMA
+	// behind RetryAfterHint, so it runs with metrics off too.
+	t0 := time.Now()
 	root := obs.SpanFromContext(ctx)
 
 	as := root.Child("admit")
@@ -245,8 +250,11 @@ func (s *Store) Query(req Request) Reply {
 		return s.failedReply(mapCtxErr(err))
 	}
 
-	e := s.acquire()
-	defer s.release(e)
+	e := pinned
+	if e == nil {
+		e = s.acquire()
+		defer s.release(e)
+	}
 	root.Set("epoch", e.seq)
 	var rep Reply
 	switch req.Op {
@@ -267,8 +275,10 @@ func (s *Store) Query(req Request) Reply {
 	if rep.Err != nil && errors.Is(rep.Err, context.DeadlineExceeded) {
 		s.deadlineHits.Add(1)
 	}
+	el := time.Since(t0)
+	s.observeServiceTime(el)
 	if s.metrics != nil {
-		s.metrics.latFor(req.Op).Observe(time.Since(t0))
+		s.metrics.latFor(req.Op).Observe(el)
 	}
 	return rep
 }

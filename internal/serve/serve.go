@@ -260,6 +260,10 @@ type Store struct {
 	// the same closure keeps the admission path allocation-free.
 	releaseSlot func()
 
+	// avgQueryNs is the EWMA of executed-query service time feeding
+	// RetryAfterHint (see errors.go).
+	avgQueryNs atomic.Int64
+
 	queries      atomic.Int64
 	results      atomic.Int64
 	swaps        atomic.Int64
@@ -507,8 +511,18 @@ func (s *Store) seedStagingLocked() {
 	if s.seedFrom == nil {
 		return
 	}
-	items := s.seedFrom.AllItems(nil)
+	// Pin the recovered epoch for the scan: in mapped mode AllItems reads
+	// shard data straight out of the mmap'd segment, and the pin guarantees
+	// the epoch cannot retire (and unmap that segment) mid-scan no matter
+	// what concurrent snapshot or publish activity does. The epoch cannot be
+	// superseded yet — every publish path seeds (under stagingMu) before its
+	// staging snapshot — so a direct pin without the acquire retry loop is
+	// sound here.
+	e := s.seedFrom
+	e.pins.Add(1)
+	items := e.AllItems(nil)
 	s.seedFrom = nil
+	s.release(e)
 	for _, it := range items {
 		s.staging.Update(it.ID, it.Box, it.Box)
 	}

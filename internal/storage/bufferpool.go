@@ -8,8 +8,10 @@ import (
 
 // BufferPoolStats reports hit/miss counts of a buffer pool. ZeroCopy counts
 // lookups answered straight from a mapped pager's own bytes (no frame copy,
-// no LRU traffic); they are hits for HitRate purposes — the page was served
-// without a pread.
+// no LRU traffic). Zero-copy passthroughs are deliberately NOT hits: a hit
+// means the frame cache earned its memory, a passthrough means the cache was
+// bypassed entirely — folding them together made a tiny pool over a mapped
+// segment report a perfect hit rate while caching nothing.
 type BufferPoolStats struct {
 	Hits      int64
 	Misses    int64
@@ -17,14 +19,25 @@ type BufferPoolStats struct {
 	ZeroCopy  int64
 }
 
-// HitRate returns the fraction of lookups served without going to the pager
-// (pool hits plus zero-copy views).
+// HitRate returns the fraction of frame-cache lookups served from a cached
+// frame: Hits / (Hits + Misses). Zero-copy passthroughs never enter the frame
+// cache and are excluded; track them with ZeroCopyRate.
 func (s BufferPoolStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// ZeroCopyRate returns the fraction of all lookups served straight from a
+// mapped view, bypassing the frame cache.
+func (s BufferPoolStats) ZeroCopyRate() float64 {
 	total := s.Hits + s.Misses + s.ZeroCopy
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.ZeroCopy) / float64(total)
+	return float64(s.ZeroCopy) / float64(total)
 }
 
 // BufferPool caches pages of a Pager with an LRU replacement policy. The

@@ -194,7 +194,12 @@ func TestBufferPoolZeroCopyConcurrent(t *testing.T) {
 	if cached, _ := pool.cached(); cached != 0 {
 		t.Fatalf("zero-copy pool cached %d frames; views must not be copied into frames", cached)
 	}
-	if st.HitRate() != 1 {
-		t.Fatalf("zero-copy HitRate = %v, want 1", st.HitRate())
+	// Passthroughs are not cache hits: the frame cache saw no traffic at all,
+	// so HitRate has nothing to report while ZeroCopyRate is total.
+	if st.HitRate() != 0 {
+		t.Fatalf("zero-copy HitRate = %v, want 0 (no frame-cache traffic)", st.HitRate())
+	}
+	if st.ZeroCopyRate() != 1 {
+		t.Fatalf("ZeroCopyRate = %v, want 1", st.ZeroCopyRate())
 	}
 }

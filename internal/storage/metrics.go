@@ -1,0 +1,21 @@
+package storage
+
+import "spatialsim/internal/obs"
+
+// RegisterPoolMetrics exposes one buffer pool's counters on reg under
+// spatial_pool_<name>_*. Real frame-cache hits and zero-copy passthroughs are
+// separate series (and separate rates) — a dashboard that watched the old
+// blended hit rate could not tell "the cache is working" from "the cache is
+// bypassed", which are opposite capacity-planning signals.
+func RegisterPoolMetrics(reg *obs.Registry, name string, p *BufferPool) {
+	if reg == nil || p == nil {
+		return
+	}
+	prefix := "spatial_pool_" + name + "_"
+	reg.CounterFunc(prefix+"hits_total", func() float64 { return float64(p.Stats().Hits) })
+	reg.CounterFunc(prefix+"misses_total", func() float64 { return float64(p.Stats().Misses) })
+	reg.CounterFunc(prefix+"evictions_total", func() float64 { return float64(p.Stats().Evictions) })
+	reg.CounterFunc(prefix+"zero_copy_total", func() float64 { return float64(p.Stats().ZeroCopy) })
+	reg.Gauge(prefix+"hit_rate", func() float64 { return p.Stats().HitRate() })
+	reg.Gauge(prefix+"zero_copy_rate", func() float64 { return p.Stats().ZeroCopyRate() })
+}

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialsim/internal/obs"
+)
+
+// TestRegisterPoolMetricsSplitsZeroCopy pins the metric split: a zero-copy
+// pool's passthrough traffic lands in the zero_copy series, never in the
+// hit/miss series, and the two rates disagree exactly when the cache is
+// bypassed.
+func TestRegisterPoolMetricsSplitsZeroCopy(t *testing.T) {
+	const pageSize = 512
+
+	// A copying pool: hits and misses are frame-cache traffic.
+	mem := NewDisk(DiskConfig{PageSize: pageSize})
+	id := mem.Allocate()
+	if err := mem.Write(id, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	copying := NewBufferPool(mem, 4)
+	if _, err := copying.Get(id); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := copying.Get(id); err != nil { // hit
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	RegisterPoolMetrics(reg, "paged", copying)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"spatial_pool_paged_hits_total 1",
+		"spatial_pool_paged_misses_total 1",
+		"spatial_pool_paged_zero_copy_total 0",
+		"spatial_pool_paged_hit_rate 0.5",
+		"spatial_pool_paged_zero_copy_rate 0",
+	} {
+		if !hasLine(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	if !MmapSupported() {
+		t.Skip("mmap not supported; zero-copy half skipped")
+	}
+
+	// A mapped pool: every lookup is a passthrough, none is a cache hit.
+	path := filepath.Join(t.TempDir(), "pages.bin")
+	if err := os.WriteFile(path, make([]byte, 4*pageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenMmapDisk(path, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	mapped := NewBufferPool(disk, 4)
+	for i := 0; i < 3; i++ {
+		if _, err := mapped.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg2 := obs.NewRegistry()
+	RegisterPoolMetrics(reg2, "mapped", mapped)
+	sb.Reset()
+	reg2.WritePrometheus(&sb)
+	text = sb.String()
+	for _, want := range []string{
+		"spatial_pool_mapped_hits_total 0",
+		"spatial_pool_mapped_misses_total 0",
+		"spatial_pool_mapped_zero_copy_total 3",
+		"spatial_pool_mapped_hit_rate 0",
+		"spatial_pool_mapped_zero_copy_rate 1",
+	} {
+		if !hasLine(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func hasLine(text, prefix string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	return false
+}
